@@ -1,0 +1,59 @@
+//! Criterion bench: cryptographic primitives underlying AsyncSecAgg.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use papaya_crypto::chacha20::ChaCha20Rng;
+use papaya_crypto::dh::{DhGroup, DhPrivateKey};
+use papaya_crypto::merkle::MerkleLog;
+use papaya_crypto::sha256::sha256;
+
+fn hash_and_stream(c: &mut Criterion) {
+    let data = vec![0xabu8; 1 << 20];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("1MiB", |b| b.iter(|| sha256(&data)));
+    group.finish();
+
+    c.bench_function("chacha20_expand_1M_group_elements", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha20Rng::from_seed16([7u8; 16]);
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_below(1 << 32));
+            }
+            acc
+        })
+    });
+}
+
+fn dh_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diffie_hellman");
+    group.sample_size(10);
+    for (name, g) in [("test_256", DhGroup::test_group_256()), ("rfc3526_2048", DhGroup::rfc3526_2048())] {
+        group.bench_function(name, |b| {
+            let mut rng = ChaCha20Rng::from_seed([9u8; 32]);
+            let server = DhPrivateKey::generate(&g, &mut rng);
+            b.iter(|| {
+                let client = DhPrivateKey::generate(&g, &mut rng);
+                client.shared_secret(&server.public_key())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn merkle_log(c: &mut Criterion) {
+    c.bench_function("merkle_log_append_and_prove_1k", |b| {
+        b.iter(|| {
+            let mut log = MerkleLog::new();
+            for i in 0..1000usize {
+                log.append(format!("binary-{i}").into_bytes());
+            }
+            let root = log.root();
+            let proof = log.inclusion_proof(999).unwrap();
+            proof.verify(&root, b"binary-999", 999, 1000)
+        })
+    });
+}
+
+criterion_group!(benches, hash_and_stream, dh_exchange, merkle_log);
+criterion_main!(benches);

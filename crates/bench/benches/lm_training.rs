@@ -1,0 +1,33 @@
+//! Criterion bench: on-device LSTM training cost (the client-side workload
+//! behind Table 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use papaya_core::client::ClientTrainer;
+use papaya_data::dataset::FederatedTextDataset;
+use papaya_data::population::{Population, PopulationConfig};
+use papaya_lm::{LmClientTrainer, LmConfig};
+use std::sync::Arc;
+
+fn client_local_training(c: &mut Criterion) {
+    let pop = Population::generate(&PopulationConfig::default().with_size(50), 3);
+    let data = Arc::new(FederatedTextDataset::generate(&pop, 4, 3));
+    let trainer = LmClientTrainer::new(data, LmConfig::tiny()).with_max_sequences(16);
+    let global = trainer.initial_parameters();
+    let mut group = c.benchmark_group("lm_client_training");
+    group.sample_size(20);
+    group.bench_function("one_participation", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            trainer.train(0, &global, seed)
+        })
+    });
+    group.bench_function("evaluate_10_clients", |b| {
+        let ids: Vec<usize> = (0..10).collect();
+        b.iter(|| trainer.evaluate(&global, &ids))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, client_local_training);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: population synthesis and the Figure 2 statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use papaya_data::population::{Population, PopulationConfig};
+use papaya_data::stats::{ks_two_sample, Histogram};
+
+fn population_generation(c: &mut Criterion) {
+    c.bench_function("generate_population_100k", |b| {
+        let config = PopulationConfig::default().with_size(100_000);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            Population::generate(&config, seed)
+        });
+    });
+}
+
+fn fig2_histogram(c: &mut Criterion) {
+    let pop = Population::generate(&PopulationConfig::default().with_size(100_000), 7);
+    let times = pop.execution_times();
+    c.bench_function("fig2_log_histogram_100k", |b| {
+        b.iter(|| Histogram::log_spaced(&times, 50))
+    });
+}
+
+fn ks_test(c: &mut Criterion) {
+    let pop = Population::generate(&PopulationConfig::default().with_size(50_000), 8);
+    let a: Vec<f64> = pop.example_counts().iter().map(|&x| x as f64).collect();
+    let b_sample: Vec<f64> = a.iter().rev().cloned().collect();
+    c.bench_function("ks_two_sample_50k", |bch| {
+        bch.iter(|| ks_two_sample(&a, &b_sample))
+    });
+}
+
+criterion_group!(benches, population_generation, fig2_histogram, ks_test);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench: asynchronous secure aggregation (Figure 6 companion).
+//!
+//! Measures the real protocol cost per client and per buffer finalization,
+//! and the modelled boundary-transfer times for the naive vs AsyncSecAgg
+//! designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use papaya_crypto::chacha20::ChaCha20Rng;
+use papaya_secagg::cost::TeeBoundaryCostModel;
+use papaya_secagg::{SecAggClient, SecAggConfig, Tsa, UntrustedAggregator};
+
+fn client_participation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secagg_client_participation");
+    for vector_len in [1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(vector_len),
+            &vector_len,
+            |b, &len| {
+                let config = SecAggConfig::insecure_fast(len, 1);
+                let mut tsa = Tsa::new(&config, [1u8; 32]);
+                let publication = tsa.publication();
+                let mut rng = ChaCha20Rng::from_seed([2u8; 32]);
+                let update = vec![0.01f32; len];
+                // Pre-generate plenty of initial messages; each participation
+                // consumes one.
+                let mut initials = tsa.prepare_initial_messages(4096, &mut rng);
+                b.iter(|| {
+                    let init = initials.pop().expect("enough pre-generated messages");
+                    SecAggClient::participate(&update, &init, &publication, &config, &mut rng)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn full_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secagg_buffer_of_8_clients");
+    group.sample_size(10);
+    group.bench_function("vector_len_4096", |b| {
+        b.iter(|| {
+            let config = SecAggConfig::insecure_fast(4096, 8);
+            let mut tsa = Tsa::new(&config, [3u8; 32]);
+            let publication = tsa.publication();
+            let mut rng = ChaCha20Rng::from_seed([4u8; 32]);
+            let inits = tsa.prepare_initial_messages(8, &mut rng);
+            let mut agg = UntrustedAggregator::new(&config);
+            let update = vec![0.5f32; 4096];
+            for init in &inits {
+                let msg =
+                    SecAggClient::participate(&update, init, &publication, &config, &mut rng)
+                        .unwrap();
+                agg.submit(msg, &mut tsa).unwrap();
+            }
+            agg.finalize(&mut tsa).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn boundary_cost_model(c: &mut Criterion) {
+    c.bench_function("fig6_cost_model_sweep", |b| {
+        let model = TeeBoundaryCostModel::default();
+        b.iter(|| {
+            let mut total = 0.0;
+            for k in [10usize, 50, 100, 500, 1000] {
+                total += model.naive_time_s(k, 20_000_000);
+                total += model.async_secagg_time_s(k, 20_000_000);
+            }
+            total
+        });
+    });
+}
+
+criterion_group!(benches, client_participation, full_buffer, boundary_cost_model);
+criterion_main!(benches);

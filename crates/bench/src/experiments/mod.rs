@@ -1,0 +1,7 @@
+//! Experiment implementations, one module per group of figures.
+
+pub mod common;
+pub mod convergence;
+pub mod lm_exp;
+pub mod secagg_exp;
+pub mod systems;

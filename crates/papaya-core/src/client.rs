@@ -1,0 +1,112 @@
+//! The client-trainer abstraction and the client-update record.
+//!
+//! A *client trainer* encapsulates "what happens on the device": given the
+//! downloaded global parameters and a client id, it runs local training and
+//! returns the model delta, the number of examples used, and the local loss.
+//! The discrete-event simulator calls trainers when a (virtual) client
+//! finishes; the same trait is implemented by the real LSTM trainer in
+//! `papaya-lm` and the fast surrogate objective in [`crate::surrogate`].
+
+use papaya_nn::params::ParamVec;
+
+/// The result of one client's local training.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocalTrainResult {
+    /// Model delta: `trained_parameters − downloaded_parameters`.
+    pub delta: ParamVec,
+    /// Number of training examples used.
+    pub num_examples: usize,
+    /// Mean training loss over the local data after training.
+    pub train_loss: f32,
+}
+
+/// A client update as received by an Aggregator: the local training result
+/// plus the metadata needed for weighting and staleness tracking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClientUpdate {
+    /// The contributing client/device id.
+    pub client_id: usize,
+    /// Model delta produced by local training.
+    pub delta: ParamVec,
+    /// Number of examples the client trained on.
+    pub num_examples: usize,
+    /// Server model version the client downloaded before training.
+    pub start_version: u64,
+    /// Mean local training loss.
+    pub train_loss: f32,
+}
+
+impl ClientUpdate {
+    /// Builds an update from a training result.
+    pub fn from_result(client_id: usize, start_version: u64, result: LocalTrainResult) -> Self {
+        ClientUpdate {
+            client_id,
+            delta: result.delta,
+            num_examples: result.num_examples,
+            start_version,
+            train_loss: result.train_loss,
+        }
+    }
+
+    /// Staleness of this update given the current server model version.
+    ///
+    /// Staleness is the number of server updates performed between this
+    /// client's download and its upload.
+    pub fn staleness(&self, current_version: u64) -> u64 {
+        current_version.saturating_sub(self.start_version)
+    }
+}
+
+/// On-device training logic for a federated task.
+///
+/// Implementations must be deterministic given `(client_id, global, seed)` so
+/// simulations are reproducible.
+pub trait ClientTrainer: Send + Sync {
+    /// Number of scalar parameters in the model.
+    fn parameter_count(&self) -> usize;
+
+    /// Initial global model parameters.
+    fn initial_parameters(&self) -> ParamVec;
+
+    /// Runs local training for `client_id` starting from `global`.
+    fn train(&self, client_id: usize, global: &ParamVec, seed: u64) -> LocalTrainResult;
+
+    /// Evaluates the population loss of `params` over the given clients
+    /// (e.g. their held-out data).  Lower is better.
+    fn evaluate(&self, params: &ParamVec, client_ids: &[usize]) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staleness_is_version_difference() {
+        let u = ClientUpdate {
+            client_id: 1,
+            delta: ParamVec::zeros(2),
+            num_examples: 5,
+            start_version: 10,
+            train_loss: 0.0,
+        };
+        assert_eq!(u.staleness(10), 0);
+        assert_eq!(u.staleness(13), 3);
+        // A client can never have negative staleness.
+        assert_eq!(u.staleness(9), 0);
+    }
+
+    #[test]
+    fn from_result_copies_fields() {
+        let result = LocalTrainResult {
+            delta: ParamVec::from_vec(vec![1.0]),
+            num_examples: 7,
+            train_loss: 0.25,
+        };
+        let u = ClientUpdate::from_result(3, 11, result.clone());
+        assert_eq!(u.client_id, 3);
+        assert_eq!(u.start_version, 11);
+        assert_eq!(u.delta, result.delta);
+        assert_eq!(u.num_examples, 7);
+        assert_eq!(u.train_loss, 0.25);
+    }
+}

@@ -1,0 +1,256 @@
+//! Task configuration.
+//!
+//! A *task* is one federated training job.  PAPAYA supports synchronous and
+//! asynchronous training of the same task through a configuration change
+//! (Appendix E.3); the differences — client demand computation, handling of
+//! stale clients, and the aggregation rule — are all derived from
+//! [`TrainingMode`].
+
+use crate::staleness::StalenessWeighting;
+
+/// Whether and how secure aggregation is enabled for a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SecAggMode {
+    /// Updates are uploaded in the clear.
+    #[default]
+    Disabled,
+    /// Updates are masked with the asynchronous TEE-based SecAgg protocol.
+    AsyncSecAgg,
+}
+
+/// The training regime of a task.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrainingMode {
+    /// Synchronous rounds (the GFL-style baseline).
+    Sync {
+        /// Over-selection factor `o`: the cohort has
+        /// `aggregation_goal * (1 + o)` clients and the slowest are
+        /// discarded.  `0.0` disables over-selection.
+        over_selection: f64,
+    },
+    /// Asynchronous buffered aggregation (FedBuff).
+    Async {
+        /// Updates with staleness above this value are aborted
+        /// (Appendix E.1/E.2).
+        max_staleness: u64,
+        /// Staleness down-weighting scheme.
+        staleness_weighting: StalenessWeighting,
+    },
+}
+
+impl TrainingMode {
+    /// The default asynchronous mode used throughout the evaluation:
+    /// `1/sqrt(1+s)` weighting and a generous staleness bound.
+    pub fn default_async() -> Self {
+        TrainingMode::Async {
+            max_staleness: 500,
+            staleness_weighting: StalenessWeighting::PolynomialHalf,
+        }
+    }
+
+    /// The default synchronous baseline: 30 % over-selection (Bonawitz et
+    /// al., 2019).
+    pub fn default_sync() -> Self {
+        TrainingMode::Sync {
+            over_selection: 0.3,
+        }
+    }
+
+    /// Returns true for asynchronous modes.
+    pub fn is_async(&self) -> bool {
+        matches!(self, TrainingMode::Async { .. })
+    }
+}
+
+/// Full configuration of a federated training task.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskConfig {
+    /// Human-readable task name.
+    pub name: String,
+    /// Maximum number of concurrently participating clients (Appendix E.1).
+    pub concurrency: usize,
+    /// Number of client updates aggregated before a server model update.
+    /// For SyncFL this is the cohort goal; for AsyncFL it is `K`.
+    pub aggregation_goal: usize,
+    /// Training regime.
+    pub mode: TrainingMode,
+    /// Whether updates are weighted by the client's example count.
+    pub weight_by_examples: bool,
+    /// Client-side training timeout in seconds (paper: 4 minutes).
+    pub client_timeout_s: f64,
+    /// Secure-aggregation mode.
+    pub secagg: SecAggMode,
+    /// Serialized model size in bytes (used for cost accounting only).
+    pub model_size_bytes: u64,
+}
+
+impl TaskConfig {
+    /// An asynchronous (FedBuff) task with the given concurrency and
+    /// aggregation goal `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency == 0` or `aggregation_goal == 0`.
+    pub fn async_task(name: impl Into<String>, concurrency: usize, aggregation_goal: usize) -> Self {
+        assert!(concurrency > 0, "concurrency must be positive");
+        assert!(aggregation_goal > 0, "aggregation goal must be positive");
+        TaskConfig {
+            name: name.into(),
+            concurrency,
+            aggregation_goal,
+            mode: TrainingMode::default_async(),
+            weight_by_examples: true,
+            client_timeout_s: 240.0,
+            secagg: SecAggMode::Disabled,
+            model_size_bytes: 20_000_000,
+        }
+    }
+
+    /// A synchronous task.  With over-selection `o`, `concurrency` clients
+    /// are selected per round and the aggregation goal is
+    /// `concurrency / (1 + o)` (Figure 7's configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency == 0` or `over_selection < 0`.
+    pub fn sync_task(name: impl Into<String>, concurrency: usize, over_selection: f64) -> Self {
+        assert!(concurrency > 0, "concurrency must be positive");
+        assert!(over_selection >= 0.0, "over-selection must be non-negative");
+        let aggregation_goal = ((concurrency as f64) / (1.0 + over_selection)).round() as usize;
+        TaskConfig {
+            name: name.into(),
+            concurrency,
+            aggregation_goal: aggregation_goal.max(1),
+            mode: TrainingMode::Sync { over_selection },
+            weight_by_examples: true,
+            client_timeout_s: 240.0,
+            secagg: SecAggMode::Disabled,
+            model_size_bytes: 20_000_000,
+        }
+    }
+
+    /// Sets the client timeout.
+    pub fn with_timeout(mut self, timeout_s: f64) -> Self {
+        self.client_timeout_s = timeout_s;
+        self
+    }
+
+    /// Enables or disables example-count weighting.
+    pub fn with_example_weighting(mut self, enabled: bool) -> Self {
+        self.weight_by_examples = enabled;
+        self
+    }
+
+    /// Sets the secure aggregation mode.
+    pub fn with_secagg(mut self, secagg: SecAggMode) -> Self {
+        self.secagg = secagg;
+        self
+    }
+
+    /// Sets the maximum staleness (asynchronous mode only; no-op otherwise).
+    pub fn with_max_staleness(mut self, max: u64) -> Self {
+        if let TrainingMode::Async { max_staleness, .. } = &mut self.mode {
+            *max_staleness = max;
+        }
+        self
+    }
+
+    /// Sets the serialized model size used for communication accounting.
+    pub fn with_model_size_bytes(mut self, bytes: u64) -> Self {
+        self.model_size_bytes = bytes;
+        self
+    }
+
+    /// The over-selection factor (0 for asynchronous tasks).
+    pub fn over_selection(&self) -> f64 {
+        match self.mode {
+            TrainingMode::Sync { over_selection } => over_selection,
+            TrainingMode::Async { .. } => 0.0,
+        }
+    }
+
+    /// Client demand given the current number of active (participating but
+    /// unfinished) clients and the number of updates already completed in the
+    /// current round (Appendix E.3).
+    ///
+    /// * AsyncFL: `concurrency − active`.
+    /// * SyncFL: `concurrency − completed − active` — once enough clients
+    ///   have reported for this round no more are selected until the next
+    ///   round starts.
+    pub fn client_demand(&self, active_clients: usize, completed_this_round: usize) -> usize {
+        match self.mode {
+            TrainingMode::Async { .. } => self.concurrency.saturating_sub(active_clients),
+            TrainingMode::Sync { .. } => self
+                .concurrency
+                .saturating_sub(completed_this_round)
+                .saturating_sub(active_clients),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_task_derives_aggregation_goal_from_over_selection() {
+        let t = TaskConfig::sync_task("t", 1300, 0.3);
+        assert_eq!(t.aggregation_goal, 1000);
+        assert!((t.over_selection() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_without_over_selection_waits_for_everyone() {
+        let t = TaskConfig::sync_task("t", 1000, 0.0);
+        assert_eq!(t.aggregation_goal, 1000);
+    }
+
+    #[test]
+    fn async_task_defaults() {
+        let t = TaskConfig::async_task("t", 1300, 100);
+        assert!(t.mode.is_async());
+        assert_eq!(t.aggregation_goal, 100);
+        assert_eq!(t.over_selection(), 0.0);
+    }
+
+    #[test]
+    fn async_client_demand_tracks_active_only() {
+        let t = TaskConfig::async_task("t", 100, 10);
+        assert_eq!(t.client_demand(40, 7), 60);
+        assert_eq!(t.client_demand(100, 0), 0);
+        assert_eq!(t.client_demand(150, 0), 0);
+    }
+
+    #[test]
+    fn sync_client_demand_shrinks_as_round_completes() {
+        let t = TaskConfig::sync_task("t", 130, 0.3);
+        assert_eq!(t.client_demand(0, 0), 130);
+        assert_eq!(t.client_demand(100, 0), 30);
+        assert_eq!(t.client_demand(50, 60), 20);
+        assert_eq!(t.client_demand(30, 100), 0);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let t = TaskConfig::async_task("t", 10, 5)
+            .with_timeout(60.0)
+            .with_example_weighting(false)
+            .with_secagg(SecAggMode::AsyncSecAgg)
+            .with_max_staleness(7)
+            .with_model_size_bytes(1000);
+        assert_eq!(t.client_timeout_s, 60.0);
+        assert!(!t.weight_by_examples);
+        assert_eq!(t.secagg, SecAggMode::AsyncSecAgg);
+        assert_eq!(t.model_size_bytes, 1000);
+        match t.mode {
+            TrainingMode::Async { max_staleness, .. } => assert_eq!(max_staleness, 7),
+            _ => panic!("expected async mode"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrency must be positive")]
+    fn zero_concurrency_rejected() {
+        let _ = TaskConfig::async_task("t", 0, 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Core federated-learning algorithms for PAPAYA.
+//!
+//! This crate is the paper's primary algorithmic contribution in library
+//! form, independent of the system simulation:
+//!
+//! * [`config`] — task configuration: training mode (synchronous with
+//!   over-selection or asynchronous FedBuff), concurrency, aggregation goal,
+//!   staleness limits, timeouts;
+//! * [`staleness`] — the staleness down-weighting schemes (the paper uses
+//!   `1/sqrt(1 + s)`);
+//! * [`fedbuff`] — buffered asynchronous aggregation (Nguyen et al., 2021 as
+//!   deployed by PAPAYA, Section 3.1 / Appendix E.2);
+//! * [`sync_agg`] — synchronous round aggregation with over-selection and
+//!   mid-round replacement;
+//! * [`server_opt`] — server optimizers applied to aggregated deltas
+//!   (FedAvg/FedSGD/FedAdam, Reddi et al., 2020);
+//! * [`model`] — the versioned server model;
+//! * [`client`] — the client-trainer abstraction (local SGD producing a
+//!   weighted delta) shared by the real LSTM trainer (`papaya-lm`) and the
+//!   fast surrogate objective in [`surrogate`].
+//!
+//! # Example: one FedBuff buffer
+//!
+//! ```
+//! use papaya_core::fedbuff::FedBuffAggregator;
+//! use papaya_core::client::ClientUpdate;
+//! use papaya_core::staleness::StalenessWeighting;
+//! use papaya_nn::params::ParamVec;
+//!
+//! let mut agg = FedBuffAggregator::new(2, StalenessWeighting::PolynomialHalf, None);
+//! let update = |id, delta: Vec<f32>| ClientUpdate {
+//!     client_id: id,
+//!     delta: ParamVec::from_vec(delta),
+//!     num_examples: 10,
+//!     start_version: 0,
+//!     train_loss: 0.0,
+//! };
+//! assert!(agg.accumulate(update(0, vec![1.0, 0.0]), 0).accepted());
+//! assert!(agg.accumulate(update(1, vec![0.0, 1.0]), 0).accepted());
+//! assert!(agg.is_ready());
+//! let aggregated = agg.take().unwrap();
+//! assert_eq!(aggregated.as_slice(), &[0.5, 0.5]);
+//! ```
+
+pub mod client;
+pub mod config;
+pub mod fedbuff;
+pub mod model;
+pub mod server_opt;
+pub mod staleness;
+pub mod surrogate;
+pub mod sync_agg;
+
+pub use client::{ClientTrainer, ClientUpdate, LocalTrainResult};
+pub use config::{SecAggMode, TaskConfig, TrainingMode};
+pub use fedbuff::{AccumulateOutcome, FedBuffAggregator};
+pub use model::ServerModel;
+pub use server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
+pub use staleness::StalenessWeighting;
+pub use surrogate::SurrogateObjective;
+pub use sync_agg::SyncRoundAggregator;

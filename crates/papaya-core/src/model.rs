@@ -1,0 +1,74 @@
+//! The versioned server model (Appendix E.2).
+//!
+//! The server model is identified by a *model version* — a counter
+//! incremented every time a new server model is generated.  Clients download
+//! a specific version; the difference between the version at download and
+//! the version at upload is the update's staleness.
+
+use crate::server_opt::ServerOptimizer;
+use papaya_nn::params::ParamVec;
+
+/// The server's global model: parameters plus a monotonically increasing
+/// version number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerModel {
+    version: u64,
+    params: ParamVec,
+}
+
+impl ServerModel {
+    /// Creates a model at version 0 with the given initial parameters.
+    pub fn new(params: ParamVec) -> Self {
+        ServerModel { version: 0, params }
+    }
+
+    /// Current model version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Current parameters.
+    pub fn params(&self) -> &ParamVec {
+        &self.params
+    }
+
+    /// Snapshot of the parameters (what a client downloads).
+    pub fn snapshot(&self) -> ParamVec {
+        self.params.clone()
+    }
+
+    /// Applies an aggregated delta through the given server optimizer and
+    /// bumps the version.
+    pub fn apply_update(&mut self, optimizer: &mut dyn ServerOptimizer, delta: &ParamVec) {
+        optimizer.apply(&mut self.params, delta);
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server_opt::FedAvg;
+
+    #[test]
+    fn version_increments_on_update() {
+        let mut model = ServerModel::new(ParamVec::zeros(2));
+        assert_eq!(model.version(), 0);
+        let mut opt = FedAvg;
+        model.apply_update(&mut opt, &ParamVec::from_vec(vec![1.0, 1.0]));
+        assert_eq!(model.version(), 1);
+        model.apply_update(&mut opt, &ParamVec::from_vec(vec![1.0, 1.0]));
+        assert_eq!(model.version(), 2);
+        assert_eq!(model.params().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn snapshot_is_independent_of_later_updates() {
+        let mut model = ServerModel::new(ParamVec::zeros(1));
+        let snap = model.snapshot();
+        let mut opt = FedAvg;
+        model.apply_update(&mut opt, &ParamVec::from_vec(vec![5.0]));
+        assert_eq!(snap.as_slice(), &[0.0]);
+        assert_eq!(model.params().as_slice(), &[5.0]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Server optimizers.
+//!
+//! The server treats the aggregated client delta as a pseudo-gradient
+//! (direction of improvement) and applies an optimizer step to the global
+//! model.  The paper uses FedAdam (Reddi et al., 2020) on the server with
+//! Adam's default learning rate; FedAvg/FedSGD are provided as baselines and
+//! for the surrogate experiments.
+
+use papaya_nn::params::ParamVec;
+
+/// A server-side update rule applied to aggregated model deltas.
+pub trait ServerOptimizer: Send {
+    /// Applies one step: updates `model` in place using the aggregated
+    /// `delta` (the weighted average of client deltas).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `model` and `delta` lengths differ.
+    fn apply(&mut self, model: &mut ParamVec, delta: &ParamVec);
+
+    /// Human-readable name (for logs and experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// Federated averaging: `model += delta`.
+#[derive(Clone, Debug, Default)]
+pub struct FedAvg;
+
+impl ServerOptimizer for FedAvg {
+    fn apply(&mut self, model: &mut ParamVec, delta: &ParamVec) {
+        assert_eq!(model.len(), delta.len(), "length mismatch");
+        model.add_scaled(delta, 1.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+}
+
+/// Server SGD with a configurable learning rate: `model += lr * delta`.
+#[derive(Clone, Debug)]
+pub struct FedSgd {
+    learning_rate: f32,
+}
+
+impl FedSgd {
+    /// Creates a FedSGD optimizer.
+    pub fn new(learning_rate: f32) -> Self {
+        FedSgd { learning_rate }
+    }
+}
+
+impl ServerOptimizer for FedSgd {
+    fn apply(&mut self, model: &mut ParamVec, delta: &ParamVec) {
+        assert_eq!(model.len(), delta.len(), "length mismatch");
+        model.add_scaled(delta, self.learning_rate);
+    }
+
+    fn name(&self) -> &'static str {
+        "fedsgd"
+    }
+}
+
+/// FedAdam: Adam on the server using the aggregated delta as the negative
+/// gradient.
+#[derive(Clone, Debug)]
+pub struct FedAdam {
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    step: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl FedAdam {
+    /// FedAdam with Adam's default learning rate (0.001) and a tunable first
+    /// moment, matching Section 7.1 ("we use Adam's default learning rate and
+    /// tune the first-moment parameter").
+    pub fn new(learning_rate: f32, beta1: f32) -> Self {
+        FedAdam {
+            learning_rate,
+            beta1,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The paper's default configuration.
+    pub fn default_config() -> Self {
+        FedAdam::new(1e-3, 0.9)
+    }
+}
+
+impl ServerOptimizer for FedAdam {
+    fn apply(&mut self, model: &mut ParamVec, delta: &ParamVec) {
+        assert_eq!(model.len(), delta.len(), "length mismatch");
+        if self.m.is_empty() {
+            self.m = vec![0.0; model.len()];
+            self.v = vec![0.0; model.len()];
+        }
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        let grads = delta.as_slice();
+        for (i, value) in model.as_mut_slice().iter_mut().enumerate() {
+            // Pseudo-gradient: the aggregated delta points towards lower loss,
+            // so the "gradient" is its negation.
+            let g = -grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            *value -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fedadam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fedavg_adds_delta() {
+        let mut model = ParamVec::from_vec(vec![1.0, 2.0]);
+        FedAvg.apply(&mut model, &ParamVec::from_vec(vec![0.5, -1.0]));
+        assert_eq!(model.as_slice(), &[1.5, 1.0]);
+    }
+
+    #[test]
+    fn fedsgd_scales_delta() {
+        let mut model = ParamVec::from_vec(vec![0.0]);
+        FedSgd::new(0.5).apply(&mut model, &ParamVec::from_vec(vec![2.0]));
+        assert_eq!(model.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn fedadam_moves_in_delta_direction() {
+        let mut model = ParamVec::from_vec(vec![0.0, 0.0]);
+        let mut opt = FedAdam::default_config();
+        opt.apply(&mut model, &ParamVec::from_vec(vec![1.0, -1.0]));
+        assert!(model.as_slice()[0] > 0.0);
+        assert!(model.as_slice()[1] < 0.0);
+    }
+
+    #[test]
+    fn fedadam_converges_on_quadratic() {
+        // Minimize f(w) = 0.5*||w - 3||^2; the "client delta" is the negative
+        // gradient direction (3 - w) scaled by a local learning rate.
+        let mut model = ParamVec::from_vec(vec![0.0]);
+        let mut opt = FedAdam::new(0.05, 0.9);
+        for _ in 0..2000 {
+            let delta = ParamVec::from_vec(vec![(3.0 - model.as_slice()[0]) * 0.1]);
+            opt.apply(&mut model, &delta);
+        }
+        assert!(
+            (model.as_slice()[0] - 3.0).abs() < 0.05,
+            "got {}",
+            model.as_slice()[0]
+        );
+    }
+
+    #[test]
+    fn fedadam_step_size_is_bounded_by_lr() {
+        // Adam normalizes by the gradient magnitude, so a huge delta moves
+        // the model by roughly the learning rate only.
+        let mut model = ParamVec::from_vec(vec![0.0]);
+        let mut opt = FedAdam::new(0.01, 0.9);
+        opt.apply(&mut model, &ParamVec::from_vec(vec![1.0e6]));
+        assert!(model.as_slice()[0].abs() < 0.05);
+    }
+
+    #[test]
+    fn optimizer_names() {
+        assert_eq!(FedAvg.name(), "fedavg");
+        assert_eq!(FedSgd::new(1.0).name(), "fedsgd");
+        assert_eq!(FedAdam::default_config().name(), "fedadam");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut model = ParamVec::zeros(2);
+        FedAvg.apply(&mut model, &ParamVec::zeros(3));
+    }
+}

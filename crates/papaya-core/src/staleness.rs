@@ -1,0 +1,88 @@
+//! Staleness down-weighting (Appendix E.2).
+//!
+//! Staleness `s` of a client update is the number of server model versions
+//! produced between the client's download and its upload.  PAPAYA weights
+//! each update by `1/sqrt(1 + s)` before aggregation; this module also
+//! provides the alternatives studied in the FedBuff paper so the ablation
+//! bench can compare them.
+
+/// A staleness-to-weight mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StalenessWeighting {
+    /// No down-weighting: every update counts fully regardless of staleness.
+    Constant,
+    /// The PAPAYA/FedBuff default, `1/sqrt(1 + s)`.
+    #[default]
+    PolynomialHalf,
+    /// Stronger polynomial decay, `1/(1 + s)`.
+    Linear,
+    /// Exponential decay, `2^{-s}`.
+    Exponential,
+}
+
+impl StalenessWeighting {
+    /// Returns the weight for an update with staleness `s`.
+    pub fn weight(&self, staleness: u64) -> f64 {
+        match self {
+            StalenessWeighting::Constant => 1.0,
+            StalenessWeighting::PolynomialHalf => 1.0 / (1.0 + staleness as f64).sqrt(),
+            StalenessWeighting::Linear => 1.0 / (1.0 + staleness as f64),
+            StalenessWeighting::Exponential => 0.5f64.powi(staleness.min(60) as i32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_updates_have_weight_one() {
+        for w in [
+            StalenessWeighting::Constant,
+            StalenessWeighting::PolynomialHalf,
+            StalenessWeighting::Linear,
+            StalenessWeighting::Exponential,
+        ] {
+            assert!((w.weight(0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn polynomial_half_matches_formula() {
+        let w = StalenessWeighting::PolynomialHalf;
+        assert!((w.weight(1) - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+        assert!((w.weight(3) - 0.5).abs() < 1e-12);
+        assert!((w.weight(99) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_are_monotone_decreasing() {
+        for w in [
+            StalenessWeighting::PolynomialHalf,
+            StalenessWeighting::Linear,
+            StalenessWeighting::Exponential,
+        ] {
+            for s in 0..50u64 {
+                assert!(w.weight(s + 1) < w.weight(s));
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_of_schemes() {
+        // For the same staleness: constant >= poly-half >= linear >= exponential (s >= 2).
+        for s in 2..20u64 {
+            assert!(StalenessWeighting::Constant.weight(s) >= StalenessWeighting::PolynomialHalf.weight(s));
+            assert!(StalenessWeighting::PolynomialHalf.weight(s) >= StalenessWeighting::Linear.weight(s));
+            assert!(StalenessWeighting::Linear.weight(s) >= StalenessWeighting::Exponential.weight(s));
+        }
+    }
+
+    #[test]
+    fn exponential_does_not_underflow_for_huge_staleness() {
+        let w = StalenessWeighting::Exponential.weight(10_000);
+        assert!(w > 0.0);
+        assert!(w < 1e-15);
+    }
+}

@@ -1,0 +1,188 @@
+//! Synchronous round aggregation with over-selection.
+//!
+//! In SyncFL a cohort of clients is selected for each round.  With
+//! over-selection factor `o`, `goal * (1 + o)` clients train but only the
+//! first `goal` updates to arrive are aggregated; the rest are discarded
+//! (wasted work, and the source of the sampling bias studied in Section 7.4).
+//! PAPAYA's SyncFL implementation additionally allows replacing clients that
+//! drop out mid-round.
+
+use crate::client::ClientUpdate;
+use papaya_nn::params::ParamVec;
+
+/// Aggregator for one synchronous round.
+#[derive(Clone, Debug)]
+pub struct SyncRoundAggregator {
+    aggregation_goal: usize,
+    weight_by_examples: bool,
+    buffer: Option<ParamVec>,
+    weight_sum: f64,
+    received: usize,
+    discarded: u64,
+    accepted_clients: Vec<usize>,
+}
+
+impl SyncRoundAggregator {
+    /// Creates an aggregator that releases after `aggregation_goal` updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggregation_goal == 0`.
+    pub fn new(aggregation_goal: usize) -> Self {
+        assert!(aggregation_goal > 0, "aggregation goal must be positive");
+        SyncRoundAggregator {
+            aggregation_goal,
+            weight_by_examples: true,
+            buffer: None,
+            weight_sum: 0.0,
+            received: 0,
+            discarded: 0,
+            accepted_clients: Vec::new(),
+        }
+    }
+
+    /// Disables (or re-enables) weighting by example count.
+    pub fn with_example_weighting(mut self, enabled: bool) -> Self {
+        self.weight_by_examples = enabled;
+        self
+    }
+
+    /// The aggregation goal for the round.
+    pub fn aggregation_goal(&self) -> usize {
+        self.aggregation_goal
+    }
+
+    /// Number of updates accepted so far this round.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Number of updates discarded (arrived after the goal was met).
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Clients whose updates were accepted this round.
+    pub fn accepted_clients(&self) -> &[usize] {
+        &self.accepted_clients
+    }
+
+    /// Offers an update.  Returns `true` if it was accepted, `false` if the
+    /// round had already reached its goal (the over-selection discard path).
+    pub fn accumulate(&mut self, update: ClientUpdate) -> bool {
+        if self.received >= self.aggregation_goal {
+            self.discarded += 1;
+            return false;
+        }
+        let weight = if self.weight_by_examples {
+            update.num_examples.max(1) as f64
+        } else {
+            1.0
+        };
+        let buffer = self
+            .buffer
+            .get_or_insert_with(|| ParamVec::zeros(update.delta.len()));
+        assert_eq!(
+            buffer.len(),
+            update.delta.len(),
+            "update dimensionality changed mid-training"
+        );
+        buffer.add_scaled(&update.delta, weight as f32);
+        self.weight_sum += weight;
+        self.received += 1;
+        self.accepted_clients.push(update.client_id);
+        true
+    }
+
+    /// Returns true when the round has collected enough updates.
+    pub fn is_ready(&self) -> bool {
+        self.received >= self.aggregation_goal
+    }
+
+    /// Releases the round's weighted-average update and resets the
+    /// aggregator for the next round.  Returns `None` if the round is not
+    /// complete.
+    pub fn take(&mut self) -> Option<ParamVec> {
+        if !self.is_ready() {
+            return None;
+        }
+        let mut buffer = self.buffer.take()?;
+        if self.weight_sum > 0.0 {
+            buffer.scale((1.0 / self.weight_sum) as f32);
+        }
+        self.weight_sum = 0.0;
+        self.received = 0;
+        self.accepted_clients.clear();
+        Some(buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(id: usize, delta: Vec<f32>, examples: usize) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            delta: ParamVec::from_vec(delta),
+            num_examples: examples,
+            start_version: 0,
+            train_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_weighted_average() {
+        let mut agg = SyncRoundAggregator::new(2);
+        assert!(agg.accumulate(update(0, vec![1.0], 10)));
+        assert!(agg.accumulate(update(1, vec![4.0], 30)));
+        let out = agg.take().unwrap();
+        // (1*10 + 4*30) / 40 = 3.25
+        assert!((out.as_slice()[0] - 3.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn updates_after_goal_are_discarded() {
+        let mut agg = SyncRoundAggregator::new(1);
+        assert!(agg.accumulate(update(0, vec![1.0], 1)));
+        assert!(!agg.accumulate(update(1, vec![100.0], 1)));
+        assert_eq!(agg.discarded(), 1);
+        let out = agg.take().unwrap();
+        assert_eq!(out.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn accepted_clients_are_tracked_per_round() {
+        let mut agg = SyncRoundAggregator::new(2);
+        agg.accumulate(update(7, vec![0.0], 1));
+        agg.accumulate(update(9, vec![0.0], 1));
+        assert_eq!(agg.accepted_clients(), &[7, 9]);
+        let _ = agg.take();
+        assert!(agg.accepted_clients().is_empty());
+    }
+
+    #[test]
+    fn take_before_ready_is_none() {
+        let mut agg = SyncRoundAggregator::new(3);
+        agg.accumulate(update(0, vec![1.0], 1));
+        assert!(!agg.is_ready());
+        assert!(agg.take().is_none());
+    }
+
+    #[test]
+    fn consecutive_rounds_are_independent() {
+        let mut agg = SyncRoundAggregator::new(1);
+        agg.accumulate(update(0, vec![2.0], 1));
+        assert_eq!(agg.take().unwrap().as_slice(), &[2.0]);
+        agg.accumulate(update(1, vec![-2.0], 1));
+        assert_eq!(agg.take().unwrap().as_slice(), &[-2.0]);
+    }
+
+    #[test]
+    fn unweighted_mode_ignores_example_counts() {
+        let mut agg = SyncRoundAggregator::new(2).with_example_weighting(false);
+        agg.accumulate(update(0, vec![0.0], 1000));
+        agg.accumulate(update(1, vec![2.0], 1));
+        assert!((agg.take().unwrap().as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,507 @@
+//! Fixed-width big unsigned integers with Montgomery modular arithmetic.
+//!
+//! The Diffie–Hellman exchange between clients and the Trusted Secure
+//! Aggregator (Appendix A.1 of the PAPAYA paper) needs modular exponentiation
+//! over a large prime group.  This module provides a small, from-scratch,
+//! constant-width big-integer type [`Uint`] and a [`Montgomery`] context that
+//! performs efficient `a^e mod n` for odd moduli.
+//!
+//! Widths are expressed in 64-bit limbs via const generics; [`U2048`]
+//! (32 limbs) is the width used by the RFC 3526 group 14 modulus, and
+//! [`U256`] (4 limbs) is used by the fast test group.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Fixed-width little-endian (limb order) unsigned integer with `N` 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Uint<const N: usize> {
+    /// Limbs in little-endian order: `limbs[0]` is the least significant.
+    limbs: [u64; N],
+}
+
+/// 2048-bit unsigned integer (32 limbs).
+pub type U2048 = Uint<32>;
+/// 256-bit unsigned integer (4 limbs).
+pub type U256 = Uint<4>;
+
+impl<const N: usize> fmt::Debug for Uint<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        let mut started = false;
+        for limb in self.limbs.iter().rev() {
+            if started {
+                write!(f, "{limb:016x}")?;
+            } else if *limb != 0 {
+                write!(f, "{limb:x}")?;
+                started = true;
+            }
+        }
+        if !started {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+impl<const N: usize> fmt::Display for Uint<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<const N: usize> Default for Uint<N> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const N: usize> Uint<N> {
+    /// The value 0.
+    pub const ZERO: Self = Uint { limbs: [0u64; N] };
+
+    /// The value 1.
+    pub fn one() -> Self {
+        let mut limbs = [0u64; N];
+        limbs[0] = 1;
+        Uint { limbs }
+    }
+
+    /// Constructs from little-endian limbs.
+    pub fn from_limbs(limbs: [u64; N]) -> Self {
+        Uint { limbs }
+    }
+
+    /// Returns the little-endian limbs.
+    pub fn limbs(&self) -> &[u64; N] {
+        &self.limbs
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = [0u64; N];
+        limbs[0] = v;
+        Uint { limbs }
+    }
+
+    /// Parses a big-endian byte slice.  Bytes beyond the width are an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > N * 8`.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        assert!(
+            bytes.len() <= N * 8,
+            "byte slice of length {} does not fit in {} limbs",
+            bytes.len(),
+            N
+        );
+        let mut limbs = [0u64; N];
+        for (i, b) in bytes.iter().rev().enumerate() {
+            limbs[i / 8] |= (*b as u64) << ((i % 8) * 8);
+        }
+        Uint { limbs }
+    }
+
+    /// Serializes to big-endian bytes (`N * 8` bytes, zero padded).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; N * 8];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            let bytes = limb.to_be_bytes();
+            let start = N * 8 - (i + 1) * 8;
+            out[start..start + 8].copy_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, whitespace ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters or if the value does not fit.
+    pub fn from_hex(s: &str) -> Self {
+        let cleaned: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        assert!(cleaned.len() <= N * 16, "hex string too long for width");
+        let mut bytes = Vec::with_capacity((cleaned.len() + 1) / 2);
+        let padded = if cleaned.len() % 2 == 1 {
+            format!("0{cleaned}")
+        } else {
+            cleaned
+        };
+        for i in (0..padded.len()).step_by(2) {
+            bytes.push(u8::from_str_radix(&padded[i..i + 2], 16).expect("invalid hex digit"));
+        }
+        Self::from_be_bytes(&bytes)
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns true if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs[0] & 1 == 1
+    }
+
+    /// Returns the index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(&self) -> Option<usize> {
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if *limb != 0 {
+                return Some(i * 64 + 63 - limb.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= N * 64 {
+            return false;
+        }
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Compares two values.
+    pub fn cmp_value(&self, other: &Self) -> Ordering {
+        for i in (0..N).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Adds, returning the result and the carry-out.
+    pub fn overflowing_add(&self, other: &Self) -> (Self, bool) {
+        let mut out = [0u64; N];
+        let mut carry = 0u64;
+        for i in 0..N {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (Uint { limbs: out }, carry != 0)
+    }
+
+    /// Subtracts, returning the result and the borrow-out.
+    pub fn overflowing_sub(&self, other: &Self) -> (Self, bool) {
+        let mut out = [0u64; N];
+        let mut borrow = 0u64;
+        for i in 0..N {
+            let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (Uint { limbs: out }, borrow != 0)
+    }
+
+    /// Modular addition `(self + other) mod modulus`, assuming both operands
+    /// are already reduced.
+    pub fn add_mod(&self, other: &Self, modulus: &Self) -> Self {
+        let (sum, carry) = self.overflowing_add(other);
+        if carry || sum.cmp_value(modulus) != Ordering::Less {
+            sum.overflowing_sub(modulus).0
+        } else {
+            sum
+        }
+    }
+
+    /// Modular doubling.
+    pub fn double_mod(&self, modulus: &Self) -> Self {
+        self.add_mod(self, modulus)
+    }
+
+    /// Reduces `self` modulo `modulus` (general, bit-by-bit; used only at
+    /// setup time, not in hot loops).
+    pub fn reduce(&self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "modulus must be non-zero");
+        if self.cmp_value(modulus) == Ordering::Less {
+            return *self;
+        }
+        let mut result = Self::ZERO;
+        let highest = match self.highest_bit() {
+            Some(h) => h,
+            None => return Self::ZERO,
+        };
+        for i in (0..=highest).rev() {
+            result = result.double_mod(modulus);
+            if self.bit(i) {
+                result = result.add_mod(&Self::one(), modulus);
+            }
+        }
+        result
+    }
+}
+
+impl<const N: usize> PartialOrd for Uint<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_value(other))
+    }
+}
+
+impl<const N: usize> Ord for Uint<N> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_value(other)
+    }
+}
+
+/// Montgomery-form modular arithmetic context for an odd modulus.
+///
+/// Supports modular multiplication and exponentiation in `O(N^2)` limb
+/// operations per multiplication using the CIOS method.
+#[derive(Clone, Debug)]
+pub struct Montgomery<const N: usize> {
+    modulus: Uint<N>,
+    /// `-modulus^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod modulus` where `R = 2^(64 N)`.
+    r2: Uint<N>,
+    /// `R mod modulus` (the Montgomery form of 1).
+    r1: Uint<N>,
+}
+
+impl<const N: usize> Montgomery<N> {
+    /// Creates a context for the given odd modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even or zero.
+    pub fn new(modulus: Uint<N>) -> Self {
+        assert!(modulus.is_odd(), "Montgomery arithmetic requires an odd modulus");
+        let n0_inv = inv_mod_2_64(modulus.limbs[0]).wrapping_neg();
+
+        // r1 = 2^(64N) mod modulus, computed by repeated modular doubling of 1.
+        let mut r1 = Uint::<N>::one().reduce(&modulus);
+        for _ in 0..(64 * N) {
+            r1 = r1.double_mod(&modulus);
+        }
+        // r2 = 2^(128N) mod modulus = r1 doubled 64N more times.
+        let mut r2 = r1;
+        for _ in 0..(64 * N) {
+            r2 = r2.double_mod(&modulus);
+        }
+        Montgomery {
+            modulus,
+            n0_inv,
+            r2,
+            r1,
+        }
+    }
+
+    /// Returns the modulus.
+    pub fn modulus(&self) -> &Uint<N> {
+        &self.modulus
+    }
+
+    /// Converts into Montgomery form.
+    pub fn to_mont(&self, a: &Uint<N>) -> Uint<N> {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    pub fn from_mont(&self, a: &Uint<N>) -> Uint<N> {
+        self.mont_mul(a, &Uint::one())
+    }
+
+    /// Montgomery multiplication: returns `a * b * R^{-1} mod modulus`.
+    pub fn mont_mul(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        // CIOS (coarsely integrated operand scanning).
+        let n = &self.modulus.limbs;
+        let mut t = vec![0u64; N + 2];
+        for i in 0..N {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..N {
+                let sum = t[j] as u128 + (a.limbs[i] as u128) * (b.limbs[j] as u128) + carry;
+                t[j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[N] as u128 + carry;
+            t[N] = sum as u64;
+            t[N + 1] = (sum >> 64) as u64;
+
+            // m = t[0] * n0_inv mod 2^64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            // t += m * n; then shift right one limb.
+            let sum = t[0] as u128 + (m as u128) * (n[0] as u128);
+            let mut carry = sum >> 64;
+            for j in 1..N {
+                let sum = t[j] as u128 + (m as u128) * (n[j] as u128) + carry;
+                t[j - 1] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[N] as u128 + carry;
+            t[N - 1] = sum as u64;
+            t[N] = t[N + 1] + ((sum >> 64) as u64);
+            t[N + 1] = 0;
+        }
+        let mut out = [0u64; N];
+        out.copy_from_slice(&t[..N]);
+        let result = Uint { limbs: out };
+        if t[N] != 0 || result.cmp_value(&self.modulus) != Ordering::Less {
+            result.overflowing_sub(&self.modulus).0
+        } else {
+            result
+        }
+    }
+
+    /// Modular multiplication `a * b mod modulus` for ordinary (non-Montgomery)
+    /// operands.
+    pub fn mul_mod(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exponent mod modulus` using left-to-right
+    /// square-and-multiply over Montgomery form.
+    pub fn pow_mod<const E: usize>(&self, base: &Uint<N>, exponent: &Uint<E>) -> Uint<N> {
+        let base_m = self.to_mont(&base.reduce(&self.modulus));
+        let mut acc = self.r1; // Montgomery form of 1.
+        let highest = match exponent.highest_bit() {
+            Some(h) => h,
+            None => return Uint::one().reduce(&self.modulus),
+        };
+        for i in (0..=highest).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exponent.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Computes the inverse of `a` modulo `2^64` for odd `a` (Newton iteration).
+fn inv_mod_2_64(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1);
+    let mut x = a; // correct to 3 bits
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    debug_assert_eq!(a.wrapping_mul(x), 1);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let v = U256::from_hex("deadbeef00112233445566778899aabbccddeeff0102030405060708090a0b0c");
+        let bytes = v.to_be_bytes();
+        assert_eq!(U256::from_be_bytes(&bytes), v);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff00");
+        let b = U256::from_u64(0x12);
+        let (sum, carry) = a.overflowing_add(&b);
+        assert!(!carry);
+        let (diff, borrow) = sum.overflowing_sub(&b);
+        assert!(!borrow);
+        assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = U256::from_hex("ffffffffffffffff");
+        let b = U256::from_u64(1);
+        let (sum, carry) = a.overflowing_add(&b);
+        assert!(!carry);
+        assert_eq!(sum, U256::from_hex("10000000000000000"));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let max = U256::from_limbs([u64::MAX; 4]);
+        let (_, carry) = max.overflowing_add(&U256::one());
+        assert!(carry);
+        let (_, borrow) = U256::ZERO.overflowing_sub(&U256::one());
+        assert!(borrow);
+    }
+
+    #[test]
+    fn reduce_small_modulus() {
+        // 1000 mod 7 = 6
+        let a = U256::from_u64(1000);
+        let m = U256::from_u64(7);
+        assert_eq!(a.reduce(&m), U256::from_u64(6));
+    }
+
+    #[test]
+    fn inv_mod_2_64_works() {
+        for a in [1u64, 3, 5, 0xffff_ffff_ffff_fff1, 0x1234_5679] {
+            let inv = inv_mod_2_64(a);
+            assert_eq!(a.wrapping_mul(inv), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn montgomery_small_prime() {
+        // p = 101 (prime). Check multiplication table entries.
+        let p = U256::from_u64(101);
+        let ctx = Montgomery::new(p);
+        for a in [0u64, 1, 2, 50, 100] {
+            for b in [0u64, 1, 3, 99, 100] {
+                let res = ctx.mul_mod(&U256::from_u64(a), &U256::from_u64(b));
+                assert_eq!(res, U256::from_u64((a * b) % 101), "{a} * {b} mod 101");
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_pow_matches_naive() {
+        let p = U256::from_u64(1_000_000_007);
+        let ctx = Montgomery::new(p);
+        let base = U256::from_u64(123_456_789);
+        let result = ctx.pow_mod(&base, &U256::from_u64(65_537));
+        // Naive computation with u128 arithmetic.
+        let mut acc: u128 = 1;
+        let b: u128 = 123_456_789;
+        let m: u128 = 1_000_000_007;
+        let mut e = 65_537u32;
+        let mut cur = b % m;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * cur % m;
+            }
+            cur = cur * cur % m;
+            e >>= 1;
+        }
+        assert_eq!(result, U256::from_u64(acc as u64));
+    }
+
+    #[test]
+    fn fermat_little_theorem_256bit() {
+        // secp256k1 field prime: a^(p-1) = 1 mod p for a not divisible by p.
+        let p = U256::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        );
+        let ctx = Montgomery::new(p);
+        let p_minus_1 = p.overflowing_sub(&U256::one()).0;
+        for a in [2u64, 3, 65_537, 0xdeadbeef] {
+            let r = ctx.pow_mod(&U256::from_u64(a), &p_minus_1);
+            assert_eq!(r, U256::one(), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        let p = U256::from_u64(97);
+        let ctx = Montgomery::new(p);
+        assert_eq!(ctx.pow_mod(&U256::from_u64(5), &U256::ZERO), U256::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_rejected() {
+        let _ = Montgomery::new(U256::from_u64(100));
+    }
+}

@@ -1,0 +1,232 @@
+//! Finite-field Diffie–Hellman key exchange (Appendix A.1 of the paper).
+//!
+//! The Trusted Secure Aggregator (TSA) prepares a batch of key-exchange
+//! *initial messages* in advance; each participating client completes the
+//! exchange with a single *completing message* and both sides derive the same
+//! shared secret, which then protects the client's mask seed in transit.
+//!
+//! Two groups are provided:
+//!
+//! * [`DhGroup::rfc3526_2048`] — the 2048-bit MODP group 14 from RFC 3526,
+//!   the realistic configuration;
+//! * [`DhGroup::test_group_256`] — a 256-bit prime group used by tests and
+//!   large simulations where thousands of exchanges must run quickly.
+
+use crate::bignum::{Montgomery, Uint, U2048};
+use crate::chacha20::ChaCha20Rng;
+use crate::sha256::Sha256;
+use std::sync::Arc;
+
+/// Width (in 64-bit limbs) of exchanged group elements.
+const LIMBS: usize = 32;
+
+/// A Diffie–Hellman group: a prime modulus and a generator.
+#[derive(Clone, Debug)]
+pub struct DhGroup {
+    ctx: Arc<Montgomery<LIMBS>>,
+    generator: U2048,
+    /// Human-readable group label, included in key derivation transcripts.
+    name: &'static str,
+}
+
+/// A party's public key (the group element `g^x mod p`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DhPublicKey {
+    element: U2048,
+}
+
+/// A party's private exponent.
+#[derive(Clone, Debug)]
+pub struct DhPrivateKey {
+    group: DhGroup,
+    exponent: Uint<4>,
+    public: DhPublicKey,
+}
+
+/// The 32-byte shared secret derived from a completed exchange.
+pub type SharedSecret = [u8; 32];
+
+impl DhGroup {
+    /// The 2048-bit MODP group (group 14) from RFC 3526 with generator 2.
+    pub fn rfc3526_2048() -> Self {
+        let p = U2048::from_hex(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+             020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+             4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+             EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+             98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+             9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+             E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+             3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+        );
+        DhGroup {
+            ctx: Arc::new(Montgomery::new(p)),
+            generator: U2048::from_u64(2),
+            name: "rfc3526-modp-2048",
+        }
+    }
+
+    /// A small 256-bit prime group (the secp256k1 field prime, generator 5).
+    ///
+    /// Not intended to offer production-grade security; it exists so that
+    /// simulations involving thousands of clients can run the full protocol
+    /// quickly.  The protocol code paths are identical to the 2048-bit group.
+    pub fn test_group_256() -> Self {
+        let p = U2048::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
+        );
+        DhGroup {
+            ctx: Arc::new(Montgomery::new(p)),
+            generator: U2048::from_u64(5),
+            name: "test-256",
+        }
+    }
+
+    /// The group's prime modulus.
+    pub fn modulus(&self) -> &U2048 {
+        self.ctx.modulus()
+    }
+
+    /// The group's generator.
+    pub fn generator(&self) -> &U2048 {
+        &self.generator
+    }
+
+    /// The group's label (bound into derived keys).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn pow(&self, base: &U2048, exp: &Uint<4>) -> U2048 {
+        self.ctx.pow_mod(base, exp)
+    }
+}
+
+impl DhPublicKey {
+    /// Returns the raw group element.
+    pub fn element(&self) -> &U2048 {
+        &self.element
+    }
+
+    /// Serializes the public key to big-endian bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.element.to_be_bytes()
+    }
+
+    /// Deserializes a public key from big-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than 256 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        DhPublicKey {
+            element: U2048::from_be_bytes(bytes),
+        }
+    }
+}
+
+impl DhPrivateKey {
+    /// Generates a fresh private key (256-bit exponent) in the given group.
+    pub fn generate(group: &DhGroup, rng: &mut ChaCha20Rng) -> Self {
+        let mut limbs = [0u64; 4];
+        loop {
+            for limb in limbs.iter_mut() {
+                *limb = rng.next_u64();
+            }
+            let exponent = Uint::from_limbs(limbs);
+            // Reject trivially weak exponents (0 and 1).
+            if exponent.highest_bit().unwrap_or(0) >= 2 {
+                let element = group.pow(group.generator(), &exponent);
+                return DhPrivateKey {
+                    group: group.clone(),
+                    exponent,
+                    public: DhPublicKey { element },
+                };
+            }
+        }
+    }
+
+    /// Returns this party's public key.
+    pub fn public_key(&self) -> DhPublicKey {
+        self.public.clone()
+    }
+
+    /// Completes the exchange with the peer's public key and derives the
+    /// 32-byte shared secret as `SHA-256(group_name || g^{xy})`.
+    pub fn shared_secret(&self, peer: &DhPublicKey) -> SharedSecret {
+        let shared_element = self.group.pow(&peer.element, &self.exponent);
+        let mut hasher = Sha256::new();
+        hasher.update(self.group.name.as_bytes());
+        hasher.update(&shared_element.to_be_bytes());
+        hasher.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_agrees_test_group() {
+        let group = DhGroup::test_group_256();
+        let mut rng = ChaCha20Rng::from_seed([1u8; 32]);
+        let a = DhPrivateKey::generate(&group, &mut rng);
+        let b = DhPrivateKey::generate(&group, &mut rng);
+        assert_eq!(a.shared_secret(&b.public_key()), b.shared_secret(&a.public_key()));
+    }
+
+    #[test]
+    fn exchange_agrees_rfc3526() {
+        let group = DhGroup::rfc3526_2048();
+        let mut rng = ChaCha20Rng::from_seed([2u8; 32]);
+        let a = DhPrivateKey::generate(&group, &mut rng);
+        let b = DhPrivateKey::generate(&group, &mut rng);
+        assert_eq!(a.shared_secret(&b.public_key()), b.shared_secret(&a.public_key()));
+    }
+
+    #[test]
+    fn third_party_disagrees() {
+        let group = DhGroup::test_group_256();
+        let mut rng = ChaCha20Rng::from_seed([3u8; 32]);
+        let a = DhPrivateKey::generate(&group, &mut rng);
+        let b = DhPrivateKey::generate(&group, &mut rng);
+        let eve = DhPrivateKey::generate(&group, &mut rng);
+        assert_ne!(
+            a.shared_secret(&b.public_key()),
+            eve.shared_secret(&b.public_key())
+        );
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let group = DhGroup::test_group_256();
+        let mut rng = ChaCha20Rng::from_seed([4u8; 32]);
+        let a = DhPrivateKey::generate(&group, &mut rng);
+        let pk = a.public_key();
+        let restored = DhPublicKey::from_bytes(&pk.to_bytes());
+        assert_eq!(pk, restored);
+    }
+
+    #[test]
+    fn different_keypairs_have_different_publics() {
+        let group = DhGroup::test_group_256();
+        let mut rng = ChaCha20Rng::from_seed([5u8; 32]);
+        let a = DhPrivateKey::generate(&group, &mut rng);
+        let b = DhPrivateKey::generate(&group, &mut rng);
+        assert_ne!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn secret_depends_on_group_label() {
+        // Using the same exponents in groups with the same modulus but
+        // different labels must yield different derived secrets (domain
+        // separation in the transcript hash).
+        let g1 = DhGroup::test_group_256();
+        let mut rng = ChaCha20Rng::from_seed([6u8; 32]);
+        let a = DhPrivateKey::generate(&g1, &mut rng);
+        let b = DhPrivateKey::generate(&g1, &mut rng);
+        let s = a.shared_secret(&b.public_key());
+        assert_eq!(s.len(), 32);
+        assert_ne!(s, [0u8; 32]);
+    }
+}

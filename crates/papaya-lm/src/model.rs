@@ -1,0 +1,269 @@
+//! The character-level LSTM language model.
+
+use papaya_nn::embedding::Embedding;
+use papaya_nn::linear::Linear;
+use papaya_nn::loss::softmax_cross_entropy;
+use papaya_nn::lstm::{LstmCell, LstmState};
+use papaya_nn::params::ParamVec;
+use papaya_nn::tensor::Matrix;
+
+/// Architecture hyperparameters of the language model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LmConfig {
+    /// Vocabulary size (number of distinct character tokens).
+    pub vocab_size: usize,
+    /// Embedding dimensionality.
+    pub embedding_dim: usize,
+    /// LSTM hidden width.
+    pub hidden_size: usize,
+}
+
+impl LmConfig {
+    /// The configuration used by the experiments: 28-character vocabulary,
+    /// 12-dimensional embeddings, 24 hidden units (~5k parameters) — small
+    /// enough to train per-client inside the simulator.
+    pub fn tiny() -> Self {
+        LmConfig {
+            vocab_size: papaya_data::text::vocab_size(),
+            embedding_dim: 12,
+            hidden_size: 24,
+        }
+    }
+}
+
+/// A next-character prediction model: embedding → LSTM → linear → softmax.
+#[derive(Clone, Debug)]
+pub struct CharLstm {
+    config: LmConfig,
+    embedding: Embedding,
+    lstm: LstmCell,
+    output: Linear,
+}
+
+impl CharLstm {
+    /// Creates a model with freshly initialized weights.
+    pub fn new(config: LmConfig, seed: u64) -> Self {
+        CharLstm {
+            config,
+            embedding: Embedding::new(config.vocab_size, config.embedding_dim, seed),
+            lstm: LstmCell::new(config.embedding_dim, config.hidden_size, seed.wrapping_add(1)),
+            output: Linear::new(config.hidden_size, config.vocab_size, seed.wrapping_add(2)),
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> LmConfig {
+        self.config
+    }
+
+    /// Shapes of all parameter matrices, in the flattening order used by
+    /// [`CharLstm::param_vector`].
+    pub fn parameter_shapes(&self) -> Vec<(usize, usize)> {
+        self.parameter_matrices()
+            .iter()
+            .map(|m| m.shape())
+            .collect()
+    }
+
+    fn parameter_matrices(&self) -> Vec<&Matrix> {
+        let mut out = self.embedding.parameter_matrices();
+        out.extend(self.lstm.parameter_matrices());
+        out.extend(self.output.parameter_matrices());
+        out
+    }
+
+    /// Total number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.parameter_matrices()
+            .iter()
+            .map(|m| m.rows() * m.cols())
+            .sum()
+    }
+
+    /// Flattens all parameters into a single vector.
+    pub fn param_vector(&self) -> ParamVec {
+        ParamVec::from_matrices(self.parameter_matrices())
+    }
+
+    /// Loads parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match [`CharLstm::parameter_count`].
+    pub fn set_param_vector(&mut self, params: &ParamVec) {
+        let shapes = self.parameter_shapes();
+        let matrices = params.to_matrices(&shapes);
+        self.embedding.set_parameter_matrices(&matrices[0..1]);
+        self.lstm.set_parameter_matrices(&matrices[1..4]);
+        self.output.set_parameter_matrices(&matrices[4..6]);
+    }
+
+    /// Evaluates the mean per-token cross-entropy of one token sequence
+    /// (next-character prediction), without updating any state.
+    ///
+    /// Returns `None` for sequences shorter than two tokens.
+    pub fn sequence_loss(&self, tokens: &[usize]) -> Option<f32> {
+        if tokens.len() < 2 {
+            return None;
+        }
+        let mut state = LstmState::zeros(1, self.config.hidden_size);
+        let mut total = 0.0f32;
+        let steps = tokens.len() - 1;
+        for t in 0..steps {
+            let embedded = self.embedding.forward_inference(&tokens[t..t + 1]);
+            state = self.lstm.step_inference(&embedded, &state);
+            let logits = self.output.forward_inference(&state.h);
+            let (loss, _) = softmax_cross_entropy(&logits, &tokens[t + 1..t + 2]);
+            total += loss;
+        }
+        Some(total / steps as f32)
+    }
+
+    /// Runs one SGD pass over a token sequence (forward, backprop through
+    /// time, and an in-place SGD step with the given learning rate).
+    /// Returns the mean per-token loss before the update, or `None` for
+    /// sequences shorter than two tokens.
+    pub fn train_sequence(&mut self, tokens: &[usize], learning_rate: f32) -> Option<f32> {
+        if tokens.len() < 2 {
+            return None;
+        }
+        let hidden = self.config.hidden_size;
+        let steps = tokens.len() - 1;
+
+        self.embedding.zero_grad();
+        self.lstm.zero_grad();
+        self.output.zero_grad();
+        self.lstm.clear_cache();
+
+        // Forward pass, retaining per-step caches for BPTT.
+        let mut state = LstmState::zeros(1, hidden);
+        let mut total_loss = 0.0f32;
+        let mut logit_grads: Vec<Matrix> = Vec::with_capacity(steps);
+        let mut embedded_inputs: Vec<Vec<usize>> = Vec::with_capacity(steps);
+        // Separate output layers per step would double-count cached input, so
+        // collect logits gradients and replay the output layer backward with
+        // per-step forward caches: run output.forward for each step right
+        // before its backward in reverse order below.  To keep the math
+        // simple we recompute the output-layer forward in the backward loop.
+        let mut hidden_states: Vec<Matrix> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let ids = vec![tokens[t]];
+            let embedded = self.embedding.forward_inference(&ids);
+            state = self.lstm.step(&embedded, &state);
+            let logits = self.output.forward_inference(&state.h);
+            let (loss, grad_logits) = softmax_cross_entropy(&logits, &tokens[t + 1..t + 2]);
+            total_loss += loss;
+            logit_grads.push(grad_logits);
+            embedded_inputs.push(ids);
+            hidden_states.push(state.h.clone());
+        }
+
+        // Backward pass (reverse time).
+        let mut grad_h_next = Matrix::zeros(1, hidden);
+        let mut grad_c_next = Matrix::zeros(1, hidden);
+        for t in (0..steps).rev() {
+            // Output layer gradient for this step.
+            let _ = self.output.forward(&hidden_states[t]);
+            let grad_h_from_output = self.output.backward(&logit_grads[t]);
+            let grad_h = grad_h_from_output.add(&grad_h_next);
+            let (grad_embedded, grad_h_prev, grad_c_prev) =
+                self.lstm.backward_step(&grad_h, &grad_c_next);
+            let _ = self.embedding.forward(&embedded_inputs[t]);
+            self.embedding.backward(&grad_embedded);
+            grad_h_next = grad_h_prev;
+            grad_c_next = grad_c_prev;
+        }
+
+        // SGD step over all parameters.
+        let mut params = self.embedding.parameters_mut();
+        params.extend(self.lstm.parameters_mut());
+        params.extend(self.output.parameters_mut());
+        for p in params.iter_mut() {
+            let grads = p.grad.data().to_vec();
+            for (value, grad) in p.value.data_mut().iter_mut().zip(grads.iter()) {
+                *value -= learning_rate * grad / steps as f32;
+            }
+        }
+        Some(total_loss / steps as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papaya_data::text::{char_to_id, TextGenerator};
+
+    fn tokens(text: &str) -> Vec<usize> {
+        text.chars().map(char_to_id).collect()
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let model = CharLstm::new(LmConfig::tiny(), 1);
+        let params = model.param_vector();
+        assert_eq!(params.len(), model.parameter_count());
+        let mut other = CharLstm::new(LmConfig::tiny(), 99);
+        assert_ne!(other.param_vector(), params);
+        other.set_param_vector(&params);
+        assert_eq!(other.param_vector(), params);
+    }
+
+    #[test]
+    fn initial_loss_is_near_uniform() {
+        let model = CharLstm::new(LmConfig::tiny(), 2);
+        let loss = model.sequence_loss(&tokens("hello world.")).unwrap();
+        let uniform = (LmConfig::tiny().vocab_size as f32).ln();
+        assert!((loss - uniform).abs() < 0.7, "loss {loss} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn training_on_one_sequence_reduces_its_loss() {
+        let mut model = CharLstm::new(LmConfig::tiny(), 3);
+        let seq = tokens("the quick brown fox jumps.");
+        let before = model.sequence_loss(&seq).unwrap();
+        for _ in 0..200 {
+            model.train_sequence(&seq, 1.0);
+        }
+        let after = model.sequence_loss(&seq).unwrap();
+        assert!(after < 0.6 * before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn training_generalizes_to_same_distribution() {
+        // Train on sentences from one client generator and check loss drops
+        // on fresh sentences from the same generator.
+        let mut generator = TextGenerator::for_client(1, 0.2, 7);
+        let train: Vec<Vec<usize>> = (0..30).map(|_| generator.sentence(4)).collect();
+        let test: Vec<Vec<usize>> = (0..10).map(|_| generator.sentence(4)).collect();
+        let mut model = CharLstm::new(LmConfig::tiny(), 5);
+        let eval = |m: &CharLstm| -> f32 {
+            let losses: Vec<f32> = test.iter().filter_map(|s| m.sequence_loss(s)).collect();
+            losses.iter().sum::<f32>() / losses.len() as f32
+        };
+        let before = eval(&model);
+        for _ in 0..3 {
+            for seq in &train {
+                model.train_sequence(seq, 0.3);
+            }
+        }
+        let after = eval(&model);
+        assert!(after < before, "test loss {before} -> {after}");
+    }
+
+    #[test]
+    fn short_sequences_are_skipped() {
+        let mut model = CharLstm::new(LmConfig::tiny(), 1);
+        assert!(model.sequence_loss(&[0]).is_none());
+        assert!(model.train_sequence(&[0], 0.1).is_none());
+        assert!(model.sequence_loss(&[]).is_none());
+    }
+
+    #[test]
+    fn train_sequence_returns_pre_update_loss() {
+        let mut model = CharLstm::new(LmConfig::tiny(), 4);
+        let seq = tokens("abcabcabc.");
+        let reported = model.train_sequence(&seq, 0.1).unwrap();
+        let uniform = (LmConfig::tiny().vocab_size as f32).ln();
+        assert!((reported - uniform).abs() < 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Token-embedding lookup table.
+
+use crate::init::uniform;
+use crate::params::Parameter;
+use crate::tensor::Matrix;
+
+/// An embedding layer mapping token ids to dense vectors.
+///
+/// The forward pass gathers rows of the embedding table; the backward pass
+/// scatters the output gradient back into those rows.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    table: Matrix,
+    table_grad: Matrix,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates an embedding table of `vocab_size` rows and `dim` columns,
+    /// initialized uniformly in `[-0.1, 0.1)`.
+    pub fn new(vocab_size: usize, dim: usize, seed: u64) -> Self {
+        Embedding {
+            table: uniform(vocab_size, dim, 0.1, seed),
+            table_grad: Matrix::zeros(vocab_size, dim),
+            cached_ids: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Looks up `ids`, producing an `(ids.len(), dim)` matrix; caches the ids
+    /// for the backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn forward(&mut self, ids: &[usize]) -> Matrix {
+        let out = self.forward_inference(ids);
+        self.cached_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Lookup without caching.
+    pub fn forward_inference(&self, ids: &[usize]) -> Matrix {
+        let dim = self.dim();
+        let mut out = Matrix::zeros(ids.len(), dim);
+        for (row, &id) in ids.iter().enumerate() {
+            assert!(id < self.vocab_size(), "token id {id} out of range");
+            out.row_mut(row).copy_from_slice(self.table.row(id));
+        }
+        out
+    }
+
+    /// Scatters `grad_output` back into the embedding-table gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Embedding::forward`].
+    pub fn backward(&mut self, grad_output: &Matrix) {
+        let ids = self
+            .cached_ids
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_output.rows(), ids.len());
+        for (row, &id) in ids.iter().enumerate() {
+            let grad_row = grad_output.row(row);
+            let table_row = self.table_grad.row_mut(id);
+            for (t, g) in table_row.iter_mut().zip(grad_row.iter()) {
+                *t += g;
+            }
+        }
+    }
+
+    /// Mutable parameter views for optimizers.
+    pub fn parameters_mut(&mut self) -> Vec<Parameter<'_>> {
+        vec![Parameter::new(
+            "embedding.table",
+            &mut self.table,
+            &mut self.table_grad,
+        )]
+    }
+
+    /// Parameter matrices by reference.
+    pub fn parameter_matrices(&self) -> Vec<&Matrix> {
+        vec![&self.table]
+    }
+
+    /// Overwrites the table from `matrices[0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn set_parameter_matrices(&mut self, matrices: &[Matrix]) {
+        assert_eq!(matrices.len(), 1, "expected a single table matrix");
+        assert_eq!(matrices[0].shape(), self.table.shape());
+        self.table = matrices[0].clone();
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for g in self.table_grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let emb = Embedding::new(5, 3, 0);
+        let out = emb.forward_inference(&[2, 4, 2]);
+        assert_eq!(out.row(0), emb.parameter_matrices()[0].row(2));
+        assert_eq!(out.row(1), emb.parameter_matrices()[0].row(4));
+        assert_eq!(out.row(0), out.row(2));
+    }
+
+    #[test]
+    fn backward_accumulates_per_row() {
+        let mut emb = Embedding::new(4, 2, 1);
+        let _ = emb.forward(&[1, 1, 3]);
+        let grad = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        emb.backward(&grad);
+        // Row 1 gets both the first and second gradient rows.
+        assert_eq!(emb.table_grad.row(1), &[4.0, 6.0]);
+        assert_eq!(emb.table_grad.row(3), &[5.0, 6.0]);
+        assert_eq!(emb.table_grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        let emb = Embedding::new(3, 2, 0);
+        let _ = emb.forward_inference(&[3]);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut emb = Embedding::new(3, 2, 0);
+        let _ = emb.forward(&[0]);
+        emb.backward(&Matrix::ones(1, 2));
+        emb.zero_grad();
+        assert!(emb.table_grad.data().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Fully connected (affine) layer with explicit forward/backward passes.
+
+use crate::init::xavier_uniform;
+use crate::params::Parameter;
+use crate::tensor::Matrix;
+
+/// A dense layer computing `y = x W + b`.
+///
+/// Inputs are `(batch, in_features)` matrices; outputs are
+/// `(batch, out_features)`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Matrix,
+    weight_grad: Matrix,
+    bias_grad: Matrix,
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        Linear {
+            weight: xavier_uniform(in_features, out_features, seed),
+            bias: Matrix::zeros(1, out_features),
+            weight_grad: Matrix::zeros(in_features, out_features),
+            bias_grad: Matrix::zeros(1, out_features),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Forward pass; caches the input for the backward pass.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let out = input.matmul(&self.weight).add_row_broadcast(&self.bias);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    /// Forward pass without caching (for evaluation).
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        input.matmul(&self.weight).add_row_broadcast(&self.bias)
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Linear::forward`].
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = x^T * dy ; db = sum_rows(dy) ; dx = dy * W^T
+        self.weight_grad.add_assign(&input.matmul_transpose_a(grad_output));
+        self.bias_grad.add_assign(&grad_output.sum_rows());
+        grad_output.matmul_transpose_b(&self.weight)
+    }
+
+    /// Returns mutable views of the parameters for optimizers.
+    pub fn parameters_mut(&mut self) -> Vec<Parameter<'_>> {
+        vec![
+            Parameter::new("linear.weight", &mut self.weight, &mut self.weight_grad),
+            Parameter::new("linear.bias", &mut self.bias, &mut self.bias_grad),
+        ]
+    }
+
+    /// Returns the parameter matrices (weights, then bias) by reference.
+    pub fn parameter_matrices(&self) -> Vec<&Matrix> {
+        vec![&self.weight, &self.bias]
+    }
+
+    /// Overwrites the parameters from the given matrices (same order as
+    /// [`Linear::parameter_matrices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn set_parameter_matrices(&mut self, matrices: &[Matrix]) {
+        assert_eq!(matrices.len(), 2, "expected weight and bias");
+        assert_eq!(matrices[0].shape(), self.weight.shape());
+        assert_eq!(matrices[1].shape(), self.bias.shape());
+        self.weight = matrices[0].clone();
+        self.bias = matrices[1].clone();
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.parameters_mut() {
+            let mut p = p;
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check on a scalar loss `sum(W_out)`.
+    #[test]
+    fn gradient_check() {
+        let mut layer = Linear::new(3, 2, 0);
+        let input = Matrix::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.5, 0.3, -0.7]]);
+        let grad_out = Matrix::ones(2, 2); // loss = sum of outputs
+        let analytic_input_grad = {
+            let _ = layer.forward(&input);
+            layer.backward(&grad_out)
+        };
+
+        // Check input gradient numerically.
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = input.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = input.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let lp: f32 = layer.forward_inference(&plus).data().iter().sum();
+                let lm: f32 = layer.forward_inference(&minus).data().iter().sum();
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = analytic_input_grad.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "input grad mismatch at ({r},{c}): {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_gradient_check() {
+        let mut layer = Linear::new(2, 2, 1);
+        let input = Matrix::from_rows(&[vec![1.0, -0.5]]);
+        let grad_out = Matrix::ones(1, 2);
+        let _ = layer.forward(&input);
+        let _ = layer.backward(&grad_out);
+        let analytic = layer.weight_grad.clone();
+
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..2 {
+                let orig = layer.weight.get(r, c);
+                layer.weight.set(r, c, orig + eps);
+                let lp: f32 = layer.forward_inference(&input).data().iter().sum();
+                layer.weight.set(r, c, orig - eps);
+                let lm: f32 = layer.forward_inference(&input).data().iter().sum();
+                layer.weight.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic.get(r, c)).abs() < 1e-2,
+                    "weight grad mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_row_count() {
+        let mut layer = Linear::new(2, 3, 2);
+        let input = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let _ = layer.forward(&input);
+        let _ = layer.backward(&Matrix::ones(3, 3));
+        assert!(layer.bias_grad.data().iter().all(|&g| (g - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut layer = Linear::new(2, 2, 3);
+        let input = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        for _ in 0..3 {
+            let _ = layer.forward(&input);
+            let _ = layer.backward(&Matrix::ones(1, 2));
+        }
+        let after3 = layer.bias_grad.get(0, 0);
+        assert!((after3 - 3.0).abs() < 1e-6);
+        layer.zero_grad();
+        assert_eq!(layer.bias_grad.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let layer = Linear::new(3, 4, 5);
+        let mats: Vec<Matrix> = layer.parameter_matrices().into_iter().cloned().collect();
+        let mut other = Linear::new(3, 4, 99);
+        other.set_parameter_matrices(&mats);
+        assert_eq!(other.parameter_matrices()[0], layer.parameter_matrices()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut layer = Linear::new(2, 2, 0);
+        let _ = layer.backward(&Matrix::ones(1, 2));
+    }
+}

@@ -1,0 +1,155 @@
+//! Losses: softmax cross-entropy (the language-model training loss) and mean
+//! squared error (used by the surrogate objectives).
+
+use crate::tensor::Matrix;
+
+/// Computes the mean softmax cross-entropy loss over a batch of logits and
+/// integer targets, together with the gradient with respect to the logits.
+///
+/// `logits` is `(batch, classes)`, `targets` has `batch` entries.
+///
+/// Returns `(mean_loss, grad_logits)` where the gradient already includes the
+/// `1/batch` factor.
+///
+/// # Panics
+///
+/// Panics if the batch sizes disagree or a target is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    let (batch, classes) = logits.shape();
+    assert_eq!(batch, targets.len(), "batch size mismatch");
+    let mut grad = Matrix::zeros(batch, classes);
+    let mut total_loss = 0.0f64;
+    for b in 0..batch {
+        let target = targets[b];
+        assert!(target < classes, "target {target} out of range");
+        let row = logits.row(b);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exp: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exp.iter().sum();
+        let log_sum = sum.ln() + max;
+        total_loss += (log_sum - row[target]) as f64;
+        let grad_row = grad.row_mut(b);
+        for (c, e) in exp.iter().enumerate() {
+            grad_row[c] = e / sum / batch as f32;
+        }
+        grad_row[target] -= 1.0 / batch as f32;
+    }
+    ((total_loss / batch as f64) as f32, grad)
+}
+
+/// Computes softmax probabilities row-wise (for evaluation / sampling).
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let (batch, classes) = logits.shape();
+    let mut out = Matrix::zeros(batch, classes);
+    for b in 0..batch {
+        let row = logits.row(b);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exp: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exp.iter().sum();
+        let out_row = out.row_mut(b);
+        for (c, e) in exp.iter().enumerate() {
+            out_row[c] = e / sum;
+        }
+    }
+    out
+}
+
+/// Mean squared error `mean((pred - target)^2)` and its gradient w.r.t.
+/// `pred` (including the `2/n` factor).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mean_squared_error(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let n = (pred.rows() * pred.cols()) as f32;
+    let diff = pred.sub(target);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Matrix::zeros(2, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits.set(0, 1, 50.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[vec![0.2, -0.5, 1.0], vec![0.0, 0.3, -0.7]]);
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = logits.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let (lp, _) = softmax_cross_entropy(&plus, &targets);
+                let (lm, _) = softmax_cross_entropy(&minus, &targets);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - grad.get(r, c)).abs() < 1e-3,
+                    "grad mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, -1.0]]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let sum: f32 = grad.row(0).iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[vec![1.0, -2.0, 0.5], vec![100.0, 99.0, 98.0]]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let logits = Matrix::from_rows(&[vec![1000.0, 1000.0]]);
+        let p = softmax(&logits);
+        assert!((p.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let pred = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let target = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let (loss, grad) = mean_squared_error(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_panics() {
+        let logits = Matrix::zeros(1, 2);
+        let _ = softmax_cross_entropy(&logits, &[2]);
+    }
+}

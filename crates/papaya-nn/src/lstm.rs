@@ -1,0 +1,389 @@
+//! A single-layer LSTM cell with backpropagation through time.
+//!
+//! The paper's evaluation trains an LSTM-based language model (Kim et al.,
+//! 2015).  This module implements the standard LSTM recurrence with combined
+//! gate matrices and explicit, cache-based BPTT.  Gate ordering in the
+//! combined matrices is `[input, forget, cell(g), output]`.
+
+use crate::init::xavier_uniform;
+use crate::params::Parameter;
+use crate::tensor::{sigmoid, Matrix};
+
+/// Cached activations for one time step, needed by the backward pass.
+#[derive(Clone, Debug)]
+struct StepCache {
+    input: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    c: Matrix,
+}
+
+/// The hidden state of an LSTM: `(h, c)` pair, each `(batch, hidden)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LstmState {
+    /// Hidden output state.
+    pub h: Matrix,
+    /// Cell state.
+    pub c: Matrix,
+}
+
+impl LstmState {
+    /// Zero-initialized state for the given batch size and hidden width.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        LstmState {
+            h: Matrix::zeros(batch, hidden),
+            c: Matrix::zeros(batch, hidden),
+        }
+    }
+}
+
+/// A single LSTM cell processing one time step at a time.
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    /// Input-to-gates weights, `(input_dim, 4*hidden)`.
+    w_x: Matrix,
+    /// Hidden-to-gates weights, `(hidden, 4*hidden)`.
+    w_h: Matrix,
+    /// Gate biases, `(1, 4*hidden)`.
+    bias: Matrix,
+    w_x_grad: Matrix,
+    w_h_grad: Matrix,
+    bias_grad: Matrix,
+    hidden: usize,
+    caches: Vec<StepCache>,
+}
+
+impl LstmCell {
+    /// Creates an LSTM cell.  The forget-gate bias is initialized to 1.0,
+    /// the standard trick for stable early training.
+    pub fn new(input_dim: usize, hidden: usize, seed: u64) -> Self {
+        let mut bias = Matrix::zeros(1, 4 * hidden);
+        for j in hidden..2 * hidden {
+            bias.set(0, j, 1.0);
+        }
+        LstmCell {
+            w_x: xavier_uniform(input_dim, 4 * hidden, seed),
+            w_h: xavier_uniform(hidden, 4 * hidden, seed.wrapping_add(1)),
+            bias,
+            w_x_grad: Matrix::zeros(input_dim, 4 * hidden),
+            w_h_grad: Matrix::zeros(hidden, 4 * hidden),
+            bias_grad: Matrix::zeros(1, 4 * hidden),
+            hidden,
+            caches: Vec::new(),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.w_x.rows()
+    }
+
+    /// Runs one time step, caching activations for BPTT.
+    pub fn step(&mut self, input: &Matrix, state: &LstmState) -> LstmState {
+        let (new_state, cache) = self.step_internal(input, state);
+        self.caches.push(cache);
+        new_state
+    }
+
+    /// Runs one time step without caching (for evaluation).
+    pub fn step_inference(&self, input: &Matrix, state: &LstmState) -> LstmState {
+        self.step_internal(input, state).0
+    }
+
+    fn step_internal(&self, input: &Matrix, state: &LstmState) -> (LstmState, StepCache) {
+        let batch = input.rows();
+        let h = self.hidden;
+        let gates = input
+            .matmul(&self.w_x)
+            .add(&state.h.matmul(&self.w_h))
+            .add_row_broadcast(&self.bias);
+
+        let mut i = Matrix::zeros(batch, h);
+        let mut f = Matrix::zeros(batch, h);
+        let mut g = Matrix::zeros(batch, h);
+        let mut o = Matrix::zeros(batch, h);
+        for b in 0..batch {
+            for j in 0..h {
+                i.set(b, j, sigmoid(gates.get(b, j)));
+                f.set(b, j, sigmoid(gates.get(b, h + j)));
+                g.set(b, j, gates.get(b, 2 * h + j).tanh());
+                o.set(b, j, sigmoid(gates.get(b, 3 * h + j)));
+            }
+        }
+        let c = f.hadamard(&state.c).add(&i.hadamard(&g));
+        let h_out = o.hadamard(&c.map(|x| x.tanh()));
+        let cache = StepCache {
+            input: input.clone(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            c: c.clone(),
+        };
+        (LstmState { h: h_out, c }, cache)
+    }
+
+    /// Backpropagates through the most recent cached step.
+    ///
+    /// `grad_h` and `grad_c` are gradients flowing into this step's output
+    /// state; returns `(grad_input, grad_h_prev, grad_c_prev)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached step (more backward calls than forward
+    /// steps).
+    pub fn backward_step(&mut self, grad_h: &Matrix, grad_c: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let cache = self
+            .caches
+            .pop()
+            .expect("backward_step called with no cached forward step");
+        let h = self.hidden;
+        let batch = grad_h.rows();
+
+        let tanh_c = cache.c.map(|x| x.tanh());
+        // dL/do = dL/dh * tanh(c)
+        let grad_o = grad_h.hadamard(&tanh_c);
+        // dL/dc (total) = dL/dc_next + dL/dh * o * (1 - tanh^2(c))
+        let grad_c_total = grad_c.add(
+            &grad_h
+                .hadamard(&cache.o)
+                .hadamard(&tanh_c.map(|t| 1.0 - t * t)),
+        );
+        let grad_i = grad_c_total.hadamard(&cache.g);
+        let grad_g = grad_c_total.hadamard(&cache.i);
+        let grad_f = grad_c_total.hadamard(&cache.c_prev);
+        let grad_c_prev = grad_c_total.hadamard(&cache.f);
+
+        // Pre-activation gradients.
+        let mut grad_gates = Matrix::zeros(batch, 4 * h);
+        for b in 0..batch {
+            for j in 0..h {
+                let di = grad_i.get(b, j) * cache.i.get(b, j) * (1.0 - cache.i.get(b, j));
+                let df = grad_f.get(b, j) * cache.f.get(b, j) * (1.0 - cache.f.get(b, j));
+                let dg = grad_g.get(b, j) * (1.0 - cache.g.get(b, j) * cache.g.get(b, j));
+                let do_ = grad_o.get(b, j) * cache.o.get(b, j) * (1.0 - cache.o.get(b, j));
+                grad_gates.set(b, j, di);
+                grad_gates.set(b, h + j, df);
+                grad_gates.set(b, 2 * h + j, dg);
+                grad_gates.set(b, 3 * h + j, do_);
+            }
+        }
+
+        self.w_x_grad
+            .add_assign(&cache.input.matmul_transpose_a(&grad_gates));
+        self.w_h_grad
+            .add_assign(&cache.h_prev.matmul_transpose_a(&grad_gates));
+        self.bias_grad.add_assign(&grad_gates.sum_rows());
+
+        let grad_input = grad_gates.matmul_transpose_b(&self.w_x);
+        let grad_h_prev = grad_gates.matmul_transpose_b(&self.w_h);
+        (grad_input, grad_h_prev, grad_c_prev)
+    }
+
+    /// Clears cached activations (e.g. between sequences).
+    pub fn clear_cache(&mut self) {
+        self.caches.clear();
+    }
+
+    /// Number of cached (not yet back-propagated) steps.
+    pub fn cached_steps(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Mutable parameter views for optimizers.
+    pub fn parameters_mut(&mut self) -> Vec<Parameter<'_>> {
+        vec![
+            Parameter::new("lstm.w_x", &mut self.w_x, &mut self.w_x_grad),
+            Parameter::new("lstm.w_h", &mut self.w_h, &mut self.w_h_grad),
+            Parameter::new("lstm.bias", &mut self.bias, &mut self.bias_grad),
+        ]
+    }
+
+    /// Parameter matrices by reference (`w_x`, `w_h`, `bias`).
+    pub fn parameter_matrices(&self) -> Vec<&Matrix> {
+        vec![&self.w_x, &self.w_h, &self.bias]
+    }
+
+    /// Overwrites parameters (same order as [`LstmCell::parameter_matrices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn set_parameter_matrices(&mut self, matrices: &[Matrix]) {
+        assert_eq!(matrices.len(), 3, "expected w_x, w_h, bias");
+        assert_eq!(matrices[0].shape(), self.w_x.shape());
+        assert_eq!(matrices[1].shape(), self.w_h.shape());
+        assert_eq!(matrices[2].shape(), self.bias.shape());
+        self.w_x = matrices[0].clone();
+        self.w_h = matrices[1].clone();
+        self.bias = matrices[2].clone();
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for m in [&mut self.w_x_grad, &mut self.w_h_grad, &mut self.bias_grad] {
+            for g in m.data_mut() {
+                *g = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar loss used by the gradient checks: sum of all h outputs over a
+    /// short unrolled sequence.
+    fn sequence_loss(cell: &LstmCell, inputs: &[Matrix]) -> f32 {
+        let mut state = LstmState::zeros(inputs[0].rows(), cell.hidden_size());
+        let mut loss = 0.0;
+        for x in inputs {
+            state = cell.step_inference(x, &state);
+            loss += state.h.data().iter().sum::<f32>();
+        }
+        loss
+    }
+
+    fn run_backward(cell: &mut LstmCell, inputs: &[Matrix]) {
+        let batch = inputs[0].rows();
+        let hidden = cell.hidden_size();
+        let mut state = LstmState::zeros(batch, hidden);
+        for x in inputs {
+            state = cell.step(x, &state);
+        }
+        // d(loss)/dh_t = 1 at every step; accumulate through BPTT.
+        let mut grad_h = Matrix::ones(batch, hidden);
+        let mut grad_c = Matrix::zeros(batch, hidden);
+        for _ in 0..inputs.len() {
+            let (_, gh_prev, gc_prev) = cell.backward_step(&grad_h, &grad_c);
+            grad_h = gh_prev.add(&Matrix::ones(batch, hidden));
+            grad_c = gc_prev;
+        }
+    }
+
+    #[test]
+    fn parameter_gradient_check() {
+        let mut cell = LstmCell::new(3, 2, 7);
+        let inputs = vec![
+            Matrix::from_rows(&[vec![0.5, -0.2, 0.1], vec![1.0, 0.3, -0.4]]),
+            Matrix::from_rows(&[vec![-0.1, 0.8, 0.2], vec![0.4, -0.6, 0.9]]),
+            Matrix::from_rows(&[vec![0.3, 0.3, -0.5], vec![-0.2, 0.1, 0.7]]),
+        ];
+        run_backward(&mut cell, &inputs);
+        let analytic_wx = cell.w_x_grad.clone();
+        let analytic_wh = cell.w_h_grad.clone();
+        let analytic_b = cell.bias_grad.clone();
+
+        let eps = 1e-2f32;
+        // Spot check a handful of entries in each parameter.
+        for (r, c) in [(0usize, 0usize), (1, 3), (2, 5), (0, 7)] {
+            let orig = cell.w_x.get(r, c);
+            cell.w_x.set(r, c, orig + eps);
+            let lp = sequence_loss(&cell, &inputs);
+            cell.w_x.set(r, c, orig - eps);
+            let lm = sequence_loss(&cell, &inputs);
+            cell.w_x.set(r, c, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = analytic_wx.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * (1.0 + analytic.abs()),
+                "w_x grad mismatch at ({r},{c}): numeric {numeric}, analytic {analytic}"
+            );
+        }
+        for (r, c) in [(0usize, 0usize), (1, 2), (0, 6)] {
+            let orig = cell.w_h.get(r, c);
+            cell.w_h.set(r, c, orig + eps);
+            let lp = sequence_loss(&cell, &inputs);
+            cell.w_h.set(r, c, orig - eps);
+            let lm = sequence_loss(&cell, &inputs);
+            cell.w_h.set(r, c, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = analytic_wh.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * (1.0 + analytic.abs()),
+                "w_h grad mismatch at ({r},{c}): numeric {numeric}, analytic {analytic}"
+            );
+        }
+        for c in [0usize, 2, 5, 7] {
+            let orig = cell.bias.get(0, c);
+            cell.bias.set(0, c, orig + eps);
+            let lp = sequence_loss(&cell, &inputs);
+            cell.bias.set(0, c, orig - eps);
+            let lm = sequence_loss(&cell, &inputs);
+            cell.bias.set(0, c, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = analytic_b.get(0, c);
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * (1.0 + analytic.abs()),
+                "bias grad mismatch at column {c}: numeric {numeric}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check_single_step() {
+        let mut cell = LstmCell::new(2, 3, 11);
+        let input = Matrix::from_rows(&[vec![0.4, -0.9]]);
+        let state = LstmState::zeros(1, 3);
+        let _ = cell.step(&input, &state);
+        let (grad_input, _, _) = cell.backward_step(&Matrix::ones(1, 3), &Matrix::zeros(1, 3));
+
+        let eps = 1e-2f32;
+        for c in 0..2 {
+            let mut plus = input.clone();
+            plus.set(0, c, plus.get(0, c) + eps);
+            let mut minus = input.clone();
+            minus.set(0, c, minus.get(0, c) - eps);
+            let lp: f32 = cell.step_inference(&plus, &state).h.data().iter().sum();
+            let lm: f32 = cell.step_inference(&minus, &state).h.data().iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_input.get(0, c)).abs() < 1e-2,
+                "input grad mismatch at {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_shapes_are_stable() {
+        let mut cell = LstmCell::new(4, 8, 0);
+        let state = LstmState::zeros(2, 8);
+        let out = cell.step(&Matrix::zeros(2, 4), &state);
+        assert_eq!(out.h.shape(), (2, 8));
+        assert_eq!(out.c.shape(), (2, 8));
+        assert_eq!(cell.cached_steps(), 1);
+        cell.clear_cache();
+        assert_eq!(cell.cached_steps(), 0);
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let cell = LstmCell::new(2, 3, 0);
+        let bias = cell.parameter_matrices()[2];
+        for j in 3..6 {
+            assert_eq!(bias.get(0, j), 1.0);
+        }
+        for j in 0..3 {
+            assert_eq!(bias.get(0, j), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no cached forward step")]
+    fn backward_without_forward_panics() {
+        let mut cell = LstmCell::new(2, 2, 0);
+        let _ = cell.backward_step(&Matrix::ones(1, 2), &Matrix::zeros(1, 2));
+    }
+}

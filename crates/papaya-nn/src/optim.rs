@@ -1,0 +1,248 @@
+//! Client-side optimizers.
+//!
+//! The paper uses plain SGD on clients and FedAdam on the server.  The
+//! server-side optimizers (which operate on aggregated *deltas* rather than
+//! gradients) live in `papaya-core::server_opt`; the optimizers here update a
+//! model's own parameters from its accumulated gradients during local
+//! training.
+
+use crate::params::Parameter;
+
+/// A gradient-based parameter update rule.
+pub trait Optimizer {
+    /// Applies one update step to the given parameters using their
+    /// accumulated gradients, then leaves the gradients untouched (callers
+    /// decide when to zero them).
+    fn step(&mut self, params: &mut [Parameter<'_>]);
+}
+
+/// Stochastic gradient descent with optional momentum and gradient clipping.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    /// Per-parameter velocity buffers, keyed by position in the parameter
+    /// slice (the parameter order of a model is stable).
+    velocities: Vec<Vec<f32>>,
+    max_grad_norm: Option<f32>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(learning_rate: f32) -> Self {
+        Sgd {
+            learning_rate,
+            momentum: 0.0,
+            velocities: Vec::new(),
+            max_grad_norm: None,
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(learning_rate: f32, momentum: f32) -> Self {
+        Sgd {
+            momentum,
+            ..Sgd::new(learning_rate)
+        }
+    }
+
+    /// Enables global gradient-norm clipping.
+    pub fn with_clipping(mut self, max_grad_norm: f32) -> Self {
+        self.max_grad_norm = Some(max_grad_norm);
+        self
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+}
+
+fn global_grad_norm(params: &[Parameter<'_>]) -> f32 {
+    params
+        .iter()
+        .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f32>())
+        .sum::<f32>()
+        .sqrt()
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [Parameter<'_>]) {
+        let clip_scale = match self.max_grad_norm {
+            Some(max) => {
+                let norm = global_grad_norm(params);
+                if norm > max {
+                    max / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        if self.velocities.len() < params.len() {
+            for p in params.iter().skip(self.velocities.len()) {
+                self.velocities.push(vec![0.0; p.value.data().len()]);
+            }
+        }
+        for (idx, p) in params.iter_mut().enumerate() {
+            let velocity = &mut self.velocities[idx];
+            for ((v, g), val) in velocity
+                .iter_mut()
+                .zip(p.grad.data().iter())
+                .zip(p.value.data_mut().iter_mut())
+            {
+                let g = g * clip_scale;
+                if self.momentum > 0.0 {
+                    *v = self.momentum * *v + g;
+                    *val -= self.learning_rate * *v;
+                } else {
+                    *val -= self.learning_rate * g;
+                }
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    step_count: u64,
+    first_moments: Vec<Vec<f32>>,
+    second_moments: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(learning_rate: f32) -> Self {
+        Self::with_betas(learning_rate, 0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit moment parameters.
+    pub fn with_betas(learning_rate: f32, beta1: f32, beta2: f32, epsilon: f32) -> Self {
+        Adam {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+            step_count: 0,
+            first_moments: Vec::new(),
+            second_moments: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [Parameter<'_>]) {
+        self.step_count += 1;
+        if self.first_moments.len() < params.len() {
+            for p in params.iter().skip(self.first_moments.len()) {
+                self.first_moments.push(vec![0.0; p.value.data().len()]);
+                self.second_moments.push(vec![0.0; p.value.data().len()]);
+            }
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.step_count as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step_count as i32);
+        for (idx, p) in params.iter_mut().enumerate() {
+            let m = &mut self.first_moments[idx];
+            let v = &mut self.second_moments[idx];
+            for (((m_i, v_i), g), val) in m
+                .iter_mut()
+                .zip(v.iter_mut())
+                .zip(p.grad.data().iter())
+                .zip(p.value.data_mut().iter_mut())
+            {
+                *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g;
+                *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g * g;
+                let m_hat = *m_i / bc1;
+                let v_hat = *v_i / bc2;
+                *val -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Matrix;
+
+    /// Minimizes f(x) = (x - 3)^2 with each optimizer and checks convergence.
+    fn quadratic_converges(mut opt: impl Optimizer, steps: usize, lr_tolerance: f32) {
+        let mut value = Matrix::from_rows(&[vec![10.0]]);
+        let mut grad = Matrix::zeros(1, 1);
+        for _ in 0..steps {
+            let x = value.get(0, 0);
+            grad.set(0, 0, 2.0 * (x - 3.0));
+            let mut params = vec![Parameter::new("x", &mut value, &mut grad)];
+            opt.step(&mut params);
+        }
+        assert!(
+            (value.get(0, 0) - 3.0).abs() < lr_tolerance,
+            "did not converge: {}",
+            value.get(0, 0)
+        );
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        quadratic_converges(Sgd::new(0.1), 100, 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_minimizes_quadratic() {
+        quadratic_converges(Sgd::with_momentum(0.05, 0.9), 200, 1e-2);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        quadratic_converges(Adam::new(0.2), 300, 1e-2);
+    }
+
+    #[test]
+    fn sgd_step_is_lr_times_grad() {
+        let mut value = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let mut grad = Matrix::from_rows(&[vec![0.5, -1.0]]);
+        let mut opt = Sgd::new(0.1);
+        let mut params = vec![Parameter::new("p", &mut value, &mut grad)];
+        opt.step(&mut params);
+        assert!((value.get(0, 0) - 0.95).abs() < 1e-6);
+        assert!((value.get(0, 1) - 2.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_bounds_update_norm() {
+        let mut value = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let mut grad = Matrix::from_rows(&[vec![30.0, 40.0]]); // norm 50
+        let mut opt = Sgd::new(1.0).with_clipping(5.0);
+        let mut params = vec![Parameter::new("p", &mut value, &mut grad)];
+        opt.step(&mut params);
+        // Update should have norm 5 (clipped), direction preserved.
+        let norm = (value.get(0, 0).powi(2) + value.get(0, 1).powi(2)).sqrt();
+        assert!((norm - 5.0).abs() < 1e-4);
+        assert!(value.get(0, 0) < 0.0 && value.get(0, 1) < 0.0);
+    }
+
+    #[test]
+    fn adam_handles_multiple_parameters() {
+        let mut v1 = Matrix::from_rows(&[vec![5.0]]);
+        let mut g1 = Matrix::zeros(1, 1);
+        let mut v2 = Matrix::from_rows(&[vec![-5.0]]);
+        let mut g2 = Matrix::zeros(1, 1);
+        let mut opt = Adam::new(0.3);
+        for _ in 0..200 {
+            g1.set(0, 0, 2.0 * v1.get(0, 0));
+            g2.set(0, 0, 2.0 * (v2.get(0, 0) + 1.0));
+            let mut params = vec![
+                Parameter::new("a", &mut v1, &mut g1),
+                Parameter::new("b", &mut v2, &mut g2),
+            ];
+            opt.step(&mut params);
+        }
+        assert!(v1.get(0, 0).abs() < 0.05);
+        assert!((v2.get(0, 0) + 1.0).abs() < 0.05);
+    }
+}

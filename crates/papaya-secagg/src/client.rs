@@ -1,0 +1,217 @@
+//! Client-side secure-aggregation protocol (Figure 16 steps 3–4 and the
+//! Appendix C attestation checks).
+
+use crate::attestation::{verify_quote, AttestationError, TsaPublication};
+use crate::mask::{expand_mask, random_seed};
+use crate::protocol::{ClientUploadMessage, CompletingMessage, KeyExchangeInitialMessage, SecAggConfig};
+use crate::tsa::seed_associated_data;
+use papaya_crypto::aead::{seal, AeadKey};
+use papaya_crypto::chacha20::ChaCha20Rng;
+use papaya_crypto::dh::DhPrivateKey;
+
+/// Errors a participating client can encounter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// Attestation or verifiable-log validation failed; the client aborts
+    /// without revealing anything.
+    Attestation(AttestationError),
+    /// The local update length does not match the configured vector length.
+    WrongUpdateLength {
+        /// Length of the update the caller supplied.
+        got: usize,
+        /// Configured vector length.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Attestation(e) => write!(f, "attestation failed: {e}"),
+            ClientError::WrongUpdateLength { got, expected } => {
+                write!(f, "update has {got} elements, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<AttestationError> for ClientError {
+    fn from(e: AttestationError) -> Self {
+        ClientError::Attestation(e)
+    }
+}
+
+/// Stateless client-side protocol functions.
+#[derive(Debug)]
+pub struct SecAggClient;
+
+impl SecAggClient {
+    /// Runs the whole client side of the protocol for one participation:
+    ///
+    /// 1. validates the attestation quote and verifiable-log inclusion of the
+    ///    trusted binary;
+    /// 2. completes the Diffie–Hellman exchange with the TSA;
+    /// 3. samples a fresh mask seed, encrypts it for the TSA;
+    /// 4. fixed-point-encodes and masks the model update.
+    ///
+    /// Returns the upload message; the masked update goes to the untrusted
+    /// aggregator and the completing message is forwarded into the TSA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Attestation`] when the TSA cannot be validated
+    /// (the client aborts, step 3 of Figure 16) and
+    /// [`ClientError::WrongUpdateLength`] on a configuration mismatch.
+    pub fn participate(
+        update: &[f32],
+        initial: &KeyExchangeInitialMessage,
+        publication: &TsaPublication,
+        config: &SecAggConfig,
+        rng: &mut ChaCha20Rng,
+    ) -> Result<ClientUploadMessage, ClientError> {
+        if update.len() != config.vector_len {
+            return Err(ClientError::WrongUpdateLength {
+                got: update.len(),
+                expected: config.vector_len,
+            });
+        }
+        // Validate the enclave before revealing anything derived from data.
+        verify_quote(publication, &initial.quote, &initial.tsa_public.to_bytes())?;
+
+        // Complete the key exchange.
+        let client_key = DhPrivateKey::generate(&config.dh_group, rng);
+        let shared = client_key.shared_secret(&initial.tsa_public);
+        let aead_key = AeadKey::from_shared_secret(&shared);
+
+        // Sample and encrypt the mask seed.
+        let seed = random_seed(rng);
+        let mut nonce = [0u8; 12];
+        rng.fill_bytes(&mut nonce);
+        let encrypted_seed = seal(
+            &aead_key,
+            &nonce,
+            &seed_associated_data(initial.index),
+            &seed,
+        );
+
+        // Mask the encoded update.
+        let encoded = config.codec.encode_vec(update);
+        let mask = expand_mask(&seed, config.group_params(), config.vector_len);
+        let masked_update = encoded.add(&mask);
+
+        Ok(ClientUploadMessage {
+            masked_update,
+            completing: CompletingMessage {
+                index: initial.index,
+                client_public: client_key.public_key(),
+                encrypted_seed,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attestation::AttestationError;
+    use crate::tsa::Tsa;
+
+    fn setup() -> (Tsa, SecAggConfig, TsaPublication, ChaCha20Rng) {
+        let config = SecAggConfig::insecure_fast(8, 2);
+        let tsa = Tsa::new(&config, [0x42u8; 32]);
+        let publication = tsa.publication();
+        let rng = ChaCha20Rng::from_seed([9u8; 32]);
+        (tsa, config, publication, rng)
+    }
+
+    #[test]
+    fn participation_produces_masked_update() {
+        let (mut tsa, config, publication, mut rng) = setup();
+        let init = tsa.prepare_initial_messages(1, &mut rng).pop().unwrap();
+        let update = [0.5f32; 8];
+        let msg =
+            SecAggClient::participate(&update, &init, &publication, &config, &mut rng).unwrap();
+        // The masked update must differ from the plain encoding (the mask is
+        // non-trivial with overwhelming probability).
+        let plain = config.codec.encode_vec(&update);
+        assert_ne!(msg.masked_update, plain);
+        assert_eq!(msg.masked_update.len(), 8);
+        assert_eq!(msg.completing.index, init.index);
+    }
+
+    #[test]
+    fn two_participations_use_different_masks_and_seeds() {
+        let (mut tsa, config, publication, mut rng) = setup();
+        let inits = tsa.prepare_initial_messages(2, &mut rng);
+        let update = [1.0f32; 8];
+        let a =
+            SecAggClient::participate(&update, &inits[0], &publication, &config, &mut rng).unwrap();
+        let b =
+            SecAggClient::participate(&update, &inits[1], &publication, &config, &mut rng).unwrap();
+        assert_ne!(a.masked_update, b.masked_update);
+        assert_ne!(a.completing.encrypted_seed, b.completing.encrypted_seed);
+    }
+
+    #[test]
+    fn wrong_update_length_rejected() {
+        let (mut tsa, config, publication, mut rng) = setup();
+        let init = tsa.prepare_initial_messages(1, &mut rng).pop().unwrap();
+        let err = SecAggClient::participate(&[1.0f32; 4], &init, &publication, &config, &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::WrongUpdateLength {
+                got: 4,
+                expected: 8
+            }
+        );
+    }
+
+    #[test]
+    fn client_aborts_on_wrong_binary_publication() {
+        let (mut tsa, config, mut publication, mut rng) = setup();
+        let init = tsa.prepare_initial_messages(1, &mut rng).pop().unwrap();
+        publication.expected_measurement = [0u8; 32];
+        let err = SecAggClient::participate(&[0.0f32; 8], &init, &publication, &config, &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::Attestation(AttestationError::WrongBinary)
+        );
+    }
+
+    #[test]
+    fn client_aborts_on_tampered_initial_message() {
+        let (mut tsa, config, publication, mut rng) = setup();
+        let mut init = tsa.prepare_initial_messages(1, &mut rng).pop().unwrap();
+        // A man-in-the-middle swaps the TSA public key for its own.
+        let mitm = DhPrivateKey::generate(&config.dh_group, &mut rng);
+        init.tsa_public = mitm.public_key();
+        let err = SecAggClient::participate(&[0.0f32; 8], &init, &publication, &config, &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::Attestation(AttestationError::PayloadMismatch)
+        );
+    }
+
+    #[test]
+    fn masked_update_reveals_nothing_without_the_seed() {
+        // Two very different updates produce masked vectors that are both
+        // (statistically) uniform; in particular neither equals its plain
+        // encoding and their difference does not equal the plain difference.
+        let (mut tsa, config, publication, mut rng) = setup();
+        let inits = tsa.prepare_initial_messages(2, &mut rng);
+        let small = [0.0f32; 8];
+        let large = [100.0f32; 8];
+        let a =
+            SecAggClient::participate(&small, &inits[0], &publication, &config, &mut rng).unwrap();
+        let b =
+            SecAggClient::participate(&large, &inits[1], &publication, &config, &mut rng).unwrap();
+        let plain_diff = config.codec.encode_vec(&large).sub(&config.codec.encode_vec(&small));
+        let masked_diff = b.masked_update.sub(&a.masked_update);
+        assert_ne!(plain_diff, masked_diff);
+    }
+}

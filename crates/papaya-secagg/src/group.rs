@@ -1,0 +1,229 @@
+//! Finite Abelian group vectors used for additive one-time-pad masking.
+//!
+//! The protocol operates on vectors over `Z_n` (Appendix A.2 / D).  Elements
+//! are stored as `u64` with `n <= 2^32` by default so element-wise addition
+//! never overflows before the modular reduction.
+
+/// Parameters of the finite group `Z_n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupParams {
+    modulus: u64,
+}
+
+impl GroupParams {
+    /// The default group `Z_{2^32}` used for 32-bit fixed-point updates.
+    pub fn z2_32() -> Self {
+        GroupParams {
+            modulus: 1u64 << 32,
+        }
+    }
+
+    /// A group with an arbitrary modulus `n >= 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus < 2`.
+    pub fn new(modulus: u64) -> Self {
+        assert!(modulus >= 2, "group modulus must be at least 2");
+        GroupParams { modulus }
+    }
+
+    /// The group modulus `n`.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Reduces a value into the group.
+    #[inline]
+    pub fn reduce(&self, v: u64) -> u64 {
+        v % self.modulus
+    }
+
+    /// Additive inverse of `v` in the group.
+    #[inline]
+    pub fn negate(&self, v: u64) -> u64 {
+        let v = self.reduce(v);
+        if v == 0 {
+            0
+        } else {
+            self.modulus - v
+        }
+    }
+
+    /// Group addition.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        (self.reduce(a) + self.reduce(b)) % self.modulus
+    }
+
+    /// Group subtraction.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        self.add(a, self.negate(b))
+    }
+}
+
+/// A vector of group elements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupVec {
+    params: GroupParams,
+    values: Vec<u64>,
+}
+
+impl GroupVec {
+    /// The all-zero vector of the given length.
+    pub fn zeros(params: GroupParams, len: usize) -> Self {
+        GroupVec {
+            params,
+            values: vec![0; len],
+        }
+    }
+
+    /// Builds a vector from raw values (each reduced into the group).
+    pub fn from_values(params: GroupParams, values: Vec<u64>) -> Self {
+        let values = values.into_iter().map(|v| params.reduce(v)).collect();
+        GroupVec { params, values }
+    }
+
+    /// The group parameters.
+    pub fn params(&self) -> GroupParams {
+        self.params
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true when the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw group elements.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length or group mismatch.
+    pub fn add_assign(&mut self, other: &GroupVec) {
+        assert_eq!(self.params, other.params, "group mismatch");
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a = self.params.add(*a, *b);
+        }
+    }
+
+    /// Element-wise sum, returning a new vector.
+    pub fn add(&self, other: &GroupVec) -> GroupVec {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Element-wise in-place subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length or group mismatch.
+    pub fn sub_assign(&mut self, other: &GroupVec) {
+        assert_eq!(self.params, other.params, "group mismatch");
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a = self.params.sub(*a, *b);
+        }
+    }
+
+    /// Element-wise difference, returning a new vector.
+    pub fn sub(&self, other: &GroupVec) -> GroupVec {
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
+    }
+
+    /// Serialized size in bytes (used by the boundary-cost accounting):
+    /// 8 bytes per element.
+    pub fn byte_len(&self) -> usize {
+        self.values.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_inverse() {
+        let params = GroupParams::new(1000);
+        let a = GroupVec::from_values(params, vec![1, 999, 500, 0]);
+        let b = GroupVec::from_values(params, vec![999, 2, 600, 123]);
+        let sum = a.add(&b);
+        assert_eq!(sum.values(), &[0, 1, 100, 123]);
+        assert_eq!(sum.sub(&b), a);
+    }
+
+    #[test]
+    fn values_reduced_on_construction() {
+        let params = GroupParams::new(10);
+        let v = GroupVec::from_values(params, vec![10, 11, 25]);
+        assert_eq!(v.values(), &[0, 1, 5]);
+    }
+
+    #[test]
+    fn negate_is_additive_inverse() {
+        let params = GroupParams::new(97);
+        for v in [0u64, 1, 50, 96] {
+            assert_eq!(params.add(v, params.negate(v)), 0);
+        }
+    }
+
+    #[test]
+    fn z2_32_no_overflow_on_many_additions() {
+        let params = GroupParams::z2_32();
+        let near_max = (1u64 << 32) - 1;
+        let mut acc = GroupVec::zeros(params, 3);
+        let v = GroupVec::from_values(params, vec![near_max, near_max, near_max]);
+        for _ in 0..1000 {
+            acc.add_assign(&v);
+        }
+        // 1000 * (2^32 - 1) mod 2^32 = -1000 mod 2^32
+        assert_eq!(acc.values()[0], (1u64 << 32) - 1000);
+    }
+
+    #[test]
+    fn associativity_and_commutativity() {
+        let params = GroupParams::new(251);
+        let a = GroupVec::from_values(params, vec![7, 13]);
+        let b = GroupVec::from_values(params, vec![250, 100]);
+        let c = GroupVec::from_values(params, vec![33, 249]);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    #[should_panic(expected = "group mismatch")]
+    fn mismatched_groups_panic() {
+        let a = GroupVec::zeros(GroupParams::new(7), 2);
+        let b = GroupVec::zeros(GroupParams::new(11), 2);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let params = GroupParams::new(7);
+        let a = GroupVec::zeros(params, 2);
+        let b = GroupVec::zeros(params, 3);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn byte_len_accounting() {
+        let v = GroupVec::zeros(GroupParams::z2_32(), 100);
+        assert_eq!(v.byte_len(), 800);
+    }
+}

@@ -1,0 +1,226 @@
+//! The untrusted server-side aggregator.
+//!
+//! The aggregator never sees a client's unmasked update: it sums masked
+//! updates incrementally (Figure 16 step 5) and, once the aggregation goal is
+//! reached, asks the TSA for the aggregated unmask and subtracts it
+//! (step 8).
+
+use crate::fixed_point::FixedPointCodec;
+use crate::group::GroupVec;
+use crate::protocol::{ClientUploadMessage, SecAggConfig};
+use crate::tsa::{Tsa, TsaError};
+
+/// Errors returned by the untrusted aggregator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AggregatorError {
+    /// The masked update has the wrong length or group.
+    MalformedUpdate,
+    /// The TSA rejected the client's completing message; the update was not
+    /// aggregated.
+    Tsa(TsaError),
+}
+
+impl std::fmt::Display for AggregatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregatorError::MalformedUpdate => write!(f, "malformed masked update"),
+            AggregatorError::Tsa(e) => write!(f, "TSA rejected client: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AggregatorError {}
+
+impl From<TsaError> for AggregatorError {
+    fn from(e: TsaError) -> Self {
+        AggregatorError::Tsa(e)
+    }
+}
+
+/// Incremental aggregator of masked client updates.
+#[derive(Debug)]
+pub struct UntrustedAggregator {
+    codec: FixedPointCodec,
+    vector_len: usize,
+    masked_sum: GroupVec,
+    accepted: usize,
+}
+
+impl UntrustedAggregator {
+    /// Creates an aggregator for the given configuration.
+    pub fn new(config: &SecAggConfig) -> Self {
+        UntrustedAggregator {
+            codec: config.codec,
+            vector_len: config.vector_len,
+            masked_sum: GroupVec::zeros(config.group_params(), config.vector_len),
+            accepted: 0,
+        }
+    }
+
+    /// Number of updates accepted into the current buffer.
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// Submits one client upload: forwards the completing message to the TSA
+    /// and, if the TSA accepts it, adds the masked update to the running sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregatorError::MalformedUpdate`] for shape mismatches and
+    /// [`AggregatorError::Tsa`] when the TSA rejects the client (in which
+    /// case the masked update is discarded, keeping host and TSA sums
+    /// consistent).
+    pub fn submit(&mut self, msg: ClientUploadMessage, tsa: &mut Tsa) -> Result<(), AggregatorError> {
+        if msg.masked_update.len() != self.vector_len
+            || msg.masked_update.params() != self.masked_sum.params()
+        {
+            return Err(AggregatorError::MalformedUpdate);
+        }
+        tsa.process_client(&msg.completing)?;
+        self.masked_sum.add_assign(&msg.masked_update);
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// Finalizes the buffer: obtains the unmask from the TSA, subtracts it,
+    /// decodes the sum of updates, and resets both the aggregator and the
+    /// TSA for the next buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TsaError::ThresholdNotMet`] if too few clients
+    /// contributed.
+    pub fn finalize(&mut self, tsa: &mut Tsa) -> Result<Vec<f32>, AggregatorError> {
+        let unmask = tsa.generate_unmask()?;
+        let sum = self.masked_sum.sub(&unmask);
+        let decoded = self.codec.decode_vec(&sum);
+        // Reset for the next aggregation buffer.
+        self.masked_sum = GroupVec::zeros(self.masked_sum.params(), self.vector_len);
+        self.accepted = 0;
+        tsa.start_new_round();
+        Ok(decoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SecAggClient;
+    use papaya_crypto::chacha20::ChaCha20Rng;
+
+    fn run_round(
+        updates: &[Vec<f32>],
+        vector_len: usize,
+        threshold: usize,
+    ) -> Result<Vec<f32>, AggregatorError> {
+        let config = SecAggConfig::insecure_fast(vector_len, threshold);
+        let mut tsa = Tsa::new(&config, [0x77u8; 32]);
+        let publication = tsa.publication();
+        let mut rng = ChaCha20Rng::from_seed([21u8; 32]);
+        let inits = tsa.prepare_initial_messages(updates.len(), &mut rng);
+        let mut agg = UntrustedAggregator::new(&config);
+        for (update, init) in updates.iter().zip(inits.iter()) {
+            let msg =
+                SecAggClient::participate(update, init, &publication, &config, &mut rng).unwrap();
+            agg.submit(msg, &mut tsa)?;
+        }
+        agg.finalize(&mut tsa)
+    }
+
+    #[test]
+    fn aggregated_sum_matches_plain_sum() {
+        let updates = vec![
+            vec![0.5, -1.0, 2.0, 0.0],
+            vec![1.5, 1.0, -2.0, 0.25],
+            vec![-0.5, 0.5, 1.0, -0.125],
+        ];
+        let sum = run_round(&updates, 4, 3).unwrap();
+        let expected = [1.5f32, 0.5, 1.0, 0.125];
+        for (s, e) in sum.iter().zip(expected.iter()) {
+            assert!((s - e).abs() < 1e-3, "{s} vs {e}");
+        }
+    }
+
+    #[test]
+    fn below_threshold_finalize_fails() {
+        let updates = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let err = run_round(&updates, 2, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            AggregatorError::Tsa(TsaError::ThresholdNotMet { processed: 2, required: 3 })
+        ));
+    }
+
+    #[test]
+    fn consecutive_buffers_are_independent() {
+        let config = SecAggConfig::insecure_fast(3, 2);
+        let mut tsa = Tsa::new(&config, [0x55u8; 32]);
+        let publication = tsa.publication();
+        let mut rng = ChaCha20Rng::from_seed([4u8; 32]);
+        let inits = tsa.prepare_initial_messages(4, &mut rng);
+        let mut agg = UntrustedAggregator::new(&config);
+
+        for init in inits.iter().take(2) {
+            let msg = SecAggClient::participate(&[1.0, 2.0, 3.0], init, &publication, &config, &mut rng)
+                .unwrap();
+            agg.submit(msg, &mut tsa).unwrap();
+        }
+        let first = agg.finalize(&mut tsa).unwrap();
+        assert!((first[0] - 2.0).abs() < 1e-3);
+
+        for init in inits.iter().skip(2) {
+            let msg = SecAggClient::participate(&[-1.0, 0.0, 1.0], init, &publication, &config, &mut rng)
+                .unwrap();
+            agg.submit(msg, &mut tsa).unwrap();
+        }
+        let second = agg.finalize(&mut tsa).unwrap();
+        assert!((second[0] + 2.0).abs() < 1e-3, "second buffer contaminated: {second:?}");
+        assert!((second[2] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejected_client_does_not_poison_the_sum() {
+        let config = SecAggConfig::insecure_fast(2, 1);
+        let mut tsa = Tsa::new(&config, [0x66u8; 32]);
+        let publication = tsa.publication();
+        let mut rng = ChaCha20Rng::from_seed([6u8; 32]);
+        let inits = tsa.prepare_initial_messages(2, &mut rng);
+        let mut agg = UntrustedAggregator::new(&config);
+
+        let good = SecAggClient::participate(&[1.0, 1.0], &inits[0], &publication, &config, &mut rng)
+            .unwrap();
+        agg.submit(good, &mut tsa).unwrap();
+
+        // An attacker replays the same completing message with a different
+        // masked update; the TSA rejects it and the sum stays correct.
+        let mut replay =
+            SecAggClient::participate(&[50.0, 50.0], &inits[1], &publication, &config, &mut rng)
+                .unwrap();
+        replay.completing.index = inits[0].index;
+        let err = agg.submit(replay, &mut tsa).unwrap_err();
+        assert!(matches!(err, AggregatorError::Tsa(TsaError::IndexAlreadyUsed(_))));
+
+        let sum = agg.finalize(&mut tsa).unwrap();
+        assert!((sum[0] - 1.0).abs() < 1e-3);
+        assert_eq!(agg.accepted(), 0, "aggregator reset after finalize");
+    }
+
+    #[test]
+    fn malformed_update_rejected() {
+        let config = SecAggConfig::insecure_fast(4, 1);
+        let other = SecAggConfig::insecure_fast(8, 1);
+        let mut tsa = Tsa::new(&config, [0x01u8; 32]);
+        let other_tsa_pub = Tsa::new(&other, [0x01u8; 32]).publication();
+        let mut rng = ChaCha20Rng::from_seed([8u8; 32]);
+        let mut other_tsa = Tsa::new(&other, [0x01u8; 32]);
+        let init = other_tsa.prepare_initial_messages(1, &mut rng).pop().unwrap();
+        let msg = SecAggClient::participate(&[1.0; 8], &init, &other_tsa_pub, &other, &mut rng)
+            .unwrap();
+        let mut agg = UntrustedAggregator::new(&config);
+        assert_eq!(
+            agg.submit(msg, &mut tsa).unwrap_err(),
+            AggregatorError::MalformedUpdate
+        );
+    }
+}

@@ -1,0 +1,511 @@
+//! The Trusted Secure Aggregator (the party inside the TEE).
+//!
+//! The TSA's job per aggregation round: hold the private halves of the
+//! pre-generated Diffie–Hellman exchanges, recover each participating
+//! client's mask seed, regenerate and sum the masks, and release the
+//! aggregated unmask only once at least `t` clients have been processed
+//! (Figure 16, steps 1, 6, 7).
+//!
+//! All traffic in and out of the TSA is metered by a [`BoundaryStats`]
+//! counter so Figure 6 can be reproduced.
+
+use crate::attestation::{publish_binary, AttestationQuote, TsaPublication};
+use crate::group::GroupVec;
+use crate::mask::{expand_mask, MaskSeed, SEED_LEN};
+use crate::protocol::{CompletingMessage, KeyExchangeInitialMessage, SecAggConfig};
+use papaya_crypto::aead::{open, AeadKey};
+use papaya_crypto::chacha20::ChaCha20Rng;
+use papaya_crypto::dh::DhPrivateKey;
+use papaya_crypto::merkle::MerkleLog;
+use std::collections::{HashMap, HashSet};
+
+/// Counters of data crossing the host↔TEE boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoundaryStats {
+    /// Bytes transferred into the enclave.
+    pub bytes_in: u64,
+    /// Bytes transferred out of the enclave.
+    pub bytes_out: u64,
+    /// Number of messages into the enclave.
+    pub messages_in: u64,
+    /// Number of messages out of the enclave.
+    pub messages_out: u64,
+}
+
+/// Errors returned by the TSA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TsaError {
+    /// The completing message references an initial message that was never
+    /// issued.
+    UnknownIndex(usize),
+    /// The referenced initial message has already been completed; the TSA
+    /// processes at most one completion per initial message.
+    IndexAlreadyUsed(usize),
+    /// The encrypted seed failed to authenticate/decrypt (tampering or wrong
+    /// key).
+    SeedDecryptionFailed,
+    /// The encrypted seed has an unexpected length after decryption.
+    MalformedSeed,
+    /// Fewer than `threshold` clients have been processed, so the unmask
+    /// cannot be released.
+    ThresholdNotMet {
+        /// Clients processed so far in this round.
+        processed: usize,
+        /// Required threshold.
+        required: usize,
+    },
+    /// The round was already finalized; the TSA ignores further requests
+    /// until a new round is started.
+    RoundFinalized,
+}
+
+impl std::fmt::Display for TsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsaError::UnknownIndex(i) => write!(f, "unknown key-exchange index {i}"),
+            TsaError::IndexAlreadyUsed(i) => write!(f, "key-exchange index {i} already completed"),
+            TsaError::SeedDecryptionFailed => write!(f, "seed decryption failed"),
+            TsaError::MalformedSeed => write!(f, "decrypted seed has unexpected length"),
+            TsaError::ThresholdNotMet {
+                processed,
+                required,
+            } => write!(f, "only {processed} of required {required} clients processed"),
+            TsaError::RoundFinalized => write!(f, "aggregation round already finalized"),
+        }
+    }
+}
+
+impl std::error::Error for TsaError {}
+
+/// The Trusted Secure Aggregator.
+#[derive(Debug)]
+pub struct Tsa {
+    config: SecAggConfig,
+    hardware_key: [u8; 32],
+    /// Private halves of issued key exchanges, keyed by index.
+    private_keys: HashMap<usize, DhPrivateKey>,
+    /// Indices whose completion has already been processed (ever).
+    used_indices: HashSet<usize>,
+    next_index: usize,
+    /// The verifiable log recording released trusted binaries.
+    log: MerkleLog,
+    /// Running sum of regenerated masks for the current round.
+    mask_sum: GroupVec,
+    processed: usize,
+    finalized: bool,
+    boundary: BoundaryStats,
+}
+
+impl Tsa {
+    /// Boots a TSA "enclave" for the given configuration; `hardware_key` is
+    /// the simulated hardware signing key whose public counterpart is the
+    /// verification key in [`TsaPublication`].
+    pub fn new(config: &SecAggConfig, hardware_key: [u8; 32]) -> Self {
+        let mut log = MerkleLog::new();
+        publish_binary(&mut log, &config.trusted_binary);
+        Tsa {
+            config: config.clone(),
+            hardware_key,
+            private_keys: HashMap::new(),
+            used_indices: HashSet::new(),
+            next_index: 0,
+            log,
+            mask_sum: GroupVec::zeros(config.group_params(), config.vector_len),
+            processed: 0,
+            finalized: false,
+            boundary: BoundaryStats::default(),
+        }
+    }
+
+    /// The public material clients use to validate this TSA: expected binary
+    /// measurement, parameter hash, verifiable-log snapshot and inclusion
+    /// proof, and the quote verification key.
+    pub fn publication(&self) -> TsaPublication {
+        let binary = &self.config.trusted_binary;
+        let record = binary.log_record();
+        let index = (0..self.log.len())
+            .find(|&i| self.log.get(i) == Some(record.as_slice()))
+            .expect("binary recorded at construction");
+        TsaPublication {
+            expected_measurement: binary.measurement(),
+            expected_params_hash: self.config.params_hash(),
+            log_root: self.log.root(),
+            log_size: self.log.len(),
+            log_index: index,
+            log_record: record,
+            inclusion_proof: self
+                .log
+                .inclusion_proof(index)
+                .expect("inclusion proof for recorded binary"),
+            hardware_key: self.hardware_key,
+        }
+    }
+
+    /// Records a new trusted binary release in the verifiable log (the
+    /// Appendix C.2 update flow).  Returns the new log size.
+    pub fn publish_new_binary(&mut self, binary: &crate::attestation::TrustedBinary) -> usize {
+        publish_binary(&mut self.log, binary);
+        self.log.len()
+    }
+
+    /// Read access to the verifiable log (for auditors).
+    pub fn verifiable_log(&self) -> &MerkleLog {
+        &self.log
+    }
+
+    /// Prepares `n` Diffie–Hellman initial messages with attestation quotes
+    /// (Figure 16 step 1).  Each may be completed by at most one client.
+    pub fn prepare_initial_messages(
+        &mut self,
+        n: usize,
+        rng: &mut ChaCha20Rng,
+    ) -> Vec<KeyExchangeInitialMessage> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let index = self.next_index;
+            self.next_index += 1;
+            let private = DhPrivateKey::generate(&self.config.dh_group, rng);
+            let public = private.public_key();
+            let payload = public.to_bytes();
+            let quote = AttestationQuote::sign(
+                &self.hardware_key,
+                self.config.trusted_binary.measurement(),
+                self.config.params_hash(),
+                &payload,
+            );
+            self.boundary.bytes_out += payload.len() as u64 + 128; // key + quote
+            self.boundary.messages_out += 1;
+            self.private_keys.insert(index, private);
+            out.push(KeyExchangeInitialMessage {
+                index,
+                tsa_public: public,
+                quote,
+            });
+        }
+        out
+    }
+
+    /// Processes one client's completing message (Figure 16 step 6): derives
+    /// the shared secret, decrypts the seed, regenerates the mask, and adds
+    /// it to the running sum.
+    ///
+    /// # Errors
+    ///
+    /// See [`TsaError`].
+    pub fn process_client(&mut self, completing: &CompletingMessage) -> Result<(), TsaError> {
+        if self.finalized {
+            return Err(TsaError::RoundFinalized);
+        }
+        self.boundary.bytes_in += completing.byte_len() as u64;
+        self.boundary.messages_in += 1;
+
+        if self.used_indices.contains(&completing.index) {
+            return Err(TsaError::IndexAlreadyUsed(completing.index));
+        }
+        let private = self
+            .private_keys
+            .get(&completing.index)
+            .ok_or(TsaError::UnknownIndex(completing.index))?;
+        let shared = private.shared_secret(&completing.client_public);
+        let key = AeadKey::from_shared_secret(&shared);
+        let ad = seed_associated_data(completing.index);
+        let plaintext =
+            open(&key, &ad, &completing.encrypted_seed).map_err(|_| TsaError::SeedDecryptionFailed)?;
+        if plaintext.len() != SEED_LEN {
+            return Err(TsaError::MalformedSeed);
+        }
+        let mut seed: MaskSeed = [0u8; SEED_LEN];
+        seed.copy_from_slice(&plaintext);
+        let mask = expand_mask(&seed, self.config.group_params(), self.config.vector_len);
+        self.mask_sum.add_assign(&mask);
+        self.processed += 1;
+        // "After that, the trusted party will not process any further
+        // completing messages to i'th initial message."
+        self.used_indices.insert(completing.index);
+        self.private_keys.remove(&completing.index);
+        Ok(())
+    }
+
+    /// Number of clients processed in the current round.
+    pub fn processed_clients(&self) -> usize {
+        self.processed
+    }
+
+    /// Releases the aggregated unmask (Figure 16 step 7) if at least
+    /// `threshold` clients have been processed, and finalizes the round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsaError::ThresholdNotMet`] below threshold and
+    /// [`TsaError::RoundFinalized`] if already finalized.
+    pub fn generate_unmask(&mut self) -> Result<GroupVec, TsaError> {
+        if self.finalized {
+            return Err(TsaError::RoundFinalized);
+        }
+        if self.processed < self.config.threshold {
+            return Err(TsaError::ThresholdNotMet {
+                processed: self.processed,
+                required: self.config.threshold,
+            });
+        }
+        self.finalized = true;
+        self.boundary.bytes_out += self.mask_sum.byte_len() as u64;
+        self.boundary.messages_out += 1;
+        Ok(self.mask_sum.clone())
+    }
+
+    /// Starts a new aggregation round (new buffer in FedBuff): resets the
+    /// running mask sum and the processed counter.  Key-exchange indices stay
+    /// single-use across rounds.
+    pub fn start_new_round(&mut self) {
+        self.mask_sum = GroupVec::zeros(self.config.group_params(), self.config.vector_len);
+        self.processed = 0;
+        self.finalized = false;
+    }
+
+    /// Cumulative host↔TEE boundary traffic.
+    pub fn boundary_stats(&self) -> BoundaryStats {
+        self.boundary
+    }
+
+    /// The configuration this TSA was booted with.
+    pub fn config(&self) -> &SecAggConfig {
+        &self.config
+    }
+}
+
+/// Associated data binding an encrypted seed to its key-exchange index.
+pub fn seed_associated_data(index: usize) -> Vec<u8> {
+    let mut ad = b"papaya/seed/".to_vec();
+    ad.extend_from_slice(&(index as u64).to_be_bytes());
+    ad
+}
+
+/// A naive TEE aggregator that ships every full client update across the
+/// enclave boundary (the `O(K·m)` strawman of Figure 6).  Used only for cost
+/// comparison.
+#[derive(Debug)]
+pub struct NaiveTeeAggregator {
+    sum: Vec<f64>,
+    clients: usize,
+    boundary: BoundaryStats,
+}
+
+impl NaiveTeeAggregator {
+    /// Creates a naive aggregator for updates of the given length.
+    pub fn new(vector_len: usize) -> Self {
+        NaiveTeeAggregator {
+            sum: vec![0.0; vector_len],
+            clients: 0,
+            boundary: BoundaryStats::default(),
+        }
+    }
+
+    /// Sends a full update into the enclave and accumulates it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the update length does not match.
+    pub fn process_update(&mut self, update: &[f32]) {
+        assert_eq!(update.len(), self.sum.len(), "length mismatch");
+        self.boundary.bytes_in += (update.len() * 4) as u64;
+        self.boundary.messages_in += 1;
+        for (s, u) in self.sum.iter_mut().zip(update.iter()) {
+            *s += *u as f64;
+        }
+        self.clients += 1;
+    }
+
+    /// Returns the aggregated sum, crossing the boundary outward once.
+    pub fn finalize(&mut self) -> Vec<f32> {
+        self.boundary.bytes_out += (self.sum.len() * 4) as u64;
+        self.boundary.messages_out += 1;
+        self.sum.iter().map(|&v| v as f32).collect()
+    }
+
+    /// Number of updates aggregated.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Cumulative boundary traffic.
+    pub fn boundary_stats(&self) -> BoundaryStats {
+        self.boundary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SecAggClient;
+
+    fn setup(vector_len: usize, threshold: usize) -> (Tsa, SecAggConfig, ChaCha20Rng) {
+        let config = SecAggConfig::insecure_fast(vector_len, threshold);
+        let tsa = Tsa::new(&config, [0x11u8; 32]);
+        let rng = ChaCha20Rng::from_seed([3u8; 32]);
+        (tsa, config, rng)
+    }
+
+    #[test]
+    fn initial_messages_have_unique_indices_and_valid_quotes() {
+        let (mut tsa, config, mut rng) = setup(4, 2);
+        let publication = tsa.publication();
+        let msgs = tsa.prepare_initial_messages(5, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for m in &msgs {
+            assert!(seen.insert(m.index));
+            assert!(crate::attestation::verify_quote(
+                &publication,
+                &m.quote,
+                &m.tsa_public.to_bytes()
+            )
+            .is_ok());
+        }
+        assert_eq!(config.threshold, 2);
+    }
+
+    #[test]
+    fn unmask_requires_threshold() {
+        let (mut tsa, config, mut rng) = setup(4, 3);
+        let publication = tsa.publication();
+        let msgs = tsa.prepare_initial_messages(3, &mut rng);
+        // Only two clients participate.
+        for init in msgs.iter().take(2) {
+            let upload =
+                SecAggClient::participate(&[1.0; 4], init, &publication, &config, &mut rng)
+                    .unwrap();
+            tsa.process_client(&upload.completing).unwrap();
+        }
+        assert_eq!(
+            tsa.generate_unmask(),
+            Err(TsaError::ThresholdNotMet {
+                processed: 2,
+                required: 3
+            })
+        );
+    }
+
+    #[test]
+    fn index_reuse_rejected() {
+        let (mut tsa, config, mut rng) = setup(4, 1);
+        let publication = tsa.publication();
+        let msgs = tsa.prepare_initial_messages(1, &mut rng);
+        let upload =
+            SecAggClient::participate(&[0.5; 4], &msgs[0], &publication, &config, &mut rng)
+                .unwrap();
+        tsa.process_client(&upload.completing).unwrap();
+        let second =
+            SecAggClient::participate(&[0.5; 4], &msgs[0], &publication, &config, &mut rng)
+                .unwrap();
+        assert_eq!(
+            tsa.process_client(&second.completing),
+            Err(TsaError::IndexAlreadyUsed(0))
+        );
+    }
+
+    #[test]
+    fn unknown_index_rejected() {
+        let (mut tsa, config, mut rng) = setup(4, 1);
+        let publication = tsa.publication();
+        let msgs = tsa.prepare_initial_messages(1, &mut rng);
+        let mut upload =
+            SecAggClient::participate(&[0.5; 4], &msgs[0], &publication, &config, &mut rng)
+                .unwrap();
+        upload.completing.index = 99;
+        assert_eq!(
+            tsa.process_client(&upload.completing),
+            Err(TsaError::UnknownIndex(99))
+        );
+    }
+
+    #[test]
+    fn tampered_seed_rejected() {
+        let (mut tsa, config, mut rng) = setup(4, 1);
+        let publication = tsa.publication();
+        let msgs = tsa.prepare_initial_messages(1, &mut rng);
+        let mut upload =
+            SecAggClient::participate(&[0.5; 4], &msgs[0], &publication, &config, &mut rng)
+                .unwrap();
+        let n = upload.completing.encrypted_seed.len();
+        upload.completing.encrypted_seed[n / 2] ^= 1;
+        assert_eq!(
+            tsa.process_client(&upload.completing),
+            Err(TsaError::SeedDecryptionFailed)
+        );
+    }
+
+    #[test]
+    fn finalized_round_ignores_further_messages() {
+        let (mut tsa, config, mut rng) = setup(4, 1);
+        let publication = tsa.publication();
+        let msgs = tsa.prepare_initial_messages(2, &mut rng);
+        let upload =
+            SecAggClient::participate(&[0.5; 4], &msgs[0], &publication, &config, &mut rng)
+                .unwrap();
+        tsa.process_client(&upload.completing).unwrap();
+        tsa.generate_unmask().unwrap();
+        let late = SecAggClient::participate(&[0.5; 4], &msgs[1], &publication, &config, &mut rng)
+            .unwrap();
+        assert_eq!(
+            tsa.process_client(&late.completing),
+            Err(TsaError::RoundFinalized)
+        );
+        assert_eq!(tsa.generate_unmask(), Err(TsaError::RoundFinalized));
+        // A new round accepts clients again.
+        tsa.start_new_round();
+        assert!(tsa.process_client(&late.completing).is_ok());
+    }
+
+    #[test]
+    fn boundary_traffic_is_constant_per_client() {
+        let (mut tsa, config, mut rng) = setup(1000, 1);
+        let publication = tsa.publication();
+        let msgs = tsa.prepare_initial_messages(3, &mut rng);
+        let before = tsa.boundary_stats();
+        let mut per_client = Vec::new();
+        for init in &msgs {
+            let upload =
+                SecAggClient::participate(&[0.1; 1000], init, &publication, &config, &mut rng)
+                    .unwrap();
+            let b0 = tsa.boundary_stats().bytes_in;
+            tsa.process_client(&upload.completing).unwrap();
+            per_client.push(tsa.boundary_stats().bytes_in - b0);
+        }
+        // Inbound bytes per client are independent of the 1000-element model.
+        assert!(per_client.iter().all(|&b| b == per_client[0]));
+        assert!(per_client[0] < 1000);
+        assert_eq!(before.bytes_in, 0);
+    }
+
+    #[test]
+    fn naive_aggregator_sums_and_charges_full_model() {
+        let mut naive = NaiveTeeAggregator::new(3);
+        naive.process_update(&[1.0, 2.0, 3.0]);
+        naive.process_update(&[0.5, 0.5, 0.5]);
+        let sum = naive.finalize();
+        assert_eq!(sum, vec![1.5, 2.5, 3.5]);
+        let stats = naive.boundary_stats();
+        assert_eq!(stats.bytes_in, 2 * 12);
+        assert_eq!(stats.bytes_out, 12);
+        assert_eq!(naive.clients(), 2);
+    }
+
+    #[test]
+    fn publishing_new_binary_grows_log_and_old_publication_still_verifies() {
+        let (mut tsa, _, _) = setup(4, 1);
+        let old_pub = tsa.publication();
+        let new_size = tsa.publish_new_binary(&crate::attestation::TrustedBinary::new(
+            "tsa-v2",
+            b"new code".to_vec(),
+        ));
+        assert_eq!(new_size, 2);
+        // Consistency between old and new snapshots is provable.
+        let proof = tsa.verifiable_log().consistency_proof(old_pub.log_size).unwrap();
+        assert!(proof.verify(
+            &old_pub.log_root,
+            old_pub.log_size,
+            &tsa.verifiable_log().root(),
+            tsa.verifiable_log().len()
+        ));
+    }
+}

@@ -1,0 +1,399 @@
+//! The on-device client runtime (Section 4 "Client Runtime" and
+//! Appendix E.5 "Edge Training Engine").
+//!
+//! The production client is both a hosting platform and an ML framework.
+//! This module models the pieces that affect *whether and when* a device
+//! participates in training:
+//!
+//! * [`EligibilityCriteria`] / [`DeviceConditions`] — a device may train only
+//!   when idle, charging, and on an unmetered network (Section 7.1);
+//! * [`ExampleStore`] — collects training examples in persistent storage and
+//!   enforces the data-retention policy (old examples are purged) and a
+//!   capacity bound;
+//! * [`ParticipationHistory`] — tracks prior participations "to enable fair
+//!   and unbiased client selection": a device declines to check in again
+//!   before a minimum interval has passed and keeps a bounded log of its
+//!   participations.
+
+/// Instantaneous device conditions relevant to training eligibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceConditions {
+    /// The user is not actively using the device.
+    pub idle: bool,
+    /// The device is connected to power.
+    pub charging: bool,
+    /// The device is on an unmetered (e.g. Wi-Fi) network.
+    pub unmetered_network: bool,
+    /// Battery level in percent (0–100).
+    pub battery_percent: u8,
+}
+
+impl DeviceConditions {
+    /// Conditions under which every criterion is satisfied.
+    pub fn ideal() -> Self {
+        DeviceConditions {
+            idle: true,
+            charging: true,
+            unmetered_network: true,
+            battery_percent: 100,
+        }
+    }
+}
+
+/// The eligibility policy a task imposes on devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EligibilityCriteria {
+    /// Require the device to be idle.
+    pub require_idle: bool,
+    /// Require the device to be charging.
+    pub require_charging: bool,
+    /// Require an unmetered network.
+    pub require_unmetered_network: bool,
+    /// Minimum battery level in percent.
+    pub min_battery_percent: u8,
+}
+
+impl Default for EligibilityCriteria {
+    fn default() -> Self {
+        // The paper's language-model task: idle, charging, unmetered.
+        EligibilityCriteria {
+            require_idle: true,
+            require_charging: true,
+            require_unmetered_network: true,
+            min_battery_percent: 0,
+        }
+    }
+}
+
+impl EligibilityCriteria {
+    /// Returns true when a device in the given conditions may participate.
+    pub fn is_eligible(&self, conditions: &DeviceConditions) -> bool {
+        (!self.require_idle || conditions.idle)
+            && (!self.require_charging || conditions.charging)
+            && (!self.require_unmetered_network || conditions.unmetered_network)
+            && conditions.battery_percent >= self.min_battery_percent
+    }
+}
+
+/// One training example held by the example store.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredExample {
+    /// Token sequence (or any serialized features).
+    pub tokens: Vec<usize>,
+    /// Time the example was collected, in seconds since the epoch used by
+    /// the simulation.
+    pub collected_at_s: f64,
+}
+
+/// On-device example storage with a retention policy.
+///
+/// Examples older than `retention_s` are purged whenever the store is
+/// touched, and the store never holds more than `capacity` examples (oldest
+/// evicted first) — both behaviours of the production Example Store.
+#[derive(Clone, Debug)]
+pub struct ExampleStore {
+    retention_s: f64,
+    capacity: usize,
+    examples: Vec<StoredExample>,
+}
+
+impl ExampleStore {
+    /// Creates a store keeping at most `capacity` examples for at most
+    /// `retention_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `retention_s` is not positive.
+    pub fn new(capacity: usize, retention_s: f64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(retention_s > 0.0, "retention must be positive");
+        ExampleStore {
+            retention_s,
+            capacity,
+            examples: Vec::new(),
+        }
+    }
+
+    /// Adds an example collected at `now_s`, evicting the oldest if full.
+    pub fn add(&mut self, tokens: Vec<usize>, now_s: f64) {
+        self.purge_expired(now_s);
+        if self.examples.len() == self.capacity {
+            self.examples.remove(0);
+        }
+        self.examples.push(StoredExample {
+            tokens,
+            collected_at_s: now_s,
+        });
+    }
+
+    /// Removes examples older than the retention window.
+    pub fn purge_expired(&mut self, now_s: f64) {
+        let cutoff = now_s - self.retention_s;
+        self.examples.retain(|e| e.collected_at_s >= cutoff);
+    }
+
+    /// Examples currently usable for training at time `now_s`.
+    pub fn usable_examples(&mut self, now_s: f64) -> &[StoredExample] {
+        self.purge_expired(now_s);
+        &self.examples
+    }
+
+    /// Number of stored examples (without purging).
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Returns true when the store holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Record of one past participation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParticipationRecord {
+    /// Simulation time at which the participation started.
+    pub started_at_s: f64,
+    /// Whether the participation completed successfully (vs dropped out,
+    /// timed out, or was aborted).
+    pub completed: bool,
+}
+
+/// Tracks prior participation so the client can throttle its own check-ins
+/// ("fair and unbiased client selection", Section 4).
+#[derive(Clone, Debug)]
+pub struct ParticipationHistory {
+    min_interval_s: f64,
+    max_records: usize,
+    records: Vec<ParticipationRecord>,
+}
+
+impl ParticipationHistory {
+    /// Creates a history that allows a new check-in only `min_interval_s`
+    /// seconds after the previous participation started, and remembers at
+    /// most `max_records` participations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_records == 0` or `min_interval_s` is negative.
+    pub fn new(min_interval_s: f64, max_records: usize) -> Self {
+        assert!(max_records > 0, "max_records must be positive");
+        assert!(min_interval_s >= 0.0, "interval must be non-negative");
+        ParticipationHistory {
+            min_interval_s,
+            max_records,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether the device may check in for training at time `now_s`.
+    pub fn may_check_in(&self, now_s: f64) -> bool {
+        match self.records.last() {
+            Some(last) => now_s - last.started_at_s >= self.min_interval_s,
+            None => true,
+        }
+    }
+
+    /// Records a participation attempt.
+    pub fn record(&mut self, started_at_s: f64, completed: bool) {
+        if self.records.len() == self.max_records {
+            self.records.remove(0);
+        }
+        self.records.push(ParticipationRecord {
+            started_at_s,
+            completed,
+        });
+    }
+
+    /// Number of remembered participations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns true when the device has never participated.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fraction of remembered participations that completed successfully
+    /// (1.0 for a device that has never participated).
+    pub fn completion_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.records.iter().filter(|r| r.completed).count() as f64 / self.records.len() as f64
+    }
+}
+
+/// The client runtime: ties eligibility, the example store, and the
+/// participation history together into the check-in decision.
+#[derive(Clone, Debug)]
+pub struct ClientRuntime {
+    /// Eligibility policy for the task this runtime serves.
+    pub criteria: EligibilityCriteria,
+    /// Local example storage.
+    pub example_store: ExampleStore,
+    /// Prior participation tracking.
+    pub history: ParticipationHistory,
+    /// Minimum number of usable examples required to train at all.
+    pub min_examples: usize,
+}
+
+impl ClientRuntime {
+    /// Creates a runtime with the given policy components.
+    pub fn new(
+        criteria: EligibilityCriteria,
+        example_store: ExampleStore,
+        history: ParticipationHistory,
+        min_examples: usize,
+    ) -> Self {
+        ClientRuntime {
+            criteria,
+            example_store,
+            history,
+            min_examples,
+        }
+    }
+
+    /// The full check-in decision: eligible conditions, enough fresh data,
+    /// and not throttled by recent participation.
+    pub fn should_check_in(&mut self, conditions: &DeviceConditions, now_s: f64) -> bool {
+        self.criteria.is_eligible(conditions)
+            && self.history.may_check_in(now_s)
+            && self.example_store.usable_examples(now_s).len() >= self.min_examples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eligibility_requires_all_configured_conditions() {
+        let criteria = EligibilityCriteria::default();
+        assert!(criteria.is_eligible(&DeviceConditions::ideal()));
+        for broken in [
+            DeviceConditions {
+                idle: false,
+                ..DeviceConditions::ideal()
+            },
+            DeviceConditions {
+                charging: false,
+                ..DeviceConditions::ideal()
+            },
+            DeviceConditions {
+                unmetered_network: false,
+                ..DeviceConditions::ideal()
+            },
+        ] {
+            assert!(!criteria.is_eligible(&broken), "{broken:?}");
+        }
+    }
+
+    #[test]
+    fn relaxed_criteria_ignore_conditions() {
+        let criteria = EligibilityCriteria {
+            require_idle: false,
+            require_charging: false,
+            require_unmetered_network: false,
+            min_battery_percent: 30,
+        };
+        let conditions = DeviceConditions {
+            idle: false,
+            charging: false,
+            unmetered_network: false,
+            battery_percent: 50,
+        };
+        assert!(criteria.is_eligible(&conditions));
+        assert!(!criteria.is_eligible(&DeviceConditions {
+            battery_percent: 20,
+            ..conditions
+        }));
+    }
+
+    #[test]
+    fn example_store_enforces_capacity() {
+        let mut store = ExampleStore::new(3, 1_000.0);
+        for i in 0..5usize {
+            store.add(vec![i], i as f64);
+        }
+        assert_eq!(store.len(), 3);
+        // Oldest were evicted first.
+        assert_eq!(store.usable_examples(4.0)[0].tokens, vec![2]);
+    }
+
+    #[test]
+    fn example_store_enforces_retention() {
+        let mut store = ExampleStore::new(100, 10.0);
+        store.add(vec![1], 0.0);
+        store.add(vec![2], 5.0);
+        store.add(vec![3], 12.0);
+        // At t=14, the example from t=0 is expired (older than 10 s).
+        let usable = store.usable_examples(14.0);
+        assert_eq!(usable.len(), 2);
+        assert!(usable.iter().all(|e| e.tokens != vec![1]));
+        // At t=30 everything is expired.
+        assert!(store.usable_examples(30.0).is_empty());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn participation_history_throttles_check_ins() {
+        let mut history = ParticipationHistory::new(3_600.0, 10);
+        assert!(history.may_check_in(0.0));
+        history.record(0.0, true);
+        assert!(!history.may_check_in(1_800.0));
+        assert!(history.may_check_in(3_600.0));
+    }
+
+    #[test]
+    fn participation_history_bounds_records_and_tracks_completion() {
+        let mut history = ParticipationHistory::new(0.0, 3);
+        assert_eq!(history.completion_rate(), 1.0);
+        history.record(0.0, true);
+        history.record(1.0, false);
+        history.record(2.0, true);
+        history.record(3.0, true); // evicts the first record
+        assert_eq!(history.len(), 3);
+        assert!((history.completion_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_combines_all_gates() {
+        let mut runtime = ClientRuntime::new(
+            EligibilityCriteria::default(),
+            ExampleStore::new(10, 1_000.0),
+            ParticipationHistory::new(100.0, 5),
+            2,
+        );
+        let ideal = DeviceConditions::ideal();
+        // No data yet.
+        assert!(!runtime.should_check_in(&ideal, 0.0));
+        runtime.example_store.add(vec![1, 2, 3], 0.0);
+        runtime.example_store.add(vec![4, 5], 1.0);
+        assert!(runtime.should_check_in(&ideal, 1.0));
+        // Not eligible while the user is active.
+        assert!(!runtime.should_check_in(
+            &DeviceConditions {
+                idle: false,
+                ..ideal
+            },
+            1.0
+        ));
+        // Throttled right after a participation.
+        runtime.history.record(1.0, true);
+        assert!(!runtime.should_check_in(&ideal, 50.0));
+        assert!(runtime.should_check_in(&ideal, 150.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_store_rejected() {
+        let _ = ExampleStore::new(0, 1.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! The control plane: Coordinator, Selectors, and persistent Aggregators
+//! (Sections 4, 6.2, 6.3 and Appendix E.4).
+//!
+//! This module models the *placement and routing* responsibilities of the
+//! PAPAYA server components, independent of the training dynamics simulated
+//! by [`crate::engine`]:
+//!
+//! * the **Coordinator** assigns tasks to persistent Aggregators (balancing
+//!   estimated workload), pools client demand from Aggregators, constructs
+//!   per-client eligible-task lists, and randomly assigns clients to eligible
+//!   tasks;
+//! * **Aggregators** are long-lived and stateful; the Coordinator moves tasks
+//!   only when it detects failure (missed heartbeats) or overload;
+//! * **Selectors** route client requests using an assignment map refreshed
+//!   from the Coordinator and identified by a sequence number, so stale maps
+//!   are detected and refreshed.
+
+use std::collections::HashMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of an Aggregator instance.
+pub type AggregatorId = usize;
+/// Identifier of a federated task.
+pub type TaskId = usize;
+
+/// Static description of a task used for placement and eligibility.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskSpec {
+    /// Task identifier.
+    pub id: TaskId,
+    /// Human-readable name.
+    pub name: String,
+    /// Target concurrency (drives the workload estimate and client demand).
+    pub concurrency: usize,
+    /// Serialized model size in bytes (drives the workload estimate).
+    pub model_size_bytes: u64,
+    /// Minimum device capability tier required to train this task
+    /// (clients report their tier; 0 means any device can participate).
+    pub min_capability_tier: u8,
+}
+
+impl TaskSpec {
+    /// Estimated workload used by the Coordinator to balance Aggregators:
+    /// task concurrency × model size (Section 6.3).
+    pub fn estimated_workload(&self) -> u64 {
+        self.concurrency as u64 * self.model_size_bytes
+    }
+}
+
+/// State the Coordinator tracks per Aggregator.
+#[derive(Clone, Debug)]
+struct AggregatorState {
+    alive: bool,
+    last_heartbeat_s: f64,
+}
+
+/// A snapshot of task→aggregator routing, tagged with a sequence number so
+/// Selectors can detect staleness.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct AssignmentMap {
+    /// Monotonic version of the map.
+    pub sequence: u64,
+    /// Task to aggregator routing.
+    pub routes: HashMap<TaskId, AggregatorId>,
+}
+
+/// The Coordinator: single leader responsible for task placement and client
+/// assignment.
+#[derive(Debug)]
+pub struct Coordinator {
+    aggregators: HashMap<AggregatorId, AggregatorState>,
+    tasks: HashMap<TaskId, TaskSpec>,
+    assignments: HashMap<TaskId, AggregatorId>,
+    /// Client demand per task as reported by Aggregators, plus the number of
+    /// clients assigned but not yet confirmed (Section 6.2).
+    reported_demand: HashMap<TaskId, usize>,
+    unconfirmed_assignments: HashMap<TaskId, usize>,
+    sequence: u64,
+    heartbeat_timeout_s: f64,
+    rng: StdRng,
+}
+
+impl Coordinator {
+    /// Creates a Coordinator; Aggregators missing heartbeats for longer than
+    /// `heartbeat_timeout_s` are considered failed.
+    pub fn new(heartbeat_timeout_s: f64, seed: u64) -> Self {
+        Coordinator {
+            aggregators: HashMap::new(),
+            tasks: HashMap::new(),
+            assignments: HashMap::new(),
+            reported_demand: HashMap::new(),
+            unconfirmed_assignments: HashMap::new(),
+            sequence: 0,
+            heartbeat_timeout_s,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Registers a (healthy) Aggregator.
+    pub fn register_aggregator(&mut self, id: AggregatorId, now_s: f64) {
+        self.aggregators.insert(
+            id,
+            AggregatorState {
+                alive: true,
+                last_heartbeat_s: now_s,
+            },
+        );
+    }
+
+    /// Records a heartbeat from an Aggregator; a previously failed Aggregator
+    /// becomes eligible for new work again.
+    pub fn heartbeat(&mut self, id: AggregatorId, now_s: f64) {
+        if let Some(state) = self.aggregators.get_mut(&id) {
+            state.alive = true;
+            state.last_heartbeat_s = now_s;
+        }
+    }
+
+    /// Submits a task; it is placed on the least-loaded alive Aggregator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no Aggregator is alive.
+    pub fn submit_task(&mut self, spec: TaskSpec) -> AggregatorId {
+        let task_id = spec.id;
+        self.tasks.insert(task_id, spec);
+        let target = self
+            .least_loaded_alive_aggregator()
+            .expect("no alive aggregator available");
+        self.assignments.insert(task_id, target);
+        self.sequence += 1;
+        target
+    }
+
+    fn least_loaded_alive_aggregator(&self) -> Option<AggregatorId> {
+        let mut loads: HashMap<AggregatorId, u64> = self
+            .aggregators
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(&id, _)| (id, 0))
+            .collect();
+        for (task, agg) in &self.assignments {
+            if let (Some(load), Some(spec)) = (loads.get_mut(agg), self.tasks.get(task)) {
+                *load += spec.estimated_workload();
+            }
+        }
+        loads
+            .into_iter()
+            .min_by_key(|&(id, load)| (load, id))
+            .map(|(id, _)| id)
+    }
+
+    /// Current workload (sum of estimated task workloads) per Aggregator.
+    pub fn aggregator_loads(&self) -> HashMap<AggregatorId, u64> {
+        let mut loads: HashMap<AggregatorId, u64> = self
+            .aggregators
+            .keys()
+            .map(|&id| (id, 0))
+            .collect();
+        for (task, agg) in &self.assignments {
+            if let (Some(load), Some(spec)) = (loads.get_mut(agg), self.tasks.get(task)) {
+                *load += spec.estimated_workload();
+            }
+        }
+        loads
+    }
+
+    /// Detects Aggregators whose heartbeats are overdue and reassigns their
+    /// tasks to healthy Aggregators (Appendix E.4, "Task Execution").
+    /// Returns the reassigned task ids.
+    pub fn detect_failures(&mut self, now_s: f64) -> Vec<TaskId> {
+        let mut failed: Vec<AggregatorId> = Vec::new();
+        for (&id, state) in self.aggregators.iter_mut() {
+            if state.alive && now_s - state.last_heartbeat_s > self.heartbeat_timeout_s {
+                state.alive = false;
+                failed.push(id);
+            }
+        }
+        if failed.is_empty() {
+            return Vec::new();
+        }
+        let mut reassigned = Vec::new();
+        let orphaned: Vec<TaskId> = self
+            .assignments
+            .iter()
+            .filter(|(_, agg)| failed.contains(agg))
+            .map(|(&task, _)| task)
+            .collect();
+        for task in orphaned {
+            if let Some(target) = self.least_loaded_alive_aggregator() {
+                self.assignments.insert(task, target);
+                reassigned.push(task);
+            }
+        }
+        if !reassigned.is_empty() {
+            self.sequence += 1;
+        }
+        reassigned
+    }
+
+    /// An Aggregator reports the current client demand of one of its tasks
+    /// (Section 6.2, "tracking client demand for each task").
+    pub fn report_demand(&mut self, task: TaskId, demand: usize) {
+        self.reported_demand.insert(task, demand);
+        // A fresh report supersedes the unconfirmed-assignment estimate.
+        self.unconfirmed_assignments.insert(task, 0);
+    }
+
+    /// Effective demand: reported demand minus clients assigned but not yet
+    /// confirmed by an Aggregator report.
+    pub fn effective_demand(&self, task: TaskId) -> usize {
+        let reported = self.reported_demand.get(&task).copied().unwrap_or(0);
+        let unconfirmed = self.unconfirmed_assignments.get(&task).copied().unwrap_or(0);
+        reported.saturating_sub(unconfirmed)
+    }
+
+    /// Tasks a client with the given capability tier is eligible for:
+    /// compatible and with positive effective demand (Section 6.2).
+    pub fn eligible_tasks(&self, capability_tier: u8) -> Vec<TaskId> {
+        let mut tasks: Vec<TaskId> = self
+            .tasks
+            .values()
+            .filter(|spec| capability_tier >= spec.min_capability_tier)
+            .filter(|spec| self.effective_demand(spec.id) > 0)
+            .map(|spec| spec.id)
+            .collect();
+        tasks.sort_unstable();
+        tasks
+    }
+
+    /// Randomly assigns a client to one of its eligible tasks and returns the
+    /// task and the Aggregator responsible for it.  Returns `None` when no
+    /// task is eligible (the client is rejected and will try later).
+    pub fn assign_client(&mut self, capability_tier: u8) -> Option<(TaskId, AggregatorId)> {
+        let eligible = self.eligible_tasks(capability_tier);
+        if eligible.is_empty() {
+            return None;
+        }
+        let task = eligible[self.rng.gen_range(0..eligible.len())];
+        let aggregator = *self.assignments.get(&task)?;
+        *self.unconfirmed_assignments.entry(task).or_insert(0) += 1;
+        Some((task, aggregator))
+    }
+
+    /// The current assignment map for Selectors.
+    pub fn assignment_map(&self) -> AssignmentMap {
+        AssignmentMap {
+            sequence: self.sequence,
+            routes: self.assignments.clone(),
+        }
+    }
+
+    /// Whether the given Aggregator is currently considered alive.
+    pub fn is_alive(&self, id: AggregatorId) -> bool {
+        self.aggregators.get(&id).map(|s| s.alive).unwrap_or(false)
+    }
+}
+
+/// A Selector: routes client requests to Aggregators using a cached
+/// assignment map (Appendix E.4, "Client Routing").
+#[derive(Clone, Debug, Default)]
+pub struct Selector {
+    map: AssignmentMap,
+}
+
+/// The result of routing a client request through a Selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The request was routed to the given Aggregator.
+    Routed(AggregatorId),
+    /// The Selector's map does not know the task; the client should retry
+    /// through another Selector while this one refreshes.
+    StaleMap,
+}
+
+impl Selector {
+    /// Creates a Selector with an empty (stale) map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Refreshes the cached assignment map from the Coordinator.
+    pub fn refresh(&mut self, coordinator: &Coordinator) {
+        self.map = coordinator.assignment_map();
+    }
+
+    /// The sequence number of the cached map.
+    pub fn map_sequence(&self) -> u64 {
+        self.map.sequence
+    }
+
+    /// Routes a client request for `task`.
+    pub fn route(&self, task: TaskId) -> RouteOutcome {
+        match self.map.routes.get(&task) {
+            Some(&agg) => RouteOutcome::Routed(agg),
+            None => RouteOutcome::StaleMap,
+        }
+    }
+
+    /// Returns true when this Selector's map is older than the Coordinator's.
+    pub fn is_stale(&self, coordinator: &Coordinator) -> bool {
+        self.map.sequence < coordinator.assignment_map().sequence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: TaskId, concurrency: usize, tier: u8) -> TaskSpec {
+        TaskSpec {
+            id,
+            name: format!("task-{id}"),
+            concurrency,
+            model_size_bytes: 1_000_000,
+            min_capability_tier: tier,
+        }
+    }
+
+    fn coordinator_with_aggregators(n: usize) -> Coordinator {
+        let mut c = Coordinator::new(30.0, 7);
+        for id in 0..n {
+            c.register_aggregator(id, 0.0);
+        }
+        c
+    }
+
+    #[test]
+    fn tasks_are_balanced_by_estimated_workload() {
+        let mut c = coordinator_with_aggregators(2);
+        // One huge task and two small ones: the small ones should share an
+        // aggregator while the huge one gets its own.
+        let a_big = c.submit_task(spec(0, 10_000, 0));
+        let a_small1 = c.submit_task(spec(1, 100, 0));
+        let a_small2 = c.submit_task(spec(2, 100, 0));
+        assert_ne!(a_big, a_small1);
+        assert_eq!(a_small1, a_small2);
+        let loads = c.aggregator_loads();
+        assert_eq!(loads.len(), 2);
+    }
+
+    #[test]
+    fn failed_aggregator_tasks_are_reassigned() {
+        let mut c = coordinator_with_aggregators(2);
+        let first = c.submit_task(spec(0, 100, 0));
+        let second = c.submit_task(spec(1, 100, 0));
+        assert_ne!(first, second);
+        // Aggregator `first` stops heartbeating; `second` stays healthy.
+        c.heartbeat(second, 100.0);
+        let reassigned = c.detect_failures(100.0);
+        assert_eq!(reassigned, vec![0]);
+        assert!(!c.is_alive(first));
+        assert_eq!(c.assignment_map().routes[&0], second);
+    }
+
+    #[test]
+    fn recovered_aggregator_receives_new_tasks() {
+        let mut c = coordinator_with_aggregators(2);
+        let a0 = c.submit_task(spec(0, 100, 0));
+        c.heartbeat(1 - a0, 100.0);
+        c.detect_failures(100.0); // a0 fails
+        assert!(!c.is_alive(a0));
+        // It comes back and should be preferred for the next task (lower load).
+        c.heartbeat(a0, 200.0);
+        let placed = c.submit_task(spec(1, 100, 0));
+        assert_eq!(placed, a0);
+    }
+
+    #[test]
+    fn no_reassignment_while_heartbeats_are_fresh() {
+        let mut c = coordinator_with_aggregators(2);
+        c.submit_task(spec(0, 100, 0));
+        c.heartbeat(0, 10.0);
+        c.heartbeat(1, 10.0);
+        assert!(c.detect_failures(20.0).is_empty());
+    }
+
+    #[test]
+    fn client_assignment_requires_positive_demand_and_compatibility() {
+        let mut c = coordinator_with_aggregators(1);
+        c.submit_task(spec(0, 100, 0));
+        c.submit_task(spec(1, 100, 2)); // needs capability tier >= 2
+        // No demand reported yet: nothing eligible.
+        assert_eq!(c.assign_client(3), None);
+        c.report_demand(0, 5);
+        c.report_demand(1, 5);
+        // A weak device is only eligible for task 0.
+        assert_eq!(c.eligible_tasks(0), vec![0]);
+        // A strong device can get either.
+        assert_eq!(c.eligible_tasks(3), vec![0, 1]);
+        let (task, _) = c.assign_client(0).unwrap();
+        assert_eq!(task, 0);
+    }
+
+    #[test]
+    fn unconfirmed_assignments_reduce_effective_demand() {
+        let mut c = coordinator_with_aggregators(1);
+        c.submit_task(spec(0, 100, 0));
+        c.report_demand(0, 2);
+        assert!(c.assign_client(0).is_some());
+        assert!(c.assign_client(0).is_some());
+        // Demand 2 consumed by two unconfirmed assignments.
+        assert_eq!(c.effective_demand(0), 0);
+        assert_eq!(c.assign_client(0), None);
+        // The Aggregator's next report resets the picture.
+        c.report_demand(0, 1);
+        assert!(c.assign_client(0).is_some());
+    }
+
+    #[test]
+    fn random_assignment_spreads_clients_across_tasks() {
+        let mut c = coordinator_with_aggregators(2);
+        c.submit_task(spec(0, 100, 0));
+        c.submit_task(spec(1, 100, 0));
+        c.report_demand(0, 10_000);
+        c.report_demand(1, 10_000);
+        let mut counts = [0usize; 2];
+        for _ in 0..200 {
+            let (task, _) = c.assign_client(1).unwrap();
+            counts[task] += 1;
+        }
+        assert!(counts[0] > 50 && counts[1] > 50, "{counts:?}");
+    }
+
+    #[test]
+    fn selector_routes_and_detects_staleness() {
+        let mut c = coordinator_with_aggregators(2);
+        let placed = c.submit_task(spec(0, 100, 0));
+        let mut s = Selector::new();
+        assert_eq!(s.route(0), RouteOutcome::StaleMap);
+        s.refresh(&c);
+        assert_eq!(s.route(0), RouteOutcome::Routed(placed));
+        assert!(!s.is_stale(&c));
+        // A failure-driven reassignment bumps the sequence; the selector is
+        // stale until it refreshes.
+        c.heartbeat(1 - placed, 100.0);
+        c.detect_failures(100.0);
+        assert!(s.is_stale(&c));
+        s.refresh(&c);
+        assert!(!s.is_stale(&c));
+        assert_eq!(s.route(0), RouteOutcome::Routed(1 - placed));
+    }
+
+    #[test]
+    #[should_panic(expected = "no alive aggregator")]
+    fn submitting_with_no_alive_aggregator_panics() {
+        let mut c = Coordinator::new(30.0, 1);
+        c.submit_task(spec(0, 10, 0));
+    }
+}

@@ -1,0 +1,794 @@
+//! The single-task training simulation.
+//!
+//! One [`Simulation`] runs one federated task (synchronous or asynchronous)
+//! over a synthetic device population with a pluggable
+//! [`ClientTrainer`], and produces the traces every figure of the paper is
+//! built from: loss over virtual time, utilization, communication trips,
+//! server-update frequency, participation distributions, and staleness.
+//!
+//! The client lifecycle follows Section 6.1: selection (with a small
+//! selection latency), download, local training for the device's execution
+//! time, then report/upload.  Clients that drop out, crash, or exceed the
+//! training timeout are replaced immediately (Section 6.2); in synchronous
+//! mode the round closes as soon as the aggregation goal is met and all
+//! still-running clients are aborted (over-selection discards their work).
+
+use crate::events::{EventKind, EventQueue, SimTime};
+use crate::metrics::{MetricsCollector, MetricsSummary, ParticipationRecord};
+use papaya_core::client::{ClientTrainer, ClientUpdate};
+use papaya_core::config::{TaskConfig, TrainingMode};
+use papaya_core::fedbuff::FedBuffAggregator;
+use papaya_core::model::ServerModel;
+use papaya_core::server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
+use papaya_core::sync_agg::SyncRoundAggregator;
+use papaya_data::population::Population;
+use papaya_nn::params::ParamVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Which server optimizer the simulation applies to aggregated deltas.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServerOptimizerKind {
+    /// `model += delta`.
+    FedAvg,
+    /// `model += lr * delta`.
+    FedSgd {
+        /// Server learning rate.
+        learning_rate: f32,
+    },
+    /// Adam on the server with the delta as pseudo-gradient.
+    FedAdam {
+        /// Server learning rate.
+        learning_rate: f32,
+        /// First-moment decay.
+        beta1: f32,
+    },
+}
+
+impl ServerOptimizerKind {
+    fn build(&self) -> Box<dyn ServerOptimizer> {
+        match *self {
+            ServerOptimizerKind::FedAvg => Box::new(FedAvg),
+            ServerOptimizerKind::FedSgd { learning_rate } => Box::new(FedSgd::new(learning_rate)),
+            ServerOptimizerKind::FedAdam {
+                learning_rate,
+                beta1,
+            } => Box::new(FedAdam::new(learning_rate, beta1)),
+        }
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationConfig {
+    /// The federated task being trained.
+    pub task: TaskConfig,
+    /// Stop once the evaluated population loss drops to this value.
+    pub target_loss: Option<f64>,
+    /// Hard stop on virtual time, in seconds.
+    pub max_virtual_time_s: f64,
+    /// Hard stop on the number of client updates received.
+    pub max_client_updates: Option<u64>,
+    /// Virtual seconds between evaluations.
+    pub eval_interval_s: f64,
+    /// Number of clients sampled (once) for evaluation.
+    pub eval_sample_size: usize,
+    /// Delay between a client being selected and starting to train.
+    pub selection_latency_s: f64,
+    /// Interval of the utilization sampler.
+    pub utilization_sample_interval_s: f64,
+    /// Server optimizer applied to aggregated deltas.
+    pub server_optimizer: ServerOptimizerKind,
+    /// RNG seed controlling selection, dropouts, and local-training noise.
+    pub seed: u64,
+}
+
+impl SimulationConfig {
+    /// Creates a configuration with sensible defaults for the given task.
+    pub fn new(task: TaskConfig) -> Self {
+        SimulationConfig {
+            task,
+            target_loss: None,
+            max_virtual_time_s: 200.0 * 3600.0,
+            max_client_updates: None,
+            eval_interval_s: 300.0,
+            eval_sample_size: 200,
+            selection_latency_s: 2.0,
+            utilization_sample_interval_s: 60.0,
+            server_optimizer: ServerOptimizerKind::FedAvg,
+            seed: 0,
+        }
+    }
+
+    /// Sets the target loss stopping criterion.
+    pub fn with_target_loss(mut self, target: f64) -> Self {
+        self.target_loss = Some(target);
+        self
+    }
+
+    /// Sets the virtual-time budget in hours.
+    pub fn with_max_virtual_time_hours(mut self, hours: f64) -> Self {
+        self.max_virtual_time_s = hours * 3600.0;
+        self
+    }
+
+    /// Sets the client-update budget.
+    pub fn with_max_client_updates(mut self, updates: u64) -> Self {
+        self.max_client_updates = Some(updates);
+        self
+    }
+
+    /// Sets the evaluation interval in virtual seconds.
+    pub fn with_eval_interval_s(mut self, interval: f64) -> Self {
+        self.eval_interval_s = interval;
+        self
+    }
+
+    /// Sets the evaluation sample size.
+    pub fn with_eval_sample_size(mut self, n: usize) -> Self {
+        self.eval_sample_size = n;
+        self
+    }
+
+    /// Sets the server optimizer.
+    pub fn with_server_optimizer(mut self, kind: ServerOptimizerKind) -> Self {
+        self.server_optimizer = kind;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Why a simulation stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The evaluated loss reached the target.
+    TargetLossReached,
+    /// The virtual-time budget was exhausted.
+    MaxVirtualTime,
+    /// The client-update budget was exhausted.
+    MaxClientUpdates,
+}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationResult {
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Virtual hours at which the target loss was reached, if it was.
+    pub hours_to_target: Option<f64>,
+    /// Last evaluated population loss.
+    pub final_loss: f64,
+    /// Final server model version.
+    pub final_version: u64,
+    /// Total virtual hours simulated.
+    pub virtual_hours: f64,
+    /// Server model updates performed.
+    pub server_updates: u64,
+    /// Client updates received at the server.
+    pub comm_trips: u64,
+    /// Final model parameters.
+    pub final_params: ParamVec,
+    /// Raw metric traces.
+    pub metrics: MetricsCollector,
+    /// Summary statistics.
+    pub summary: MetricsSummary,
+}
+
+/// A client currently participating.
+#[derive(Clone, Debug)]
+struct InFlight {
+    client_id: usize,
+    start_version: u64,
+    start_params: Arc<ParamVec>,
+    round: u64,
+    execution_time_s: f64,
+}
+
+enum AggregatorState {
+    Async(FedBuffAggregator),
+    Sync(SyncRoundAggregator),
+}
+
+/// A single-task simulation.
+pub struct Simulation {
+    config: SimulationConfig,
+    population: Population,
+    trainer: Arc<dyn ClientTrainer>,
+}
+
+impl Simulation {
+    /// Creates a simulation over the given population and client trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty.
+    pub fn new(
+        config: SimulationConfig,
+        population: Population,
+        trainer: Arc<dyn ClientTrainer>,
+    ) -> Self {
+        assert!(!population.is_empty(), "population must not be empty");
+        Simulation {
+            config,
+            population,
+            trainer,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the result.
+    pub fn run(&self) -> SimulationResult {
+        SimulationState::new(&self.config, &self.population, self.trainer.clone()).run()
+    }
+}
+
+struct SimulationState<'a> {
+    config: &'a SimulationConfig,
+    population: &'a Population,
+    trainer: Arc<dyn ClientTrainer>,
+    rng: StdRng,
+    queue: EventQueue,
+    metrics: MetricsCollector,
+    model: ServerModel,
+    snapshot: Arc<ParamVec>,
+    optimizer: Box<dyn ServerOptimizer>,
+    aggregator: AggregatorState,
+    in_flight: HashMap<u64, InFlight>,
+    active_devices: HashSet<usize>,
+    next_participation_id: u64,
+    completed_this_round: usize,
+    round_number: u64,
+    round_start_time: SimTime,
+    eval_ids: Vec<usize>,
+    hours_to_target: Option<f64>,
+    final_loss: f64,
+    now: SimTime,
+}
+
+impl<'a> SimulationState<'a> {
+    fn new(
+        config: &'a SimulationConfig,
+        population: &'a Population,
+        trainer: Arc<dyn ClientTrainer>,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let model = ServerModel::new(trainer.initial_parameters());
+        let snapshot = Arc::new(model.snapshot());
+        let optimizer = config.server_optimizer.build();
+        let aggregator = match config.task.mode {
+            TrainingMode::Async {
+                max_staleness,
+                staleness_weighting,
+            } => AggregatorState::Async(
+                FedBuffAggregator::new(
+                    config.task.aggregation_goal,
+                    staleness_weighting,
+                    Some(max_staleness),
+                )
+                .with_example_weighting(config.task.weight_by_examples),
+            ),
+            TrainingMode::Sync { .. } => AggregatorState::Sync(
+                SyncRoundAggregator::new(config.task.aggregation_goal)
+                    .with_example_weighting(config.task.weight_by_examples),
+            ),
+        };
+        // Fixed evaluation sample.
+        let sample = config.eval_sample_size.min(population.len()).max(1);
+        let mut eval_ids: Vec<usize> = Vec::with_capacity(sample);
+        while eval_ids.len() < sample {
+            let id = rng.gen_range(0..population.len());
+            if !eval_ids.contains(&id) {
+                eval_ids.push(id);
+            }
+        }
+        SimulationState {
+            config,
+            population,
+            trainer,
+            rng,
+            queue: EventQueue::new(),
+            metrics: MetricsCollector::new(),
+            model,
+            snapshot,
+            optimizer,
+            aggregator,
+            in_flight: HashMap::new(),
+            active_devices: HashSet::new(),
+            next_participation_id: 0,
+            completed_this_round: 0,
+            round_number: 0,
+            round_start_time: 0.0,
+            eval_ids,
+            hours_to_target: None,
+            final_loss: f64::INFINITY,
+            now: 0.0,
+        }
+    }
+
+    fn run(mut self) -> SimulationResult {
+        self.fill_demand();
+        self.queue.schedule(0.0, EventKind::Evaluate);
+        self.queue
+            .schedule(0.0, EventKind::SampleUtilization);
+
+        let mut stop_reason = StopReason::MaxVirtualTime;
+        while let Some(event) = self.queue.pop() {
+            if event.time > self.config.max_virtual_time_s {
+                stop_reason = StopReason::MaxVirtualTime;
+                self.now = self.config.max_virtual_time_s;
+                break;
+            }
+            self.now = event.time;
+            match event.kind {
+                EventKind::ClientFinished {
+                    client_id,
+                    participation_id,
+                } => {
+                    self.handle_client_finished(client_id, participation_id);
+                    if let Some(max) = self.config.max_client_updates {
+                        if self.metrics.comm_trips >= max {
+                            stop_reason = StopReason::MaxClientUpdates;
+                            break;
+                        }
+                    }
+                }
+                EventKind::ClientFailed {
+                    client_id,
+                    participation_id,
+                } => self.handle_client_failed(client_id, participation_id),
+                EventKind::Evaluate => {
+                    if self.handle_evaluate() {
+                        stop_reason = StopReason::TargetLossReached;
+                        break;
+                    }
+                }
+                EventKind::SampleUtilization => {
+                    self.metrics
+                        .utilization_trace
+                        .push((self.now, self.in_flight.len()));
+                    self.queue.schedule(
+                        self.now + self.config.utilization_sample_interval_s,
+                        EventKind::SampleUtilization,
+                    );
+                }
+            }
+        }
+
+        // Final evaluation so `final_loss` reflects the last model.
+        let loss = self
+            .trainer
+            .evaluate(self.model.params(), &self.eval_ids);
+        self.final_loss = loss;
+        self.metrics.loss_curve.push((self.now / 3600.0, loss));
+
+        let summary = self.metrics.summarize(self.now);
+        SimulationResult {
+            stop_reason,
+            hours_to_target: self.hours_to_target,
+            final_loss: self.final_loss,
+            final_version: self.model.version(),
+            virtual_hours: self.now / 3600.0,
+            server_updates: self.metrics.server_updates,
+            comm_trips: self.metrics.comm_trips,
+            final_params: self.model.snapshot(),
+            summary,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Current client demand per Appendix E.3.
+    fn demand(&self) -> usize {
+        self.config
+            .task
+            .client_demand(self.in_flight.len(), self.completed_this_round)
+    }
+
+    fn fill_demand(&mut self) {
+        let mut demand = self.demand();
+        // Never select more clients than exist in the population.
+        demand = demand.min(self.population.len().saturating_sub(self.active_devices.len()));
+        for _ in 0..demand {
+            self.select_one_client();
+        }
+        self.record_utilization();
+    }
+
+    fn select_one_client(&mut self) {
+        // Uniformly sample a device that is not already participating.
+        let mut client_id = self.rng.gen_range(0..self.population.len());
+        let mut attempts = 0;
+        while self.active_devices.contains(&client_id) {
+            client_id = self.rng.gen_range(0..self.population.len());
+            attempts += 1;
+            if attempts > 10 * self.population.len() {
+                return; // population exhausted
+            }
+        }
+        let device = self.population.device(client_id);
+        let participation_id = self.next_participation_id;
+        self.next_participation_id += 1;
+
+        let timeout = self.config.task.client_timeout_s;
+        let start = self.now + self.config.selection_latency_s;
+        let drops_out = self.rng.gen::<f64>() < device.dropout_prob;
+        let exceeds_timeout = device.exceeds_timeout(timeout);
+        let execution_time = device.clamped_execution_time(timeout);
+
+        self.in_flight.insert(
+            participation_id,
+            InFlight {
+                client_id,
+                start_version: self.model.version(),
+                start_params: Arc::clone(&self.snapshot),
+                round: self.round_number,
+                execution_time_s: execution_time,
+            },
+        );
+        self.active_devices.insert(client_id);
+
+        if drops_out {
+            // The client fails partway through its (clamped) execution.
+            let fraction: f64 = self.rng.gen_range(0.05..0.95);
+            self.queue.schedule(
+                start + fraction * execution_time,
+                EventKind::ClientFailed {
+                    client_id,
+                    participation_id,
+                },
+            );
+        } else if exceeds_timeout {
+            // The client is aborted at the timeout.
+            self.queue.schedule(
+                start + timeout,
+                EventKind::ClientFailed {
+                    client_id,
+                    participation_id,
+                },
+            );
+        } else {
+            self.queue.schedule(
+                start + execution_time,
+                EventKind::ClientFinished {
+                    client_id,
+                    participation_id,
+                },
+            );
+        }
+    }
+
+    fn record_utilization(&mut self) {
+        self.metrics
+            .utilization_trace
+            .push((self.now, self.in_flight.len()));
+    }
+
+    fn handle_client_finished(&mut self, client_id: usize, participation_id: u64) {
+        let in_flight = match self.in_flight.remove(&participation_id) {
+            Some(f) => f,
+            None => return, // aborted earlier (round ended or staleness abort)
+        };
+        self.active_devices.remove(&client_id);
+        self.metrics.comm_trips += 1;
+
+        let result = self.trainer.train(
+            client_id,
+            &in_flight.start_params,
+            self.config.seed ^ participation_id,
+        );
+        let num_examples = result.num_examples;
+        let update = ClientUpdate::from_result(client_id, in_flight.start_version, result);
+
+        match &mut self.aggregator {
+            AggregatorState::Async(agg) => {
+                let outcome = agg.accumulate(update, self.model.version());
+                let accepted = outcome.accepted();
+                if let papaya_core::fedbuff::AccumulateOutcome::Accepted { staleness } = outcome {
+                    self.metrics.staleness_sum += staleness;
+                    self.metrics.aggregated_updates += 1;
+                } else {
+                    self.metrics.rejected_stale_updates += 1;
+                }
+                self.metrics.participations.push(ParticipationRecord {
+                    client_id,
+                    execution_time_s: in_flight.execution_time_s,
+                    num_examples,
+                    aggregated: accepted,
+                });
+                if agg.is_ready() {
+                    let delta = agg.take().expect("aggregation goal reached");
+                    self.apply_server_update(&delta);
+                    self.abort_overly_stale_clients();
+                }
+            }
+            AggregatorState::Sync(agg) => {
+                if in_flight.round != self.round_number {
+                    // Update from a previous round arriving late; discarded.
+                    self.metrics.discarded_updates += 1;
+                    self.metrics.participations.push(ParticipationRecord {
+                        client_id,
+                        execution_time_s: in_flight.execution_time_s,
+                        num_examples,
+                        aggregated: false,
+                    });
+                } else {
+                    let accepted = agg.accumulate(update);
+                    self.completed_this_round += 1;
+                    if !accepted {
+                        self.metrics.discarded_updates += 1;
+                    } else {
+                        self.metrics.aggregated_updates += 1;
+                    }
+                    self.metrics.participations.push(ParticipationRecord {
+                        client_id,
+                        execution_time_s: in_flight.execution_time_s,
+                        num_examples,
+                        aggregated: accepted,
+                    });
+                    if agg.is_ready() {
+                        let delta = agg.take().expect("round complete");
+                        self.apply_server_update(&delta);
+                        self.end_sync_round();
+                    }
+                }
+            }
+        }
+        self.fill_demand();
+    }
+
+    fn handle_client_failed(&mut self, client_id: usize, participation_id: u64) {
+        if self.in_flight.remove(&participation_id).is_none() {
+            return;
+        }
+        self.active_devices.remove(&client_id);
+        self.metrics.failed_participations += 1;
+        self.fill_demand();
+    }
+
+    fn apply_server_update(&mut self, delta: &ParamVec) {
+        self.model.apply_update(self.optimizer.as_mut(), delta);
+        self.snapshot = Arc::new(self.model.snapshot());
+        self.metrics.server_updates += 1;
+    }
+
+    /// Aborts in-flight clients whose staleness would exceed the bound
+    /// (Appendix E.1: "clients may also be aborted by the server if staleness
+    /// is higher than a configurable value").
+    fn abort_overly_stale_clients(&mut self) {
+        let max_staleness = match self.config.task.mode {
+            TrainingMode::Async { max_staleness, .. } => max_staleness,
+            TrainingMode::Sync { .. } => return,
+        };
+        let version = self.model.version();
+        let to_abort: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| version.saturating_sub(f.start_version) > max_staleness)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in to_abort {
+            if let Some(f) = self.in_flight.remove(&id) {
+                self.active_devices.remove(&f.client_id);
+                self.metrics.failed_participations += 1;
+            }
+        }
+    }
+
+    /// Ends a synchronous round: aborts all still-running clients of the
+    /// round and starts the next one.
+    fn end_sync_round(&mut self) {
+        let round = self.round_number;
+        let to_abort: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.round == round)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in to_abort {
+            if let Some(f) = self.in_flight.remove(&id) {
+                self.active_devices.remove(&f.client_id);
+                self.metrics.aborted_by_round_end += 1;
+            }
+        }
+        self.metrics
+            .round_durations_s
+            .push(self.now - self.round_start_time);
+        self.round_number += 1;
+        self.round_start_time = self.now;
+        self.completed_this_round = 0;
+        self.record_utilization();
+        self.fill_demand();
+    }
+
+    /// Runs an evaluation; returns true if the target loss was reached.
+    fn handle_evaluate(&mut self) -> bool {
+        let loss = self
+            .trainer
+            .evaluate(self.model.params(), &self.eval_ids);
+        self.final_loss = loss;
+        self.metrics.loss_curve.push((self.now / 3600.0, loss));
+        if let Some(target) = self.config.target_loss {
+            if loss <= target {
+                self.hours_to_target = Some(self.now / 3600.0);
+                return true;
+            }
+        }
+        self.queue
+            .schedule(self.now + self.config.eval_interval_s, EventKind::Evaluate);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
+    use papaya_data::population::PopulationConfig;
+
+    fn population(n: usize) -> Population {
+        Population::generate(&PopulationConfig::default().with_size(n), 17)
+    }
+
+    fn trainer(pop: &Population) -> Arc<SurrogateObjective> {
+        Arc::new(SurrogateObjective::new(pop, SurrogateConfig::default(), 17))
+    }
+
+    fn run(task: TaskConfig, hours: f64, pop_size: usize) -> SimulationResult {
+        let pop = population(pop_size);
+        let t = trainer(&pop);
+        let config = SimulationConfig::new(task)
+            .with_max_virtual_time_hours(hours)
+            .with_eval_interval_s(600.0)
+            .with_seed(3);
+        Simulation::new(config, pop, t).run()
+    }
+
+    #[test]
+    fn async_simulation_trains_and_reduces_loss() {
+        let result = run(TaskConfig::async_task("t", 64, 16), 3.0, 1000);
+        assert!(result.server_updates > 10, "{}", result.server_updates);
+        assert_eq!(result.final_version, result.server_updates);
+        let first_loss = result.metrics.loss_curve.first().unwrap().1;
+        assert!(
+            result.final_loss < 0.5 * first_loss,
+            "loss {} -> {}",
+            first_loss,
+            result.final_loss
+        );
+    }
+
+    #[test]
+    fn sync_simulation_trains_and_counts_rounds() {
+        let result = run(TaskConfig::sync_task("t", 65, 0.3), 6.0, 1000);
+        assert!(result.server_updates > 2);
+        assert_eq!(
+            result.metrics.round_durations_s.len() as u64,
+            result.server_updates
+        );
+        assert!(result.metrics.mean_round_duration_s() > 0.0);
+        // Over-selection aborts some still-running clients each round.
+        assert!(result.metrics.aborted_by_round_end > 0);
+    }
+
+    #[test]
+    fn async_has_more_server_updates_than_sync_in_same_time() {
+        let async_result = run(TaskConfig::async_task("a", 64, 16), 2.0, 800);
+        let sync_result = run(TaskConfig::sync_task("s", 64, 0.3), 2.0, 800);
+        assert!(
+            async_result.server_updates > 2 * sync_result.server_updates,
+            "async {} vs sync {}",
+            async_result.server_updates,
+            sync_result.server_updates
+        );
+    }
+
+    #[test]
+    fn async_utilization_is_higher_than_sync() {
+        let async_result = run(TaskConfig::async_task("a", 50, 10), 2.0, 800);
+        let sync_result = run(TaskConfig::sync_task("s", 50, 0.0), 2.0, 800);
+        let mean_active = |r: &SimulationResult| {
+            let t = &r.metrics.utilization_trace;
+            t.iter().map(|&(_, a)| a as f64).sum::<f64>() / t.len() as f64
+        };
+        assert!(mean_active(&async_result) > mean_active(&sync_result));
+        // AsyncFL stays close to the concurrency target.
+        assert!(mean_active(&async_result) > 40.0);
+    }
+
+    #[test]
+    fn concurrency_bound_is_respected() {
+        let result = run(TaskConfig::async_task("t", 32, 8), 1.0, 500);
+        assert!(result
+            .metrics
+            .utilization_trace
+            .iter()
+            .all(|&(_, active)| active <= 32));
+    }
+
+    #[test]
+    fn target_loss_stops_early() {
+        let pop = population(800);
+        let t = trainer(&pop);
+        let initial_loss = {
+            let all: Vec<usize> = (0..pop.len()).collect();
+            t.evaluate(&t.initial_parameters(), &all)
+        };
+        let config = SimulationConfig::new(TaskConfig::async_task("t", 64, 16))
+            .with_max_virtual_time_hours(20.0)
+            .with_target_loss(initial_loss * 0.3)
+            .with_eval_interval_s(300.0)
+            .with_seed(5);
+        let result = Simulation::new(config, pop, t).run();
+        assert_eq!(result.stop_reason, StopReason::TargetLossReached);
+        assert!(result.hours_to_target.is_some());
+        assert!(result.virtual_hours < 20.0);
+    }
+
+    #[test]
+    fn max_client_updates_stops_run() {
+        let pop = population(500);
+        let t = trainer(&pop);
+        let config = SimulationConfig::new(TaskConfig::async_task("t", 32, 8))
+            .with_max_virtual_time_hours(50.0)
+            .with_max_client_updates(200)
+            .with_seed(1);
+        let result = Simulation::new(config, pop, t).run();
+        assert_eq!(result.stop_reason, StopReason::MaxClientUpdates);
+        assert_eq!(result.comm_trips, 200);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_same_seed() {
+        let a = run(TaskConfig::async_task("t", 32, 8), 1.0, 400);
+        let b = run(TaskConfig::async_task("t", 32, 8), 1.0, 400);
+        assert_eq!(a.server_updates, b.server_updates);
+        assert_eq!(a.comm_trips, b.comm_trips);
+        assert_eq!(a.final_loss, b.final_loss);
+    }
+
+    #[test]
+    fn dropouts_are_recorded_and_replaced() {
+        let pop = Population::generate(
+            &PopulationConfig::default().with_size(600).with_dropout(0.3),
+            9,
+        );
+        let t = trainer(&pop);
+        let config = SimulationConfig::new(TaskConfig::async_task("t", 32, 8))
+            .with_max_virtual_time_hours(1.0)
+            .with_seed(9);
+        let result = Simulation::new(config, pop, t).run();
+        assert!(result.metrics.failed_participations > 0);
+        // Training still progresses despite failures.
+        assert!(result.server_updates > 0);
+    }
+
+    #[test]
+    fn tight_staleness_bound_rejects_updates() {
+        let pop = population(800);
+        let t = trainer(&pop);
+        let task = TaskConfig::async_task("t", 256, 4).with_max_staleness(1);
+        let config = SimulationConfig::new(task)
+            .with_max_virtual_time_hours(1.0)
+            .with_seed(2);
+        let result = Simulation::new(config, pop, t).run();
+        // With 256 concurrent clients and K = 4, staleness frequently
+        // exceeds 1, so some updates must be rejected or clients aborted.
+        assert!(
+            result.metrics.rejected_stale_updates + result.metrics.failed_participations > 0
+        );
+    }
+
+    #[test]
+    fn sync_without_over_selection_has_no_aborted_clients_at_round_end() {
+        let result = run(TaskConfig::sync_task("t", 40, 0.0), 4.0, 800);
+        // Without over-selection the round waits for every member (failures
+        // are replaced), so nobody is aborted when the round closes.
+        assert_eq!(result.metrics.aborted_by_round_end, 0);
+        assert!(result.metrics.discarded_updates == 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The simulated clock and event queue.
+//!
+//! Virtual time is measured in seconds as `f64`.  Events are totally ordered
+//! by `(time, sequence_number)` so simulations are deterministic even when
+//! several events share a timestamp.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time in seconds.
+pub type SimTime = f64;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A participating client finished local training and reports/uploads.
+    ClientFinished {
+        /// Device id of the client.
+        client_id: usize,
+        /// Identifier of this participation (ties the finish to its start).
+        participation_id: u64,
+    },
+    /// A participating client failed (dropout, crash, or timeout abort).
+    ClientFailed {
+        /// Device id of the client.
+        client_id: usize,
+        /// Identifier of this participation.
+        participation_id: u64,
+    },
+    /// Periodic evaluation of the global model.
+    Evaluate,
+    /// Periodic utilization sample.
+    SampleUtilization,
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Firing time in virtual seconds.
+    pub time: SimTime,
+    /// Monotonic sequence number breaking ties deterministically.
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        assert!(time.is_finite(), "event time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, EventKind::Evaluate);
+        q.schedule(1.0, EventKind::SampleUtilization);
+        q.schedule(3.0, EventKind::Evaluate);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            2.0,
+            EventKind::ClientFinished {
+                client_id: 1,
+                participation_id: 10,
+            },
+        );
+        q.schedule(
+            2.0,
+            EventKind::ClientFinished {
+                client_id: 2,
+                participation_id: 11,
+            },
+        );
+        let first = q.pop().unwrap();
+        let second = q.pop().unwrap();
+        assert_eq!(
+            first.kind,
+            EventKind::ClientFinished {
+                client_id: 1,
+                participation_id: 10
+            }
+        );
+        assert_eq!(
+            second.kind,
+            EventKind::ClientFinished {
+                client_id: 2,
+                participation_id: 11
+            }
+        );
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, EventKind::Evaluate);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, EventKind::Evaluate);
+    }
+}

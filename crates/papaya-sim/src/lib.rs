@@ -1,0 +1,48 @@
+//! Discrete-event simulation of the PAPAYA production system.
+//!
+//! The paper's evaluation runs on ~100 million phones; this crate reproduces
+//! the *system behaviour* — client selection, participation, stragglers,
+//! over-selection, buffered asynchronous aggregation, utilization, failure
+//! recovery — as a deterministic discrete-event simulation over the synthetic
+//! populations from `papaya-data`, while delegating the learning itself to a
+//! [`papaya_core::client::ClientTrainer`] (the real LSTM or the fast
+//! surrogate objective).
+//!
+//! * [`events`] — the simulated clock and event queue;
+//! * [`engine`] — the single-task training simulation used by every figure
+//!   (SyncFL with/without over-selection, AsyncFL with any aggregation goal);
+//! * [`metrics`] — traces and summary statistics (utilization, communication
+//!   trips, server updates per hour, participation distributions);
+//! * [`cluster`] — the control plane: Coordinator, Selectors, persistent
+//!   Aggregators, task assignment, heartbeats, and failure recovery
+//!   (Sections 4, 6 and Appendix E.4);
+//! * [`client_runtime`] — the on-device runtime: eligibility criteria (idle,
+//!   charging, unmetered network), the example store with its retention
+//!   policy, and participation-history throttling (Section 4, Appendix E.5).
+//!
+//! # Example
+//!
+//! ```
+//! use papaya_core::{SurrogateObjective, TaskConfig};
+//! use papaya_core::surrogate::SurrogateConfig;
+//! use papaya_data::population::{Population, PopulationConfig};
+//! use papaya_sim::engine::{Simulation, SimulationConfig};
+//! use std::sync::Arc;
+//!
+//! let population = Population::generate(&PopulationConfig::default().with_size(500), 1);
+//! let trainer = Arc::new(SurrogateObjective::new(&population, SurrogateConfig::default(), 1));
+//! let config = SimulationConfig::new(TaskConfig::async_task("demo", 32, 8))
+//!     .with_max_virtual_time_hours(0.5)
+//!     .with_seed(1);
+//! let result = Simulation::new(config, population, trainer).run();
+//! assert!(result.server_updates > 0);
+//! ```
+
+pub mod client_runtime;
+pub mod cluster;
+pub mod engine;
+pub mod events;
+pub mod metrics;
+
+pub use engine::{Simulation, SimulationConfig, SimulationResult, StopReason};
+pub use metrics::{MetricsSummary, ParticipationRecord};

@@ -1,0 +1,208 @@
+//! Metrics collected during a simulation run.
+
+use papaya_data::stats::{ks_two_sample, KsTestResult};
+
+/// One client participation whose update was *aggregated* (or discarded),
+/// used for the sampling-bias analysis of Section 7.4.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParticipationRecord {
+    /// Device id.
+    pub client_id: usize,
+    /// Execution time of the participation in seconds.
+    pub execution_time_s: f64,
+    /// Number of training examples on the device.
+    pub num_examples: usize,
+    /// Whether the update was folded into a server model update (false for
+    /// updates discarded by over-selection or staleness rejection).
+    pub aggregated: bool,
+}
+
+/// Raw traces and counters produced by one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsCollector {
+    /// `(virtual_seconds, active_clients)` samples.
+    pub utilization_trace: Vec<(f64, usize)>,
+    /// `(virtual_hours, population loss)` samples.
+    pub loss_curve: Vec<(f64, f64)>,
+    /// Client updates received at the server ("communication trips").
+    pub comm_trips: u64,
+    /// Updates discarded because the round had already closed
+    /// (over-selection waste).
+    pub discarded_updates: u64,
+    /// Updates rejected because they exceeded the staleness bound.
+    pub rejected_stale_updates: u64,
+    /// Client participations that failed (dropout, crash, timeout abort).
+    pub failed_participations: u64,
+    /// Clients aborted because the round ended while they were still training.
+    pub aborted_by_round_end: u64,
+    /// Server model updates performed.
+    pub server_updates: u64,
+    /// Completed synchronous round durations in seconds.
+    pub round_durations_s: Vec<f64>,
+    /// Participation records for bias analysis.
+    pub participations: Vec<ParticipationRecord>,
+    /// Sum of staleness over aggregated updates.
+    pub staleness_sum: u64,
+    /// Count of aggregated updates (denominator for mean staleness).
+    pub aggregated_updates: u64,
+}
+
+impl MetricsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean staleness over aggregated updates.
+    pub fn mean_staleness(&self) -> f64 {
+        if self.aggregated_updates == 0 {
+            0.0
+        } else {
+            self.staleness_sum as f64 / self.aggregated_updates as f64
+        }
+    }
+
+    /// Mean synchronous round duration in seconds (0 if no rounds completed).
+    pub fn mean_round_duration_s(&self) -> f64 {
+        if self.round_durations_s.is_empty() {
+            0.0
+        } else {
+            self.round_durations_s.iter().sum::<f64>() / self.round_durations_s.len() as f64
+        }
+    }
+
+    /// Mean number of active clients over the utilization trace.
+    pub fn mean_active_clients(&self) -> f64 {
+        if self.utilization_trace.is_empty() {
+            return 0.0;
+        }
+        self.utilization_trace.iter().map(|&(_, a)| a as f64).sum::<f64>()
+            / self.utilization_trace.len() as f64
+    }
+
+    /// Execution times of participations whose update was aggregated.
+    pub fn aggregated_execution_times(&self) -> Vec<f64> {
+        self.participations
+            .iter()
+            .filter(|p| p.aggregated)
+            .map(|p| p.execution_time_s)
+            .collect()
+    }
+
+    /// Example counts of participations whose update was aggregated.
+    pub fn aggregated_example_counts(&self) -> Vec<f64> {
+        self.participations
+            .iter()
+            .filter(|p| p.aggregated)
+            .map(|p| p.num_examples as f64)
+            .collect()
+    }
+
+    /// Two-sample KS test of this run's aggregated example-count distribution
+    /// against a reference distribution (the paper compares against SyncFL
+    /// without over-selection as ground truth).
+    pub fn ks_against(&self, reference_examples: &[f64]) -> KsTestResult {
+        ks_two_sample(&self.aggregated_example_counts(), reference_examples)
+    }
+}
+
+/// Summary statistics derived from a [`MetricsCollector`] at the end of a
+/// run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSummary {
+    /// Total virtual time simulated, in hours.
+    pub virtual_hours: f64,
+    /// Server model updates per virtual hour.
+    pub server_updates_per_hour: f64,
+    /// Communication trips (client updates received).
+    pub comm_trips: u64,
+    /// Mean staleness of aggregated updates.
+    pub mean_staleness: f64,
+    /// Mean active clients (utilization numerator).
+    pub mean_active_clients: f64,
+    /// Mean synchronous round duration (seconds), if applicable.
+    pub mean_round_duration_s: f64,
+}
+
+impl MetricsCollector {
+    /// Produces the run summary.
+    pub fn summarize(&self, virtual_seconds: f64) -> MetricsSummary {
+        let virtual_hours = virtual_seconds / 3600.0;
+        MetricsSummary {
+            virtual_hours,
+            server_updates_per_hour: if virtual_hours > 0.0 {
+                self.server_updates as f64 / virtual_hours
+            } else {
+                0.0
+            },
+            comm_trips: self.comm_trips,
+            mean_staleness: self.mean_staleness(),
+            mean_active_clients: self.mean_active_clients(),
+            mean_round_duration_s: self.mean_round_duration_s(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_staleness_handles_empty() {
+        let m = MetricsCollector::new();
+        assert_eq!(m.mean_staleness(), 0.0);
+    }
+
+    #[test]
+    fn summary_computes_rates() {
+        let mut m = MetricsCollector::new();
+        m.server_updates = 100;
+        m.comm_trips = 500;
+        m.staleness_sum = 50;
+        m.aggregated_updates = 100;
+        m.utilization_trace = vec![(0.0, 10), (1.0, 20)];
+        let s = m.summarize(7200.0);
+        assert_eq!(s.virtual_hours, 2.0);
+        assert_eq!(s.server_updates_per_hour, 50.0);
+        assert_eq!(s.comm_trips, 500);
+        assert_eq!(s.mean_staleness, 0.5);
+        assert_eq!(s.mean_active_clients, 15.0);
+    }
+
+    #[test]
+    fn aggregated_filters_apply() {
+        let mut m = MetricsCollector::new();
+        m.participations = vec![
+            ParticipationRecord {
+                client_id: 0,
+                execution_time_s: 10.0,
+                num_examples: 5,
+                aggregated: true,
+            },
+            ParticipationRecord {
+                client_id: 1,
+                execution_time_s: 99.0,
+                num_examples: 50,
+                aggregated: false,
+            },
+        ];
+        assert_eq!(m.aggregated_execution_times(), vec![10.0]);
+        assert_eq!(m.aggregated_example_counts(), vec![5.0]);
+    }
+
+    #[test]
+    fn ks_against_detects_identical_distribution() {
+        let mut m = MetricsCollector::new();
+        for i in 0..200 {
+            m.participations.push(ParticipationRecord {
+                client_id: i,
+                execution_time_s: 1.0,
+                num_examples: i % 50,
+                aggregated: true,
+            });
+        }
+        let reference: Vec<f64> = (0..200).map(|i| (i % 50) as f64).collect();
+        let result = m.ks_against(&reference);
+        assert!(result.d_statistic < 0.05);
+    }
+}

@@ -1,0 +1,85 @@
+//! Multi-tenant control plane: task placement, client assignment, and
+//! failure recovery.
+//!
+//! ```bash
+//! cargo run --release --example multi_tenant
+//! ```
+//!
+//! Demonstrates the Coordinator/Selector/Aggregator responsibilities of
+//! Sections 4 and 6 and Appendix E.4: three tasks placed on two persistent
+//! Aggregators by estimated workload, clients routed to tasks with positive
+//! demand according to their capability tier, an Aggregator failure detected
+//! through missed heartbeats, and the resulting reassignment propagating to
+//! Selectors.
+
+use papaya_sim::cluster::{Coordinator, RouteOutcome, Selector, TaskSpec};
+
+fn main() {
+    let mut coordinator = Coordinator::new(30.0, 7);
+    coordinator.register_aggregator(0, 0.0);
+    coordinator.register_aggregator(1, 0.0);
+
+    // Three tenants with different scales and device requirements.
+    let tasks = [
+        TaskSpec {
+            id: 0,
+            name: "keyboard-lm".into(),
+            concurrency: 2_000,
+            model_size_bytes: 20_000_000,
+            min_capability_tier: 0,
+        },
+        TaskSpec {
+            id: 1,
+            name: "speech-kws".into(),
+            concurrency: 400,
+            model_size_bytes: 5_000_000,
+            min_capability_tier: 1,
+        },
+        TaskSpec {
+            id: 2,
+            name: "photo-ranker".into(),
+            concurrency: 300,
+            model_size_bytes: 50_000_000,
+            min_capability_tier: 2,
+        },
+    ];
+    for spec in tasks {
+        let placed = coordinator.submit_task(spec.clone());
+        println!(
+            "task {:>12} (workload {:>5} MB-clients) -> aggregator {placed}",
+            spec.name,
+            spec.estimated_workload() / 1_000_000
+        );
+    }
+    println!("aggregator loads: {:?}\n", coordinator.aggregator_loads());
+
+    // Aggregators report client demand; clients of different capability
+    // tiers check in and are assigned to eligible tasks.
+    coordinator.report_demand(0, 500);
+    coordinator.report_demand(1, 100);
+    coordinator.report_demand(2, 50);
+    let mut selector = Selector::new();
+    selector.refresh(&coordinator);
+    for tier in [0u8, 1, 2] {
+        let assigned = coordinator.assign_client(tier);
+        match assigned {
+            Some((task, aggregator)) => println!(
+                "client with capability tier {tier}: assigned to task {task}, routed to aggregator {:?}",
+                selector.route(task) == RouteOutcome::Routed(aggregator)
+            ),
+            None => println!("client with capability tier {tier}: no eligible task right now"),
+        }
+    }
+
+    // Aggregator 0 stops heartbeating; its tasks are reassigned and stale
+    // Selector maps are refreshed.
+    println!("\naggregator 1 heartbeats, aggregator 0 goes silent...");
+    coordinator.heartbeat(1, 100.0);
+    let reassigned = coordinator.detect_failures(100.0);
+    println!("reassigned tasks after failure detection: {reassigned:?}");
+    println!("selector map stale? {}", selector.is_stale(&coordinator));
+    selector.refresh(&coordinator);
+    for task in [0usize, 1, 2] {
+        println!("  task {task} now routed to {:?}", selector.route(task));
+    }
+}

@@ -1,0 +1,40 @@
+//! Cross-crate integration test: the character-level LSTM trains federatedly
+//! through the full simulator and improves held-out perplexity (the Table 1
+//! pipeline at a tiny scale).
+
+use papaya_core::client::ClientTrainer;
+use papaya_core::TaskConfig;
+use papaya_data::dataset::FederatedTextDataset;
+use papaya_data::population::{Population, PopulationConfig};
+use papaya_lm::{LmClientTrainer, LmConfig};
+use papaya_sim::engine::{ServerOptimizerKind, Simulation, SimulationConfig};
+use std::sync::Arc;
+
+#[test]
+fn federated_lstm_improves_perplexity_through_the_simulator() {
+    let population = Population::generate(&PopulationConfig::default().with_size(60), 31);
+    let dataset = Arc::new(FederatedTextDataset::generate(&population, 4, 31));
+    let trainer = Arc::new(LmClientTrainer::new(dataset, LmConfig::tiny()).with_max_sequences(8));
+
+    let all: Vec<usize> = (0..population.len()).collect();
+    let initial_ppl = trainer.perplexity(&trainer.initial_parameters(), &all);
+    // A freshly initialized model is roughly uniform over the vocabulary.
+    assert!(initial_ppl > 15.0 && initial_ppl < 40.0, "initial {initial_ppl}");
+
+    let task = TaskConfig::async_task("lm", 12, 4);
+    let config = SimulationConfig::new(task)
+        .with_max_client_updates(160)
+        .with_max_virtual_time_hours(300.0)
+        .with_eval_interval_s(40_000.0)
+        .with_eval_sample_size(16)
+        .with_server_optimizer(ServerOptimizerKind::FedAvg)
+        .with_seed(31);
+    let result = Simulation::new(config, population, trainer.clone()).run();
+
+    assert!(result.server_updates >= 30, "updates {}", result.server_updates);
+    let final_ppl = trainer.perplexity(&result.final_params, &all);
+    assert!(
+        final_ppl < 0.85 * initial_ppl,
+        "perplexity did not improve enough: {initial_ppl:.2} -> {final_ppl:.2}"
+    );
+}
