@@ -63,5 +63,10 @@ fn server_optimizers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fedbuff_throughput, sync_round_throughput, server_optimizers);
+criterion_group!(
+    benches,
+    fedbuff_throughput,
+    sync_round_throughput,
+    server_optimizers
+);
 criterion_main!(benches);

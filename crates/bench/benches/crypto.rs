@@ -28,7 +28,10 @@ fn hash_and_stream(c: &mut Criterion) {
 fn dh_exchange(c: &mut Criterion) {
     let mut group = c.benchmark_group("diffie_hellman");
     group.sample_size(10);
-    for (name, g) in [("test_256", DhGroup::test_group_256()), ("rfc3526_2048", DhGroup::rfc3526_2048())] {
+    for (name, g) in [
+        ("test_256", DhGroup::test_group_256()),
+        ("rfc3526_2048", DhGroup::rfc3526_2048()),
+    ] {
         group.bench_function(name, |b| {
             let mut rng = ChaCha20Rng::from_seed([9u8; 32]);
             let server = DhPrivateKey::generate(&g, &mut rng);

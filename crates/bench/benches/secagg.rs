@@ -48,9 +48,8 @@ fn full_buffer(c: &mut Criterion) {
             let mut agg = UntrustedAggregator::new(&config);
             let update = vec![0.5f32; 4096];
             for init in &inits {
-                let msg =
-                    SecAggClient::participate(&update, init, &publication, &config, &mut rng)
-                        .unwrap();
+                let msg = SecAggClient::participate(&update, init, &publication, &config, &mut rng)
+                    .unwrap();
                 agg.submit(msg, &mut tsa).unwrap();
             }
             agg.finalize(&mut tsa).unwrap()
@@ -73,5 +72,10 @@ fn boundary_cost_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, client_participation, full_buffer, boundary_cost_model);
+criterion_group!(
+    benches,
+    client_participation,
+    full_buffer,
+    boundary_cost_model
+);
 criterion_main!(benches);

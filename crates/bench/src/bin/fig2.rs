@@ -19,7 +19,16 @@ fn main() {
         );
     }
     println!();
-    println!("mean client execution time : {:8.1} s", result.mean_client_time_s);
-    println!("mean SyncFL round duration  : {:8.1} s", result.mean_round_duration_s);
-    println!("round/client ratio          : {:8.1}x (paper: ~21x)", result.ratio());
+    println!(
+        "mean client execution time : {:8.1} s",
+        result.mean_client_time_s
+    );
+    println!(
+        "mean SyncFL round duration  : {:8.1} s",
+        result.mean_round_duration_s
+    );
+    println!(
+        "round/client ratio          : {:8.1}x (paper: ~21x)",
+        result.ratio()
+    );
 }

@@ -103,7 +103,6 @@ pub fn experiment_surrogate_config() -> SurrogateConfig {
         // which is what makes cohort size / aggregation goal matter.
         gradient_noise: 60.0,
         init_distance: 8.0,
-        ..SurrogateConfig::default()
     }
 }
 

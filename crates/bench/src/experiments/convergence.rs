@@ -41,8 +41,9 @@ pub fn fig3(scale: Scale, seed: u64) -> Vec<(usize, SimulationResult)> {
         .into_iter()
         .map(|concurrency| {
             let task = TaskConfig::sync_task(format!("sync-{concurrency}"), concurrency, 0.3);
-            let result =
-                crate::experiments::common::run_to_target(task, &pop, &trainer, target, 150.0, seed);
+            let result = crate::experiments::common::run_to_target(
+                task, &pop, &trainer, target, 150.0, seed,
+            );
             (concurrency, result)
         })
         .collect()
@@ -99,8 +100,9 @@ pub fn fig10(scale: Scale, seed: u64) -> Vec<(usize, SimulationResult)> {
         .into_iter()
         .map(|k| {
             let task = TaskConfig::async_task(format!("async-k{k}"), concurrency, k);
-            let result =
-                crate::experiments::common::run_to_target(task, &pop, &trainer, target, 150.0, seed);
+            let result = crate::experiments::common::run_to_target(
+                task, &pop, &trainer, target, 150.0, seed,
+            );
             (k, result)
         })
         .collect()
@@ -157,7 +159,9 @@ pub fn fig12(scale: Scale, seed: u64) -> Vec<FourConfigResult> {
 
 /// Prints a Figure 9 style table.
 pub fn print_fig9(rows: &[SweepRow]) {
-    println!("concurrency | sync hours | async hours | speedup | sync trips | async trips | comm gain");
+    println!(
+        "concurrency | sync hours | async hours | speedup | sync trips | async trips | comm gain"
+    );
     for row in rows {
         println!(
             "{:11} | {} | {} | {:7.2} | {:10} | {:11} | {:9.2}",

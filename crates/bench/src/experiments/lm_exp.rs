@@ -62,10 +62,8 @@ fn lm_scale(scale: Scale) -> LmScale {
 /// Runs Table 1: returns one row per configuration.
 pub fn table1(scale: Scale, seed: u64) -> Vec<Table1Row> {
     let s = lm_scale(scale);
-    let population = Population::generate(
-        &PopulationConfig::default().with_size(s.population),
-        seed,
-    );
+    let population =
+        Population::generate(&PopulationConfig::default().with_size(s.population), seed);
     let dataset = Arc::new(FederatedTextDataset::generate(&population, 4, seed));
     let trainer = Arc::new(LmClientTrainer::new(dataset, LmConfig::tiny()).with_max_sequences(16));
 
@@ -115,7 +113,10 @@ pub fn table1(scale: Scale, seed: u64) -> Vec<Table1Row> {
 
 /// Prints Table 1 in the paper's layout.
 pub fn print_table1(rows: &[Table1Row]) {
-    println!("{:<16} | {:>8} | {:>8} | {:>8} | {:>10} | {:>14}", "Method", "All", "75%", "99%", "Time (h)", "client updates");
+    println!(
+        "{:<16} | {:>8} | {:>8} | {:>8} | {:>10} | {:>14}",
+        "Method", "All", "75%", "99%", "Time (h)", "client updates"
+    );
     for row in rows {
         println!(
             "{:<16} | {:8.2} | {:8.2} | {:8.2} | {:10.2} | {:14}",

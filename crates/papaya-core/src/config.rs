@@ -82,6 +82,10 @@ pub struct TaskConfig {
     pub secagg: SecAggMode,
     /// Serialized model size in bytes (used for cost accounting only).
     pub model_size_bytes: u64,
+    /// Minimum device capability tier required to train this task; clients
+    /// report their tier at check-in and 0 means any device qualifies
+    /// (Section 6.2, "constructing lists of eligible tasks").
+    pub min_capability_tier: u8,
 }
 
 impl TaskConfig {
@@ -91,7 +95,11 @@ impl TaskConfig {
     /// # Panics
     ///
     /// Panics if `concurrency == 0` or `aggregation_goal == 0`.
-    pub fn async_task(name: impl Into<String>, concurrency: usize, aggregation_goal: usize) -> Self {
+    pub fn async_task(
+        name: impl Into<String>,
+        concurrency: usize,
+        aggregation_goal: usize,
+    ) -> Self {
         assert!(concurrency > 0, "concurrency must be positive");
         assert!(aggregation_goal > 0, "aggregation goal must be positive");
         TaskConfig {
@@ -103,6 +111,7 @@ impl TaskConfig {
             client_timeout_s: 240.0,
             secagg: SecAggMode::Disabled,
             model_size_bytes: 20_000_000,
+            min_capability_tier: 0,
         }
     }
 
@@ -126,6 +135,7 @@ impl TaskConfig {
             client_timeout_s: 240.0,
             secagg: SecAggMode::Disabled,
             model_size_bytes: 20_000_000,
+            min_capability_tier: 0,
         }
     }
 
@@ -158,6 +168,12 @@ impl TaskConfig {
     /// Sets the serialized model size used for communication accounting.
     pub fn with_model_size_bytes(mut self, bytes: u64) -> Self {
         self.model_size_bytes = bytes;
+        self
+    }
+
+    /// Restricts the task to devices of at least the given capability tier.
+    pub fn with_min_capability_tier(mut self, tier: u8) -> Self {
+        self.min_capability_tier = tier;
         self
     }
 
@@ -237,11 +253,13 @@ mod tests {
             .with_example_weighting(false)
             .with_secagg(SecAggMode::AsyncSecAgg)
             .with_max_staleness(7)
-            .with_model_size_bytes(1000);
+            .with_model_size_bytes(1000)
+            .with_min_capability_tier(2);
         assert_eq!(t.client_timeout_s, 60.0);
         assert!(!t.weight_by_examples);
         assert_eq!(t.secagg, SecAggMode::AsyncSecAgg);
         assert_eq!(t.model_size_bytes, 1000);
+        assert_eq!(t.min_capability_tier, 2);
         match t.mode {
             TrainingMode::Async { max_staleness, .. } => assert_eq!(max_staleness, 7),
             _ => panic!("expected async mode"),

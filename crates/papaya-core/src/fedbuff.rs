@@ -133,8 +133,10 @@ impl FedBuffAggregator {
                 };
             }
         }
+        // A client that trained on zero examples carries zero weight: it
+        // still counts toward the aggregation goal but contributes nothing.
         let example_weight = if self.weight_by_examples {
-            update.num_examples.max(1) as f64
+            update.num_examples as f64
         } else {
             1.0
         };
@@ -164,6 +166,9 @@ impl FedBuffAggregator {
 
     /// Releases the aggregated (weighted-average) update and clears the
     /// buffer, or returns `None` if the goal has not been reached.
+    ///
+    /// If every buffered update carried zero weight the release is a zero
+    /// delta (a no-op server step) rather than the unscaled raw sum.
     pub fn take(&mut self) -> Option<ParamVec> {
         if !self.is_ready() {
             return None;
@@ -171,10 +176,24 @@ impl FedBuffAggregator {
         let mut buffer = self.buffer.take()?;
         if self.weight_sum > 0.0 {
             buffer.scale((1.0 / self.weight_sum) as f32);
+        } else {
+            buffer = ParamVec::zeros(buffer.len());
         }
         self.weight_sum = 0.0;
         self.buffered = 0;
         Some(buffer)
+    }
+
+    /// Discards all buffered updates without releasing them — the Aggregator
+    /// holding this buffer died and its in-memory state is lost.  Returns how
+    /// many buffered updates were dropped.  Lifetime counters
+    /// ([`total_accepted`](Self::total_accepted) etc.) are preserved.
+    pub fn reset(&mut self) -> usize {
+        let dropped = self.buffered;
+        self.buffer = None;
+        self.weight_sum = 0.0;
+        self.buffered = 0;
+        dropped
     }
 }
 
@@ -212,8 +231,8 @@ mod tests {
 
     #[test]
     fn example_weighting_can_be_disabled() {
-        let mut agg =
-            FedBuffAggregator::new(2, StalenessWeighting::Constant, None).with_example_weighting(false);
+        let mut agg = FedBuffAggregator::new(2, StalenessWeighting::Constant, None)
+            .with_example_weighting(false);
         agg.accumulate(update(0, vec![0.0], 30, 0), 0);
         agg.accumulate(update(1, vec![4.0], 10, 0), 0);
         let out = agg.take().unwrap();
@@ -278,6 +297,48 @@ mod tests {
             assert!(agg.is_ready());
             assert_eq!(agg.take().unwrap().as_slice(), &[i as f32]);
         }
+    }
+
+    #[test]
+    fn all_zero_weight_buffer_releases_zero_delta() {
+        // Two zero-example clients fill the buffer; with example weighting
+        // their combined weight is 0, so the release must be a zero delta,
+        // not the unscaled raw sum.
+        let mut agg = FedBuffAggregator::new(2, StalenessWeighting::Constant, None);
+        agg.accumulate(update(0, vec![3.0, -1.0], 0, 0), 0);
+        agg.accumulate(update(1, vec![5.0, 2.0], 0, 0), 0);
+        assert!(agg.is_ready());
+        let out = agg.take().unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 0.0]);
+        // The aggregator is reusable afterwards.
+        agg.accumulate(update(2, vec![4.0, 4.0], 10, 0), 0);
+        agg.accumulate(update(3, vec![0.0, 0.0], 10, 0), 0);
+        assert_eq!(agg.take().unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_example_update_contributes_nothing() {
+        let mut agg = FedBuffAggregator::new(2, StalenessWeighting::Constant, None);
+        agg.accumulate(update(0, vec![100.0], 0, 0), 0);
+        agg.accumulate(update(1, vec![4.0], 10, 0), 0);
+        assert_eq!(agg.take().unwrap().as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn reset_drops_buffered_updates() {
+        let mut agg = FedBuffAggregator::new(3, StalenessWeighting::Constant, None);
+        agg.accumulate(update(0, vec![1.0], 5, 0), 0);
+        agg.accumulate(update(1, vec![2.0], 5, 0), 0);
+        assert_eq!(agg.reset(), 2);
+        assert_eq!(agg.buffered(), 0);
+        assert!(agg.take().is_none());
+        // Lifetime counters survive the reset.
+        assert_eq!(agg.total_accepted(), 2);
+        // The next goal starts from an empty buffer.
+        agg.accumulate(update(2, vec![9.0], 5, 0), 0);
+        agg.accumulate(update(3, vec![9.0], 5, 0), 0);
+        agg.accumulate(update(4, vec![9.0], 5, 0), 0);
+        assert_eq!(agg.take().unwrap().as_slice(), &[9.0]);
     }
 
     #[test]

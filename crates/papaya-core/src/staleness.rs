@@ -73,9 +73,17 @@ mod tests {
     fn ordering_of_schemes() {
         // For the same staleness: constant >= poly-half >= linear >= exponential (s >= 2).
         for s in 2..20u64 {
-            assert!(StalenessWeighting::Constant.weight(s) >= StalenessWeighting::PolynomialHalf.weight(s));
-            assert!(StalenessWeighting::PolynomialHalf.weight(s) >= StalenessWeighting::Linear.weight(s));
-            assert!(StalenessWeighting::Linear.weight(s) >= StalenessWeighting::Exponential.weight(s));
+            assert!(
+                StalenessWeighting::Constant.weight(s)
+                    >= StalenessWeighting::PolynomialHalf.weight(s)
+            );
+            assert!(
+                StalenessWeighting::PolynomialHalf.weight(s)
+                    >= StalenessWeighting::Linear.weight(s)
+            );
+            assert!(
+                StalenessWeighting::Linear.weight(s) >= StalenessWeighting::Exponential.weight(s)
+            );
         }
     }
 

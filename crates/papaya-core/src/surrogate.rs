@@ -83,7 +83,12 @@ impl SurrogateObjective {
         // Population-level optimum and the bias direction for heavy clients.
         let global_optimum: Vec<f32> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
         let mut bias_direction: Vec<f32> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
-        let norm = bias_direction.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        let norm = bias_direction
+            .iter()
+            .map(|x| x * x)
+            .sum::<f32>()
+            .sqrt()
+            .max(1e-6);
         for b in bias_direction.iter_mut() {
             *b /= norm;
         }
@@ -179,11 +184,11 @@ impl ClientTrainer for SurrogateObjective {
         let mut rng = StdRng::seed_from_u64(seed ^ (client_id as u64).wrapping_mul(0x9e37_79b9));
         let optimum = &self.client_optima[client_id];
         let examples = self.num_examples[client_id];
-        let steps = (examples.div_ceil(self.config.batch_size))
-            .clamp(1, self.config.max_local_steps);
+        let steps =
+            (examples.div_ceil(self.config.batch_size)).clamp(1, self.config.max_local_steps);
         // Gradient noise shrinks with the batch size actually used.
-        let noise_scale =
-            self.config.gradient_noise / (self.config.batch_size.min(examples).max(1) as f32).sqrt();
+        let noise_scale = self.config.gradient_noise
+            / (self.config.batch_size.min(examples).max(1) as f32).sqrt();
 
         let mut w: Vec<f32> = global.as_slice().to_vec();
         for _ in 0..steps {
@@ -214,11 +219,11 @@ impl ClientTrainer for SurrogateObjective {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::ClientUpdate;
     use crate::fedbuff::FedBuffAggregator;
     use crate::model::ServerModel;
     use crate::server_opt::FedAvg;
     use crate::staleness::StalenessWeighting;
-    use crate::client::ClientUpdate;
     use papaya_data::population::{Population, PopulationConfig};
 
     fn objective(n: usize) -> SurrogateObjective {

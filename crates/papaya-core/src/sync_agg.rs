@@ -74,8 +74,10 @@ impl SyncRoundAggregator {
             self.discarded += 1;
             return false;
         }
+        // Zero-example clients carry zero weight: counted toward the round
+        // goal but contributing nothing to the average.
         let weight = if self.weight_by_examples {
-            update.num_examples.max(1) as f64
+            update.num_examples as f64
         } else {
             1.0
         };
@@ -102,6 +104,9 @@ impl SyncRoundAggregator {
     /// Releases the round's weighted-average update and resets the
     /// aggregator for the next round.  Returns `None` if the round is not
     /// complete.
+    ///
+    /// If every accepted update carried zero weight the release is a zero
+    /// delta (a no-op server step) rather than the unscaled raw sum.
     pub fn take(&mut self) -> Option<ParamVec> {
         if !self.is_ready() {
             return None;
@@ -109,11 +114,24 @@ impl SyncRoundAggregator {
         let mut buffer = self.buffer.take()?;
         if self.weight_sum > 0.0 {
             buffer.scale((1.0 / self.weight_sum) as f32);
+        } else {
+            buffer = ParamVec::zeros(buffer.len());
         }
         self.weight_sum = 0.0;
         self.received = 0;
         self.accepted_clients.clear();
         Some(buffer)
+    }
+
+    /// Abandons the round in progress (the Aggregator holding it died).
+    /// Returns how many already-received updates were dropped.
+    pub fn reset(&mut self) -> usize {
+        let dropped = self.received;
+        self.buffer = None;
+        self.weight_sum = 0.0;
+        self.received = 0;
+        self.accepted_clients.clear();
+        dropped
     }
 }
 
@@ -176,6 +194,34 @@ mod tests {
         assert_eq!(agg.take().unwrap().as_slice(), &[2.0]);
         agg.accumulate(update(1, vec![-2.0], 1));
         assert_eq!(agg.take().unwrap().as_slice(), &[-2.0]);
+    }
+
+    #[test]
+    fn all_zero_weight_round_releases_zero_delta() {
+        let mut agg = SyncRoundAggregator::new(2);
+        agg.accumulate(update(0, vec![7.0], 0));
+        agg.accumulate(update(1, vec![-3.0], 0));
+        assert!(agg.is_ready());
+        assert_eq!(agg.take().unwrap().as_slice(), &[0.0]);
+        // The next round is unaffected.
+        agg.accumulate(update(2, vec![2.0], 4));
+        agg.accumulate(update(3, vec![2.0], 4));
+        assert_eq!(agg.take().unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn reset_abandons_round_in_progress() {
+        let mut agg = SyncRoundAggregator::new(3);
+        agg.accumulate(update(0, vec![1.0], 1));
+        agg.accumulate(update(1, vec![1.0], 1));
+        assert_eq!(agg.reset(), 2);
+        assert_eq!(agg.received(), 0);
+        assert!(agg.accepted_clients().is_empty());
+        assert!(agg.take().is_none());
+        agg.accumulate(update(2, vec![5.0], 1));
+        agg.accumulate(update(3, vec![5.0], 1));
+        agg.accumulate(update(4, vec![5.0], 1));
+        assert_eq!(agg.take().unwrap().as_slice(), &[5.0]);
     }
 
     #[test]

@@ -58,7 +58,12 @@ impl AeadKey {
 /// `nonce` must be unique per key (the secure-aggregation protocol uses the
 /// client's message sequence number).  `associated_data` is authenticated but
 /// not encrypted.  Returns `nonce || ciphertext || tag`.
-pub fn seal(key: &AeadKey, nonce: &[u8; NONCE_LEN], associated_data: &[u8], plaintext: &[u8]) -> Vec<u8> {
+pub fn seal(
+    key: &AeadKey,
+    nonce: &[u8; NONCE_LEN],
+    associated_data: &[u8],
+    plaintext: &[u8],
+) -> Vec<u8> {
     let mut ciphertext = plaintext.to_vec();
     let cipher = ChaCha20::new(&key.enc_key, nonce, 1);
     cipher.apply_keystream(&mut ciphertext);
@@ -107,7 +112,8 @@ fn compute_tag(
     ciphertext: &[u8],
 ) -> [u8; TAG_LEN] {
     // Unambiguous transcript: len(ad) || ad || nonce || ciphertext.
-    let mut transcript = Vec::with_capacity(8 + associated_data.len() + NONCE_LEN + ciphertext.len());
+    let mut transcript =
+        Vec::with_capacity(8 + associated_data.len() + NONCE_LEN + ciphertext.len());
     transcript.extend_from_slice(&(associated_data.len() as u64).to_be_bytes());
     transcript.extend_from_slice(associated_data);
     transcript.extend_from_slice(nonce);

@@ -122,7 +122,7 @@ impl<const N: usize> Uint<N> {
     pub fn from_hex(s: &str) -> Self {
         let cleaned: String = s.chars().filter(|c| !c.is_whitespace()).collect();
         assert!(cleaned.len() <= N * 16, "hex string too long for width");
-        let mut bytes = Vec::with_capacity((cleaned.len() + 1) / 2);
+        let mut bytes = Vec::with_capacity(cleaned.len().div_ceil(2));
         let padded = if cleaned.len() % 2 == 1 {
             format!("0{cleaned}")
         } else {
@@ -174,6 +174,8 @@ impl<const N: usize> Uint<N> {
     }
 
     /// Adds, returning the result and the carry-out.
+    // Index style keeps the carry chain legible across the three arrays.
+    #[allow(clippy::needless_range_loop)]
     pub fn overflowing_add(&self, other: &Self) -> (Self, bool) {
         let mut out = [0u64; N];
         let mut carry = 0u64;
@@ -187,6 +189,8 @@ impl<const N: usize> Uint<N> {
     }
 
     /// Subtracts, returning the result and the borrow-out.
+    // Index style keeps the borrow chain legible across the three arrays.
+    #[allow(clippy::needless_range_loop)]
     pub fn overflowing_sub(&self, other: &Self) -> (Self, bool) {
         let mut out = [0u64; N];
         let mut borrow = 0u64;
@@ -239,7 +243,7 @@ impl<const N: usize> Uint<N> {
 
 impl<const N: usize> PartialOrd for Uint<N> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_value(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -271,7 +275,10 @@ impl<const N: usize> Montgomery<N> {
     ///
     /// Panics if `modulus` is even or zero.
     pub fn new(modulus: Uint<N>) -> Self {
-        assert!(modulus.is_odd(), "Montgomery arithmetic requires an odd modulus");
+        assert!(
+            modulus.is_odd(),
+            "Montgomery arithmetic requires an odd modulus"
+        );
         let n0_inv = inv_mod_2_64(modulus.limbs[0]).wrapping_neg();
 
         // r1 = 2^(64N) mod modulus, computed by repeated modular doubling of 1.
@@ -308,6 +315,8 @@ impl<const N: usize> Montgomery<N> {
     }
 
     /// Montgomery multiplication: returns `a * b * R^{-1} mod modulus`.
+    // Index style keeps the CIOS carry chains legible across `t`, `a`, `b`.
+    #[allow(clippy::needless_range_loop)]
     pub fn mont_mul(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
         // CIOS (coarsely integrated operand scanning).
         let n = &self.modulus.limbs;
@@ -481,9 +490,7 @@ mod tests {
     #[test]
     fn fermat_little_theorem_256bit() {
         // secp256k1 field prime: a^(p-1) = 1 mod p for a not divisible by p.
-        let p = U256::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        );
+        let p = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
         let ctx = Montgomery::new(p);
         let p_minus_1 = p.overflowing_sub(&U256::one()).0;
         for a in [2u64, 3, 65_537, 0xdeadbeef] {

@@ -248,10 +248,7 @@ mod tests {
         let mut data = plaintext.to_vec();
         let cipher = ChaCha20::new(&key, &nonce, 1);
         cipher.apply_keystream(&mut data);
-        assert_eq!(
-            hex(&data[..16]),
-            "6e2e359a2568f98041ba0728dd0d6981"
-        );
+        assert_eq!(hex(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
         // Decryption round-trips.
         cipher.apply_keystream(&mut data);
         assert_eq!(&data, plaintext);

@@ -72,9 +72,7 @@ impl DhGroup {
     /// simulations involving thousands of clients can run the full protocol
     /// quickly.  The protocol code paths are identical to the 2048-bit group.
     pub fn test_group_256() -> Self {
-        let p = U2048::from_hex(
-            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f",
-        );
+        let p = U2048::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
         DhGroup {
             ctx: Arc::new(Montgomery::new(p)),
             generator: U2048::from_u64(5),
@@ -172,7 +170,10 @@ mod tests {
         let mut rng = ChaCha20Rng::from_seed([1u8; 32]);
         let a = DhPrivateKey::generate(&group, &mut rng);
         let b = DhPrivateKey::generate(&group, &mut rng);
-        assert_eq!(a.shared_secret(&b.public_key()), b.shared_secret(&a.public_key()));
+        assert_eq!(
+            a.shared_secret(&b.public_key()),
+            b.shared_secret(&a.public_key())
+        );
     }
 
     #[test]
@@ -181,7 +182,10 @@ mod tests {
         let mut rng = ChaCha20Rng::from_seed([2u8; 32]);
         let a = DhPrivateKey::generate(&group, &mut rng);
         let b = DhPrivateKey::generate(&group, &mut rng);
-        assert_eq!(a.shared_secret(&b.public_key()), b.shared_secret(&a.public_key()));
+        assert_eq!(
+            a.shared_secret(&b.public_key()),
+            b.shared_secret(&a.public_key())
+        );
     }
 
     #[test]

@@ -58,8 +58,9 @@ impl FederatedTextDataset {
             let mut generator =
                 TextGenerator::for_client(device.id as u64, volume_percentile, seed);
             let n = device.num_examples;
-            let mut sequences: Vec<Vec<usize>> =
-                (0..n).map(|_| generator.sentence(words_per_sentence)).collect();
+            let mut sequences: Vec<Vec<usize>> = (0..n)
+                .map(|_| generator.sentence(words_per_sentence))
+                .collect();
             // Shuffle then split 80/10/10, keeping at least one training
             // example per client.
             for i in (1..sequences.len()).rev() {
@@ -143,7 +144,10 @@ mod tests {
     fn every_client_has_training_data() {
         let (_, data) = small_dataset();
         for i in 0..data.len() {
-            assert!(data.client(i).num_train() >= 1, "client {i} has no train data");
+            assert!(
+                data.client(i).num_train() >= 1,
+                "client {i} has no train data"
+            );
         }
     }
 

@@ -46,7 +46,7 @@ impl Default for PopulationConfig {
     fn default() -> Self {
         PopulationConfig {
             size: 10_000,
-            examples_log_mean: 3.7,  // median ~40 examples
+            examples_log_mean: 3.7, // median ~40 examples
             examples_log_std: 1.1,
             min_examples: 1,
             max_examples: 5_000,
@@ -128,10 +128,11 @@ impl Population {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut devices = Vec::with_capacity(config.size);
         for id in 0..config.size {
-            let examples_raw =
-                (config.examples_log_mean + config.examples_log_std * standard_normal(&mut rng)).exp();
-            let num_examples = (examples_raw.round() as usize)
-                .clamp(config.min_examples, config.max_examples);
+            let examples_raw = (config.examples_log_mean
+                + config.examples_log_std * standard_normal(&mut rng))
+            .exp();
+            let num_examples =
+                (examples_raw.round() as usize).clamp(config.min_examples, config.max_examples);
             let speed_factor = (config.speed_log_std * standard_normal(&mut rng)).exp();
             let compute_time =
                 config.setup_time_s + config.per_example_time_s * num_examples as f64;
@@ -193,7 +194,11 @@ impl Population {
     /// of the population (used by Table 1's 75 %/99 % groups).
     pub fn ids_above_example_percentile(&self, percentile: f64) -> Vec<DeviceId> {
         let threshold = crate::stats::percentile(
-            &self.devices.iter().map(|d| d.num_examples as f64).collect::<Vec<_>>(),
+            &self
+                .devices
+                .iter()
+                .map(|d| d.num_examples as f64)
+                .collect::<Vec<_>>(),
             percentile,
         );
         self.devices
@@ -205,7 +210,11 @@ impl Population {
 
     /// Pearson correlation between execution time and example count.
     pub fn time_examples_correlation(&self) -> f64 {
-        let times: Vec<f64> = self.devices.iter().map(|d| d.execution_time_s.ln()).collect();
+        let times: Vec<f64> = self
+            .devices
+            .iter()
+            .map(|d| d.execution_time_s.ln())
+            .collect();
         let counts: Vec<f64> = self
             .devices
             .iter()
@@ -281,7 +290,9 @@ mod tests {
             ..PopulationConfig::default().with_size(2000)
         };
         let p = Population::generate(&config, 3);
-        assert!(p.iter().all(|d| d.num_examples >= 5 && d.num_examples <= 50));
+        assert!(p
+            .iter()
+            .all(|d| d.num_examples >= 5 && d.num_examples <= 50));
     }
 
     #[test]

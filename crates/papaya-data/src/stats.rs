@@ -76,7 +76,10 @@ impl Histogram {
     /// `bins == 0`.
     pub fn log_spaced(values: &[f64], bins: usize) -> Self {
         assert!(!values.is_empty() && bins > 0);
-        assert!(values.iter().all(|&v| v > 0.0), "log bins need positive data");
+        assert!(
+            values.iter().all(|&v| v > 0.0),
+            "log bins need positive data"
+        );
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(0.0f64, f64::max) * 1.000001;
         let log_min = min.ln();

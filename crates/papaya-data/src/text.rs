@@ -20,10 +20,18 @@ pub const VOCAB: &str = "abcdefghijklmnopqrstuvwxyz .";
 /// Word lists per topic.  Deliberately distinct letter statistics per topic
 /// so topic mixtures are visible to a character-level model.
 const TOPIC_WORDS: [&[&str]; 4] = [
-    &["meet", "team", "deadline", "agenda", "email", "demand", "lead", "update"],
-    &["pizza", "pasta", "salad", "apple", "banana", "salsa", "snack", "bread"],
-    &["goal", "ball", "coach", "squad", "match", "track", "score", "champ"],
-    &["quiz", "exam", "study", "major", "campus", "topic", "query", "jury"],
+    &[
+        "meet", "team", "deadline", "agenda", "email", "demand", "lead", "update",
+    ],
+    &[
+        "pizza", "pasta", "salad", "apple", "banana", "salsa", "snack", "bread",
+    ],
+    &[
+        "goal", "ball", "coach", "squad", "match", "track", "score", "champ",
+    ],
+    &[
+        "quiz", "exam", "study", "major", "campus", "topic", "query", "jury",
+    ],
 ];
 
 /// Maps a character to its vocabulary index.

@@ -46,7 +46,11 @@ impl CharLstm {
         CharLstm {
             config,
             embedding: Embedding::new(config.vocab_size, config.embedding_dim, seed),
-            lstm: LstmCell::new(config.embedding_dim, config.hidden_size, seed.wrapping_add(1)),
+            lstm: LstmCell::new(
+                config.embedding_dim,
+                config.hidden_size,
+                seed.wrapping_add(1),
+            ),
             output: Linear::new(config.hidden_size, config.vocab_size, seed.wrapping_add(2)),
         }
     }
@@ -213,7 +217,10 @@ mod tests {
         let model = CharLstm::new(LmConfig::tiny(), 2);
         let loss = model.sequence_loss(&tokens("hello world.")).unwrap();
         let uniform = (LmConfig::tiny().vocab_size as f32).ln();
-        assert!((loss - uniform).abs() < 0.7, "loss {loss} vs uniform {uniform}");
+        assert!(
+            (loss - uniform).abs() < 0.7,
+            "loss {loss} vs uniform {uniform}"
+        );
     }
 
     #[test]

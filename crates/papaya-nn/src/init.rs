@@ -18,7 +18,9 @@ pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
 /// Uniform initialization in `[-limit, limit)`.
 pub fn uniform(rows: usize, cols: usize, limit: f32, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
-    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 

@@ -44,5 +44,5 @@ pub mod optim;
 pub mod params;
 pub mod tensor;
 
-pub use params::{Parameter, ParamVec};
+pub use params::{ParamVec, Parameter};
 pub use tensor::Matrix;

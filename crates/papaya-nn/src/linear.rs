@@ -63,7 +63,8 @@ impl Linear {
             .as_ref()
             .expect("backward called before forward");
         // dW = x^T * dy ; db = sum_rows(dy) ; dx = dy * W^T
-        self.weight_grad.add_assign(&input.matmul_transpose_a(grad_output));
+        self.weight_grad
+            .add_assign(&input.matmul_transpose_a(grad_output));
         self.bias_grad.add_assign(&grad_output.sum_rows());
         grad_output.matmul_transpose_b(&self.weight)
     }
@@ -172,7 +173,11 @@ mod tests {
         let input = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let _ = layer.forward(&input);
         let _ = layer.backward(&Matrix::ones(3, 3));
-        assert!(layer.bias_grad.data().iter().all(|&g| (g - 3.0).abs() < 1e-6));
+        assert!(layer
+            .bias_grad
+            .data()
+            .iter()
+            .all(|&g| (g - 3.0).abs() < 1e-6));
     }
 
     #[test]

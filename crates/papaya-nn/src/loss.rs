@@ -19,8 +19,7 @@ pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix
     assert_eq!(batch, targets.len(), "batch size mismatch");
     let mut grad = Matrix::zeros(batch, classes);
     let mut total_loss = 0.0f64;
-    for b in 0..batch {
-        let target = targets[b];
+    for (b, &target) in targets.iter().enumerate() {
         assert!(target < classes, "target {target} out of range");
         let row = logits.row(b);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);

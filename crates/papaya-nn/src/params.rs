@@ -94,7 +94,11 @@ impl ParamVec {
         let mut offset = 0;
         for &(r, c) in shapes {
             let n = r * c;
-            out.push(Matrix::from_vec(r, c, self.data[offset..offset + n].to_vec()));
+            out.push(Matrix::from_vec(
+                r,
+                c,
+                self.data[offset..offset + n].to_vec(),
+            ));
             offset += n;
         }
         out
@@ -191,7 +195,10 @@ impl ParamVec {
     ///
     /// Panics if the byte length is not a multiple of four.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        assert!(bytes.len() % 4 == 0, "byte length must be a multiple of 4");
+        assert!(
+            bytes.len().is_multiple_of(4),
+            "byte length must be a multiple of 4"
+        );
         let data = bytes
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))

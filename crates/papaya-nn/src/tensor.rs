@@ -178,7 +178,10 @@ impl Matrix {
     /// — precisely: treats `self` as `(k×m)` stored as `(rows=k, cols=m)` and
     /// computes `self^T * other` where `other` is `(k×n)`, yielding `(m×n)`.
     pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_transpose_a dimension mismatch");
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transpose_a dimension mismatch"
+        );
         let mut out = Matrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             for i in 0..self.cols {

@@ -3,7 +3,9 @@
 
 use crate::attestation::{verify_quote, AttestationError, TsaPublication};
 use crate::mask::{expand_mask, random_seed};
-use crate::protocol::{ClientUploadMessage, CompletingMessage, KeyExchangeInitialMessage, SecAggConfig};
+use crate::protocol::{
+    ClientUploadMessage, CompletingMessage, KeyExchangeInitialMessage, SecAggConfig,
+};
 use crate::tsa::seed_associated_data;
 use papaya_crypto::aead::{seal, AeadKey};
 use papaya_crypto::chacha20::ChaCha20Rng;
@@ -176,10 +178,7 @@ mod tests {
         publication.expected_measurement = [0u8; 32];
         let err = SecAggClient::participate(&[0.0f32; 8], &init, &publication, &config, &mut rng)
             .unwrap_err();
-        assert_eq!(
-            err,
-            ClientError::Attestation(AttestationError::WrongBinary)
-        );
+        assert_eq!(err, ClientError::Attestation(AttestationError::WrongBinary));
     }
 
     #[test]
@@ -210,7 +209,10 @@ mod tests {
             SecAggClient::participate(&small, &inits[0], &publication, &config, &mut rng).unwrap();
         let b =
             SecAggClient::participate(&large, &inits[1], &publication, &config, &mut rng).unwrap();
-        let plain_diff = config.codec.encode_vec(&large).sub(&config.codec.encode_vec(&small));
+        let plain_diff = config
+            .codec
+            .encode_vec(&large)
+            .sub(&config.codec.encode_vec(&small));
         let masked_diff = b.masked_update.sub(&a.masked_update);
         assert_ne!(plain_diff, masked_diff);
     }

@@ -112,7 +112,8 @@ mod tests {
     #[test]
     fn async_advantage_grows_with_k() {
         let model = TeeBoundaryCostModel::default();
-        let ratio_at = |k: usize| model.naive_time_s(k, MODEL_20MB) / model.async_secagg_time_s(k, MODEL_20MB);
+        let ratio_at =
+            |k: usize| model.naive_time_s(k, MODEL_20MB) / model.async_secagg_time_s(k, MODEL_20MB);
         assert!(ratio_at(10) < ratio_at(100));
         assert!(ratio_at(100) < ratio_at(1000));
     }

@@ -38,7 +38,10 @@ mod tests {
     fn expansion_is_deterministic() {
         let params = GroupParams::z2_32();
         let seed = [9u8; SEED_LEN];
-        assert_eq!(expand_mask(&seed, params, 100), expand_mask(&seed, params, 100));
+        assert_eq!(
+            expand_mask(&seed, params, 100),
+            expand_mask(&seed, params, 100)
+        );
     }
 
     #[test]
@@ -62,8 +65,7 @@ mod tests {
         // the center of the range.
         let params = GroupParams::z2_32();
         let mask = expand_mask(&[4u8; SEED_LEN], params, 20_000);
-        let mean =
-            mask.values().iter().map(|&v| v as f64).sum::<f64>() / mask.len() as f64;
+        let mean = mask.values().iter().map(|&v| v as f64).sum::<f64>() / mask.len() as f64;
         let center = (1u64 << 31) as f64;
         assert!((mean - center).abs() < 0.02 * center, "mean {mean}");
     }

@@ -71,7 +71,11 @@ impl UntrustedAggregator {
     /// [`AggregatorError::Tsa`] when the TSA rejects the client (in which
     /// case the masked update is discarded, keeping host and TSA sums
     /// consistent).
-    pub fn submit(&mut self, msg: ClientUploadMessage, tsa: &mut Tsa) -> Result<(), AggregatorError> {
+    pub fn submit(
+        &mut self,
+        msg: ClientUploadMessage,
+        tsa: &mut Tsa,
+    ) -> Result<(), AggregatorError> {
         if msg.masked_update.len() != self.vector_len
             || msg.masked_update.params() != self.masked_sum.params()
         {
@@ -148,7 +152,10 @@ mod tests {
         let err = run_round(&updates, 2, 3).unwrap_err();
         assert!(matches!(
             err,
-            AggregatorError::Tsa(TsaError::ThresholdNotMet { processed: 2, required: 3 })
+            AggregatorError::Tsa(TsaError::ThresholdNotMet {
+                processed: 2,
+                required: 3
+            })
         ));
     }
 
@@ -162,20 +169,25 @@ mod tests {
         let mut agg = UntrustedAggregator::new(&config);
 
         for init in inits.iter().take(2) {
-            let msg = SecAggClient::participate(&[1.0, 2.0, 3.0], init, &publication, &config, &mut rng)
-                .unwrap();
+            let msg =
+                SecAggClient::participate(&[1.0, 2.0, 3.0], init, &publication, &config, &mut rng)
+                    .unwrap();
             agg.submit(msg, &mut tsa).unwrap();
         }
         let first = agg.finalize(&mut tsa).unwrap();
         assert!((first[0] - 2.0).abs() < 1e-3);
 
         for init in inits.iter().skip(2) {
-            let msg = SecAggClient::participate(&[-1.0, 0.0, 1.0], init, &publication, &config, &mut rng)
-                .unwrap();
+            let msg =
+                SecAggClient::participate(&[-1.0, 0.0, 1.0], init, &publication, &config, &mut rng)
+                    .unwrap();
             agg.submit(msg, &mut tsa).unwrap();
         }
         let second = agg.finalize(&mut tsa).unwrap();
-        assert!((second[0] + 2.0).abs() < 1e-3, "second buffer contaminated: {second:?}");
+        assert!(
+            (second[0] + 2.0).abs() < 1e-3,
+            "second buffer contaminated: {second:?}"
+        );
         assert!((second[2] - 2.0).abs() < 1e-3);
     }
 
@@ -188,8 +200,9 @@ mod tests {
         let inits = tsa.prepare_initial_messages(2, &mut rng);
         let mut agg = UntrustedAggregator::new(&config);
 
-        let good = SecAggClient::participate(&[1.0, 1.0], &inits[0], &publication, &config, &mut rng)
-            .unwrap();
+        let good =
+            SecAggClient::participate(&[1.0, 1.0], &inits[0], &publication, &config, &mut rng)
+                .unwrap();
         agg.submit(good, &mut tsa).unwrap();
 
         // An attacker replays the same completing message with a different
@@ -199,7 +212,10 @@ mod tests {
                 .unwrap();
         replay.completing.index = inits[0].index;
         let err = agg.submit(replay, &mut tsa).unwrap_err();
-        assert!(matches!(err, AggregatorError::Tsa(TsaError::IndexAlreadyUsed(_))));
+        assert!(matches!(
+            err,
+            AggregatorError::Tsa(TsaError::IndexAlreadyUsed(_))
+        ));
 
         let sum = agg.finalize(&mut tsa).unwrap();
         assert!((sum[0] - 1.0).abs() < 1e-3);
@@ -214,9 +230,12 @@ mod tests {
         let other_tsa_pub = Tsa::new(&other, [0x01u8; 32]).publication();
         let mut rng = ChaCha20Rng::from_seed([8u8; 32]);
         let mut other_tsa = Tsa::new(&other, [0x01u8; 32]);
-        let init = other_tsa.prepare_initial_messages(1, &mut rng).pop().unwrap();
-        let msg = SecAggClient::participate(&[1.0; 8], &init, &other_tsa_pub, &other, &mut rng)
+        let init = other_tsa
+            .prepare_initial_messages(1, &mut rng)
+            .pop()
             .unwrap();
+        let msg =
+            SecAggClient::participate(&[1.0; 8], &init, &other_tsa_pub, &other, &mut rng).unwrap();
         let mut agg = UntrustedAggregator::new(&config);
         assert_eq!(
             agg.submit(msg, &mut tsa).unwrap_err(),

@@ -69,7 +69,10 @@ impl std::fmt::Display for TsaError {
             TsaError::ThresholdNotMet {
                 processed,
                 required,
-            } => write!(f, "only {processed} of required {required} clients processed"),
+            } => write!(
+                f,
+                "only {processed} of required {required} clients processed"
+            ),
             TsaError::RoundFinalized => write!(f, "aggregation round already finalized"),
         }
     }
@@ -209,8 +212,8 @@ impl Tsa {
         let shared = private.shared_secret(&completing.client_public);
         let key = AeadKey::from_shared_secret(&shared);
         let ad = seed_associated_data(completing.index);
-        let plaintext =
-            open(&key, &ad, &completing.encrypted_seed).map_err(|_| TsaError::SeedDecryptionFailed)?;
+        let plaintext = open(&key, &ad, &completing.encrypted_seed)
+            .map_err(|_| TsaError::SeedDecryptionFailed)?;
         if plaintext.len() != SEED_LEN {
             return Err(TsaError::MalformedSeed);
         }
@@ -500,7 +503,10 @@ mod tests {
         ));
         assert_eq!(new_size, 2);
         // Consistency between old and new snapshots is provable.
-        let proof = tsa.verifiable_log().consistency_proof(old_pub.log_size).unwrap();
+        let proof = tsa
+            .verifiable_log()
+            .consistency_proof(old_pub.log_size)
+            .unwrap();
         assert!(proof.verify(
             &old_pub.log_root,
             old_pub.log_size,

@@ -15,9 +15,10 @@
 //!   from the Coordinator and identified by a sequence number, so stale maps
 //!   are detected and refreshed.
 
-use std::collections::HashMap;
+use papaya_core::config::TaskConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// Identifier of an Aggregator instance.
 pub type AggregatorId = usize;
@@ -41,6 +42,18 @@ pub struct TaskSpec {
 }
 
 impl TaskSpec {
+    /// Bridges a training-plane [`TaskConfig`] into the placement-plane spec
+    /// the Coordinator works with.
+    pub fn from_task_config(id: TaskId, config: &TaskConfig) -> Self {
+        TaskSpec {
+            id,
+            name: config.name.clone(),
+            concurrency: config.concurrency,
+            model_size_bytes: config.model_size_bytes,
+            min_capability_tier: config.min_capability_tier,
+        }
+    }
+
     /// Estimated workload used by the Coordinator to balance Aggregators:
     /// task concurrency × model size (Section 6.3).
     pub fn estimated_workload(&self) -> u64 {
@@ -153,11 +166,8 @@ impl Coordinator {
 
     /// Current workload (sum of estimated task workloads) per Aggregator.
     pub fn aggregator_loads(&self) -> HashMap<AggregatorId, u64> {
-        let mut loads: HashMap<AggregatorId, u64> = self
-            .aggregators
-            .keys()
-            .map(|&id| (id, 0))
-            .collect();
+        let mut loads: HashMap<AggregatorId, u64> =
+            self.aggregators.keys().map(|&id| (id, 0)).collect();
         for (task, agg) in &self.assignments {
             if let (Some(load), Some(spec)) = (loads.get_mut(agg), self.tasks.get(task)) {
                 *load += spec.estimated_workload();
@@ -181,12 +191,15 @@ impl Coordinator {
             return Vec::new();
         }
         let mut reassigned = Vec::new();
-        let orphaned: Vec<TaskId> = self
+        let mut orphaned: Vec<TaskId> = self
             .assignments
             .iter()
             .filter(|(_, agg)| failed.contains(agg))
             .map(|(&task, _)| task)
             .collect();
+        // HashMap iteration order is not deterministic across instances;
+        // reassign in task order so identical runs place identically.
+        orphaned.sort_unstable();
         for task in orphaned {
             if let Some(target) = self.least_loaded_alive_aggregator() {
                 self.assignments.insert(task, target);
@@ -211,7 +224,11 @@ impl Coordinator {
     /// confirmed by an Aggregator report.
     pub fn effective_demand(&self, task: TaskId) -> usize {
         let reported = self.reported_demand.get(&task).copied().unwrap_or(0);
-        let unconfirmed = self.unconfirmed_assignments.get(&task).copied().unwrap_or(0);
+        let unconfirmed = self
+            .unconfirmed_assignments
+            .get(&task)
+            .copied()
+            .unwrap_or(0);
         reported.saturating_sub(unconfirmed)
     }
 
@@ -249,6 +266,18 @@ impl Coordinator {
             sequence: self.sequence,
             routes: self.assignments.clone(),
         }
+    }
+
+    /// Current sequence number of the assignment map.  Cheap staleness probe
+    /// for Selectors — no route cloning.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// The Aggregator currently responsible for `task`, per the
+    /// Coordinator's authoritative state.
+    pub fn aggregator_of(&self, task: TaskId) -> Option<AggregatorId> {
+        self.assignments.get(&task).copied()
     }
 
     /// Whether the given Aggregator is currently considered alive.
@@ -300,7 +329,7 @@ impl Selector {
 
     /// Returns true when this Selector's map is older than the Coordinator's.
     pub fn is_stale(&self, coordinator: &Coordinator) -> bool {
-        self.map.sequence < coordinator.assignment_map().sequence
+        self.map.sequence < coordinator.sequence()
     }
 }
 
@@ -381,7 +410,7 @@ mod tests {
         let mut c = coordinator_with_aggregators(1);
         c.submit_task(spec(0, 100, 0));
         c.submit_task(spec(1, 100, 2)); // needs capability tier >= 2
-        // No demand reported yet: nothing eligible.
+                                        // No demand reported yet: nothing eligible.
         assert_eq!(c.assign_client(3), None);
         c.report_demand(0, 5);
         c.report_demand(1, 5);
@@ -447,5 +476,32 @@ mod tests {
     fn submitting_with_no_alive_aggregator_panics() {
         let mut c = Coordinator::new(30.0, 1);
         c.submit_task(spec(0, 10, 0));
+    }
+
+    #[test]
+    fn sequence_accessor_matches_assignment_map() {
+        let mut c = coordinator_with_aggregators(2);
+        assert_eq!(c.sequence(), 0);
+        c.submit_task(spec(0, 100, 0));
+        assert_eq!(c.sequence(), 1);
+        assert_eq!(c.sequence(), c.assignment_map().sequence);
+        c.heartbeat(1 - c.aggregator_of(0).unwrap(), 100.0);
+        c.detect_failures(100.0);
+        assert_eq!(c.sequence(), 2);
+        assert_eq!(c.sequence(), c.assignment_map().sequence);
+    }
+
+    #[test]
+    fn task_spec_bridges_from_task_config() {
+        let config = TaskConfig::async_task("keyboard", 130, 16)
+            .with_model_size_bytes(5_000_000)
+            .with_min_capability_tier(1);
+        let spec = TaskSpec::from_task_config(7, &config);
+        assert_eq!(spec.id, 7);
+        assert_eq!(spec.name, "keyboard");
+        assert_eq!(spec.concurrency, 130);
+        assert_eq!(spec.model_size_bytes, 5_000_000);
+        assert_eq!(spec.min_capability_tier, 1);
+        assert_eq!(spec.estimated_workload(), 130 * 5_000_000);
     }
 }

@@ -12,53 +12,26 @@
 //! training timeout are replaced immediately (Section 6.2); in synchronous
 //! mode the round closes as soon as the aggregation goal is met and all
 //! still-running clients are aborted (over-selection discards their work).
+//!
+//! All server-side per-task state lives in [`TaskRuntime`]; this module owns
+//! only what a *driver* owns — the clock, the event queue, client selection
+//! from the population, and the stop conditions.  The multi-tenant driver in
+//! [`crate::multi_task`] reuses the same runtime underneath a Coordinator /
+//! Selector control plane.
 
 use crate::events::{EventKind, EventQueue, SimTime};
-use crate::metrics::{MetricsCollector, MetricsSummary, ParticipationRecord};
-use papaya_core::client::{ClientTrainer, ClientUpdate};
-use papaya_core::config::{TaskConfig, TrainingMode};
-use papaya_core::fedbuff::FedBuffAggregator;
-use papaya_core::model::ServerModel;
-use papaya_core::server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
-use papaya_core::sync_agg::SyncRoundAggregator;
+use crate::metrics::{MetricsCollector, MetricsSummary};
+use crate::sampling::SamplingPool;
+pub use crate::task_runtime::ServerOptimizerKind;
+use crate::task_runtime::TaskRuntime;
+use papaya_core::client::ClientTrainer;
+use papaya_core::config::TaskConfig;
 use papaya_data::population::Population;
 use papaya_nn::params::ParamVec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
-
-/// Which server optimizer the simulation applies to aggregated deltas.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum ServerOptimizerKind {
-    /// `model += delta`.
-    FedAvg,
-    /// `model += lr * delta`.
-    FedSgd {
-        /// Server learning rate.
-        learning_rate: f32,
-    },
-    /// Adam on the server with the delta as pseudo-gradient.
-    FedAdam {
-        /// Server learning rate.
-        learning_rate: f32,
-        /// First-moment decay.
-        beta1: f32,
-    },
-}
-
-impl ServerOptimizerKind {
-    fn build(&self) -> Box<dyn ServerOptimizer> {
-        match *self {
-            ServerOptimizerKind::FedAvg => Box::new(FedAvg),
-            ServerOptimizerKind::FedSgd { learning_rate } => Box::new(FedSgd::new(learning_rate)),
-            ServerOptimizerKind::FedAdam {
-                learning_rate,
-                beta1,
-            } => Box::new(FedAdam::new(learning_rate, beta1)),
-        }
-    }
-}
 
 /// Configuration of one simulation run.
 #[derive(Clone, Debug)]
@@ -181,21 +154,6 @@ pub struct SimulationResult {
     pub summary: MetricsSummary,
 }
 
-/// A client currently participating.
-#[derive(Clone, Debug)]
-struct InFlight {
-    client_id: usize,
-    start_version: u64,
-    start_params: Arc<ParamVec>,
-    round: u64,
-    execution_time_s: f64,
-}
-
-enum AggregatorState {
-    Async(FedBuffAggregator),
-    Sync(SyncRoundAggregator),
-}
-
 /// A single-task simulation.
 pub struct Simulation {
     config: SimulationConfig,
@@ -228,26 +186,32 @@ impl Simulation {
     }
 }
 
+/// Draws `sample` distinct evaluation client ids without replacement.
+pub(crate) fn sample_eval_ids(
+    rng: &mut StdRng,
+    population_len: usize,
+    sample: usize,
+) -> Vec<usize> {
+    let sample = sample.min(population_len).max(1);
+    let mut chosen = HashSet::with_capacity(sample);
+    let mut eval_ids = Vec::with_capacity(sample);
+    while eval_ids.len() < sample {
+        let id = rng.gen_range(0..population_len);
+        if chosen.insert(id) {
+            eval_ids.push(id);
+        }
+    }
+    eval_ids
+}
+
 struct SimulationState<'a> {
     config: &'a SimulationConfig,
     population: &'a Population,
-    trainer: Arc<dyn ClientTrainer>,
     rng: StdRng,
     queue: EventQueue,
-    metrics: MetricsCollector,
-    model: ServerModel,
-    snapshot: Arc<ParamVec>,
-    optimizer: Box<dyn ServerOptimizer>,
-    aggregator: AggregatorState,
-    in_flight: HashMap<u64, InFlight>,
-    active_devices: HashSet<usize>,
+    runtime: TaskRuntime,
+    pool: SamplingPool,
     next_participation_id: u64,
-    completed_this_round: usize,
-    round_number: u64,
-    round_start_time: SimTime,
-    eval_ids: Vec<usize>,
-    hours_to_target: Option<f64>,
-    final_loss: f64,
     now: SimTime,
 }
 
@@ -258,55 +222,24 @@ impl<'a> SimulationState<'a> {
         trainer: Arc<dyn ClientTrainer>,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let model = ServerModel::new(trainer.initial_parameters());
-        let snapshot = Arc::new(model.snapshot());
-        let optimizer = config.server_optimizer.build();
-        let aggregator = match config.task.mode {
-            TrainingMode::Async {
-                max_staleness,
-                staleness_weighting,
-            } => AggregatorState::Async(
-                FedBuffAggregator::new(
-                    config.task.aggregation_goal,
-                    staleness_weighting,
-                    Some(max_staleness),
-                )
-                .with_example_weighting(config.task.weight_by_examples),
-            ),
-            TrainingMode::Sync { .. } => AggregatorState::Sync(
-                SyncRoundAggregator::new(config.task.aggregation_goal)
-                    .with_example_weighting(config.task.weight_by_examples),
-            ),
-        };
         // Fixed evaluation sample.
-        let sample = config.eval_sample_size.min(population.len()).max(1);
-        let mut eval_ids: Vec<usize> = Vec::with_capacity(sample);
-        while eval_ids.len() < sample {
-            let id = rng.gen_range(0..population.len());
-            if !eval_ids.contains(&id) {
-                eval_ids.push(id);
-            }
-        }
+        let eval_ids = sample_eval_ids(&mut rng, population.len(), config.eval_sample_size);
+        let runtime = TaskRuntime::new(
+            config.task.clone(),
+            config.server_optimizer,
+            trainer,
+            eval_ids,
+            config.seed,
+            config.target_loss,
+        );
         SimulationState {
             config,
             population,
-            trainer,
             rng,
             queue: EventQueue::new(),
-            metrics: MetricsCollector::new(),
-            model,
-            snapshot,
-            optimizer,
-            aggregator,
-            in_flight: HashMap::new(),
-            active_devices: HashSet::new(),
+            runtime,
+            pool: SamplingPool::new(population.len()),
             next_participation_id: 0,
-            completed_this_round: 0,
-            round_number: 0,
-            round_start_time: 0.0,
-            eval_ids,
-            hours_to_target: None,
-            final_loss: f64::INFINITY,
             now: 0.0,
         }
     }
@@ -314,8 +247,7 @@ impl<'a> SimulationState<'a> {
     fn run(mut self) -> SimulationResult {
         self.fill_demand();
         self.queue.schedule(0.0, EventKind::Evaluate);
-        self.queue
-            .schedule(0.0, EventKind::SampleUtilization);
+        self.queue.schedule(0.0, EventKind::SampleUtilization);
 
         let mut stop_reason = StopReason::MaxVirtualTime;
         while let Some(event) = self.queue.pop() {
@@ -332,84 +264,79 @@ impl<'a> SimulationState<'a> {
                 } => {
                     self.handle_client_finished(client_id, participation_id);
                     if let Some(max) = self.config.max_client_updates {
-                        if self.metrics.comm_trips >= max {
+                        if self.runtime.metrics().comm_trips >= max {
                             stop_reason = StopReason::MaxClientUpdates;
                             break;
                         }
                     }
                 }
                 EventKind::ClientFailed {
-                    client_id,
+                    client_id: _,
                     participation_id,
-                } => self.handle_client_failed(client_id, participation_id),
+                } => {
+                    if let Some(freed_client) = self.runtime.client_failed(participation_id) {
+                        self.pool.release(freed_client);
+                        self.fill_demand();
+                    }
+                }
                 EventKind::Evaluate => {
-                    if self.handle_evaluate() {
+                    self.runtime.evaluate(self.now);
+                    if self.runtime.target_reached() {
                         stop_reason = StopReason::TargetLossReached;
                         break;
                     }
+                    self.queue
+                        .schedule(self.now + self.config.eval_interval_s, EventKind::Evaluate);
                 }
                 EventKind::SampleUtilization => {
-                    self.metrics
-                        .utilization_trace
-                        .push((self.now, self.in_flight.len()));
+                    self.runtime.record_utilization(self.now);
                     self.queue.schedule(
                         self.now + self.config.utilization_sample_interval_s,
                         EventKind::SampleUtilization,
                     );
                 }
+                _ => unreachable!("single-task simulation schedules no multi-task events"),
             }
         }
 
         // Final evaluation so `final_loss` reflects the last model.
-        let loss = self
-            .trainer
-            .evaluate(self.model.params(), &self.eval_ids);
-        self.final_loss = loss;
-        self.metrics.loss_curve.push((self.now / 3600.0, loss));
+        self.runtime.evaluate(self.now);
 
-        let summary = self.metrics.summarize(self.now);
+        let now = self.now;
+        let (metrics, final_params, final_version, final_loss, hours_to_target) =
+            self.runtime.into_parts();
+        let summary = metrics.summarize(now);
         SimulationResult {
             stop_reason,
-            hours_to_target: self.hours_to_target,
-            final_loss: self.final_loss,
-            final_version: self.model.version(),
-            virtual_hours: self.now / 3600.0,
-            server_updates: self.metrics.server_updates,
-            comm_trips: self.metrics.comm_trips,
-            final_params: self.model.snapshot(),
+            hours_to_target,
+            final_loss,
+            final_version,
+            virtual_hours: now / 3600.0,
+            server_updates: metrics.server_updates,
+            comm_trips: metrics.comm_trips,
+            final_params,
             summary,
-            metrics: self.metrics,
+            metrics,
         }
-    }
-
-    /// Current client demand per Appendix E.3.
-    fn demand(&self) -> usize {
-        self.config
-            .task
-            .client_demand(self.in_flight.len(), self.completed_this_round)
     }
 
     fn fill_demand(&mut self) {
-        let mut demand = self.demand();
-        // Never select more clients than exist in the population.
-        demand = demand.min(self.population.len().saturating_sub(self.active_devices.len()));
+        let demand = self.runtime.demand();
         for _ in 0..demand {
-            self.select_one_client();
-        }
-        self.record_utilization();
-    }
-
-    fn select_one_client(&mut self) {
-        // Uniformly sample a device that is not already participating.
-        let mut client_id = self.rng.gen_range(0..self.population.len());
-        let mut attempts = 0;
-        while self.active_devices.contains(&client_id) {
-            client_id = self.rng.gen_range(0..self.population.len());
-            attempts += 1;
-            if attempts > 10 * self.population.len() {
-                return; // population exhausted
+            if !self.select_one_client() {
+                break; // population exhausted
             }
         }
+        self.runtime.record_utilization(self.now);
+    }
+
+    /// Selects one idle device uniformly at random; returns false when every
+    /// device is already participating.
+    fn select_one_client(&mut self) -> bool {
+        let client_id = match self.pool.acquire_random(&mut self.rng) {
+            Some(id) => id,
+            None => return false,
+        };
         let device = self.population.device(client_id);
         let participation_id = self.next_participation_id;
         self.next_participation_id += 1;
@@ -420,17 +347,8 @@ impl<'a> SimulationState<'a> {
         let exceeds_timeout = device.exceeds_timeout(timeout);
         let execution_time = device.clamped_execution_time(timeout);
 
-        self.in_flight.insert(
-            participation_id,
-            InFlight {
-                client_id,
-                start_version: self.model.version(),
-                start_params: Arc::clone(&self.snapshot),
-                round: self.round_number,
-                execution_time_s: execution_time,
-            },
-        );
-        self.active_devices.insert(client_id);
+        self.runtime
+            .begin_participation(participation_id, client_id, execution_time);
 
         if drops_out {
             // The client fails partway through its (clamped) execution.
@@ -460,167 +378,22 @@ impl<'a> SimulationState<'a> {
                 },
             );
         }
-    }
-
-    fn record_utilization(&mut self) {
-        self.metrics
-            .utilization_trace
-            .push((self.now, self.in_flight.len()));
+        true
     }
 
     fn handle_client_finished(&mut self, client_id: usize, participation_id: u64) {
-        let in_flight = match self.in_flight.remove(&participation_id) {
-            Some(f) => f,
+        let outcome = match self.runtime.offer_update(participation_id, self.now) {
+            Some(outcome) => outcome,
             None => return, // aborted earlier (round ended or staleness abort)
         };
-        self.active_devices.remove(&client_id);
-        self.metrics.comm_trips += 1;
-
-        let result = self.trainer.train(
-            client_id,
-            &in_flight.start_params,
-            self.config.seed ^ participation_id,
-        );
-        let num_examples = result.num_examples;
-        let update = ClientUpdate::from_result(client_id, in_flight.start_version, result);
-
-        match &mut self.aggregator {
-            AggregatorState::Async(agg) => {
-                let outcome = agg.accumulate(update, self.model.version());
-                let accepted = outcome.accepted();
-                if let papaya_core::fedbuff::AccumulateOutcome::Accepted { staleness } = outcome {
-                    self.metrics.staleness_sum += staleness;
-                    self.metrics.aggregated_updates += 1;
-                } else {
-                    self.metrics.rejected_stale_updates += 1;
-                }
-                self.metrics.participations.push(ParticipationRecord {
-                    client_id,
-                    execution_time_s: in_flight.execution_time_s,
-                    num_examples,
-                    aggregated: accepted,
-                });
-                if agg.is_ready() {
-                    let delta = agg.take().expect("aggregation goal reached");
-                    self.apply_server_update(&delta);
-                    self.abort_overly_stale_clients();
-                }
-            }
-            AggregatorState::Sync(agg) => {
-                if in_flight.round != self.round_number {
-                    // Update from a previous round arriving late; discarded.
-                    self.metrics.discarded_updates += 1;
-                    self.metrics.participations.push(ParticipationRecord {
-                        client_id,
-                        execution_time_s: in_flight.execution_time_s,
-                        num_examples,
-                        aggregated: false,
-                    });
-                } else {
-                    let accepted = agg.accumulate(update);
-                    self.completed_this_round += 1;
-                    if !accepted {
-                        self.metrics.discarded_updates += 1;
-                    } else {
-                        self.metrics.aggregated_updates += 1;
-                    }
-                    self.metrics.participations.push(ParticipationRecord {
-                        client_id,
-                        execution_time_s: in_flight.execution_time_s,
-                        num_examples,
-                        aggregated: accepted,
-                    });
-                    if agg.is_ready() {
-                        let delta = agg.take().expect("round complete");
-                        self.apply_server_update(&delta);
-                        self.end_sync_round();
-                    }
-                }
-            }
+        self.pool.release(client_id);
+        for freed in &outcome.freed {
+            self.pool.release(freed.client_id);
+        }
+        if outcome.round_ended {
+            self.runtime.record_utilization(self.now);
         }
         self.fill_demand();
-    }
-
-    fn handle_client_failed(&mut self, client_id: usize, participation_id: u64) {
-        if self.in_flight.remove(&participation_id).is_none() {
-            return;
-        }
-        self.active_devices.remove(&client_id);
-        self.metrics.failed_participations += 1;
-        self.fill_demand();
-    }
-
-    fn apply_server_update(&mut self, delta: &ParamVec) {
-        self.model.apply_update(self.optimizer.as_mut(), delta);
-        self.snapshot = Arc::new(self.model.snapshot());
-        self.metrics.server_updates += 1;
-    }
-
-    /// Aborts in-flight clients whose staleness would exceed the bound
-    /// (Appendix E.1: "clients may also be aborted by the server if staleness
-    /// is higher than a configurable value").
-    fn abort_overly_stale_clients(&mut self) {
-        let max_staleness = match self.config.task.mode {
-            TrainingMode::Async { max_staleness, .. } => max_staleness,
-            TrainingMode::Sync { .. } => return,
-        };
-        let version = self.model.version();
-        let to_abort: Vec<u64> = self
-            .in_flight
-            .iter()
-            .filter(|(_, f)| version.saturating_sub(f.start_version) > max_staleness)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in to_abort {
-            if let Some(f) = self.in_flight.remove(&id) {
-                self.active_devices.remove(&f.client_id);
-                self.metrics.failed_participations += 1;
-            }
-        }
-    }
-
-    /// Ends a synchronous round: aborts all still-running clients of the
-    /// round and starts the next one.
-    fn end_sync_round(&mut self) {
-        let round = self.round_number;
-        let to_abort: Vec<u64> = self
-            .in_flight
-            .iter()
-            .filter(|(_, f)| f.round == round)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in to_abort {
-            if let Some(f) = self.in_flight.remove(&id) {
-                self.active_devices.remove(&f.client_id);
-                self.metrics.aborted_by_round_end += 1;
-            }
-        }
-        self.metrics
-            .round_durations_s
-            .push(self.now - self.round_start_time);
-        self.round_number += 1;
-        self.round_start_time = self.now;
-        self.completed_this_round = 0;
-        self.record_utilization();
-        self.fill_demand();
-    }
-
-    /// Runs an evaluation; returns true if the target loss was reached.
-    fn handle_evaluate(&mut self) -> bool {
-        let loss = self
-            .trainer
-            .evaluate(self.model.params(), &self.eval_ids);
-        self.final_loss = loss;
-        self.metrics.loss_curve.push((self.now / 3600.0, loss));
-        if let Some(target) = self.config.target_loss {
-            if loss <= target {
-                self.hours_to_target = Some(self.now / 3600.0);
-                return true;
-            }
-        }
-        self.queue
-            .schedule(self.now + self.config.eval_interval_s, EventKind::Evaluate);
-        false
     }
 }
 
@@ -778,9 +551,7 @@ mod tests {
         let result = Simulation::new(config, pop, t).run();
         // With 256 concurrent clients and K = 4, staleness frequently
         // exceeds 1, so some updates must be rejected or clients aborted.
-        assert!(
-            result.metrics.rejected_stale_updates + result.metrics.failed_participations > 0
-        );
+        assert!(result.metrics.rejected_stale_updates + result.metrics.failed_participations > 0);
     }
 
     #[test]
@@ -790,5 +561,19 @@ mod tests {
         // are replaced), so nobody is aborted when the round closes.
         assert_eq!(result.metrics.aborted_by_round_end, 0);
         assert!(result.metrics.discarded_updates == 0);
+    }
+
+    #[test]
+    fn selection_stays_fast_when_population_is_saturated() {
+        // Concurrency equal to the population size: every selection after
+        // warm-up happens from a nearly-empty free pool, the regime the old
+        // rejection-sampling loop handled in O(population) per pick.
+        let result = run(TaskConfig::async_task("t", 120, 8), 1.0, 120);
+        assert!(result.server_updates > 0);
+        assert!(result
+            .metrics
+            .utilization_trace
+            .iter()
+            .all(|&(_, active)| active <= 120));
     }
 }

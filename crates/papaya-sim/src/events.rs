@@ -31,6 +31,45 @@ pub enum EventKind {
     Evaluate,
     /// Periodic utilization sample.
     SampleUtilization,
+    /// Multi-task: a client participating in `task` finished local training
+    /// and uploads its update.
+    TaskClientFinished {
+        /// The task the client trained for.
+        task: usize,
+        /// Device id of the client.
+        client_id: usize,
+        /// Identifier of this participation.
+        participation_id: u64,
+    },
+    /// Multi-task: a client participating in `task` failed (dropout, crash,
+    /// or timeout abort).
+    TaskClientFailed {
+        /// The task the client was training for.
+        task: usize,
+        /// Device id of the client.
+        client_id: usize,
+        /// Identifier of this participation.
+        participation_id: u64,
+    },
+    /// Multi-task: periodic evaluation of one task's global model.
+    EvaluateTask {
+        /// The task to evaluate.
+        task: usize,
+    },
+    /// Multi-task: periodic control-plane sweep — live Aggregators heartbeat,
+    /// the Coordinator detects failures and reassigns orphaned tasks, client
+    /// demand is pooled and new clients are assigned.
+    ControlPlaneTick,
+    /// Multi-task: periodic Selector refresh of the Coordinator's assignment
+    /// map (between a reassignment and the next refresh, stale Selectors
+    /// refuse to route).
+    RefreshSelectors,
+    /// Multi-task: injected failure — the given Aggregator process dies and
+    /// stops heartbeating; its buffered state is lost.
+    AggregatorCrash {
+        /// The Aggregator that dies.
+        aggregator: usize,
+    },
 }
 
 /// A scheduled event.

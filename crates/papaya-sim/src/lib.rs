@@ -13,9 +13,18 @@
 //!   (SyncFL with/without over-selection, AsyncFL with any aggregation goal);
 //! * [`metrics`] — traces and summary statistics (utilization, communication
 //!   trips, server updates per hour, participation distributions);
+//! * [`task_runtime`] — per-task server-side state (model, optimizer,
+//!   aggregator, in-flight participations, per-task metrics) shared by the
+//!   single-task engine and the multi-tenant driver;
 //! * [`cluster`] — the control plane: Coordinator, Selectors, persistent
 //!   Aggregators, task assignment, heartbeats, and failure recovery
 //!   (Sections 4, 6 and Appendix E.4);
+//! * [`multi_task`] — the multi-tenant simulation: many tasks placed on
+//!   persistent Aggregators by the Coordinator, one shared device
+//!   population routed through Selectors, and injectable Aggregator
+//!   failures with task reassignment (Sections 4, 6.2–6.3, Appendix E.4);
+//! * [`sampling`] — O(1) uniform sampling of free devices from a shared,
+//!   possibly saturated population;
 //! * [`client_runtime`] — the on-device runtime: eligibility criteria (idle,
 //!   charging, unmetered network), the example store with its retention
 //!   policy, and participation-history throttling (Section 4, Appendix E.5).
@@ -43,6 +52,13 @@ pub mod cluster;
 pub mod engine;
 pub mod events;
 pub mod metrics;
+pub mod multi_task;
+pub mod sampling;
+pub mod task_runtime;
 
 pub use engine::{Simulation, SimulationConfig, SimulationResult, StopReason};
-pub use metrics::{MetricsSummary, ParticipationRecord};
+pub use metrics::{
+    ControlPlaneStats, FleetSummary, MetricsSummary, ParticipationRecord, TaskSummary,
+};
+pub use multi_task::{MultiTaskConfig, MultiTaskResult, MultiTaskSimulation};
+pub use task_runtime::{ServerOptimizerKind, TaskRuntime};

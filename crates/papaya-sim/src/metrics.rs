@@ -45,6 +45,9 @@ pub struct MetricsCollector {
     pub staleness_sum: u64,
     /// Count of aggregated updates (denominator for mean staleness).
     pub aggregated_updates: u64,
+    /// Buffered updates lost when the Aggregator holding this task died
+    /// before reaching an aggregation goal.
+    pub lost_buffered_updates: u64,
 }
 
 impl MetricsCollector {
@@ -76,7 +79,10 @@ impl MetricsCollector {
         if self.utilization_trace.is_empty() {
             return 0.0;
         }
-        self.utilization_trace.iter().map(|&(_, a)| a as f64).sum::<f64>()
+        self.utilization_trace
+            .iter()
+            .map(|&(_, a)| a as f64)
+            .sum::<f64>()
             / self.utilization_trace.len() as f64
     }
 
@@ -143,6 +149,96 @@ impl MetricsCollector {
     }
 }
 
+/// End-of-run report for one task of a multi-tenant simulation.
+#[derive(Clone, Debug)]
+pub struct TaskSummary {
+    /// Task identifier (index into the fleet's task list).
+    pub task_id: usize,
+    /// Human-readable task name.
+    pub name: String,
+    /// Population loss at the first evaluation.
+    pub initial_loss: f64,
+    /// Population loss at the last evaluation.
+    pub final_loss: f64,
+    /// Times this task was moved to a new Aggregator after a failure.
+    pub reassignments: u64,
+    /// Buffered updates this task lost to Aggregator failures.
+    pub lost_buffered_updates: u64,
+    /// The task's run summary (rates, staleness, utilization).
+    pub summary: MetricsSummary,
+}
+
+impl TaskSummary {
+    /// Fraction of the initial loss still remaining at the end of the run
+    /// (1.0 means no progress; small values mean strong convergence).
+    pub fn remaining_loss_fraction(&self) -> f64 {
+        if self.initial_loss.abs() < f64::EPSILON {
+            return 1.0;
+        }
+        self.final_loss / self.initial_loss
+    }
+}
+
+/// Control-plane counters a multi-tenant run accumulates outside any single
+/// task: failures, reassignments, and routing outcomes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ControlPlaneStats {
+    /// Aggregator processes that failed during the run.
+    pub aggregator_failures: u64,
+    /// Task→Aggregator reassignments performed by the Coordinator.
+    pub task_reassignments: u64,
+    /// Client requests refused because a Selector's assignment map was
+    /// stale (sequence behind the Coordinator's).
+    pub stale_route_refusals: u64,
+    /// Client updates lost in transit to a dead Aggregator.
+    pub lost_in_transit_updates: u64,
+    /// Final sequence number of the Coordinator's assignment map.
+    pub final_map_sequence: u64,
+}
+
+/// Cross-task roll-up of a multi-tenant run.
+#[derive(Clone, Debug)]
+pub struct FleetSummary {
+    /// Total virtual time simulated, in hours.
+    pub virtual_hours: f64,
+    /// Number of tasks in the fleet.
+    pub tasks: usize,
+    /// Client updates received across all tasks.
+    pub total_comm_trips: u64,
+    /// Server model updates across all tasks.
+    pub total_server_updates: u64,
+    /// Failed participations across all tasks.
+    pub total_failed_participations: u64,
+    /// Buffered updates lost to Aggregator failures across all tasks.
+    pub total_lost_buffered_updates: u64,
+    /// Mean concurrently-active clients summed over tasks (fleet-wide
+    /// device utilization).
+    pub mean_active_clients: f64,
+    /// Control-plane counters for the run.
+    pub control_plane: ControlPlaneStats,
+}
+
+impl FleetSummary {
+    /// Rolls up per-task summaries and control-plane counters.
+    pub fn roll_up(
+        virtual_hours: f64,
+        tasks: &[TaskSummary],
+        collectors: &[MetricsCollector],
+        control_plane: ControlPlaneStats,
+    ) -> Self {
+        FleetSummary {
+            virtual_hours,
+            tasks: tasks.len(),
+            total_comm_trips: collectors.iter().map(|m| m.comm_trips).sum(),
+            total_server_updates: collectors.iter().map(|m| m.server_updates).sum(),
+            total_failed_participations: collectors.iter().map(|m| m.failed_participations).sum(),
+            total_lost_buffered_updates: collectors.iter().map(|m| m.lost_buffered_updates).sum(),
+            mean_active_clients: collectors.iter().map(|m| m.mean_active_clients()).sum(),
+            control_plane,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +284,56 @@ mod tests {
         ];
         assert_eq!(m.aggregated_execution_times(), vec![10.0]);
         assert_eq!(m.aggregated_example_counts(), vec![5.0]);
+    }
+
+    #[test]
+    fn fleet_summary_rolls_up_tasks() {
+        let mut a = MetricsCollector::new();
+        a.comm_trips = 100;
+        a.server_updates = 10;
+        a.failed_participations = 3;
+        a.lost_buffered_updates = 2;
+        a.utilization_trace = vec![(0.0, 4), (1.0, 6)];
+        let mut b = MetricsCollector::new();
+        b.comm_trips = 50;
+        b.server_updates = 5;
+        b.utilization_trace = vec![(0.0, 10), (1.0, 10)];
+        let tasks = vec![
+            TaskSummary {
+                task_id: 0,
+                name: "a".into(),
+                initial_loss: 2.0,
+                final_loss: 0.5,
+                reassignments: 1,
+                lost_buffered_updates: 2,
+                summary: a.summarize(3600.0),
+            },
+            TaskSummary {
+                task_id: 1,
+                name: "b".into(),
+                initial_loss: 1.0,
+                final_loss: 0.9,
+                reassignments: 0,
+                lost_buffered_updates: 0,
+                summary: b.summarize(3600.0),
+            },
+        ];
+        let stats = ControlPlaneStats {
+            aggregator_failures: 1,
+            task_reassignments: 1,
+            stale_route_refusals: 7,
+            lost_in_transit_updates: 4,
+            final_map_sequence: 3,
+        };
+        let fleet = FleetSummary::roll_up(1.0, &tasks, &[a, b], stats.clone());
+        assert_eq!(fleet.tasks, 2);
+        assert_eq!(fleet.total_comm_trips, 150);
+        assert_eq!(fleet.total_server_updates, 15);
+        assert_eq!(fleet.total_failed_participations, 3);
+        assert_eq!(fleet.total_lost_buffered_updates, 2);
+        assert_eq!(fleet.mean_active_clients, 15.0);
+        assert_eq!(fleet.control_plane, stats);
+        assert!((tasks[0].remaining_loss_fraction() - 0.25).abs() < 1e-12);
     }
 
     #[test]

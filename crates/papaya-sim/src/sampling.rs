@@ -1,0 +1,151 @@
+//! O(1) uniform sampling of free devices from a shared population.
+//!
+//! The engine previously selected clients by rejection sampling — draw a
+//! random device id and retry while it is busy — which degenerates to
+//! O(population) per selection once most of the population participates.
+//! Multi-task sharing creates exactly that regime: several tenants drawing
+//! from one population can saturate it.  [`SamplingPool`] keeps the free
+//! device ids in a dense vector with an id→slot index, so acquiring a
+//! uniformly random free device and releasing a busy one are both O(1)
+//! (index-swap / swap-remove).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Constant-time uniform sampler over the free subset of `0..n` device ids.
+#[derive(Clone, Debug)]
+pub struct SamplingPool {
+    /// Dense list of free device ids.
+    free: Vec<usize>,
+    /// `slot[id]` is the index of `id` in `free`, or `None` while acquired.
+    slot: Vec<Option<usize>>,
+}
+
+impl SamplingPool {
+    /// Creates a pool over ids `0..n`, all free.
+    pub fn new(n: usize) -> Self {
+        SamplingPool {
+            free: (0..n).collect(),
+            slot: (0..n).map(Some).collect(),
+        }
+    }
+
+    /// Number of ids currently free.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total number of ids managed by the pool.
+    pub fn len(&self) -> usize {
+        self.slot.len()
+    }
+
+    /// Returns true when the pool manages no ids.
+    pub fn is_empty(&self) -> bool {
+        self.slot.is_empty()
+    }
+
+    /// Whether `id` is currently free.
+    pub fn is_free(&self, id: usize) -> bool {
+        self.slot.get(id).map(|s| s.is_some()).unwrap_or(false)
+    }
+
+    /// Acquires a uniformly random free id, or `None` when all are busy.
+    pub fn acquire_random(&mut self, rng: &mut StdRng) -> Option<usize> {
+        if self.free.is_empty() {
+            return None;
+        }
+        let index = rng.gen_range(0..self.free.len());
+        let id = self.free.swap_remove(index);
+        if let Some(&moved) = self.free.get(index) {
+            self.slot[moved] = Some(index);
+        }
+        self.slot[id] = None;
+        Some(id)
+    }
+
+    /// Releases a previously acquired id back into the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already free (double release).
+    pub fn release(&mut self, id: usize) {
+        assert!(
+            self.slot[id].is_none(),
+            "device {id} released while already free"
+        );
+        self.slot[id] = Some(self.free.len());
+        self.free.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn acquire_removes_and_release_restores() {
+        let mut pool = SamplingPool::new(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pool.available(), 10);
+        let a = pool.acquire_random(&mut rng).unwrap();
+        assert!(!pool.is_free(a));
+        assert_eq!(pool.available(), 9);
+        pool.release(a);
+        assert!(pool.is_free(a));
+        assert_eq!(pool.available(), 10);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut pool = SamplingPool::new(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut taken = HashSet::new();
+        for _ in 0..3 {
+            assert!(taken.insert(pool.acquire_random(&mut rng).unwrap()));
+        }
+        assert_eq!(pool.acquire_random(&mut rng), None);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn never_hands_out_a_busy_id() {
+        let mut pool = SamplingPool::new(50);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut held: Vec<usize> = Vec::new();
+        for step in 0..10_000 {
+            if step % 3 == 2 && !held.is_empty() {
+                let id = held.swap_remove(step % held.len());
+                pool.release(id);
+            } else if let Some(id) = pool.acquire_random(&mut rng) {
+                assert!(!held.contains(&id), "id {id} handed out twice");
+                held.push(id);
+            }
+            assert_eq!(pool.available() + held.len(), 50);
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let mut pool = SamplingPool::new(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            let id = pool.acquire_random(&mut rng).unwrap();
+            counts[id] += 1;
+            pool.release(id);
+        }
+        for &c in &counts {
+            assert!((1500..2500).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already free")]
+    fn double_release_panics() {
+        let mut pool = SamplingPool::new(2);
+        pool.release(0);
+    }
+}

@@ -1,0 +1,607 @@
+//! Per-task training state, factored out of the single-task engine.
+//!
+//! A [`TaskRuntime`] owns everything one federated task needs server-side:
+//! the versioned model and its optimizer, the (sync or async) aggregator,
+//! the download snapshot, the in-flight participation map, synchronous round
+//! bookkeeping, and a per-task [`MetricsCollector`].  It exposes a narrow
+//! API — [`begin_participation`](TaskRuntime::begin_participation),
+//! [`offer_update`](TaskRuntime::offer_update),
+//! [`client_failed`](TaskRuntime::client_failed),
+//! [`demand`](TaskRuntime::demand), [`evaluate`](TaskRuntime::evaluate) —
+//! so the same runtime can be driven by the single-task [`crate::engine`]
+//! or placed on a simulated Aggregator by
+//! [`crate::multi_task::MultiTaskSimulation`].
+//!
+//! The runtime is deliberately ignorant of *who* participates and *when*:
+//! client selection, event scheduling, dropouts, and timeouts belong to the
+//! driving simulation.  On an Aggregator failure the driver calls
+//! [`drop_buffered_updates`](TaskRuntime::drop_buffered_updates) —
+//! reproducing the paper's fault-tolerance semantics (buffered state is
+//! lost with the Aggregator; training resumes after reassignment).  For
+//! in-flight participations a driver can either let their uploads fail
+//! lazily when they arrive (what [`crate::multi_task`] does: the upload is
+//! addressed to the dead Aggregator and is reported through
+//! [`client_failed`](TaskRuntime::client_failed)) or abort them all
+//! eagerly with
+//! [`abort_all_in_flight`](TaskRuntime::abort_all_in_flight).
+
+use crate::events::SimTime;
+use crate::metrics::{MetricsCollector, ParticipationRecord};
+use papaya_core::client::{ClientTrainer, ClientUpdate};
+use papaya_core::config::{TaskConfig, TrainingMode};
+use papaya_core::fedbuff::FedBuffAggregator;
+use papaya_core::model::ServerModel;
+use papaya_core::server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
+use papaya_core::sync_agg::SyncRoundAggregator;
+use papaya_nn::params::ParamVec;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which server optimizer a runtime applies to aggregated deltas.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServerOptimizerKind {
+    /// `model += delta`.
+    FedAvg,
+    /// `model += lr * delta`.
+    FedSgd {
+        /// Server learning rate.
+        learning_rate: f32,
+    },
+    /// Adam on the server with the delta as pseudo-gradient.
+    FedAdam {
+        /// Server learning rate.
+        learning_rate: f32,
+        /// First-moment decay.
+        beta1: f32,
+    },
+}
+
+impl ServerOptimizerKind {
+    fn build(&self) -> Box<dyn ServerOptimizer> {
+        match *self {
+            ServerOptimizerKind::FedAvg => Box::new(FedAvg),
+            ServerOptimizerKind::FedSgd { learning_rate } => Box::new(FedSgd::new(learning_rate)),
+            ServerOptimizerKind::FedAdam {
+                learning_rate,
+                beta1,
+            } => Box::new(FedAdam::new(learning_rate, beta1)),
+        }
+    }
+}
+
+/// A client currently participating in this task.
+#[derive(Clone, Debug)]
+struct InFlight {
+    client_id: usize,
+    start_version: u64,
+    start_params: Arc<ParamVec>,
+    round: u64,
+    execution_time_s: f64,
+}
+
+enum AggregatorState {
+    Async(FedBuffAggregator),
+    Sync(SyncRoundAggregator),
+}
+
+/// A participation released by the runtime (stale abort, round end, or a
+/// forced abort after an Aggregator failure); the driver must return the
+/// device to its selection pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreedClient {
+    /// The participation that ended.
+    pub participation_id: u64,
+    /// The device that is free again.
+    pub client_id: usize,
+}
+
+/// What happened when an update was offered to the runtime.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateOutcome {
+    /// The update was folded into an aggregation buffer.
+    pub accepted: bool,
+    /// An aggregation goal was reached and the server model stepped.
+    pub server_updated: bool,
+    /// A synchronous round closed.
+    pub round_ended: bool,
+    /// Participations aborted as a consequence (staleness bound or round
+    /// end); their devices are free again.
+    pub freed: Vec<FreedClient>,
+}
+
+/// Server-side state of one federated task.
+pub struct TaskRuntime {
+    config: TaskConfig,
+    seed: u64,
+    target_loss: Option<f64>,
+    trainer: Arc<dyn ClientTrainer>,
+    model: ServerModel,
+    snapshot: Arc<ParamVec>,
+    optimizer: Box<dyn ServerOptimizer>,
+    aggregator: AggregatorState,
+    in_flight: HashMap<u64, InFlight>,
+    completed_this_round: usize,
+    round_number: u64,
+    round_start_time: SimTime,
+    eval_ids: Vec<usize>,
+    metrics: MetricsCollector,
+    hours_to_target: Option<f64>,
+    final_loss: f64,
+}
+
+impl TaskRuntime {
+    /// Creates the runtime for one task.  `eval_ids` is the fixed evaluation
+    /// sample (chosen by the driver from its population) and `seed` salts the
+    /// per-participation training randomness.
+    pub fn new(
+        config: TaskConfig,
+        server_optimizer: ServerOptimizerKind,
+        trainer: Arc<dyn ClientTrainer>,
+        eval_ids: Vec<usize>,
+        seed: u64,
+        target_loss: Option<f64>,
+    ) -> Self {
+        let model = ServerModel::new(trainer.initial_parameters());
+        let snapshot = Arc::new(model.snapshot());
+        let optimizer = server_optimizer.build();
+        let aggregator = match config.mode {
+            TrainingMode::Async {
+                max_staleness,
+                staleness_weighting,
+            } => AggregatorState::Async(
+                FedBuffAggregator::new(
+                    config.aggregation_goal,
+                    staleness_weighting,
+                    Some(max_staleness),
+                )
+                .with_example_weighting(config.weight_by_examples),
+            ),
+            TrainingMode::Sync { .. } => AggregatorState::Sync(
+                SyncRoundAggregator::new(config.aggregation_goal)
+                    .with_example_weighting(config.weight_by_examples),
+            ),
+        };
+        TaskRuntime {
+            config,
+            seed,
+            target_loss,
+            trainer,
+            model,
+            snapshot,
+            optimizer,
+            aggregator,
+            in_flight: HashMap::new(),
+            completed_this_round: 0,
+            round_number: 0,
+            round_start_time: 0.0,
+            eval_ids,
+            metrics: MetricsCollector::new(),
+            hours_to_target: None,
+            final_loss: f64::INFINITY,
+        }
+    }
+
+    /// The task configuration.
+    pub fn config(&self) -> &TaskConfig {
+        &self.config
+    }
+
+    /// Current client demand per Appendix E.3 (concurrency minus active,
+    /// minus this round's completions in synchronous mode).
+    pub fn demand(&self) -> usize {
+        self.config
+            .client_demand(self.in_flight.len(), self.completed_this_round)
+    }
+
+    /// Number of clients currently in flight.
+    pub fn active(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Current server model version.
+    pub fn version(&self) -> u64 {
+        self.model.version()
+    }
+
+    /// Snapshot of the current server parameters (what a client downloads).
+    pub fn model_snapshot(&self) -> ParamVec {
+        self.model.snapshot()
+    }
+
+    /// The per-task metrics collected so far.
+    pub fn metrics(&self) -> &MetricsCollector {
+        &self.metrics
+    }
+
+    /// Virtual hours at which the target loss was reached, if it was.
+    pub fn hours_to_target(&self) -> Option<f64> {
+        self.hours_to_target
+    }
+
+    /// The most recently evaluated population loss.
+    pub fn final_loss(&self) -> f64 {
+        self.final_loss
+    }
+
+    /// The synchronous round currently in progress (0-based; also counts
+    /// buffered-async server updates in async mode's bookkeeping).
+    pub fn round_number(&self) -> u64 {
+        self.round_number
+    }
+
+    /// Registers a selected client: it downloads the current snapshot and
+    /// starts training.  The driver owns participation-id allocation.
+    pub fn begin_participation(
+        &mut self,
+        participation_id: u64,
+        client_id: usize,
+        execution_time_s: f64,
+    ) {
+        self.in_flight.insert(
+            participation_id,
+            InFlight {
+                client_id,
+                start_version: self.model.version(),
+                start_params: Arc::clone(&self.snapshot),
+                round: self.round_number,
+                execution_time_s,
+            },
+        );
+    }
+
+    /// Whether the given participation is still in flight.
+    pub fn is_in_flight(&self, participation_id: u64) -> bool {
+        self.in_flight.contains_key(&participation_id)
+    }
+
+    /// Records a utilization sample at `now`.
+    pub fn record_utilization(&mut self, now: SimTime) {
+        self.metrics
+            .utilization_trace
+            .push((now, self.in_flight.len()));
+    }
+
+    /// A client finished local training and reports its update.  Runs the
+    /// trainer, feeds the aggregator, and applies a server update when an
+    /// aggregation goal is reached.  Returns `None` when the participation
+    /// was already aborted (round end, staleness abort, or failover).
+    pub fn offer_update(&mut self, participation_id: u64, now: SimTime) -> Option<UpdateOutcome> {
+        let in_flight = self.in_flight.remove(&participation_id)?;
+        let client_id = in_flight.client_id;
+        self.metrics.comm_trips += 1;
+
+        let result = self.trainer.train(
+            client_id,
+            &in_flight.start_params,
+            self.seed ^ participation_id,
+        );
+        let num_examples = result.num_examples;
+        let update = ClientUpdate::from_result(client_id, in_flight.start_version, result);
+
+        let mut outcome = UpdateOutcome::default();
+        match &mut self.aggregator {
+            AggregatorState::Async(agg) => {
+                let accumulate_outcome = agg.accumulate(update, self.model.version());
+                outcome.accepted = accumulate_outcome.accepted();
+                if let papaya_core::fedbuff::AccumulateOutcome::Accepted { staleness } =
+                    accumulate_outcome
+                {
+                    self.metrics.staleness_sum += staleness;
+                    self.metrics.aggregated_updates += 1;
+                } else {
+                    self.metrics.rejected_stale_updates += 1;
+                }
+                self.metrics.participations.push(ParticipationRecord {
+                    client_id,
+                    execution_time_s: in_flight.execution_time_s,
+                    num_examples,
+                    aggregated: outcome.accepted,
+                });
+                if agg.is_ready() {
+                    let delta = agg.take().expect("aggregation goal reached");
+                    self.apply_server_update(&delta);
+                    outcome.server_updated = true;
+                    outcome.freed = self.abort_overly_stale_clients();
+                }
+            }
+            AggregatorState::Sync(agg) => {
+                if in_flight.round != self.round_number {
+                    // Update from a previous round arriving late; discarded.
+                    self.metrics.discarded_updates += 1;
+                    self.metrics.participations.push(ParticipationRecord {
+                        client_id,
+                        execution_time_s: in_flight.execution_time_s,
+                        num_examples,
+                        aggregated: false,
+                    });
+                } else {
+                    let accepted = agg.accumulate(update);
+                    self.completed_this_round += 1;
+                    outcome.accepted = accepted;
+                    if accepted {
+                        self.metrics.aggregated_updates += 1;
+                    } else {
+                        self.metrics.discarded_updates += 1;
+                    }
+                    self.metrics.participations.push(ParticipationRecord {
+                        client_id,
+                        execution_time_s: in_flight.execution_time_s,
+                        num_examples,
+                        aggregated: accepted,
+                    });
+                    if agg.is_ready() {
+                        let delta = agg.take().expect("round complete");
+                        self.apply_server_update(&delta);
+                        outcome.server_updated = true;
+                        outcome.round_ended = true;
+                        outcome.freed = self.end_sync_round(now);
+                    }
+                }
+            }
+        }
+        Some(outcome)
+    }
+
+    /// A participating client failed (dropout, crash, or timeout abort).
+    /// Returns the freed device id, or `None` if the participation had
+    /// already been aborted.
+    pub fn client_failed(&mut self, participation_id: u64) -> Option<usize> {
+        let in_flight = self.in_flight.remove(&participation_id)?;
+        self.metrics.failed_participations += 1;
+        Some(in_flight.client_id)
+    }
+
+    /// Runs an evaluation at `now`; returns the loss and records it on the
+    /// loss curve.  Sets [`hours_to_target`](TaskRuntime::hours_to_target)
+    /// the first time the target loss is reached.
+    pub fn evaluate(&mut self, now: SimTime) -> f64 {
+        let loss = self.trainer.evaluate(self.model.params(), &self.eval_ids);
+        self.final_loss = loss;
+        self.metrics.loss_curve.push((now / 3600.0, loss));
+        if self.hours_to_target.is_none() {
+            if let Some(target) = self.target_loss {
+                if loss <= target {
+                    self.hours_to_target = Some(now / 3600.0);
+                }
+            }
+        }
+        loss
+    }
+
+    /// Whether the configured target loss has been reached.
+    pub fn target_reached(&self) -> bool {
+        self.hours_to_target.is_some()
+    }
+
+    /// Discards all buffered (not yet aggregated) updates, as happens when
+    /// the Aggregator holding this task dies.  Returns how many buffered
+    /// updates were lost; they are also recorded in the task metrics.
+    pub fn drop_buffered_updates(&mut self) -> usize {
+        let dropped = match &mut self.aggregator {
+            AggregatorState::Async(agg) => agg.reset(),
+            AggregatorState::Sync(agg) => agg.reset(),
+        };
+        // A synchronous round loses its progress with the buffer.
+        self.completed_this_round = 0;
+        self.metrics.lost_buffered_updates += dropped as u64;
+        dropped
+    }
+
+    /// Aborts every in-flight participation (failover path: their uploads
+    /// would land on a dead Aggregator).  The driver must release the
+    /// returned devices.
+    pub fn abort_all_in_flight(&mut self) -> Vec<FreedClient> {
+        let mut freed: Vec<FreedClient> = self
+            .in_flight
+            .drain()
+            .map(|(participation_id, f)| FreedClient {
+                participation_id,
+                client_id: f.client_id,
+            })
+            .collect();
+        freed.sort_unstable_by_key(|f| f.participation_id);
+        self.metrics.failed_participations += freed.len() as u64;
+        freed
+    }
+
+    /// Consumes the runtime and returns its pieces for result assembly.
+    pub fn into_parts(self) -> (MetricsCollector, ParamVec, u64, f64, Option<f64>) {
+        (
+            self.metrics,
+            self.model.snapshot(),
+            self.model.version(),
+            self.final_loss,
+            self.hours_to_target,
+        )
+    }
+
+    fn apply_server_update(&mut self, delta: &ParamVec) {
+        self.model.apply_update(self.optimizer.as_mut(), delta);
+        self.snapshot = Arc::new(self.model.snapshot());
+        self.metrics.server_updates += 1;
+    }
+
+    /// Aborts in-flight clients whose staleness would exceed the bound
+    /// (Appendix E.1: "clients may also be aborted by the server if staleness
+    /// is higher than a configurable value").
+    fn abort_overly_stale_clients(&mut self) -> Vec<FreedClient> {
+        let max_staleness = match self.config.mode {
+            TrainingMode::Async { max_staleness, .. } => max_staleness,
+            TrainingMode::Sync { .. } => return Vec::new(),
+        };
+        let version = self.model.version();
+        let mut to_abort: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| version.saturating_sub(f.start_version) > max_staleness)
+            .map(|(&id, _)| id)
+            .collect();
+        to_abort.sort_unstable();
+        let mut freed = Vec::with_capacity(to_abort.len());
+        for id in to_abort {
+            if let Some(f) = self.in_flight.remove(&id) {
+                self.metrics.failed_participations += 1;
+                freed.push(FreedClient {
+                    participation_id: id,
+                    client_id: f.client_id,
+                });
+            }
+        }
+        freed
+    }
+
+    /// Ends a synchronous round: aborts all still-running clients of the
+    /// round and starts the next one.
+    fn end_sync_round(&mut self, now: SimTime) -> Vec<FreedClient> {
+        let round = self.round_number;
+        let mut to_abort: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.round == round)
+            .map(|(&id, _)| id)
+            .collect();
+        to_abort.sort_unstable();
+        let mut freed = Vec::with_capacity(to_abort.len());
+        for id in to_abort {
+            if let Some(f) = self.in_flight.remove(&id) {
+                self.metrics.aborted_by_round_end += 1;
+                freed.push(FreedClient {
+                    participation_id: id,
+                    client_id: f.client_id,
+                });
+            }
+        }
+        self.metrics
+            .round_durations_s
+            .push(now - self.round_start_time);
+        self.round_number += 1;
+        self.round_start_time = now;
+        self.completed_this_round = 0;
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
+    use papaya_data::population::{Population, PopulationConfig};
+
+    fn runtime(config: TaskConfig) -> TaskRuntime {
+        let pop = Population::generate(&PopulationConfig::default().with_size(200), 5);
+        let trainer = Arc::new(SurrogateObjective::new(&pop, SurrogateConfig::default(), 5));
+        TaskRuntime::new(
+            config,
+            ServerOptimizerKind::FedAvg,
+            trainer,
+            (0..50).collect(),
+            5,
+            None,
+        )
+    }
+
+    #[test]
+    fn async_goal_triggers_server_update() {
+        let mut rt = runtime(TaskConfig::async_task("t", 8, 2));
+        rt.begin_participation(0, 0, 10.0);
+        rt.begin_participation(1, 1, 10.0);
+        assert_eq!(rt.active(), 2);
+        assert_eq!(rt.demand(), 6);
+        let first = rt.offer_update(0, 10.0).unwrap();
+        assert!(first.accepted && !first.server_updated);
+        let second = rt.offer_update(1, 11.0).unwrap();
+        assert!(second.accepted && second.server_updated);
+        assert_eq!(rt.version(), 1);
+        assert_eq!(rt.metrics().comm_trips, 2);
+    }
+
+    #[test]
+    fn unknown_participation_is_ignored() {
+        let mut rt = runtime(TaskConfig::async_task("t", 8, 2));
+        assert!(rt.offer_update(99, 1.0).is_none());
+        assert!(rt.client_failed(99).is_none());
+        assert_eq!(rt.metrics().comm_trips, 0);
+    }
+
+    #[test]
+    fn sync_round_end_frees_stragglers() {
+        let mut rt = runtime(TaskConfig::sync_task("t", 3, 0.5));
+        // Goal is 3 / 1.5 = 2; the third client is a straggler.
+        rt.begin_participation(0, 0, 10.0);
+        rt.begin_participation(1, 1, 10.0);
+        rt.begin_participation(2, 2, 100.0);
+        rt.offer_update(0, 10.0).unwrap();
+        let outcome = rt.offer_update(1, 11.0).unwrap();
+        assert!(outcome.round_ended && outcome.server_updated);
+        assert_eq!(
+            outcome.freed,
+            vec![FreedClient {
+                participation_id: 2,
+                client_id: 2
+            }]
+        );
+        assert_eq!(rt.round_number(), 1);
+        assert_eq!(rt.metrics().aborted_by_round_end, 1);
+        // The straggler's late report is silently ignored.
+        assert!(rt.offer_update(2, 100.0).is_none());
+    }
+
+    #[test]
+    fn failed_client_is_freed_and_counted() {
+        let mut rt = runtime(TaskConfig::async_task("t", 8, 4));
+        rt.begin_participation(7, 3, 5.0);
+        assert_eq!(rt.client_failed(7), Some(3));
+        assert_eq!(rt.metrics().failed_participations, 1);
+        assert_eq!(rt.active(), 0);
+    }
+
+    #[test]
+    fn drop_buffered_updates_loses_progress() {
+        let mut rt = runtime(TaskConfig::async_task("t", 8, 3));
+        rt.begin_participation(0, 0, 1.0);
+        rt.begin_participation(1, 1, 1.0);
+        rt.offer_update(0, 1.0).unwrap();
+        rt.offer_update(1, 1.0).unwrap();
+        assert_eq!(rt.drop_buffered_updates(), 2);
+        assert_eq!(rt.metrics().lost_buffered_updates, 2);
+        // The next goal needs a full buffer again.
+        rt.begin_participation(2, 2, 1.0);
+        rt.begin_participation(3, 3, 1.0);
+        rt.offer_update(2, 2.0).unwrap();
+        let outcome = rt.offer_update(3, 2.0).unwrap();
+        assert!(!outcome.server_updated, "buffer was reset, goal is 3");
+        assert_eq!(rt.version(), 0);
+    }
+
+    #[test]
+    fn abort_all_in_flight_frees_everyone() {
+        let mut rt = runtime(TaskConfig::async_task("t", 8, 3));
+        rt.begin_participation(0, 4, 1.0);
+        rt.begin_participation(1, 9, 1.0);
+        let freed = rt.abort_all_in_flight();
+        assert_eq!(freed.len(), 2);
+        assert_eq!(freed[0].participation_id, 0);
+        assert_eq!(rt.active(), 0);
+        assert_eq!(rt.metrics().failed_participations, 2);
+    }
+
+    #[test]
+    fn evaluate_tracks_target() {
+        let pop = Population::generate(&PopulationConfig::default().with_size(100), 5);
+        let trainer = Arc::new(SurrogateObjective::new(&pop, SurrogateConfig::default(), 5));
+        let initial = trainer.evaluate(&trainer.initial_parameters(), &[0, 1, 2]);
+        let mut rt = TaskRuntime::new(
+            TaskConfig::async_task("t", 4, 2),
+            ServerOptimizerKind::FedAvg,
+            trainer,
+            vec![0, 1, 2],
+            5,
+            Some(initial * 2.0),
+        );
+        assert!(!rt.target_reached());
+        let loss = rt.evaluate(3600.0);
+        assert!((loss - initial).abs() < 1e-9);
+        assert!(rt.target_reached());
+        assert_eq!(rt.hours_to_target(), Some(1.0));
+    }
+}

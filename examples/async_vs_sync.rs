@@ -16,11 +16,18 @@ use papaya_data::population::{Population, PopulationConfig};
 use papaya_sim::engine::{Simulation, SimulationConfig, SimulationResult};
 use std::sync::Arc;
 
-fn run(task: TaskConfig, population: &Population, trainer: &Arc<SurrogateObjective>, target: f64) -> SimulationResult {
+fn run(
+    task: TaskConfig,
+    population: &Population,
+    trainer: &Arc<SurrogateObjective>,
+    target: f64,
+) -> SimulationResult {
+    // Evaluate often: time-to-target is quantized by the evaluation
+    // interval, and a coarse interval drowns the comparison in noise.
     let config = SimulationConfig::new(task)
         .with_target_loss(target)
         .with_max_virtual_time_hours(100.0)
-        .with_eval_interval_s(120.0)
+        .with_eval_interval_s(10.0)
         .with_seed(7);
     Simulation::new(config, population.clone(), trainer.clone()).run()
 }

@@ -31,7 +31,10 @@ fn main() {
     let all: Vec<usize> = (0..population.len()).collect();
     let heavy = population.ids_above_example_percentile(75.0);
     let initial_ppl = trainer.perplexity(&trainer.initial_parameters(), &all);
-    println!("initial test perplexity: {initial_ppl:.2} (uniform would be {:.0})\n", 28.0);
+    println!(
+        "initial test perplexity: {initial_ppl:.2} (uniform would be {:.0})\n",
+        28.0
+    );
 
     let task = TaskConfig::async_task("char-lm", 16, 4);
     let config = SimulationConfig::new(task)
@@ -42,8 +45,10 @@ fn main() {
         .with_seed(3);
     let result = Simulation::new(config, population, trainer.clone()).run();
 
-    println!("after {} client updates ({} server updates, {:.1} virtual hours):",
-        result.comm_trips, result.server_updates, result.virtual_hours);
+    println!(
+        "after {} client updates ({} server updates, {:.1} virtual hours):",
+        result.comm_trips, result.server_updates, result.virtual_hours
+    );
     println!(
         "  test perplexity, all clients        : {:.2}",
         trainer.perplexity(&result.final_params, &all)

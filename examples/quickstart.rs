@@ -53,7 +53,10 @@ fn main() {
     println!("\nsummary:");
     println!("  server model updates : {}", result.server_updates);
     println!("  client updates (trips): {}", result.comm_trips);
-    println!("  mean staleness       : {:.2}", result.summary.mean_staleness);
+    println!(
+        "  mean staleness       : {:.2}",
+        result.summary.mean_staleness
+    );
     println!(
         "  mean active clients  : {:.1} / 128",
         result.summary.mean_active_clients

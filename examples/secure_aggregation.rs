@@ -68,8 +68,9 @@ fn main() {
     // Failure paths.
     println!("\nfailure handling:");
     let extra = tsa.prepare_initial_messages(2, &mut rng);
-    let mut tampered = SecAggClient::participate(&[0.0; 1_000], &extra[0], &publication, &config, &mut rng)
-        .unwrap();
+    let mut tampered =
+        SecAggClient::participate(&[0.0; 1_000], &extra[0], &publication, &config, &mut rng)
+            .unwrap();
     let n = tampered.completing.encrypted_seed.len();
     tampered.completing.encrypted_seed[n / 2] ^= 1;
     println!(
@@ -77,8 +78,9 @@ fn main() {
         aggregator.submit(tampered, &mut tsa).unwrap_err()
     );
 
-    let mut replayed = SecAggClient::participate(&[9.0; 1_000], &extra[1], &publication, &config, &mut rng)
-        .unwrap();
+    let mut replayed =
+        SecAggClient::participate(&[9.0; 1_000], &extra[1], &publication, &config, &mut rng)
+            .unwrap();
     replayed.completing.index = initial_messages[0].index;
     println!(
         "  replayed key-exchange id -> {:?}",

@@ -1,14 +1,18 @@
 //! Cross-crate integration test for Section 7.4: over-selection introduces
 //! sampling bias, asynchronous training does not.
 
-use papaya_core::TaskConfig;
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
+use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
 use papaya_data::stats::mean;
 use papaya_sim::engine::{Simulation, SimulationConfig, SimulationResult};
 use std::sync::Arc;
 
-fn run(task: TaskConfig, population: &Population, trainer: &Arc<SurrogateObjective>) -> SimulationResult {
+fn run(
+    task: TaskConfig,
+    population: &Population,
+    trainer: &Arc<SurrogateObjective>,
+) -> SimulationResult {
     let config = SimulationConfig::new(task)
         .with_max_virtual_time_hours(4.0)
         .with_eval_interval_s(3600.0)
@@ -32,11 +36,7 @@ fn over_selection_biases_participation_async_does_not() {
         &population,
         &trainer,
     );
-    let sync_os = run(
-        TaskConfig::sync_task("os", 130, 0.3),
-        &population,
-        &trainer,
-    );
+    let sync_os = run(TaskConfig::sync_task("os", 130, 0.3), &population, &trainer);
     let async_fl = run(
         TaskConfig::async_task("async", 130, 32),
         &population,

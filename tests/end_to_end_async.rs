@@ -26,9 +26,12 @@ fn run(
     target: Option<f64>,
     hours: f64,
 ) -> SimulationResult {
+    // Evaluate often: time-to-target (and the communication spent getting
+    // there) is quantized by the evaluation interval, so a coarse interval
+    // drowns the sync/async comparison in measurement noise.
     let mut config = SimulationConfig::new(task)
         .with_max_virtual_time_hours(hours)
-        .with_eval_interval_s(30.0)
+        .with_eval_interval_s(10.0)
         .with_seed(11);
     if let Some(t) = target {
         config = config.with_target_loss(t);

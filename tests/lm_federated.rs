@@ -19,7 +19,10 @@ fn federated_lstm_improves_perplexity_through_the_simulator() {
     let all: Vec<usize> = (0..population.len()).collect();
     let initial_ppl = trainer.perplexity(&trainer.initial_parameters(), &all);
     // A freshly initialized model is roughly uniform over the vocabulary.
-    assert!(initial_ppl > 15.0 && initial_ppl < 40.0, "initial {initial_ppl}");
+    assert!(
+        initial_ppl > 15.0 && initial_ppl < 40.0,
+        "initial {initial_ppl}"
+    );
 
     let task = TaskConfig::async_task("lm", 12, 4);
     let config = SimulationConfig::new(task)
@@ -31,7 +34,11 @@ fn federated_lstm_improves_perplexity_through_the_simulator() {
         .with_seed(31);
     let result = Simulation::new(config, population, trainer.clone()).run();
 
-    assert!(result.server_updates >= 30, "updates {}", result.server_updates);
+    assert!(
+        result.server_updates >= 30,
+        "updates {}",
+        result.server_updates
+    );
     let final_ppl = trainer.perplexity(&result.final_params, &all);
     assert!(
         final_ppl < 0.85 * initial_ppl,

@@ -1,0 +1,142 @@
+//! Cross-layer integration test: a mid-run Aggregator crash in a
+//! multi-tenant fleet exercises the whole failure-handling path —
+//! Coordinator heartbeat detection, task reassignment (map sequence bump),
+//! stale Selectors refusing to route until refreshed, buffered updates lost
+//! with the dead Aggregator, and every surviving task still converging.
+
+use papaya_core::TaskConfig;
+use papaya_data::population::{Population, PopulationConfig};
+use papaya_sim::cluster::{Coordinator, Selector, TaskSpec};
+use papaya_sim::multi_task::{MultiTaskConfig, MultiTaskResult, MultiTaskSimulation};
+
+fn failover_run(seed: u64) -> MultiTaskResult {
+    let tasks = vec![
+        TaskConfig::async_task("keyboard-lm", 64, 16),
+        TaskConfig::async_task("speech-kws", 32, 8).with_min_capability_tier(1),
+        TaskConfig::sync_task("photo-ranker", 40, 0.3),
+        TaskConfig::async_task("smart-reply", 24, 8),
+    ];
+    let config = MultiTaskConfig::new(tasks)
+        .with_aggregators(2)
+        .with_selectors(3)
+        .with_max_virtual_time_hours(2.0)
+        .with_eval_interval_s(300.0)
+        // Aggregator 0 dies mid-run, while every task is training.
+        .with_crash(1800.0, 0)
+        .with_seed(seed);
+    let population = Population::generate(&PopulationConfig::default().with_size(2000), seed);
+    MultiTaskSimulation::with_surrogate_trainers(config, population).run()
+}
+
+#[test]
+fn aggregator_crash_reassigns_tasks_and_training_resumes() {
+    let result = failover_run(42);
+    let cp = &result.fleet.control_plane;
+
+    // The Coordinator noticed exactly one dead Aggregator and moved its
+    // tasks; with 2 Aggregators and 4 tasks, some were assigned to the dead
+    // one at submission time.
+    assert_eq!(cp.aggregator_failures, 1);
+    assert!(cp.task_reassignments > 0, "no task was reassigned");
+
+    // Reassignment bumps the assignment-map sequence past the 4 submits.
+    assert!(
+        cp.final_map_sequence > 4,
+        "sequence {} should exceed the submission bumps",
+        cp.final_map_sequence
+    );
+
+    // Between the reassignment and their next periodic refresh, stale
+    // Selectors refused to route check-ins.
+    assert!(
+        cp.stale_route_refusals > 0,
+        "stale selectors never refused a route"
+    );
+
+    // Uploads addressed to the dead Aggregator were lost in transit, and
+    // the orphaned tasks' buffered updates died with the process.
+    assert!(cp.lost_in_transit_updates > 0);
+    let reassigned: Vec<_> = result
+        .tasks
+        .iter()
+        .filter(|t| t.reassignments > 0)
+        .collect();
+    assert!(!reassigned.is_empty());
+
+    // Every task — including the reassigned ones — ends with a lower loss
+    // than it started with: training resumed after failover.
+    for task in &result.tasks {
+        assert!(
+            task.summary.comm_trips > 0,
+            "task {} received no client updates",
+            task.name
+        );
+        assert!(
+            task.final_loss < task.initial_loss,
+            "task {} did not improve: {} -> {}",
+            task.name,
+            task.initial_loss,
+            task.final_loss
+        );
+    }
+
+    // Per-task and fleet-level metrics agree.
+    assert_eq!(result.tasks.len(), 4);
+    assert_eq!(
+        result.fleet.total_comm_trips,
+        result
+            .tasks
+            .iter()
+            .map(|t| t.summary.comm_trips)
+            .sum::<u64>()
+    );
+    assert!(result.fleet.mean_active_clients > 0.0);
+}
+
+#[test]
+fn failover_runs_are_deterministic() {
+    let a = failover_run(42);
+    let b = failover_run(42);
+    assert_eq!(a.fleet.control_plane, b.fleet.control_plane);
+    assert_eq!(a.fleet.total_comm_trips, b.fleet.total_comm_trips);
+    for (x, y) in a.tasks.iter().zip(&b.tasks) {
+        assert_eq!(x.final_loss, y.final_loss);
+        assert_eq!(x.reassignments, y.reassignments);
+    }
+}
+
+#[test]
+fn stale_selector_refuses_until_refreshed_after_failover() {
+    // The control-plane primitive underneath the simulation, end to end:
+    // place tasks on two Aggregators, kill one, and watch a Selector's
+    // cached map go stale and recover.
+    let mut coordinator = Coordinator::new(30.0, 7);
+    coordinator.register_aggregator(0, 0.0);
+    coordinator.register_aggregator(1, 0.0);
+    let spec = |id: usize, name: &str| {
+        TaskSpec::from_task_config(id, &TaskConfig::async_task(name, 100, 10))
+    };
+    let placed_a = coordinator.submit_task(spec(0, "a"));
+    let placed_b = coordinator.submit_task(spec(1, "b"));
+    assert_ne!(placed_a, placed_b, "workload balancing spreads the tasks");
+
+    let mut selector = Selector::new();
+    selector.refresh(&coordinator);
+    let sequence_before = coordinator.sequence();
+    assert!(!selector.is_stale(&coordinator));
+
+    // Aggregator holding task 0 goes silent; the other keeps heartbeating.
+    coordinator.heartbeat(placed_b, 100.0);
+    let reassigned = coordinator.detect_failures(100.0);
+    assert_eq!(reassigned, vec![0]);
+    assert!(coordinator.sequence() > sequence_before);
+
+    // The Selector is stale until it refreshes, then routes to the survivor.
+    assert!(selector.is_stale(&coordinator));
+    selector.refresh(&coordinator);
+    assert!(!selector.is_stale(&coordinator));
+    assert_eq!(
+        selector.route(0),
+        papaya_sim::cluster::RouteOutcome::Routed(placed_b)
+    );
+}
