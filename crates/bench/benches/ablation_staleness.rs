@@ -5,6 +5,7 @@
 //! scheme — the design choice discussed in Section 3.1 / Appendix E.2.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use papaya_core::aggregator::Aggregator;
 use papaya_core::client::{ClientTrainer, ClientUpdate};
 use papaya_core::fedbuff::FedBuffAggregator;
 use papaya_core::model::ServerModel;
@@ -35,12 +36,13 @@ fn run_with_weighting(weighting: StalenessWeighting) -> f64 {
             agg.accumulate(
                 ClientUpdate::from_result(client, version, result),
                 model.version(),
+                0.0,
             );
         }
         if model.version() >= 5 {
             stale_params = model.snapshot();
         }
-        let delta = agg.take().expect("buffer full");
+        let delta = agg.take(0.0).expect("buffer full");
         model.apply_update(&mut opt, &delta);
     }
     let all: Vec<usize> = (0..300).collect();

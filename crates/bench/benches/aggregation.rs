@@ -2,6 +2,7 @@
 //! (Section 6.3, "Fast Model Aggregation").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use papaya_core::aggregator::Aggregator;
 use papaya_core::client::ClientUpdate;
 use papaya_core::fedbuff::FedBuffAggregator;
 use papaya_core::server_opt::{FedAdam, FedAvg, ServerOptimizer};
@@ -26,9 +27,9 @@ fn fedbuff_throughput(c: &mut Criterion) {
             b.iter(|| {
                 let mut agg = FedBuffAggregator::new(100, StalenessWeighting::PolynomialHalf, None);
                 for i in 0..100 {
-                    agg.accumulate(make_update(i, dim), i as u64 / 10);
+                    agg.accumulate(make_update(i, dim), i as u64 / 10, i as f64);
                 }
-                agg.take().unwrap()
+                agg.take(100.0).unwrap()
             });
         });
     }
@@ -40,9 +41,9 @@ fn sync_round_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut agg = SyncRoundAggregator::new(100);
             for i in 0..100 {
-                agg.accumulate(make_update(i, 10_000));
+                agg.accumulate(make_update(i, 10_000), 0, i as f64);
             }
-            agg.take().unwrap()
+            agg.take(100.0).unwrap()
         });
     });
 }

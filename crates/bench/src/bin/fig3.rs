@@ -14,7 +14,7 @@ fn main() {
             "{:11} | {:>15} | {:10.1}",
             concurrency,
             bench::experiments::common::fmt_hours(result.hours_to_target),
-            result.comm_trips as f64 / 1000.0
+            result.comm_trips() as f64 / 1000.0
         );
     }
 }

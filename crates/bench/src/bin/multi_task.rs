@@ -6,15 +6,18 @@
 //! cargo run -p bench --release --bin multi_task -- --full --seed 3
 //! ```
 //!
-//! Prints a per-task table (placement moves, convergence, communication,
-//! staleness) and the fleet/control-plane roll-up — the multi-tenant
-//! behavior of Sections 4 and 6.2–6.3 that no single-task figure exercises.
+//! Composed through the unified [`Scenario`] API: the fleet mixes all three
+//! aggregation strategies (FedBuff, synchronous rounds, and the timed
+//! hybrid) behind the same control plane.  Prints a per-task table
+//! (placement moves, convergence, communication, staleness) and the
+//! fleet/control-plane roll-up — the multi-tenant behavior of Sections 4
+//! and 6.2–6.3 that no single-task figure exercises.
 
 use bench::parse_args;
 use bench::Scale;
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
-use papaya_sim::multi_task::{MultiTaskConfig, MultiTaskSimulation};
+use papaya_sim::scenario::{EvalPolicy, FleetSpec, RunLimits, Scenario};
 
 fn fleet_tasks(scale: Scale) -> Vec<TaskConfig> {
     let unit = match scale {
@@ -28,6 +31,9 @@ fn fleet_tasks(scale: Scale) -> Vec<TaskConfig> {
         TaskConfig::async_task("smart-reply", 24 * unit, 8 * unit).with_min_capability_tier(2),
         TaskConfig::async_task("translation", 48 * unit, 12 * unit).with_min_capability_tier(1),
         TaskConfig::sync_task("face-cluster", 30 * unit, 0.0),
+        // The third aggregation strategy: a FedBuff buffer whose round
+        // deadline bounds the straggler tail.
+        TaskConfig::timed_hybrid_task("health-study", 20 * unit, 40 * unit, 600.0),
     ]
 }
 
@@ -45,63 +51,68 @@ fn main() {
     let num_tasks = tasks.len();
     let crash_time = hours * 3600.0 * 0.25;
 
-    let config = MultiTaskConfig::new(tasks)
-        .with_aggregators(3)
-        .with_selectors(4)
-        .with_max_virtual_time_hours(hours)
-        .with_eval_interval_s(300.0)
-        .with_crash(crash_time, 0)
-        .with_seed(args.seed);
     let population = Population::generate(
         &PopulationConfig::default().with_size(population_size),
         args.seed,
     );
+
+    let mut builder = Scenario::builder()
+        .population(population)
+        .fleet(FleetSpec::new(3, 4))
+        .limits(RunLimits::default().with_max_virtual_time_hours(hours))
+        .eval(EvalPolicy::default().with_interval_s(300.0))
+        .crash_at(crash_time, 0)
+        .seed(args.seed);
+    for task in tasks {
+        builder = builder.task(task);
+    }
+    let scenario = builder.build();
 
     println!(
         "# Multi-tenant fleet: {num_tasks} tasks, {population_size} shared devices, \
          3 aggregators, aggregator 0 crashes at t={:.0}s",
         crash_time
     );
-    let result = MultiTaskSimulation::with_surrogate_trainers(config, population).run();
+    let report = scenario.run();
 
     println!(
         "{:<14} {:>6} {:>10} {:>10} {:>9} {:>9} {:>10} {:>9}",
         "task", "moved", "init loss", "final", "trips", "upd/h", "staleness", "lost buf"
     );
-    for task in &result.tasks {
+    for task in &report.tasks {
         println!(
             "{:<14} {:>6} {:>10.4} {:>10.4} {:>9} {:>9.1} {:>10.2} {:>9}",
             task.name,
             task.reassignments,
             task.initial_loss,
             task.final_loss,
-            task.summary.comm_trips,
+            task.comm_trips(),
             task.summary.server_updates_per_hour,
             task.summary.mean_staleness,
             task.lost_buffered_updates,
         );
     }
 
-    let cp = &result.fleet.control_plane;
+    let cp = &report.fleet.control_plane;
     println!(
-        "\n# Fleet roll-up over {:.1} virtual hours",
-        result.virtual_hours
+        "\n# Fleet roll-up over {:.1} virtual hours (stopped: {})",
+        report.virtual_hours, report.stop_reason
     );
     println!(
         "total comm trips:        {:>9}",
-        result.fleet.total_comm_trips
+        report.fleet.total_comm_trips
     );
     println!(
         "total server updates:    {:>9}",
-        result.fleet.total_server_updates
+        report.fleet.total_server_updates
     );
     println!(
         "failed participations:   {:>9}",
-        result.fleet.total_failed_participations
+        report.fleet.total_failed_participations
     );
     println!(
         "mean active clients:     {:>9.1}",
-        result.fleet.mean_active_clients
+        report.fleet.mean_active_clients
     );
     println!("aggregator failures:     {:>9}", cp.aggregator_failures);
     println!("task reassignments:      {:>9}", cp.task_reassignments);
@@ -109,7 +120,7 @@ fn main() {
     println!("updates lost in transit: {:>9}", cp.lost_in_transit_updates);
     println!(
         "buffered updates lost:   {:>9}",
-        result.fleet.total_lost_buffered_updates
+        report.fleet.total_lost_buffered_updates
     );
     println!("final map sequence:      {:>9}", cp.final_map_sequence);
 }

@@ -5,7 +5,8 @@ use papaya_core::client::ClientTrainer;
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
-use papaya_sim::engine::{ServerOptimizerKind, Simulation, SimulationConfig, SimulationResult};
+use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario, TaskReport};
+use papaya_sim::ServerOptimizerKind;
 use std::sync::Arc;
 
 /// Experiment scale: `Quick` for CI-sized runs, `Full` for the runs recorded
@@ -136,8 +137,8 @@ pub fn target_loss(trainer: &SurrogateObjective) -> f64 {
     floor + 0.05 * (initial - floor)
 }
 
-/// Runs one task to a target loss (or the virtual-time cap) and returns the
-/// full simulation result.
+/// Runs one task to a target loss (or the virtual-time cap) through the
+/// unified [`Scenario`] entrypoint and returns the task's report.
 pub fn run_to_target(
     task: TaskConfig,
     population: &Population,
@@ -145,19 +146,29 @@ pub fn run_to_target(
     target_loss: f64,
     max_hours: f64,
     seed: u64,
-) -> SimulationResult {
-    let config = SimulationConfig::new(task)
-        .with_target_loss(target_loss)
-        .with_max_virtual_time_hours(max_hours)
-        .with_eval_interval_s(60.0)
-        .with_eval_sample_size(300)
+) -> TaskReport {
+    Scenario::builder()
+        .population(population.clone())
+        .task_with_trainer(task, trainer.clone())
+        .limits(
+            RunLimits::default()
+                .with_target_loss(target_loss)
+                .with_max_virtual_time_hours(max_hours),
+        )
+        .eval(
+            EvalPolicy::default()
+                .with_interval_s(60.0)
+                .with_sample_size(300),
+        )
         // FedAdam on the server, as in Section 7.1.
-        .with_server_optimizer(ServerOptimizerKind::FedAdam {
+        .server_optimizer(ServerOptimizerKind::FedAdam {
             learning_rate: 0.02,
             beta1: 0.9,
         })
-        .with_seed(seed);
-    Simulation::new(config, population.clone(), trainer.clone()).run()
+        .seed(seed)
+        .build()
+        .run()
+        .into_single()
 }
 
 /// Formats an `Option<f64>` hours value for table output.

@@ -4,17 +4,17 @@ use crate::experiments::common::{
     fmt_hours, initial_loss, population, surrogate, target_loss, Scale,
 };
 use papaya_core::TaskConfig;
-use papaya_sim::engine::SimulationResult;
+use papaya_sim::scenario::TaskReport;
 
 /// One row of a concurrency sweep.
 #[derive(Clone, Debug)]
 pub struct SweepRow {
     /// Concurrency of the configuration.
     pub concurrency: usize,
-    /// SyncFL (30 % over-selection) result.
-    pub sync: SimulationResult,
-    /// AsyncFL (K = reference aggregation goal) result.
-    pub async_fl: SimulationResult,
+    /// SyncFL (30 % over-selection) report.
+    pub sync: TaskReport,
+    /// AsyncFL (K = reference aggregation goal) report.
+    pub async_fl: TaskReport,
 }
 
 impl SweepRow {
@@ -26,13 +26,13 @@ impl SweepRow {
 
     /// Communication-efficiency gain: SyncFL trips / AsyncFL trips.
     pub fn comm_gain(&self) -> f64 {
-        self.sync.comm_trips as f64 / self.async_fl.comm_trips.max(1) as f64
+        self.sync.comm_trips() as f64 / self.async_fl.comm_trips().max(1) as f64
     }
 }
 
 /// Runs the SyncFL-only sweep of Figure 3 (time-to-target and communication
 /// trips as concurrency grows).
-pub fn fig3(scale: Scale, seed: u64) -> Vec<(usize, SimulationResult)> {
+pub fn fig3(scale: Scale, seed: u64) -> Vec<(usize, TaskReport)> {
     let pop = population(scale.population_size(), seed);
     let trainer = surrogate(&pop, seed);
     let target = target_loss(&trainer);
@@ -87,7 +87,7 @@ pub fn fig9(scale: Scale, seed: u64) -> Vec<SweepRow> {
 
 /// Runs the aggregation-goal sweep of Figure 10 at the reference
 /// concurrency: hours to target and server updates per hour for varying `K`.
-pub fn fig10(scale: Scale, seed: u64) -> Vec<(usize, SimulationResult)> {
+pub fn fig10(scale: Scale, seed: u64) -> Vec<(usize, TaskReport)> {
     let pop = population(scale.population_size(), seed);
     let trainer = surrogate(&pop, seed);
     let target = target_loss(&trainer);
@@ -113,8 +113,9 @@ pub fn fig10(scale: Scale, seed: u64) -> Vec<(usize, SimulationResult)> {
 pub struct FourConfigResult {
     /// Configuration label.
     pub label: &'static str,
-    /// Simulation outcome (loss curve, hours to target, ...).
-    pub result: SimulationResult,
+    /// Scenario outcome for the configuration (loss curve, hours to
+    /// target, ...).
+    pub result: TaskReport,
 }
 
 /// Runs the four-configuration comparison of Figures 12/13: SyncFL without
@@ -169,8 +170,8 @@ pub fn print_fig9(rows: &[SweepRow]) {
             fmt_hours(row.sync.hours_to_target),
             fmt_hours(row.async_fl.hours_to_target),
             row.speedup().unwrap_or(f64::NAN),
-            row.sync.comm_trips,
-            row.async_fl.comm_trips,
+            row.sync.comm_trips(),
+            row.async_fl.comm_trips(),
             row.comm_gain(),
         );
     }

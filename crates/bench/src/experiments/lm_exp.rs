@@ -12,7 +12,8 @@ use papaya_core::TaskConfig;
 use papaya_data::dataset::FederatedTextDataset;
 use papaya_data::population::{Population, PopulationConfig};
 use papaya_lm::{LmClientTrainer, LmConfig};
-use papaya_sim::engine::{ServerOptimizerKind, Simulation, SimulationConfig};
+use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario};
+use papaya_sim::ServerOptimizerKind;
 use std::sync::Arc;
 
 /// One row of Table 1.
@@ -91,21 +92,32 @@ pub fn table1(scale: Scale, seed: u64) -> Vec<Table1Row> {
     configs
         .into_iter()
         .map(|(method, task)| {
-            let config = SimulationConfig::new(task)
-                .with_max_virtual_time_hours(500.0)
-                .with_max_client_updates(s.client_update_budget)
-                .with_eval_interval_s(50_000.0)
-                .with_eval_sample_size(32)
-                .with_server_optimizer(ServerOptimizerKind::FedAvg)
-                .with_seed(seed);
-            let result = Simulation::new(config, population.clone(), trainer.clone()).run();
+            let report = Scenario::builder()
+                .population(population.clone())
+                .task_with_trainer(task, trainer.clone())
+                .limits(
+                    RunLimits::default()
+                        .with_max_virtual_time_hours(500.0)
+                        .with_max_client_updates(s.client_update_budget),
+                )
+                .eval(
+                    EvalPolicy::default()
+                        .with_interval_s(50_000.0)
+                        .with_sample_size(32),
+                )
+                .server_optimizer(ServerOptimizerKind::FedAvg)
+                .seed(seed)
+                .build()
+                .run();
+            let hours = report.virtual_hours;
+            let result = report.into_single();
             Table1Row {
                 method,
                 all: trainer.perplexity(&result.final_params, &all_ids),
                 p75: trainer.perplexity(&result.final_params, &p75_ids),
                 p99: trainer.perplexity(&result.final_params, &p99_ids),
-                hours: result.virtual_hours,
-                client_updates: result.comm_trips,
+                hours,
+                client_updates: result.comm_trips(),
             }
         })
         .collect()

@@ -1,9 +1,32 @@
 //! System-behaviour experiments: Figures 2, 7, 8, and 11.
 
 use crate::experiments::common::{population, surrogate, Scale};
+use papaya_core::surrogate::SurrogateObjective;
 use papaya_core::TaskConfig;
+use papaya_data::population::Population;
 use papaya_data::stats::{mean, Histogram, KsTestResult};
-use papaya_sim::engine::{Simulation, SimulationConfig, SimulationResult};
+use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario, TaskReport};
+use std::sync::Arc;
+
+/// Runs one task through the unified [`Scenario`] entrypoint with the
+/// coarse-eval settings the system-behaviour figures share.
+fn run_system_task(
+    task: TaskConfig,
+    pop: &Population,
+    trainer: &Arc<SurrogateObjective>,
+    hours: f64,
+    seed: u64,
+) -> TaskReport {
+    Scenario::builder()
+        .population(pop.clone())
+        .task_with_trainer(task, trainer.clone())
+        .limits(RunLimits::default().with_max_virtual_time_hours(hours))
+        .eval(EvalPolicy::default().with_interval_s(3600.0))
+        .seed(seed)
+        .build()
+        .run()
+        .into_single()
+}
 
 /// Figure 2: the client execution-time distribution and the ratio of the
 /// mean SyncFL round duration (concurrency = aggregation goal = 1000) to the
@@ -39,11 +62,13 @@ pub fn fig2(scale: Scale, seed: u64) -> Fig2Result {
         Scale::Full => 1000,
     };
     let trainer = surrogate(&pop, seed);
-    let config = SimulationConfig::new(TaskConfig::sync_task("fig2", cohort, 0.0))
-        .with_max_virtual_time_hours(6.0)
-        .with_eval_interval_s(3600.0)
-        .with_seed(seed);
-    let result = Simulation::new(config, pop, trainer).run();
+    let result = run_system_task(
+        TaskConfig::sync_task("fig2", cohort, 0.0),
+        &pop,
+        &trainer,
+        6.0,
+        seed,
+    );
     Fig2Result {
         histogram,
         mean_client_time_s,
@@ -53,33 +78,29 @@ pub fn fig2(scale: Scale, seed: u64) -> Fig2Result {
 
 /// Figure 7: number of active clients over time for SyncFL (30 %
 /// over-selection) and AsyncFL at the same max concurrency.
-pub fn fig7(scale: Scale, seed: u64) -> (SimulationResult, SimulationResult) {
+pub fn fig7(scale: Scale, seed: u64) -> (TaskReport, TaskReport) {
     let pop = population(scale.population_size(), seed);
     let trainer = surrogate(&pop, seed);
     let concurrency = scale.reference_concurrency();
     let hours = 2.0;
-    let sync = Simulation::new(
-        SimulationConfig::new(TaskConfig::sync_task("fig7-sync", concurrency, 0.3))
-            .with_max_virtual_time_hours(hours)
-            .with_eval_interval_s(3600.0)
-            .with_seed(seed),
-        pop.clone(),
-        trainer.clone(),
-    )
-    .run();
-    let async_fl = Simulation::new(
-        SimulationConfig::new(TaskConfig::async_task(
+    let sync = run_system_task(
+        TaskConfig::sync_task("fig7-sync", concurrency, 0.3),
+        &pop,
+        &trainer,
+        hours,
+        seed,
+    );
+    let async_fl = run_system_task(
+        TaskConfig::async_task(
             "fig7-async",
             concurrency,
             scale.reference_aggregation_goal(),
-        ))
-        .with_max_virtual_time_hours(hours)
-        .with_eval_interval_s(3600.0)
-        .with_seed(seed),
-        pop,
-        trainer,
-    )
-    .run();
+        ),
+        &pop,
+        &trainer,
+        hours,
+        seed,
+    );
     (sync, async_fl)
 }
 
@@ -94,24 +115,20 @@ pub fn fig8(scale: Scale, seed: u64) -> Vec<(usize, f64, f64)> {
         .concurrencies()
         .into_iter()
         .map(|concurrency| {
-            let sync = Simulation::new(
-                SimulationConfig::new(TaskConfig::sync_task("fig8-sync", concurrency, 0.3))
-                    .with_max_virtual_time_hours(hours)
-                    .with_eval_interval_s(3600.0)
-                    .with_seed(seed),
-                pop.clone(),
-                trainer.clone(),
-            )
-            .run();
-            let async_fl = Simulation::new(
-                SimulationConfig::new(TaskConfig::async_task("fig8-async", concurrency, goal))
-                    .with_max_virtual_time_hours(hours)
-                    .with_eval_interval_s(3600.0)
-                    .with_seed(seed),
-                pop.clone(),
-                trainer.clone(),
-            )
-            .run();
+            let sync = run_system_task(
+                TaskConfig::sync_task("fig8-sync", concurrency, 0.3),
+                &pop,
+                &trainer,
+                hours,
+                seed,
+            );
+            let async_fl = run_system_task(
+                TaskConfig::async_task("fig8-async", concurrency, goal),
+                &pop,
+                &trainer,
+                hours,
+                seed,
+            );
             (
                 concurrency,
                 sync.summary.server_updates_per_hour,
@@ -150,17 +167,8 @@ pub fn fig11(scale: Scale, seed: u64) -> Fig11Result {
         Scale::Quick => 4.0,
         Scale::Full => 6.0,
     };
-    let run = |task: TaskConfig| -> SimulationResult {
-        Simulation::new(
-            SimulationConfig::new(task)
-                .with_max_virtual_time_hours(hours)
-                .with_eval_interval_s(3600.0)
-                .with_seed(seed),
-            pop.clone(),
-            trainer.clone(),
-        )
-        .run()
-    };
+    let run =
+        |task: TaskConfig| -> TaskReport { run_system_task(task, &pop, &trainer, hours, seed) };
     let goal = (concurrency as f64 / 1.3).round() as usize;
     let ground_truth = run(TaskConfig::sync_task("no-os", goal, 0.0));
     let sync_os = run(TaskConfig::sync_task("os", concurrency, 0.3));

@@ -36,6 +36,18 @@ pub enum TrainingMode {
         /// Staleness down-weighting scheme.
         staleness_weighting: StalenessWeighting,
     },
+    /// Buffered asynchronous aggregation with a round deadline: the buffer
+    /// is force-released `round_deadline_s` after it opens even if the
+    /// aggregation goal has not been met, bounding the straggler tail.
+    TimedHybrid {
+        /// Updates with staleness above this value are aborted.
+        max_staleness: u64,
+        /// Staleness down-weighting scheme.
+        staleness_weighting: StalenessWeighting,
+        /// Seconds after the first buffered update at which the buffer is
+        /// force-released.
+        round_deadline_s: f64,
+    },
 }
 
 impl TrainingMode {
@@ -56,9 +68,23 @@ impl TrainingMode {
         }
     }
 
-    /// Returns true for asynchronous modes.
+    /// The default timed-hybrid mode: FedBuff's staleness defaults plus the
+    /// given round deadline.
+    pub fn default_timed_hybrid(round_deadline_s: f64) -> Self {
+        TrainingMode::TimedHybrid {
+            max_staleness: 500,
+            staleness_weighting: StalenessWeighting::PolynomialHalf,
+            round_deadline_s,
+        }
+    }
+
+    /// Returns true for buffered (non-round-gated) modes, including the
+    /// timed hybrid.
     pub fn is_async(&self) -> bool {
-        matches!(self, TrainingMode::Async { .. })
+        matches!(
+            self,
+            TrainingMode::Async { .. } | TrainingMode::TimedHybrid { .. }
+        )
     }
 }
 
@@ -139,6 +165,35 @@ impl TaskConfig {
         }
     }
 
+    /// A timed-hybrid task: FedBuff-style buffering with aggregation goal
+    /// `K`, force-released `round_deadline_s` after the buffer opens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency == 0`, `aggregation_goal == 0`, or the
+    /// deadline is not positive.
+    pub fn timed_hybrid_task(
+        name: impl Into<String>,
+        concurrency: usize,
+        aggregation_goal: usize,
+        round_deadline_s: f64,
+    ) -> Self {
+        assert!(concurrency > 0, "concurrency must be positive");
+        assert!(aggregation_goal > 0, "aggregation goal must be positive");
+        assert!(round_deadline_s > 0.0, "round deadline must be positive");
+        TaskConfig {
+            name: name.into(),
+            concurrency,
+            aggregation_goal,
+            mode: TrainingMode::default_timed_hybrid(round_deadline_s),
+            weight_by_examples: true,
+            client_timeout_s: 240.0,
+            secagg: SecAggMode::Disabled,
+            model_size_bytes: 20_000_000,
+            min_capability_tier: 0,
+        }
+    }
+
     /// Sets the client timeout.
     pub fn with_timeout(mut self, timeout_s: f64) -> Self {
         self.client_timeout_s = timeout_s;
@@ -157,10 +212,13 @@ impl TaskConfig {
         self
     }
 
-    /// Sets the maximum staleness (asynchronous mode only; no-op otherwise).
+    /// Sets the maximum staleness (buffered modes only; no-op for
+    /// synchronous tasks).
     pub fn with_max_staleness(mut self, max: u64) -> Self {
-        if let TrainingMode::Async { max_staleness, .. } = &mut self.mode {
-            *max_staleness = max;
+        match &mut self.mode {
+            TrainingMode::Async { max_staleness, .. }
+            | TrainingMode::TimedHybrid { max_staleness, .. } => *max_staleness = max,
+            TrainingMode::Sync { .. } => {}
         }
         self
     }
@@ -181,7 +239,7 @@ impl TaskConfig {
     pub fn over_selection(&self) -> f64 {
         match self.mode {
             TrainingMode::Sync { over_selection } => over_selection,
-            TrainingMode::Async { .. } => 0.0,
+            TrainingMode::Async { .. } | TrainingMode::TimedHybrid { .. } => 0.0,
         }
     }
 
@@ -195,7 +253,9 @@ impl TaskConfig {
     ///   round starts.
     pub fn client_demand(&self, active_clients: usize, completed_this_round: usize) -> usize {
         match self.mode {
-            TrainingMode::Async { .. } => self.concurrency.saturating_sub(active_clients),
+            TrainingMode::Async { .. } | TrainingMode::TimedHybrid { .. } => {
+                self.concurrency.saturating_sub(active_clients)
+            }
             TrainingMode::Sync { .. } => self
                 .concurrency
                 .saturating_sub(completed_this_round)
@@ -263,6 +323,27 @@ mod tests {
         match t.mode {
             TrainingMode::Async { max_staleness, .. } => assert_eq!(max_staleness, 7),
             _ => panic!("expected async mode"),
+        }
+    }
+
+    #[test]
+    fn timed_hybrid_task_defaults() {
+        let t = TaskConfig::timed_hybrid_task("t", 100, 25, 300.0);
+        assert!(t.mode.is_async());
+        assert_eq!(t.over_selection(), 0.0);
+        // Demand follows the async rule: deadline releases never gate
+        // selection the way a closing round does.
+        assert_eq!(t.client_demand(40, 7), 60);
+        match t.with_max_staleness(9).mode {
+            TrainingMode::TimedHybrid {
+                max_staleness,
+                round_deadline_s,
+                ..
+            } => {
+                assert_eq!(max_staleness, 9);
+                assert_eq!(round_deadline_s, 300.0);
+            }
+            _ => panic!("expected timed-hybrid mode"),
         }
     }
 

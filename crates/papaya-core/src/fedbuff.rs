@@ -6,34 +6,16 @@
 //! been buffered, the weighted average is released and the server model takes
 //! a step.  Updates staler than the configured maximum are rejected
 //! (the system aborts such clients, Appendix E.1/E.2).
+//!
+//! `FedBuffAggregator` implements the [`Aggregator`] protocol; drivers hold
+//! it as `Box<dyn Aggregator>` next to the synchronous and hybrid
+//! strategies.
 
+pub use crate::aggregator::AccumulateOutcome;
+use crate::aggregator::{Aggregator, AggregatorStats, WeightedBuffer};
 use crate::client::ClientUpdate;
 use crate::staleness::StalenessWeighting;
 use papaya_nn::params::ParamVec;
-
-/// The outcome of offering one update to the aggregator.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AccumulateOutcome {
-    /// The update was folded into the buffer.
-    Accepted {
-        /// Staleness of the accepted update.
-        staleness: u64,
-    },
-    /// The update exceeded the maximum allowed staleness and was discarded.
-    RejectedStale {
-        /// Staleness of the rejected update.
-        staleness: u64,
-        /// The configured bound it exceeded.
-        max_staleness: u64,
-    },
-}
-
-impl AccumulateOutcome {
-    /// Returns true if the update was accepted.
-    pub fn accepted(&self) -> bool {
-        matches!(self, AccumulateOutcome::Accepted { .. })
-    }
-}
 
 /// The FedBuff buffered aggregator.
 #[derive(Clone, Debug)]
@@ -42,13 +24,8 @@ pub struct FedBuffAggregator {
     staleness_weighting: StalenessWeighting,
     max_staleness: Option<u64>,
     weight_by_examples: bool,
-    buffer: Option<ParamVec>,
-    weight_sum: f64,
-    buffered: usize,
-    total_accepted: u64,
-    total_rejected_stale: u64,
-    staleness_sum: u64,
-    max_observed_staleness: u64,
+    buffer: WeightedBuffer,
+    stats: AggregatorStats,
 }
 
 impl FedBuffAggregator {
@@ -70,13 +47,8 @@ impl FedBuffAggregator {
             staleness_weighting,
             max_staleness,
             weight_by_examples: true,
-            buffer: None,
-            weight_sum: 0.0,
-            buffered: 0,
-            total_accepted: 0,
-            total_rejected_stale: 0,
-            staleness_sum: 0,
-            max_observed_staleness: 0,
+            buffer: WeightedBuffer::default(),
+            stats: AggregatorStats::default(),
         }
     }
 
@@ -85,48 +57,22 @@ impl FedBuffAggregator {
         self.weight_by_examples = enabled;
         self
     }
+}
 
-    /// The configured aggregation goal `K`.
-    pub fn aggregation_goal(&self) -> usize {
-        self.aggregation_goal
-    }
-
-    /// Number of updates currently buffered.
-    pub fn buffered(&self) -> usize {
-        self.buffered
-    }
-
-    /// Total updates ever accepted.
-    pub fn total_accepted(&self) -> u64 {
-        self.total_accepted
-    }
-
-    /// Total updates rejected for excessive staleness.
-    pub fn total_rejected_stale(&self) -> u64 {
-        self.total_rejected_stale
-    }
-
-    /// Mean staleness of accepted updates.
-    pub fn mean_staleness(&self) -> f64 {
-        if self.total_accepted == 0 {
-            0.0
-        } else {
-            self.staleness_sum as f64 / self.total_accepted as f64
-        }
-    }
-
-    /// Largest staleness observed among accepted updates.
-    pub fn max_observed_staleness(&self) -> u64 {
-        self.max_observed_staleness
-    }
-
+impl Aggregator for FedBuffAggregator {
     /// Offers an update to the buffer; `current_version` is the server model
-    /// version at upload time (used to compute staleness).
-    pub fn accumulate(&mut self, update: ClientUpdate, current_version: u64) -> AccumulateOutcome {
+    /// version at upload time (used to compute staleness).  Virtual time is
+    /// ignored — FedBuff releases purely by count.
+    fn accumulate(
+        &mut self,
+        update: ClientUpdate,
+        current_version: u64,
+        _now_s: f64,
+    ) -> AccumulateOutcome {
         let staleness = update.staleness(current_version);
         if let Some(max) = self.max_staleness {
             if staleness > max {
-                self.total_rejected_stale += 1;
+                self.stats.rejected_stale += 1;
                 return AccumulateOutcome::RejectedStale {
                     staleness,
                     max_staleness: max,
@@ -141,65 +87,47 @@ impl FedBuffAggregator {
             1.0
         };
         let weight = example_weight * self.staleness_weighting.weight(staleness);
-
-        let buffer = self
-            .buffer
-            .get_or_insert_with(|| ParamVec::zeros(update.delta.len()));
-        assert_eq!(
-            buffer.len(),
-            update.delta.len(),
-            "update dimensionality changed mid-training"
-        );
-        buffer.add_scaled(&update.delta, weight as f32);
-        self.weight_sum += weight;
-        self.buffered += 1;
-        self.total_accepted += 1;
-        self.staleness_sum += staleness;
-        self.max_observed_staleness = self.max_observed_staleness.max(staleness);
+        self.buffer.fold(&update.delta, weight);
+        self.stats.record_accepted(staleness);
         AccumulateOutcome::Accepted { staleness }
     }
 
-    /// Returns true once the aggregation goal has been reached.
-    pub fn is_ready(&self) -> bool {
-        self.buffered >= self.aggregation_goal
+    fn is_ready(&self, _now_s: f64) -> bool {
+        self.buffer.len() >= self.aggregation_goal
     }
 
-    /// Releases the aggregated (weighted-average) update and clears the
-    /// buffer, or returns `None` if the goal has not been reached.
-    ///
-    /// If every buffered update carried zero weight the release is a zero
-    /// delta (a no-op server step) rather than the unscaled raw sum.
-    pub fn take(&mut self) -> Option<ParamVec> {
-        if !self.is_ready() {
+    fn take(&mut self, now_s: f64) -> Option<ParamVec> {
+        if !self.is_ready(now_s) {
             return None;
         }
-        let mut buffer = self.buffer.take()?;
-        if self.weight_sum > 0.0 {
-            buffer.scale((1.0 / self.weight_sum) as f32);
-        } else {
-            buffer = ParamVec::zeros(buffer.len());
-        }
-        self.weight_sum = 0.0;
-        self.buffered = 0;
-        Some(buffer)
+        self.buffer.release()
     }
 
-    /// Discards all buffered updates without releasing them — the Aggregator
-    /// holding this buffer died and its in-memory state is lost.  Returns how
-    /// many buffered updates were dropped.  Lifetime counters
-    /// ([`total_accepted`](Self::total_accepted) etc.) are preserved.
-    pub fn reset(&mut self) -> usize {
-        let dropped = self.buffered;
-        self.buffer = None;
-        self.weight_sum = 0.0;
-        self.buffered = 0;
-        dropped
+    fn reset(&mut self) -> usize {
+        self.buffer.clear()
+    }
+
+    fn goal(&self) -> usize {
+        self.aggregation_goal
+    }
+
+    fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn stats(&self) -> &AggregatorStats {
+        &self.stats
+    }
+
+    fn max_staleness(&self) -> Option<u64> {
+        self.max_staleness
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aggregator::Aggregator;
 
     fn update(id: usize, delta: Vec<f32>, examples: usize, start_version: u64) -> ClientUpdate {
         ClientUpdate {
@@ -214,18 +142,18 @@ mod tests {
     #[test]
     fn equal_weights_give_plain_average() {
         let mut agg = FedBuffAggregator::new(2, StalenessWeighting::Constant, None);
-        agg.accumulate(update(0, vec![2.0, 0.0], 10, 0), 0);
-        agg.accumulate(update(1, vec![0.0, 4.0], 10, 0), 0);
-        let out = agg.take().unwrap();
+        agg.accumulate(update(0, vec![2.0, 0.0], 10, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![0.0, 4.0], 10, 0), 0, 0.0);
+        let out = agg.take(0.0).unwrap();
         assert_eq!(out.as_slice(), &[1.0, 2.0]);
     }
 
     #[test]
     fn example_weighting_biases_towards_larger_clients() {
         let mut agg = FedBuffAggregator::new(2, StalenessWeighting::Constant, None);
-        agg.accumulate(update(0, vec![0.0], 30, 0), 0);
-        agg.accumulate(update(1, vec![4.0], 10, 0), 0);
-        let out = agg.take().unwrap();
+        agg.accumulate(update(0, vec![0.0], 30, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![4.0], 10, 0), 0, 0.0);
+        let out = agg.take(0.0).unwrap();
         assert!((out.as_slice()[0] - 1.0).abs() < 1e-6); // 4 * 10/40
     }
 
@@ -233,9 +161,9 @@ mod tests {
     fn example_weighting_can_be_disabled() {
         let mut agg = FedBuffAggregator::new(2, StalenessWeighting::Constant, None)
             .with_example_weighting(false);
-        agg.accumulate(update(0, vec![0.0], 30, 0), 0);
-        agg.accumulate(update(1, vec![4.0], 10, 0), 0);
-        let out = agg.take().unwrap();
+        agg.accumulate(update(0, vec![0.0], 30, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![4.0], 10, 0), 0, 0.0);
+        let out = agg.take(0.0).unwrap();
         assert!((out.as_slice()[0] - 2.0).abs() < 1e-6);
     }
 
@@ -243,19 +171,19 @@ mod tests {
     fn stale_updates_are_down_weighted() {
         let mut agg = FedBuffAggregator::new(2, StalenessWeighting::PolynomialHalf, None);
         // Fresh update of 0.0 and an update of 1.0 with staleness 3 (weight 1/2).
-        agg.accumulate(update(0, vec![0.0], 10, 5), 5);
-        agg.accumulate(update(1, vec![1.0], 10, 2), 5);
-        let out = agg.take().unwrap();
+        agg.accumulate(update(0, vec![0.0], 10, 5), 5, 0.0);
+        agg.accumulate(update(1, vec![1.0], 10, 2), 5, 0.0);
+        let out = agg.take(0.0).unwrap();
         // Weighted average: (0*1 + 1*0.5) / 1.5 = 1/3.
         assert!((out.as_slice()[0] - 1.0 / 3.0).abs() < 1e-6);
-        assert!((agg.mean_staleness() - 1.5).abs() < 1e-9);
-        assert_eq!(agg.max_observed_staleness(), 3);
+        assert!((agg.stats().mean_staleness() - 1.5).abs() < 1e-9);
+        assert_eq!(agg.stats().max_observed_staleness, 3);
     }
 
     #[test]
     fn overly_stale_updates_are_rejected() {
         let mut agg = FedBuffAggregator::new(1, StalenessWeighting::PolynomialHalf, Some(5));
-        let outcome = agg.accumulate(update(0, vec![1.0], 10, 0), 10);
+        let outcome = agg.accumulate(update(0, vec![1.0], 10, 0), 10, 0.0);
         assert_eq!(
             outcome,
             AccumulateOutcome::RejectedStale {
@@ -263,39 +191,41 @@ mod tests {
                 max_staleness: 5
             }
         );
-        assert!(!agg.is_ready());
-        assert_eq!(agg.total_rejected_stale(), 1);
+        assert!(!agg.is_ready(0.0));
+        assert_eq!(agg.stats().rejected_stale, 1);
         // A fresh update still works.
-        assert!(agg.accumulate(update(1, vec![1.0], 10, 10), 10).accepted());
-        assert!(agg.is_ready());
+        assert!(agg
+            .accumulate(update(1, vec![1.0], 10, 10), 10, 0.0)
+            .accepted());
+        assert!(agg.is_ready(0.0));
     }
 
     #[test]
     fn take_before_goal_returns_none() {
         let mut agg = FedBuffAggregator::new(3, StalenessWeighting::Constant, None);
-        agg.accumulate(update(0, vec![1.0], 1, 0), 0);
-        assert!(agg.take().is_none());
+        agg.accumulate(update(0, vec![1.0], 1, 0), 0, 0.0);
+        assert!(agg.take(0.0).is_none());
         assert_eq!(agg.buffered(), 1);
     }
 
     #[test]
     fn buffer_resets_after_take() {
         let mut agg = FedBuffAggregator::new(1, StalenessWeighting::Constant, None);
-        agg.accumulate(update(0, vec![2.0], 1, 0), 0);
-        assert_eq!(agg.take().unwrap().as_slice(), &[2.0]);
+        agg.accumulate(update(0, vec![2.0], 1, 0), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[2.0]);
         assert_eq!(agg.buffered(), 0);
-        agg.accumulate(update(1, vec![6.0], 1, 0), 0);
-        assert_eq!(agg.take().unwrap().as_slice(), &[6.0]);
-        assert_eq!(agg.total_accepted(), 2);
+        agg.accumulate(update(1, vec![6.0], 1, 0), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[6.0]);
+        assert_eq!(agg.stats().accepted, 2);
     }
 
     #[test]
     fn goal_of_one_matches_pure_async() {
         let mut agg = FedBuffAggregator::new(1, StalenessWeighting::Constant, None);
         for i in 0..5 {
-            agg.accumulate(update(i, vec![i as f32], 1, 0), 0);
-            assert!(agg.is_ready());
-            assert_eq!(agg.take().unwrap().as_slice(), &[i as f32]);
+            agg.accumulate(update(i, vec![i as f32], 1, 0), 0, 0.0);
+            assert!(agg.is_ready(0.0));
+            assert_eq!(agg.take(0.0).unwrap().as_slice(), &[i as f32]);
         }
     }
 
@@ -305,40 +235,40 @@ mod tests {
         // their combined weight is 0, so the release must be a zero delta,
         // not the unscaled raw sum.
         let mut agg = FedBuffAggregator::new(2, StalenessWeighting::Constant, None);
-        agg.accumulate(update(0, vec![3.0, -1.0], 0, 0), 0);
-        agg.accumulate(update(1, vec![5.0, 2.0], 0, 0), 0);
-        assert!(agg.is_ready());
-        let out = agg.take().unwrap();
+        agg.accumulate(update(0, vec![3.0, -1.0], 0, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![5.0, 2.0], 0, 0), 0, 0.0);
+        assert!(agg.is_ready(0.0));
+        let out = agg.take(0.0).unwrap();
         assert_eq!(out.as_slice(), &[0.0, 0.0]);
         // The aggregator is reusable afterwards.
-        agg.accumulate(update(2, vec![4.0, 4.0], 10, 0), 0);
-        agg.accumulate(update(3, vec![0.0, 0.0], 10, 0), 0);
-        assert_eq!(agg.take().unwrap().as_slice(), &[2.0, 2.0]);
+        agg.accumulate(update(2, vec![4.0, 4.0], 10, 0), 0, 0.0);
+        agg.accumulate(update(3, vec![0.0, 0.0], 10, 0), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[2.0, 2.0]);
     }
 
     #[test]
     fn zero_example_update_contributes_nothing() {
         let mut agg = FedBuffAggregator::new(2, StalenessWeighting::Constant, None);
-        agg.accumulate(update(0, vec![100.0], 0, 0), 0);
-        agg.accumulate(update(1, vec![4.0], 10, 0), 0);
-        assert_eq!(agg.take().unwrap().as_slice(), &[4.0]);
+        agg.accumulate(update(0, vec![100.0], 0, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![4.0], 10, 0), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[4.0]);
     }
 
     #[test]
     fn reset_drops_buffered_updates() {
         let mut agg = FedBuffAggregator::new(3, StalenessWeighting::Constant, None);
-        agg.accumulate(update(0, vec![1.0], 5, 0), 0);
-        agg.accumulate(update(1, vec![2.0], 5, 0), 0);
+        agg.accumulate(update(0, vec![1.0], 5, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![2.0], 5, 0), 0, 0.0);
         assert_eq!(agg.reset(), 2);
         assert_eq!(agg.buffered(), 0);
-        assert!(agg.take().is_none());
+        assert!(agg.take(0.0).is_none());
         // Lifetime counters survive the reset.
-        assert_eq!(agg.total_accepted(), 2);
+        assert_eq!(agg.stats().accepted, 2);
         // The next goal starts from an empty buffer.
-        agg.accumulate(update(2, vec![9.0], 5, 0), 0);
-        agg.accumulate(update(3, vec![9.0], 5, 0), 0);
-        agg.accumulate(update(4, vec![9.0], 5, 0), 0);
-        assert_eq!(agg.take().unwrap().as_slice(), &[9.0]);
+        agg.accumulate(update(2, vec![9.0], 5, 0), 0, 0.0);
+        agg.accumulate(update(3, vec![9.0], 5, 0), 0, 0.0);
+        agg.accumulate(update(4, vec![9.0], 5, 0), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[9.0]);
     }
 
     #[test]
@@ -351,7 +281,7 @@ mod tests {
     #[should_panic(expected = "dimensionality changed")]
     fn mismatched_dimensions_panic() {
         let mut agg = FedBuffAggregator::new(2, StalenessWeighting::Constant, None);
-        agg.accumulate(update(0, vec![1.0, 2.0], 1, 0), 0);
-        agg.accumulate(update(1, vec![1.0], 1, 0), 0);
+        agg.accumulate(update(0, vec![1.0, 2.0], 1, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![1.0], 1, 0), 0, 0.0);
     }
 }

@@ -4,14 +4,19 @@
 //! form, independent of the system simulation:
 //!
 //! * [`config`] — task configuration: training mode (synchronous with
-//!   over-selection or asynchronous FedBuff), concurrency, aggregation goal,
-//!   staleness limits, timeouts;
+//!   over-selection, asynchronous FedBuff, or the timed hybrid),
+//!   concurrency, aggregation goal, staleness limits, timeouts;
 //! * [`staleness`] — the staleness down-weighting schemes (the paper uses
 //!   `1/sqrt(1 + s)`);
+//! * [`aggregator`] — the [`Aggregator`] trait every aggregation strategy
+//!   implements, shared lifetime counters, and the
+//!   [`aggregator::for_task`] factory mapping a task's mode to a strategy;
 //! * [`fedbuff`] — buffered asynchronous aggregation (Nguyen et al., 2021 as
 //!   deployed by PAPAYA, Section 3.1 / Appendix E.2);
 //! * [`sync_agg`] — synchronous round aggregation with over-selection and
 //!   mid-round replacement;
+//! * [`timed_hybrid`] — a FedBuff buffer with a sync-style round deadline
+//!   that force-releases on timeout (bounded straggler tail);
 //! * [`server_opt`] — server optimizers applied to aggregated deltas
 //!   (FedAvg/FedSGD/FedAdam, Reddi et al., 2020);
 //! * [`model`] — the versioned server model;
@@ -19,9 +24,10 @@
 //!   weighted delta) shared by the real LSTM trainer (`papaya-lm`) and the
 //!   fast surrogate objective in [`surrogate`].
 //!
-//! # Example: one FedBuff buffer
+//! # Example: one FedBuff buffer behind the [`Aggregator`] trait
 //!
 //! ```
+//! use papaya_core::aggregator::Aggregator;
 //! use papaya_core::fedbuff::FedBuffAggregator;
 //! use papaya_core::client::ClientUpdate;
 //! use papaya_core::staleness::StalenessWeighting;
@@ -35,13 +41,14 @@
 //!     start_version: 0,
 //!     train_loss: 0.0,
 //! };
-//! assert!(agg.accumulate(update(0, vec![1.0, 0.0]), 0).accepted());
-//! assert!(agg.accumulate(update(1, vec![0.0, 1.0]), 0).accepted());
-//! assert!(agg.is_ready());
-//! let aggregated = agg.take().unwrap();
+//! assert!(agg.accumulate(update(0, vec![1.0, 0.0]), 0, 0.0).accepted());
+//! assert!(agg.accumulate(update(1, vec![0.0, 1.0]), 0, 1.0).accepted());
+//! assert!(agg.is_ready(1.0));
+//! let aggregated = agg.take(1.0).unwrap();
 //! assert_eq!(aggregated.as_slice(), &[0.5, 0.5]);
 //! ```
 
+pub mod aggregator;
 pub mod client;
 pub mod config;
 pub mod fedbuff;
@@ -50,12 +57,15 @@ pub mod server_opt;
 pub mod staleness;
 pub mod surrogate;
 pub mod sync_agg;
+pub mod timed_hybrid;
 
+pub use aggregator::{AccumulateOutcome, Aggregator, AggregatorStats};
 pub use client::{ClientTrainer, ClientUpdate, LocalTrainResult};
 pub use config::{SecAggMode, TaskConfig, TrainingMode};
-pub use fedbuff::{AccumulateOutcome, FedBuffAggregator};
+pub use fedbuff::FedBuffAggregator;
 pub use model::ServerModel;
 pub use server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
 pub use staleness::StalenessWeighting;
 pub use surrogate::SurrogateObjective;
 pub use sync_agg::SyncRoundAggregator;
+pub use timed_hybrid::TimedHybridAggregator;

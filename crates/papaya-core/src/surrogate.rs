@@ -219,6 +219,7 @@ impl ClientTrainer for SurrogateObjective {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aggregator::Aggregator;
     use crate::client::ClientUpdate;
     use crate::fedbuff::FedBuffAggregator;
     use crate::model::ServerModel;
@@ -248,9 +249,10 @@ mod tests {
                 agg.accumulate(
                     ClientUpdate::from_result(client, model.version(), result),
                     model.version(),
+                    0.0,
                 );
             }
-            let delta = agg.take().expect("goal reached");
+            let delta = agg.take(0.0).expect("goal reached");
             model.apply_update(&mut opt, &delta);
         }
         let final_loss = obj.evaluate(model.params(), &all);

@@ -6,7 +6,13 @@
 //! (wasted work, and the source of the sampling bias studied in Section 7.4).
 //! PAPAYA's SyncFL implementation additionally allows replacing clients that
 //! drop out mid-round.
+//!
+//! `SyncRoundAggregator` implements the [`Aggregator`] protocol and is the
+//! one strategy whose release closes a round
+//! ([`closes_round_on_release`](Aggregator::closes_round_on_release)):
+//! drivers abort still-running cohort members when it releases.
 
+use crate::aggregator::{AccumulateOutcome, Aggregator, AggregatorStats, WeightedBuffer};
 use crate::client::ClientUpdate;
 use papaya_nn::params::ParamVec;
 
@@ -15,10 +21,8 @@ use papaya_nn::params::ParamVec;
 pub struct SyncRoundAggregator {
     aggregation_goal: usize,
     weight_by_examples: bool,
-    buffer: Option<ParamVec>,
-    weight_sum: f64,
-    received: usize,
-    discarded: u64,
+    buffer: WeightedBuffer,
+    stats: AggregatorStats,
     accepted_clients: Vec<usize>,
 }
 
@@ -33,10 +37,8 @@ impl SyncRoundAggregator {
         SyncRoundAggregator {
             aggregation_goal,
             weight_by_examples: true,
-            buffer: None,
-            weight_sum: 0.0,
-            received: 0,
-            discarded: 0,
+            buffer: WeightedBuffer::default(),
+            stats: AggregatorStats::default(),
             accepted_clients: Vec::new(),
         }
     }
@@ -47,32 +49,26 @@ impl SyncRoundAggregator {
         self
     }
 
-    /// The aggregation goal for the round.
-    pub fn aggregation_goal(&self) -> usize {
-        self.aggregation_goal
-    }
-
-    /// Number of updates accepted so far this round.
-    pub fn received(&self) -> usize {
-        self.received
-    }
-
-    /// Number of updates discarded (arrived after the goal was met).
-    pub fn discarded(&self) -> u64 {
-        self.discarded
-    }
-
     /// Clients whose updates were accepted this round.
     pub fn accepted_clients(&self) -> &[usize] {
         &self.accepted_clients
     }
+}
 
-    /// Offers an update.  Returns `true` if it was accepted, `false` if the
-    /// round had already reached its goal (the over-selection discard path).
-    pub fn accumulate(&mut self, update: ClientUpdate) -> bool {
-        if self.received >= self.aggregation_goal {
-            self.discarded += 1;
-            return false;
+impl Aggregator for SyncRoundAggregator {
+    /// Offers an update.  Updates arriving after the round reached its goal
+    /// are discarded (the over-selection waste path).  Within a round the
+    /// server model does not move, so staleness is always zero; virtual time
+    /// is ignored.
+    fn accumulate(
+        &mut self,
+        update: ClientUpdate,
+        current_version: u64,
+        _now_s: f64,
+    ) -> AccumulateOutcome {
+        if self.buffer.len() >= self.aggregation_goal {
+            self.stats.discarded += 1;
+            return AccumulateOutcome::Discarded;
         }
         // Zero-example clients carry zero weight: counted toward the round
         // goal but contributing nothing to the average.
@@ -81,63 +77,51 @@ impl SyncRoundAggregator {
         } else {
             1.0
         };
-        let buffer = self
-            .buffer
-            .get_or_insert_with(|| ParamVec::zeros(update.delta.len()));
-        assert_eq!(
-            buffer.len(),
-            update.delta.len(),
-            "update dimensionality changed mid-training"
-        );
-        buffer.add_scaled(&update.delta, weight as f32);
-        self.weight_sum += weight;
-        self.received += 1;
+        let staleness = update.staleness(current_version);
+        self.buffer.fold(&update.delta, weight);
         self.accepted_clients.push(update.client_id);
-        true
+        self.stats.record_accepted(staleness);
+        AccumulateOutcome::Accepted { staleness }
     }
 
-    /// Returns true when the round has collected enough updates.
-    pub fn is_ready(&self) -> bool {
-        self.received >= self.aggregation_goal
+    fn is_ready(&self, _now_s: f64) -> bool {
+        self.buffer.len() >= self.aggregation_goal
     }
 
-    /// Releases the round's weighted-average update and resets the
-    /// aggregator for the next round.  Returns `None` if the round is not
-    /// complete.
-    ///
-    /// If every accepted update carried zero weight the release is a zero
-    /// delta (a no-op server step) rather than the unscaled raw sum.
-    pub fn take(&mut self) -> Option<ParamVec> {
-        if !self.is_ready() {
+    fn take(&mut self, now_s: f64) -> Option<ParamVec> {
+        if !self.is_ready(now_s) {
             return None;
         }
-        let mut buffer = self.buffer.take()?;
-        if self.weight_sum > 0.0 {
-            buffer.scale((1.0 / self.weight_sum) as f32);
-        } else {
-            buffer = ParamVec::zeros(buffer.len());
-        }
-        self.weight_sum = 0.0;
-        self.received = 0;
         self.accepted_clients.clear();
-        Some(buffer)
+        self.buffer.release()
     }
 
-    /// Abandons the round in progress (the Aggregator holding it died).
-    /// Returns how many already-received updates were dropped.
-    pub fn reset(&mut self) -> usize {
-        let dropped = self.received;
-        self.buffer = None;
-        self.weight_sum = 0.0;
-        self.received = 0;
+    fn reset(&mut self) -> usize {
         self.accepted_clients.clear();
-        dropped
+        self.buffer.clear()
+    }
+
+    fn goal(&self) -> usize {
+        self.aggregation_goal
+    }
+
+    fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn stats(&self) -> &AggregatorStats {
+        &self.stats
+    }
+
+    fn closes_round_on_release(&self) -> bool {
+        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aggregator::Aggregator;
 
     fn update(id: usize, delta: Vec<f32>, examples: usize) -> ClientUpdate {
         ClientUpdate {
@@ -152,9 +136,9 @@ mod tests {
     #[test]
     fn aggregates_weighted_average() {
         let mut agg = SyncRoundAggregator::new(2);
-        assert!(agg.accumulate(update(0, vec![1.0], 10)));
-        assert!(agg.accumulate(update(1, vec![4.0], 30)));
-        let out = agg.take().unwrap();
+        assert!(agg.accumulate(update(0, vec![1.0], 10), 0, 0.0).accepted());
+        assert!(agg.accumulate(update(1, vec![4.0], 30), 0, 0.0).accepted());
+        let out = agg.take(0.0).unwrap();
         // (1*10 + 4*30) / 40 = 3.25
         assert!((out.as_slice()[0] - 3.25).abs() < 1e-6);
     }
@@ -162,73 +146,76 @@ mod tests {
     #[test]
     fn updates_after_goal_are_discarded() {
         let mut agg = SyncRoundAggregator::new(1);
-        assert!(agg.accumulate(update(0, vec![1.0], 1)));
-        assert!(!agg.accumulate(update(1, vec![100.0], 1)));
-        assert_eq!(agg.discarded(), 1);
-        let out = agg.take().unwrap();
+        assert!(agg.accumulate(update(0, vec![1.0], 1), 0, 0.0).accepted());
+        assert_eq!(
+            agg.accumulate(update(1, vec![100.0], 1), 0, 0.0),
+            AccumulateOutcome::Discarded
+        );
+        assert_eq!(agg.stats().discarded, 1);
+        let out = agg.take(0.0).unwrap();
         assert_eq!(out.as_slice(), &[1.0]);
     }
 
     #[test]
     fn accepted_clients_are_tracked_per_round() {
         let mut agg = SyncRoundAggregator::new(2);
-        agg.accumulate(update(7, vec![0.0], 1));
-        agg.accumulate(update(9, vec![0.0], 1));
+        agg.accumulate(update(7, vec![0.0], 1), 0, 0.0);
+        agg.accumulate(update(9, vec![0.0], 1), 0, 0.0);
         assert_eq!(agg.accepted_clients(), &[7, 9]);
-        let _ = agg.take();
+        let _ = agg.take(0.0);
         assert!(agg.accepted_clients().is_empty());
     }
 
     #[test]
     fn take_before_ready_is_none() {
         let mut agg = SyncRoundAggregator::new(3);
-        agg.accumulate(update(0, vec![1.0], 1));
-        assert!(!agg.is_ready());
-        assert!(agg.take().is_none());
+        agg.accumulate(update(0, vec![1.0], 1), 0, 0.0);
+        assert!(!agg.is_ready(0.0));
+        assert!(agg.take(0.0).is_none());
     }
 
     #[test]
     fn consecutive_rounds_are_independent() {
         let mut agg = SyncRoundAggregator::new(1);
-        agg.accumulate(update(0, vec![2.0], 1));
-        assert_eq!(agg.take().unwrap().as_slice(), &[2.0]);
-        agg.accumulate(update(1, vec![-2.0], 1));
-        assert_eq!(agg.take().unwrap().as_slice(), &[-2.0]);
+        agg.accumulate(update(0, vec![2.0], 1), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[2.0]);
+        agg.accumulate(update(1, vec![-2.0], 1), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[-2.0]);
     }
 
     #[test]
     fn all_zero_weight_round_releases_zero_delta() {
         let mut agg = SyncRoundAggregator::new(2);
-        agg.accumulate(update(0, vec![7.0], 0));
-        agg.accumulate(update(1, vec![-3.0], 0));
-        assert!(agg.is_ready());
-        assert_eq!(agg.take().unwrap().as_slice(), &[0.0]);
+        agg.accumulate(update(0, vec![7.0], 0), 0, 0.0);
+        agg.accumulate(update(1, vec![-3.0], 0), 0, 0.0);
+        assert!(agg.is_ready(0.0));
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[0.0]);
         // The next round is unaffected.
-        agg.accumulate(update(2, vec![2.0], 4));
-        agg.accumulate(update(3, vec![2.0], 4));
-        assert_eq!(agg.take().unwrap().as_slice(), &[2.0]);
+        agg.accumulate(update(2, vec![2.0], 4), 0, 0.0);
+        agg.accumulate(update(3, vec![2.0], 4), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[2.0]);
     }
 
     #[test]
     fn reset_abandons_round_in_progress() {
         let mut agg = SyncRoundAggregator::new(3);
-        agg.accumulate(update(0, vec![1.0], 1));
-        agg.accumulate(update(1, vec![1.0], 1));
+        agg.accumulate(update(0, vec![1.0], 1), 0, 0.0);
+        agg.accumulate(update(1, vec![1.0], 1), 0, 0.0);
         assert_eq!(agg.reset(), 2);
-        assert_eq!(agg.received(), 0);
+        assert_eq!(agg.buffered(), 0);
         assert!(agg.accepted_clients().is_empty());
-        assert!(agg.take().is_none());
-        agg.accumulate(update(2, vec![5.0], 1));
-        agg.accumulate(update(3, vec![5.0], 1));
-        agg.accumulate(update(4, vec![5.0], 1));
-        assert_eq!(agg.take().unwrap().as_slice(), &[5.0]);
+        assert!(agg.take(0.0).is_none());
+        agg.accumulate(update(2, vec![5.0], 1), 0, 0.0);
+        agg.accumulate(update(3, vec![5.0], 1), 0, 0.0);
+        agg.accumulate(update(4, vec![5.0], 1), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[5.0]);
     }
 
     #[test]
     fn unweighted_mode_ignores_example_counts() {
         let mut agg = SyncRoundAggregator::new(2).with_example_weighting(false);
-        agg.accumulate(update(0, vec![0.0], 1000));
-        agg.accumulate(update(1, vec![2.0], 1));
-        assert!((agg.take().unwrap().as_slice()[0] - 1.0).abs() < 1e-6);
+        agg.accumulate(update(0, vec![0.0], 1000), 0, 0.0);
+        agg.accumulate(update(1, vec![2.0], 1), 0, 0.0);
+        assert!((agg.take(0.0).unwrap().as_slice()[0] - 1.0).abs() < 1e-6);
     }
 }

@@ -1,0 +1,284 @@
+//! The timed hybrid strategy: a FedBuff buffer with a round deadline.
+//!
+//! The paper's sync/async comparison (Sections 3 and 7) is a story about
+//! stragglers: synchronous rounds are gated on the slowest cohort member,
+//! while FedBuff waits for a *count* and can stall when arrivals dry up
+//! (small populations, aggressive eligibility criteria, night-time troughs).
+//! `TimedHybridAggregator` combines the two release conditions: it buffers
+//! and staleness-weights updates exactly like FedBuff, but the moment the
+//! first update of a buffer arrives a deadline starts ticking, and when the
+//! deadline expires the buffer is released with whatever has arrived — a
+//! sync-style round boundary without sync-style discarded work.
+//!
+//! Unlike a synchronous round, a deadline release does **not** close a
+//! round: still-running clients keep training and their uploads remain
+//! welcome, subject to the staleness bound.
+
+use crate::aggregator::{AccumulateOutcome, Aggregator, AggregatorStats, WeightedBuffer};
+use crate::client::ClientUpdate;
+use crate::staleness::StalenessWeighting;
+use papaya_nn::params::ParamVec;
+
+/// A buffered aggregator that force-releases on a round deadline.
+#[derive(Clone, Debug)]
+pub struct TimedHybridAggregator {
+    aggregation_goal: usize,
+    staleness_weighting: StalenessWeighting,
+    max_staleness: Option<u64>,
+    weight_by_examples: bool,
+    round_deadline_s: f64,
+    buffer: WeightedBuffer,
+    stats: AggregatorStats,
+    /// When the first update of the current buffer arrived; the deadline is
+    /// measured from here.  `None` while the buffer is empty.
+    open_since_s: Option<f64>,
+    timed_releases: u64,
+}
+
+impl TimedHybridAggregator {
+    /// Creates a hybrid aggregator: release at `aggregation_goal` buffered
+    /// updates *or* `round_deadline_s` seconds after the buffer opened,
+    /// whichever comes first.  `max_staleness = None` disables the staleness
+    /// bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggregation_goal == 0` or `round_deadline_s` is not
+    /// positive and finite.
+    pub fn new(
+        aggregation_goal: usize,
+        staleness_weighting: StalenessWeighting,
+        max_staleness: Option<u64>,
+        round_deadline_s: f64,
+    ) -> Self {
+        assert!(aggregation_goal > 0, "aggregation goal must be positive");
+        assert!(
+            round_deadline_s > 0.0 && round_deadline_s.is_finite(),
+            "round deadline must be positive and finite"
+        );
+        TimedHybridAggregator {
+            aggregation_goal,
+            staleness_weighting,
+            max_staleness,
+            weight_by_examples: true,
+            round_deadline_s,
+            buffer: WeightedBuffer::default(),
+            stats: AggregatorStats::default(),
+            open_since_s: None,
+            timed_releases: 0,
+        }
+    }
+
+    /// Disables (or re-enables) weighting by example count.
+    pub fn with_example_weighting(mut self, enabled: bool) -> Self {
+        self.weight_by_examples = enabled;
+        self
+    }
+
+    /// The configured round deadline in seconds.
+    pub fn round_deadline_s(&self) -> f64 {
+        self.round_deadline_s
+    }
+
+    /// The virtual time at which the open buffer will be force-released, or
+    /// `None` while the buffer is empty.  Drivers can use this to schedule
+    /// a readiness check instead of polling.
+    pub fn next_deadline_s(&self) -> Option<f64> {
+        self.open_since_s.map(|t| t + self.round_deadline_s)
+    }
+
+    /// Releases performed because the deadline expired before the goal was
+    /// met (the straggler-bounding path).
+    pub fn timed_releases(&self) -> u64 {
+        self.timed_releases
+    }
+
+    fn deadline_expired(&self, now_s: f64) -> bool {
+        match self.open_since_s {
+            Some(opened) => now_s - opened >= self.round_deadline_s,
+            None => false,
+        }
+    }
+}
+
+impl Aggregator for TimedHybridAggregator {
+    fn accumulate(
+        &mut self,
+        update: ClientUpdate,
+        current_version: u64,
+        now_s: f64,
+    ) -> AccumulateOutcome {
+        let staleness = update.staleness(current_version);
+        if let Some(max) = self.max_staleness {
+            if staleness > max {
+                self.stats.rejected_stale += 1;
+                return AccumulateOutcome::RejectedStale {
+                    staleness,
+                    max_staleness: max,
+                };
+            }
+        }
+        let example_weight = if self.weight_by_examples {
+            update.num_examples as f64
+        } else {
+            1.0
+        };
+        let weight = example_weight * self.staleness_weighting.weight(staleness);
+        if self.buffer.len() == 0 {
+            self.open_since_s = Some(now_s);
+        }
+        self.buffer.fold(&update.delta, weight);
+        self.stats.record_accepted(staleness);
+        AccumulateOutcome::Accepted { staleness }
+    }
+
+    /// Ready once the goal is met, or once the deadline has expired with at
+    /// least one buffered update.
+    fn is_ready(&self, now_s: f64) -> bool {
+        self.buffer.len() >= self.aggregation_goal
+            || (self.buffer.len() > 0 && self.deadline_expired(now_s))
+    }
+
+    fn take(&mut self, now_s: f64) -> Option<ParamVec> {
+        if !self.is_ready(now_s) {
+            return None;
+        }
+        if self.buffer.len() < self.aggregation_goal {
+            self.timed_releases += 1;
+        }
+        self.open_since_s = None;
+        self.buffer.release()
+    }
+
+    fn reset(&mut self) -> usize {
+        self.open_since_s = None;
+        self.buffer.clear()
+    }
+
+    fn goal(&self) -> usize {
+        self.aggregation_goal
+    }
+
+    fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn stats(&self) -> &AggregatorStats {
+        &self.stats
+    }
+
+    fn max_staleness(&self) -> Option<u64> {
+        self.max_staleness
+    }
+
+    fn next_deadline_s(&self) -> Option<f64> {
+        TimedHybridAggregator::next_deadline_s(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::Aggregator;
+
+    fn update(id: usize, delta: Vec<f32>, examples: usize, start_version: u64) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            delta: ParamVec::from_vec(delta),
+            num_examples: examples,
+            start_version,
+            train_loss: 0.0,
+        }
+    }
+
+    fn hybrid(goal: usize, deadline_s: f64) -> TimedHybridAggregator {
+        TimedHybridAggregator::new(goal, StalenessWeighting::Constant, None, deadline_s)
+    }
+
+    #[test]
+    fn releases_at_goal_like_fedbuff() {
+        let mut agg = hybrid(2, 1000.0);
+        agg.accumulate(update(0, vec![2.0], 10, 0), 0, 0.0);
+        assert!(!agg.is_ready(1.0));
+        agg.accumulate(update(1, vec![4.0], 10, 0), 0, 2.0);
+        assert!(agg.is_ready(2.0));
+        assert_eq!(agg.take(2.0).unwrap().as_slice(), &[3.0]);
+        assert_eq!(agg.timed_releases(), 0);
+    }
+
+    #[test]
+    fn deadline_forces_partial_release() {
+        let mut agg = hybrid(100, 60.0);
+        agg.accumulate(update(0, vec![2.0], 10, 0), 0, 10.0);
+        assert_eq!(agg.next_deadline_s(), Some(70.0));
+        assert!(!agg.is_ready(69.9));
+        assert!(agg.take(69.9).is_none());
+        assert!(agg.is_ready(70.0));
+        assert_eq!(agg.take(70.0).unwrap().as_slice(), &[2.0]);
+        assert_eq!(agg.timed_releases(), 1);
+        assert_eq!(agg.buffered(), 0);
+        assert_eq!(agg.next_deadline_s(), None);
+    }
+
+    #[test]
+    fn deadline_restarts_with_each_new_buffer() {
+        let mut agg = hybrid(10, 60.0);
+        agg.accumulate(update(0, vec![1.0], 1, 0), 0, 0.0);
+        assert!(agg.take(60.0).is_some());
+        // The next buffer opens at its own first arrival, not the old one.
+        agg.accumulate(update(1, vec![5.0], 1, 0), 0, 100.0);
+        assert_eq!(agg.next_deadline_s(), Some(160.0));
+        assert!(!agg.is_ready(120.0));
+        assert!(agg.is_ready(160.0));
+    }
+
+    #[test]
+    fn empty_buffer_never_becomes_ready() {
+        let agg = hybrid(10, 60.0);
+        assert!(!agg.is_ready(1e9));
+    }
+
+    #[test]
+    fn stale_updates_are_rejected_like_fedbuff() {
+        let mut agg = TimedHybridAggregator::new(10, StalenessWeighting::Constant, Some(3), 60.0);
+        let outcome = agg.accumulate(update(0, vec![1.0], 10, 0), 5, 0.0);
+        assert_eq!(
+            outcome,
+            AccumulateOutcome::RejectedStale {
+                staleness: 5,
+                max_staleness: 3
+            }
+        );
+        assert_eq!(agg.stats().rejected_stale, 1);
+        // A rejected update does not open the deadline window.
+        assert_eq!(agg.next_deadline_s(), None);
+    }
+
+    #[test]
+    fn reset_closes_the_deadline_window() {
+        let mut agg = hybrid(10, 60.0);
+        agg.accumulate(update(0, vec![1.0], 1, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![1.0], 1, 0), 0, 1.0);
+        assert_eq!(agg.reset(), 2);
+        assert_eq!(agg.next_deadline_s(), None);
+        assert!(!agg.is_ready(1e9));
+        // Lifetime counters survive.
+        assert_eq!(agg.stats().accepted, 2);
+    }
+
+    #[test]
+    fn staleness_weighting_applies_to_buffered_updates() {
+        let mut agg =
+            TimedHybridAggregator::new(2, StalenessWeighting::PolynomialHalf, None, 1000.0);
+        agg.accumulate(update(0, vec![0.0], 10, 5), 5, 0.0);
+        agg.accumulate(update(1, vec![1.0], 10, 2), 5, 1.0);
+        // Weighted average: (0*1 + 1*0.5) / 1.5 = 1/3, as in FedBuff.
+        assert!((agg.take(1.0).unwrap().as_slice()[0] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "round deadline must be positive")]
+    fn non_positive_deadline_rejected() {
+        let _ = hybrid(10, 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Behavioral conformance suite for the [`Aggregator`] protocol.
+//!
+//! Every aggregation strategy — FedBuff, synchronous rounds, the timed
+//! hybrid, and any future addition — must satisfy the same contract the
+//! runtime relies on: goal/readiness invariants, weighted-average releases
+//! (including the all-zero-weight edge case), reset-after-crash semantics
+//! with preserved lifetime counters, and staleness rejection wherever a
+//! bound is configured.  Each check is written once against
+//! `&mut dyn Aggregator` and run against all registered implementations.
+
+use papaya_core::aggregator::{AccumulateOutcome, Aggregator};
+use papaya_core::client::ClientUpdate;
+use papaya_core::staleness::StalenessWeighting;
+use papaya_core::{FedBuffAggregator, SyncRoundAggregator, TimedHybridAggregator};
+use papaya_nn::params::ParamVec;
+
+const GOAL: usize = 3;
+
+/// One factory per implementation, all configured with the same goal and
+/// (where supported) the same staleness bound.
+fn implementations() -> Vec<(&'static str, Box<dyn Aggregator>)> {
+    vec![
+        (
+            "fedbuff",
+            Box::new(FedBuffAggregator::new(
+                GOAL,
+                StalenessWeighting::Constant,
+                Some(5),
+            )),
+        ),
+        ("sync_round", Box::new(SyncRoundAggregator::new(GOAL))),
+        (
+            "timed_hybrid",
+            Box::new(TimedHybridAggregator::new(
+                GOAL,
+                StalenessWeighting::Constant,
+                Some(5),
+                1_000_000.0, // deadline far away: behave like FedBuff here
+            )),
+        ),
+    ]
+}
+
+fn update(id: usize, value: f32, examples: usize, start_version: u64) -> ClientUpdate {
+    ClientUpdate {
+        client_id: id,
+        delta: ParamVec::from_vec(vec![value, -value]),
+        num_examples: examples,
+        start_version,
+        train_loss: 0.0,
+    }
+}
+
+/// Fills the buffer with `n` fresh unit-weight updates of the given value.
+fn fill(agg: &mut dyn Aggregator, n: usize, value: f32) {
+    for i in 0..n {
+        let outcome = agg.accumulate(update(i, value, 10, 0), 0, i as f64);
+        assert!(outcome.accepted(), "fresh update {i} was not accepted");
+    }
+}
+
+#[test]
+fn goal_and_readiness_invariants() {
+    for (name, mut agg) in implementations() {
+        assert_eq!(agg.goal(), GOAL, "{name}");
+        assert_eq!(agg.buffered(), 0, "{name}");
+        assert!(!agg.is_ready(0.0), "{name}: empty buffer must not be ready");
+        assert!(
+            agg.take(0.0).is_none(),
+            "{name}: take before ready must be None"
+        );
+
+        fill(agg.as_mut(), GOAL - 1, 1.0);
+        assert_eq!(agg.buffered(), GOAL - 1, "{name}");
+        assert!(!agg.is_ready(2.0), "{name}: one short of goal");
+        assert!(agg.take(2.0).is_none(), "{name}");
+
+        fill(agg.as_mut(), 1, 1.0);
+        assert!(agg.is_ready(2.0), "{name}: goal met must be ready");
+        let released = agg.take(2.0).expect("ready aggregator must release");
+        assert_eq!(released.len(), 2, "{name}");
+        assert_eq!(agg.buffered(), 0, "{name}: release empties the buffer");
+        assert!(!agg.is_ready(2.0), "{name}: drained buffer is not ready");
+        assert!(agg.take(2.0).is_none(), "{name}");
+    }
+}
+
+#[test]
+fn release_is_the_weighted_average() {
+    for (name, mut agg) in implementations() {
+        // Weights 10/10/20 over values 1, 1, 4 → (10 + 10 + 80) / 40 = 2.5.
+        agg.accumulate(update(0, 1.0, 10, 0), 0, 0.0);
+        agg.accumulate(update(1, 1.0, 10, 0), 0, 0.0);
+        agg.accumulate(update(2, 4.0, 20, 0), 0, 0.0);
+        let out = agg.take(0.0).unwrap();
+        assert!(
+            (out.as_slice()[0] - 2.5).abs() < 1e-6,
+            "{name}: got {}",
+            out.as_slice()[0]
+        );
+    }
+}
+
+#[test]
+fn all_zero_weight_release_is_a_zero_delta() {
+    for (name, mut agg) in implementations() {
+        // Every update trained on zero examples: combined weight is zero, so
+        // the release must be a no-op delta, not the unscaled raw sum.
+        for i in 0..GOAL {
+            agg.accumulate(update(i, 100.0, 0, 0), 0, 0.0);
+        }
+        assert!(agg.is_ready(0.0), "{name}");
+        let out = agg.take(0.0).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 0.0], "{name}");
+
+        // The aggregator is reusable with normal weights afterwards.
+        fill(agg.as_mut(), GOAL, 2.0);
+        let next = agg.take(GOAL as f64).unwrap();
+        assert!((next.as_slice()[0] - 2.0).abs() < 1e-6, "{name}");
+    }
+}
+
+#[test]
+fn reset_after_crash_drops_buffer_and_preserves_stats() {
+    for (name, mut agg) in implementations() {
+        fill(agg.as_mut(), GOAL - 1, 3.0);
+        assert_eq!(
+            agg.reset(),
+            GOAL - 1,
+            "{name}: reset must report dropped updates"
+        );
+        assert_eq!(agg.buffered(), 0, "{name}");
+        assert!(!agg.is_ready(1e12), "{name}: reset buffer is never ready");
+        assert!(agg.take(1e12).is_none(), "{name}");
+        assert_eq!(
+            agg.stats().accepted,
+            (GOAL - 1) as u64,
+            "{name}: lifetime counters must survive reset"
+        );
+
+        // The next goal starts from an empty buffer: GOAL fresh updates are
+        // required again, and the dropped ones do not leak into the average.
+        fill(agg.as_mut(), GOAL - 1, 9.0);
+        assert!(!agg.is_ready(0.0), "{name}: old progress leaked past reset");
+        fill(agg.as_mut(), 1, 9.0);
+        let out = agg.take(0.0).unwrap();
+        assert!((out.as_slice()[0] - 9.0).abs() < 1e-6, "{name}");
+        assert_eq!(agg.reset(), 0, "{name}: reset on empty buffer drops 0");
+    }
+}
+
+#[test]
+fn staleness_rejection_where_applicable() {
+    for (name, mut agg) in implementations() {
+        let Some(bound) = agg.max_staleness() else {
+            // Strategies without a staleness bound (synchronous rounds) must
+            // accept arbitrarily old start versions.
+            let outcome = agg.accumulate(update(0, 1.0, 10, 0), 1_000, 0.0);
+            assert!(outcome.accepted(), "{name}");
+            continue;
+        };
+        let stale_version = bound + 1;
+        let outcome = agg.accumulate(update(0, 1.0, 10, 0), stale_version, 0.0);
+        assert_eq!(
+            outcome,
+            AccumulateOutcome::RejectedStale {
+                staleness: stale_version,
+                max_staleness: bound,
+            },
+            "{name}"
+        );
+        assert_eq!(agg.buffered(), 0, "{name}: rejected update must not buffer");
+        assert_eq!(agg.stats().rejected_stale, 1, "{name}");
+
+        // An update exactly at the bound is still accepted.
+        let outcome = agg.accumulate(update(1, 1.0, 10, 0), bound, 0.0);
+        assert_eq!(
+            outcome,
+            AccumulateOutcome::Accepted { staleness: bound },
+            "{name}"
+        );
+        assert_eq!(agg.stats().max_observed_staleness, bound, "{name}");
+    }
+}
+
+#[test]
+fn stats_accumulate_across_releases() {
+    for (name, mut agg) in implementations() {
+        fill(agg.as_mut(), GOAL, 1.0);
+        agg.take(0.0).unwrap();
+        fill(agg.as_mut(), GOAL, 2.0);
+        agg.take(0.0).unwrap();
+        assert_eq!(agg.stats().accepted, 2 * GOAL as u64, "{name}");
+        assert_eq!(agg.stats().mean_staleness(), 0.0, "{name}");
+    }
+}
+
+/// Strategy-specific release semantics: only synchronous rounds close a
+/// round on release, and only they discard over-goal arrivals.
+#[test]
+fn round_closing_and_over_goal_behavior_match_the_strategy() {
+    for (name, mut agg) in implementations() {
+        let closes = agg.closes_round_on_release();
+        assert_eq!(closes, name == "sync_round", "{name}");
+        fill(agg.as_mut(), GOAL, 1.0);
+        let over_goal = agg.accumulate(update(99, 50.0, 10, 0), 0, 0.0);
+        if closes {
+            assert_eq!(over_goal, AccumulateOutcome::Discarded, "{name}");
+            assert_eq!(agg.stats().discarded, 1, "{name}");
+            assert_eq!(agg.buffered(), GOAL, "{name}");
+        } else {
+            // Buffered strategies keep accepting past the goal.
+            assert!(over_goal.accepted(), "{name}");
+            assert_eq!(agg.buffered(), GOAL + 1, "{name}");
+        }
+    }
+}

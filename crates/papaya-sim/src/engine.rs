@@ -1,53 +1,39 @@
-//! The single-task training simulation.
+//! The single-task front-end, kept as a thin shim over
+//! [`crate::scenario::Scenario`].
 //!
-//! One [`Simulation`] runs one federated task (synchronous or asynchronous)
-//! over a synthetic device population with a pluggable
+//! One [`Simulation`] runs one federated task (synchronous, asynchronous, or
+//! timed-hybrid) over a synthetic device population with a pluggable
 //! [`ClientTrainer`], and produces the traces every figure of the paper is
 //! built from: loss over virtual time, utilization, communication trips,
 //! server-update frequency, participation distributions, and staleness.
 //!
-//! The client lifecycle follows Section 6.1: selection (with a small
-//! selection latency), download, local training for the device's execution
-//! time, then report/upload.  Clients that drop out, crash, or exceed the
-//! training timeout are replaced immediately (Section 6.2); in synchronous
-//! mode the round closes as soon as the aggregation goal is met and all
-//! still-running clients are aborted (over-selection discards their work).
-//!
-//! All server-side per-task state lives in [`TaskRuntime`]; this module owns
-//! only what a *driver* owns — the clock, the event queue, client selection
-//! from the population, and the stop conditions.  The multi-tenant driver in
-//! [`crate::multi_task`] reuses the same runtime underneath a Coordinator /
-//! Selector control plane.
+//! New code should compose a [`Scenario`] directly — it subsumes this
+//! front-end and the multi-tenant one behind a single builder.  The types
+//! here survive so existing call sites keep working: [`SimulationConfig`]
+//! forwards its knobs into the shared [`RunLimits`]/[`EvalPolicy`] structs,
+//! and [`Simulation::run`] delegates to the scenario's direct path,
+//! translating the unified [`crate::scenario::Report`] back into a
+//! [`SimulationResult`].
 
-use crate::events::{EventKind, EventQueue, SimTime};
 use crate::metrics::{MetricsCollector, MetricsSummary};
-use crate::sampling::SamplingPool;
+pub use crate::scenario::StopReason;
+use crate::scenario::{EvalPolicy, RunLimits, Scenario};
 pub use crate::task_runtime::ServerOptimizerKind;
-use crate::task_runtime::TaskRuntime;
 use papaya_core::client::ClientTrainer;
 use papaya_core::config::TaskConfig;
 use papaya_data::population::Population;
 use papaya_nn::params::ParamVec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Configuration of one simulation run.
+/// Configuration of one single-task simulation run.
 #[derive(Clone, Debug)]
 pub struct SimulationConfig {
     /// The federated task being trained.
     pub task: TaskConfig,
-    /// Stop once the evaluated population loss drops to this value.
-    pub target_loss: Option<f64>,
-    /// Hard stop on virtual time, in seconds.
-    pub max_virtual_time_s: f64,
-    /// Hard stop on the number of client updates received.
-    pub max_client_updates: Option<u64>,
-    /// Virtual seconds between evaluations.
-    pub eval_interval_s: f64,
-    /// Number of clients sampled (once) for evaluation.
-    pub eval_sample_size: usize,
+    /// Stop conditions (virtual time, client updates, target loss).
+    pub limits: RunLimits,
+    /// Evaluation cadence and sample size.
+    pub eval: EvalPolicy,
     /// Delay between a client being selected and starting to train.
     pub selection_latency_s: f64,
     /// Interval of the utilization sampler.
@@ -63,11 +49,8 @@ impl SimulationConfig {
     pub fn new(task: TaskConfig) -> Self {
         SimulationConfig {
             task,
-            target_loss: None,
-            max_virtual_time_s: 200.0 * 3600.0,
-            max_client_updates: None,
-            eval_interval_s: 300.0,
-            eval_sample_size: 200,
+            limits: RunLimits::default(),
+            eval: EvalPolicy::default(),
             selection_latency_s: 2.0,
             utilization_sample_interval_s: 60.0,
             server_optimizer: ServerOptimizerKind::FedAvg,
@@ -77,31 +60,31 @@ impl SimulationConfig {
 
     /// Sets the target loss stopping criterion.
     pub fn with_target_loss(mut self, target: f64) -> Self {
-        self.target_loss = Some(target);
+        self.limits = self.limits.with_target_loss(target);
         self
     }
 
     /// Sets the virtual-time budget in hours.
     pub fn with_max_virtual_time_hours(mut self, hours: f64) -> Self {
-        self.max_virtual_time_s = hours * 3600.0;
+        self.limits = self.limits.with_max_virtual_time_hours(hours);
         self
     }
 
     /// Sets the client-update budget.
     pub fn with_max_client_updates(mut self, updates: u64) -> Self {
-        self.max_client_updates = Some(updates);
+        self.limits = self.limits.with_max_client_updates(updates);
         self
     }
 
     /// Sets the evaluation interval in virtual seconds.
     pub fn with_eval_interval_s(mut self, interval: f64) -> Self {
-        self.eval_interval_s = interval;
+        self.eval = self.eval.with_interval_s(interval);
         self
     }
 
     /// Sets the evaluation sample size.
     pub fn with_eval_sample_size(mut self, n: usize) -> Self {
-        self.eval_sample_size = n;
+        self.eval = self.eval.with_sample_size(n);
         self
     }
 
@@ -116,17 +99,6 @@ impl SimulationConfig {
         self.seed = seed;
         self
     }
-}
-
-/// Why a simulation stopped.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum StopReason {
-    /// The evaluated loss reached the target.
-    TargetLossReached,
-    /// The virtual-time budget was exhausted.
-    MaxVirtualTime,
-    /// The client-update budget was exhausted.
-    MaxClientUpdates,
 }
 
 /// The outcome of a simulation run.
@@ -154,11 +126,9 @@ pub struct SimulationResult {
     pub summary: MetricsSummary,
 }
 
-/// A single-task simulation.
+/// A single-task simulation (thin shim over [`Scenario`]).
 pub struct Simulation {
-    config: SimulationConfig,
-    population: Population,
-    trainer: Arc<dyn ClientTrainer>,
+    scenario: Scenario,
 }
 
 impl Simulation {
@@ -172,228 +142,37 @@ impl Simulation {
         population: Population,
         trainer: Arc<dyn ClientTrainer>,
     ) -> Self {
-        assert!(!population.is_empty(), "population must not be empty");
-        Simulation {
-            config,
-            population,
-            trainer,
-        }
+        let scenario = Scenario::builder()
+            .population(population)
+            .task_with_trainer(config.task, trainer)
+            .limits(config.limits)
+            .eval(config.eval)
+            .selection_latency_s(config.selection_latency_s)
+            .utilization_sample_interval_s(config.utilization_sample_interval_s)
+            .server_optimizer(config.server_optimizer)
+            .seed(config.seed)
+            .build();
+        Simulation { scenario }
     }
 
     /// Runs the simulation to completion and returns the result.
     pub fn run(&self) -> SimulationResult {
-        SimulationState::new(&self.config, &self.population, self.trainer.clone()).run()
-    }
-}
-
-/// Draws `sample` distinct evaluation client ids without replacement.
-pub(crate) fn sample_eval_ids(
-    rng: &mut StdRng,
-    population_len: usize,
-    sample: usize,
-) -> Vec<usize> {
-    let sample = sample.min(population_len).max(1);
-    let mut chosen = HashSet::with_capacity(sample);
-    let mut eval_ids = Vec::with_capacity(sample);
-    while eval_ids.len() < sample {
-        let id = rng.gen_range(0..population_len);
-        if chosen.insert(id) {
-            eval_ids.push(id);
-        }
-    }
-    eval_ids
-}
-
-struct SimulationState<'a> {
-    config: &'a SimulationConfig,
-    population: &'a Population,
-    rng: StdRng,
-    queue: EventQueue,
-    runtime: TaskRuntime,
-    pool: SamplingPool,
-    next_participation_id: u64,
-    now: SimTime,
-}
-
-impl<'a> SimulationState<'a> {
-    fn new(
-        config: &'a SimulationConfig,
-        population: &'a Population,
-        trainer: Arc<dyn ClientTrainer>,
-    ) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        // Fixed evaluation sample.
-        let eval_ids = sample_eval_ids(&mut rng, population.len(), config.eval_sample_size);
-        let runtime = TaskRuntime::new(
-            config.task.clone(),
-            config.server_optimizer,
-            trainer,
-            eval_ids,
-            config.seed,
-            config.target_loss,
-        );
-        SimulationState {
-            config,
-            population,
-            rng,
-            queue: EventQueue::new(),
-            runtime,
-            pool: SamplingPool::new(population.len()),
-            next_participation_id: 0,
-            now: 0.0,
-        }
-    }
-
-    fn run(mut self) -> SimulationResult {
-        self.fill_demand();
-        self.queue.schedule(0.0, EventKind::Evaluate);
-        self.queue.schedule(0.0, EventKind::SampleUtilization);
-
-        let mut stop_reason = StopReason::MaxVirtualTime;
-        while let Some(event) = self.queue.pop() {
-            if event.time > self.config.max_virtual_time_s {
-                stop_reason = StopReason::MaxVirtualTime;
-                self.now = self.config.max_virtual_time_s;
-                break;
-            }
-            self.now = event.time;
-            match event.kind {
-                EventKind::ClientFinished {
-                    client_id,
-                    participation_id,
-                } => {
-                    self.handle_client_finished(client_id, participation_id);
-                    if let Some(max) = self.config.max_client_updates {
-                        if self.runtime.metrics().comm_trips >= max {
-                            stop_reason = StopReason::MaxClientUpdates;
-                            break;
-                        }
-                    }
-                }
-                EventKind::ClientFailed {
-                    client_id: _,
-                    participation_id,
-                } => {
-                    if let Some(freed_client) = self.runtime.client_failed(participation_id) {
-                        self.pool.release(freed_client);
-                        self.fill_demand();
-                    }
-                }
-                EventKind::Evaluate => {
-                    self.runtime.evaluate(self.now);
-                    if self.runtime.target_reached() {
-                        stop_reason = StopReason::TargetLossReached;
-                        break;
-                    }
-                    self.queue
-                        .schedule(self.now + self.config.eval_interval_s, EventKind::Evaluate);
-                }
-                EventKind::SampleUtilization => {
-                    self.runtime.record_utilization(self.now);
-                    self.queue.schedule(
-                        self.now + self.config.utilization_sample_interval_s,
-                        EventKind::SampleUtilization,
-                    );
-                }
-                _ => unreachable!("single-task simulation schedules no multi-task events"),
-            }
-        }
-
-        // Final evaluation so `final_loss` reflects the last model.
-        self.runtime.evaluate(self.now);
-
-        let now = self.now;
-        let (metrics, final_params, final_version, final_loss, hours_to_target) =
-            self.runtime.into_parts();
-        let summary = metrics.summarize(now);
+        let report = self.scenario.run();
+        let stop_reason = report.stop_reason;
+        let virtual_hours = report.virtual_hours;
+        let task = report.into_single();
         SimulationResult {
             stop_reason,
-            hours_to_target,
-            final_loss,
-            final_version,
-            virtual_hours: now / 3600.0,
-            server_updates: metrics.server_updates,
-            comm_trips: metrics.comm_trips,
-            final_params,
-            summary,
-            metrics,
+            hours_to_target: task.hours_to_target,
+            final_loss: task.final_loss,
+            final_version: task.final_version,
+            virtual_hours,
+            server_updates: task.metrics.server_updates,
+            comm_trips: task.metrics.comm_trips,
+            final_params: task.final_params,
+            summary: task.summary,
+            metrics: task.metrics,
         }
-    }
-
-    fn fill_demand(&mut self) {
-        let demand = self.runtime.demand();
-        for _ in 0..demand {
-            if !self.select_one_client() {
-                break; // population exhausted
-            }
-        }
-        self.runtime.record_utilization(self.now);
-    }
-
-    /// Selects one idle device uniformly at random; returns false when every
-    /// device is already participating.
-    fn select_one_client(&mut self) -> bool {
-        let client_id = match self.pool.acquire_random(&mut self.rng) {
-            Some(id) => id,
-            None => return false,
-        };
-        let device = self.population.device(client_id);
-        let participation_id = self.next_participation_id;
-        self.next_participation_id += 1;
-
-        let timeout = self.config.task.client_timeout_s;
-        let start = self.now + self.config.selection_latency_s;
-        let drops_out = self.rng.gen::<f64>() < device.dropout_prob;
-        let exceeds_timeout = device.exceeds_timeout(timeout);
-        let execution_time = device.clamped_execution_time(timeout);
-
-        self.runtime
-            .begin_participation(participation_id, client_id, execution_time);
-
-        if drops_out {
-            // The client fails partway through its (clamped) execution.
-            let fraction: f64 = self.rng.gen_range(0.05..0.95);
-            self.queue.schedule(
-                start + fraction * execution_time,
-                EventKind::ClientFailed {
-                    client_id,
-                    participation_id,
-                },
-            );
-        } else if exceeds_timeout {
-            // The client is aborted at the timeout.
-            self.queue.schedule(
-                start + timeout,
-                EventKind::ClientFailed {
-                    client_id,
-                    participation_id,
-                },
-            );
-        } else {
-            self.queue.schedule(
-                start + execution_time,
-                EventKind::ClientFinished {
-                    client_id,
-                    participation_id,
-                },
-            );
-        }
-        true
-    }
-
-    fn handle_client_finished(&mut self, client_id: usize, participation_id: u64) {
-        let outcome = match self.runtime.offer_update(participation_id, self.now) {
-            Some(outcome) => outcome,
-            None => return, // aborted earlier (round ended or staleness abort)
-        };
-        self.pool.release(client_id);
-        for freed in &outcome.freed {
-            self.pool.release(freed.client_id);
-        }
-        if outcome.round_ended {
-            self.runtime.record_utilization(self.now);
-        }
-        self.fill_demand();
     }
 }
 
@@ -575,5 +354,18 @@ mod tests {
             .utilization_trace
             .iter()
             .all(|&(_, active)| active <= 120));
+    }
+
+    #[test]
+    fn timed_hybrid_runs_through_the_shim() {
+        // The third aggregation strategy works through the legacy front-end
+        // too: an unreachable goal means every release is deadline-driven.
+        let result = run(
+            TaskConfig::timed_hybrid_task("h", 24, 10_000, 300.0),
+            1.0,
+            400,
+        );
+        assert!(result.server_updates > 0);
+        assert_eq!(result.metrics.round_durations_s.len(), 0);
     }
 }

@@ -9,20 +9,21 @@
 //! surrogate objective).
 //!
 //! * [`events`] — the simulated clock and event queue;
-//! * [`engine`] — the single-task training simulation used by every figure
-//!   (SyncFL with/without over-selection, AsyncFL with any aggregation goal);
+//! * [`scenario`] — the unified entrypoint: one [`Scenario`] builder
+//!   composing tasks, population, fleet size, crash schedule, eval policy,
+//!   and seed, returning one [`Report`] for every workload shape;
+//! * [`engine`] — the legacy single-task front-end, a thin shim over
+//!   [`scenario`];
 //! * [`metrics`] — traces and summary statistics (utilization, communication
 //!   trips, server updates per hour, participation distributions);
-//! * [`task_runtime`] — per-task server-side state (model, optimizer,
-//!   aggregator, in-flight participations, per-task metrics) shared by the
-//!   single-task engine and the multi-tenant driver;
+//! * [`task_runtime`] — per-task server-side state (model, optimizer, a
+//!   `Box<dyn Aggregator>` strategy, in-flight participations, per-task
+//!   metrics) shared by both scenario paths;
 //! * [`cluster`] — the control plane: Coordinator, Selectors, persistent
 //!   Aggregators, task assignment, heartbeats, and failure recovery
 //!   (Sections 4, 6 and Appendix E.4);
-//! * [`multi_task`] — the multi-tenant simulation: many tasks placed on
-//!   persistent Aggregators by the Coordinator, one shared device
-//!   population routed through Selectors, and injectable Aggregator
-//!   failures with task reassignment (Sections 4, 6.2–6.3, Appendix E.4);
+//! * [`multi_task`] — the legacy multi-tenant front-end, a thin shim over
+//!   [`scenario`]'s fleet path (Sections 4, 6.2–6.3, Appendix E.4);
 //! * [`sampling`] — O(1) uniform sampling of free devices from a shared,
 //!   possibly saturated population;
 //! * [`client_runtime`] — the on-device runtime: eligibility criteria (idle,
@@ -32,19 +33,20 @@
 //! # Example
 //!
 //! ```
-//! use papaya_core::{SurrogateObjective, TaskConfig};
-//! use papaya_core::surrogate::SurrogateConfig;
+//! use papaya_core::TaskConfig;
 //! use papaya_data::population::{Population, PopulationConfig};
-//! use papaya_sim::engine::{Simulation, SimulationConfig};
-//! use std::sync::Arc;
+//! use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario};
 //!
 //! let population = Population::generate(&PopulationConfig::default().with_size(500), 1);
-//! let trainer = Arc::new(SurrogateObjective::new(&population, SurrogateConfig::default(), 1));
-//! let config = SimulationConfig::new(TaskConfig::async_task("demo", 32, 8))
-//!     .with_max_virtual_time_hours(0.5)
-//!     .with_seed(1);
-//! let result = Simulation::new(config, population, trainer).run();
-//! assert!(result.server_updates > 0);
+//! let report = Scenario::builder()
+//!     .population(population)
+//!     .task(TaskConfig::async_task("demo", 32, 8))
+//!     .limits(RunLimits::default().with_max_virtual_time_hours(0.5))
+//!     .eval(EvalPolicy::default().with_interval_s(600.0))
+//!     .seed(1)
+//!     .build()
+//!     .run();
+//! assert!(report.tasks[0].server_updates() > 0);
 //! ```
 
 pub mod client_runtime;
@@ -54,11 +56,16 @@ pub mod events;
 pub mod metrics;
 pub mod multi_task;
 pub mod sampling;
+pub mod scenario;
 pub mod task_runtime;
 
-pub use engine::{Simulation, SimulationConfig, SimulationResult, StopReason};
+pub use engine::{Simulation, SimulationConfig, SimulationResult};
 pub use metrics::{
     ControlPlaneStats, FleetSummary, MetricsSummary, ParticipationRecord, TaskSummary,
 };
 pub use multi_task::{MultiTaskConfig, MultiTaskResult, MultiTaskSimulation};
+pub use scenario::{
+    EvalPolicy, FleetSpec, InjectedCrash, Report, RunLimits, Scenario, ScenarioBuilder, StopReason,
+    TaskReport, TierPolicy,
+};
 pub use task_runtime::{ServerOptimizerKind, TaskRuntime};

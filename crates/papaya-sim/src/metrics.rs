@@ -219,11 +219,12 @@ pub struct FleetSummary {
 }
 
 impl FleetSummary {
-    /// Rolls up per-task summaries and control-plane counters.
+    /// Rolls up per-task summaries and control-plane counters.  Collectors
+    /// are borrowed — only scalar counters are read, never copied traces.
     pub fn roll_up(
         virtual_hours: f64,
         tasks: &[TaskSummary],
-        collectors: &[MetricsCollector],
+        collectors: &[&MetricsCollector],
         control_plane: ControlPlaneStats,
     ) -> Self {
         FleetSummary {
@@ -325,7 +326,7 @@ mod tests {
             lost_in_transit_updates: 4,
             final_map_sequence: 3,
         };
-        let fleet = FleetSummary::roll_up(1.0, &tasks, &[a, b], stats.clone());
+        let fleet = FleetSummary::roll_up(1.0, &tasks, &[&a, &b], stats.clone());
         assert_eq!(fleet.tasks, 2);
         assert_eq!(fleet.total_comm_trips, 150);
         assert_eq!(fleet.total_server_updates, 15);

@@ -1,17 +1,18 @@
-//! The multi-tenant simulation: many federated tasks over one shared
-//! device population (Sections 4, 6.2–6.3, Appendix E.4).
+//! The multi-tenant front-end, kept as a thin shim over
+//! [`crate::scenario::Scenario`] (Sections 4, 6.2–6.3, Appendix E.4).
 //!
 //! [`MultiTaskSimulation`] wires the control plane of [`crate::cluster`]
 //! into the training dynamics of [`crate::task_runtime`]:
 //!
-//! * the **Coordinator** places each task's [`TaskRuntime`] on one of M
+//! * the **Coordinator** places each task's `TaskRuntime` on one of M
 //!   persistent Aggregators, balancing estimated workload, and pools client
 //!   demand reported by the runtimes (with unconfirmed-assignment
 //!   accounting);
 //! * devices check in from one shared [`Population`]; their capability tier
-//!   (derived from compute speed) restricts which tasks they are eligible
-//!   for, and the Coordinator assigns each check-in to a random eligible
-//!   task with positive effective demand;
+//!   (derived from compute speed through a configurable
+//!   [`TierPolicy`]) restricts which tasks they are eligible for, and the
+//!   Coordinator assigns each check-in to a random eligible task with
+//!   positive effective demand;
 //! * **Selectors** route the resulting participation to the task's
 //!   Aggregator from a cached assignment map; a Selector whose map sequence
 //!   is behind the Coordinator's refuses to route until its periodic
@@ -22,58 +23,37 @@
 //!   Coordinator misses enough heartbeats it reassigns the orphaned tasks —
 //!   after which training resumes on the surviving Aggregators.
 //!
-//! The run produces a per-task [`TaskSummary`] (loss trajectory, rates,
-//! staleness, lost updates) and a cross-task [`FleetSummary`] with the
-//! control-plane counters (failures, reassignments, stale-route refusals).
+//! New code should compose a [`Scenario`] with a
+//! [`FleetSpec`] directly; this front-end survives for existing call sites
+//! and translates the unified [`crate::scenario::Report`] back into a
+//! [`MultiTaskResult`] (per-task [`TaskSummary`] plus a cross-task
+//! [`FleetSummary`]).
 
-use crate::cluster::{AggregatorId, Coordinator, RouteOutcome, Selector, TaskSpec};
-use crate::events::{EventKind, EventQueue, SimTime};
-use crate::metrics::{ControlPlaneStats, FleetSummary, MetricsCollector, TaskSummary};
-use crate::sampling::SamplingPool;
-use crate::task_runtime::{ServerOptimizerKind, TaskRuntime};
+use crate::cluster::AggregatorId;
+use crate::metrics::{FleetSummary, MetricsCollector, TaskSummary};
+pub use crate::scenario::InjectedCrash;
+use crate::scenario::{EvalPolicy, FleetSpec, RunLimits, Scenario, TierPolicy};
+use crate::task_runtime::ServerOptimizerKind;
 use papaya_core::client::ClientTrainer;
 use papaya_core::config::TaskConfig;
-use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_data::population::{DeviceProfile, Population};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-
-/// An Aggregator failure injected at a fixed virtual time.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct InjectedCrash {
-    /// When the Aggregator dies, in virtual seconds.
-    pub time_s: f64,
-    /// Which Aggregator dies.
-    pub aggregator: AggregatorId,
-}
 
 /// Configuration of a multi-tenant run.
 #[derive(Clone, Debug)]
 pub struct MultiTaskConfig {
-    /// The fleet's tasks.  Each entry becomes one [`TaskRuntime`].
+    /// The fleet's tasks.  Each entry becomes one task runtime.
     pub tasks: Vec<TaskConfig>,
-    /// Number of persistent Aggregator processes.
-    pub num_aggregators: usize,
-    /// Number of Selector processes routing client requests.
-    pub num_selectors: usize,
-    /// Hard stop on virtual time, in seconds.
-    pub max_virtual_time_s: f64,
-    /// Virtual seconds between per-task evaluations.
-    pub eval_interval_s: f64,
-    /// Number of clients sampled (once, per task) for evaluation.
-    pub eval_sample_size: usize,
+    /// Control-plane sizing and timing.
+    pub fleet: FleetSpec,
+    /// Stop conditions (the legacy front-end only ever used virtual time).
+    pub limits: RunLimits,
+    /// Evaluation cadence and sample size.
+    pub eval: EvalPolicy,
+    /// Capability-tier policy applied at device check-in.
+    pub tier_policy: TierPolicy,
     /// Delay between a client being assigned and starting to train.
     pub selection_latency_s: f64,
-    /// Interval of the control-plane sweep (heartbeats, failure detection,
-    /// demand pooling, client assignment).
-    pub control_plane_interval_s: f64,
-    /// Interval at which Selectors refresh their assignment maps.
-    pub selector_refresh_interval_s: f64,
-    /// Heartbeat silence after which the Coordinator declares an Aggregator
-    /// failed; must exceed `control_plane_interval_s`.
-    pub heartbeat_timeout_s: f64,
     /// Server optimizer applied to every task's aggregated deltas.
     pub server_optimizer: ServerOptimizerKind,
     /// RNG seed controlling selection, assignment, and training noise.
@@ -87,15 +67,11 @@ impl MultiTaskConfig {
     pub fn new(tasks: Vec<TaskConfig>) -> Self {
         MultiTaskConfig {
             tasks,
-            num_aggregators: 2,
-            num_selectors: 2,
-            max_virtual_time_s: 2.0 * 3600.0,
-            eval_interval_s: 300.0,
-            eval_sample_size: 200,
+            fleet: FleetSpec::new(2, 2),
+            limits: RunLimits::default().with_max_virtual_time_hours(2.0),
+            eval: EvalPolicy::default(),
+            tier_policy: TierPolicy::default(),
             selection_latency_s: 2.0,
-            control_plane_interval_s: 10.0,
-            selector_refresh_interval_s: 45.0,
-            heartbeat_timeout_s: 25.0,
             server_optimizer: ServerOptimizerKind::FedAvg,
             seed: 0,
             crashes: Vec::new(),
@@ -104,25 +80,25 @@ impl MultiTaskConfig {
 
     /// Sets the number of Aggregators.
     pub fn with_aggregators(mut self, n: usize) -> Self {
-        self.num_aggregators = n;
+        self.fleet.aggregators = n;
         self
     }
 
     /// Sets the number of Selectors.
     pub fn with_selectors(mut self, n: usize) -> Self {
-        self.num_selectors = n;
+        self.fleet.selectors = n;
         self
     }
 
     /// Sets the virtual-time budget in hours.
     pub fn with_max_virtual_time_hours(mut self, hours: f64) -> Self {
-        self.max_virtual_time_s = hours * 3600.0;
+        self.limits = self.limits.with_max_virtual_time_hours(hours);
         self
     }
 
     /// Sets the evaluation interval in virtual seconds.
     pub fn with_eval_interval_s(mut self, interval: f64) -> Self {
-        self.eval_interval_s = interval;
+        self.eval = self.eval.with_interval_s(interval);
         self
     }
 
@@ -143,20 +119,20 @@ impl MultiTaskConfig {
         self.server_optimizer = kind;
         self
     }
+
+    /// Sets the capability-tier policy.
+    pub fn with_tier_policy(mut self, policy: TierPolicy) -> Self {
+        self.tier_policy = policy;
+        self
+    }
 }
 
-/// Capability tier a device reports at check-in, derived from its compute
-/// speed: the fastest devices (tier 2) can train any task, median devices
-/// (tier 1) mid-size tasks, and slow devices (tier 0) only unrestricted
-/// tasks.
+/// Capability tier a device reports at check-in under the default
+/// [`TierPolicy`]: the fastest devices (tier 2) can train any task, median
+/// devices (tier 1) mid-size tasks, and slow devices (tier 0) only
+/// unrestricted tasks.
 pub fn capability_tier(device: &DeviceProfile) -> u8 {
-    if device.speed_factor >= 1.25 {
-        2
-    } else if device.speed_factor >= 0.75 {
-        1
-    } else {
-        0
-    }
+    TierPolicy::default().tier(device)
 }
 
 /// The outcome of a multi-tenant run.
@@ -172,11 +148,32 @@ pub struct MultiTaskResult {
     pub fleet: FleetSummary,
 }
 
-/// A multi-tenant simulation over one shared device population.
+/// A multi-tenant simulation over one shared device population (thin shim
+/// over [`Scenario`]).
 pub struct MultiTaskSimulation {
+    scenario: Scenario,
+}
+
+/// Applies everything but the tasks to a fresh [`ScenarioBuilder`]; both
+/// constructors add tasks on top, so a new config knob is wired exactly
+/// once.
+fn base_builder(
     config: MultiTaskConfig,
     population: Population,
-    trainers: Vec<Arc<dyn ClientTrainer>>,
+) -> (crate::scenario::ScenarioBuilder, Vec<TaskConfig>) {
+    let mut builder = Scenario::builder()
+        .population(population)
+        .fleet(config.fleet)
+        .limits(config.limits)
+        .eval(config.eval)
+        .tier_policy(config.tier_policy)
+        .selection_latency_s(config.selection_latency_s)
+        .server_optimizer(config.server_optimizer)
+        .seed(config.seed);
+    for crash in config.crashes {
+        builder = builder.crash_at(crash.time_s, crash.aggregator);
+    }
+    (builder, config.tasks)
 }
 
 impl MultiTaskSimulation {
@@ -191,29 +188,17 @@ impl MultiTaskSimulation {
         population: Population,
         trainers: Vec<Arc<dyn ClientTrainer>>,
     ) -> Self {
-        assert!(!population.is_empty(), "population must not be empty");
-        assert!(!config.tasks.is_empty(), "at least one task is required");
-        assert!(
-            config.num_aggregators > 0,
-            "at least one aggregator is required"
-        );
-        assert!(
-            config.num_selectors > 0,
-            "at least one selector is required"
-        );
         assert_eq!(
             config.tasks.len(),
             trainers.len(),
             "one trainer per task is required"
         );
-        assert!(
-            config.heartbeat_timeout_s > config.control_plane_interval_s,
-            "heartbeat timeout must exceed the control-plane interval"
-        );
+        let (mut builder, tasks) = base_builder(config, population);
+        for (task, trainer) in tasks.into_iter().zip(trainers) {
+            builder = builder.task_with_trainer(task, trainer);
+        }
         MultiTaskSimulation {
-            config,
-            population,
-            trainers,
+            scenario: builder.build(),
         }
     }
 
@@ -221,363 +206,26 @@ impl MultiTaskSimulation {
     /// objective over the shared population (seeded per task, so tasks are
     /// distinct learning problems).
     pub fn with_surrogate_trainers(config: MultiTaskConfig, population: Population) -> Self {
-        let trainers: Vec<Arc<dyn ClientTrainer>> = (0..config.tasks.len())
-            .map(|task_id| {
-                // Salt with task_id + 1 so task 0's stream is decorrelated
-                // from the driver RNG (and the population generator) too.
-                Arc::new(SurrogateObjective::new(
-                    &population,
-                    SurrogateConfig::default(),
-                    config.seed ^ (task_id as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
-                )) as Arc<dyn ClientTrainer>
-            })
-            .collect();
-        Self::new(config, population, trainers)
+        let (mut builder, tasks) = base_builder(config, population);
+        for task in tasks {
+            builder = builder.task(task);
+        }
+        MultiTaskSimulation {
+            scenario: builder.build(),
+        }
     }
 
     /// Runs the simulation to completion and returns per-task and fleet
     /// results.
     pub fn run(&self) -> MultiTaskResult {
-        MultiState::new(&self.config, &self.population, &self.trainers).run()
-    }
-}
-
-struct MultiState<'a> {
-    config: &'a MultiTaskConfig,
-    population: &'a Population,
-    rng: StdRng,
-    queue: EventQueue,
-    runtimes: Vec<TaskRuntime>,
-    coordinator: Coordinator,
-    selectors: Vec<Selector>,
-    selector_cursor: usize,
-    crashed: HashSet<AggregatorId>,
-    pool: SamplingPool,
-    tiers: Vec<u8>,
-    /// Aggregator each in-flight participation will upload to (the route
-    /// the client received at selection time).
-    upload_route: HashMap<u64, AggregatorId>,
-    next_participation_id: u64,
-    reassignments: Vec<u64>,
-    stats: ControlPlaneStats,
-    now: SimTime,
-}
-
-impl<'a> MultiState<'a> {
-    fn new(
-        config: &'a MultiTaskConfig,
-        population: &'a Population,
-        trainers: &[Arc<dyn ClientTrainer>],
-    ) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut coordinator = Coordinator::new(config.heartbeat_timeout_s, config.seed ^ 0xC0FFEE);
-        for id in 0..config.num_aggregators {
-            coordinator.register_aggregator(id, 0.0);
-        }
-        let mut runtimes = Vec::with_capacity(config.tasks.len());
-        for (task_id, task) in config.tasks.iter().enumerate() {
-            coordinator.submit_task(TaskSpec::from_task_config(task_id, task));
-            let eval_ids =
-                crate::engine::sample_eval_ids(&mut rng, population.len(), config.eval_sample_size);
-            runtimes.push(TaskRuntime::new(
-                task.clone(),
-                config.server_optimizer,
-                Arc::clone(&trainers[task_id]),
-                eval_ids,
-                config.seed ^ ((task_id as u64 + 1) << 32),
-                None,
-            ));
-        }
-        let mut selectors = vec![Selector::new(); config.num_selectors];
-        for selector in &mut selectors {
-            selector.refresh(&coordinator);
-        }
-        let tiers = population.iter().map(capability_tier).collect();
-        MultiState {
-            config,
-            population,
-            rng,
-            queue: EventQueue::new(),
-            runtimes,
-            coordinator,
-            selectors,
-            selector_cursor: 0,
-            crashed: HashSet::new(),
-            pool: SamplingPool::new(population.len()),
-            tiers,
-            upload_route: HashMap::new(),
-            next_participation_id: 0,
-            reassignments: vec![0; config.tasks.len()],
-            stats: ControlPlaneStats::default(),
-            now: 0.0,
-        }
-    }
-
-    fn run(mut self) -> MultiTaskResult {
-        self.queue.schedule(0.0, EventKind::ControlPlaneTick);
-        self.queue.schedule(
-            self.config.selector_refresh_interval_s,
-            EventKind::RefreshSelectors,
-        );
-        for task in 0..self.runtimes.len() {
-            self.queue.schedule(0.0, EventKind::EvaluateTask { task });
-        }
-        for crash in &self.config.crashes {
-            self.queue.schedule(
-                crash.time_s,
-                EventKind::AggregatorCrash {
-                    aggregator: crash.aggregator,
-                },
-            );
-        }
-
-        while let Some(event) = self.queue.pop() {
-            if event.time > self.config.max_virtual_time_s {
-                self.now = self.config.max_virtual_time_s;
-                break;
-            }
-            self.now = event.time;
-            match event.kind {
-                EventKind::ControlPlaneTick => self.control_plane_tick(),
-                EventKind::RefreshSelectors => self.refresh_selectors(),
-                EventKind::AggregatorCrash { aggregator } => {
-                    if self.crashed.insert(aggregator) {
-                        self.stats.aggregator_failures += 1;
-                    }
-                }
-                EventKind::TaskClientFinished {
-                    task,
-                    client_id,
-                    participation_id,
-                } => self.handle_client_finished(task, client_id, participation_id),
-                EventKind::TaskClientFailed {
-                    task,
-                    client_id: _,
-                    participation_id,
-                } => {
-                    self.upload_route.remove(&participation_id);
-                    if let Some(freed) = self.runtimes[task].client_failed(participation_id) {
-                        self.pool.release(freed);
-                    }
-                }
-                EventKind::EvaluateTask { task } => {
-                    self.runtimes[task].evaluate(self.now);
-                    self.queue.schedule(
-                        self.now + self.config.eval_interval_s,
-                        EventKind::EvaluateTask { task },
-                    );
-                }
-                _ => unreachable!("multi-task simulation schedules no single-task events"),
-            }
-        }
-
-        // Final evaluation so every task's final loss reflects its last model.
-        for runtime in &mut self.runtimes {
-            runtime.evaluate(self.now);
-        }
-        self.stats.final_map_sequence = self.coordinator.sequence();
-
-        let virtual_hours = self.now / 3600.0;
-        let mut summaries = Vec::with_capacity(self.runtimes.len());
-        let mut collectors = Vec::with_capacity(self.runtimes.len());
-        for (task_id, runtime) in self.runtimes.into_iter().enumerate() {
-            let name = runtime.config().name.clone();
-            let (metrics, _params, _version, final_loss, _target) = runtime.into_parts();
-            let initial_loss = metrics
-                .loss_curve
-                .first()
-                .map(|&(_, loss)| loss)
-                .unwrap_or(f64::INFINITY);
-            summaries.push(TaskSummary {
-                task_id,
-                name,
-                initial_loss,
-                final_loss,
-                reassignments: self.reassignments[task_id],
-                lost_buffered_updates: metrics.lost_buffered_updates,
-                summary: metrics.summarize(self.now),
-            });
-            collectors.push(metrics);
-        }
-        let fleet = FleetSummary::roll_up(virtual_hours, &summaries, &collectors, self.stats);
+        let report = self.scenario.run();
+        let tasks: Vec<TaskSummary> = report.tasks.iter().map(|t| t.to_task_summary()).collect();
+        let metrics: Vec<MetricsCollector> = report.tasks.into_iter().map(|t| t.metrics).collect();
         MultiTaskResult {
-            virtual_hours,
-            tasks: summaries,
-            metrics: collectors,
-            fleet,
-        }
-    }
-
-    /// One control-plane sweep: heartbeats, failure detection and task
-    /// reassignment, demand pooling, and client assignment.
-    fn control_plane_tick(&mut self) {
-        // Live Aggregators heartbeat; crashed ones stay silent.
-        for id in 0..self.config.num_aggregators {
-            if !self.crashed.contains(&id) {
-                self.coordinator.heartbeat(id, self.now);
-            }
-        }
-
-        // Failure detection: orphaned tasks lose their buffered updates and
-        // move to a surviving Aggregator.
-        let reassigned = self.coordinator.detect_failures(self.now);
-        for task in reassigned {
-            self.runtimes[task].drop_buffered_updates();
-            self.reassignments[task] += 1;
-            self.stats.task_reassignments += 1;
-        }
-
-        // Demand pooling: every runtime reports its current client demand.
-        for (task_id, runtime) in self.runtimes.iter().enumerate() {
-            self.coordinator.report_demand(task_id, runtime.demand());
-        }
-
-        // Client assignment: idle devices check in and are assigned to
-        // eligible tasks until demand is met (or no check-in succeeds).
-        let total_demand: usize = (0..self.runtimes.len())
-            .map(|task| self.coordinator.effective_demand(task))
-            .sum();
-        let mut assigned = 0;
-        let mut turned_away = Vec::new();
-        let max_checkins = 4 * total_demand + 8;
-        for _ in 0..max_checkins {
-            if assigned >= total_demand {
-                break;
-            }
-            let client_id = match self.pool.acquire_random(&mut self.rng) {
-                Some(id) => id,
-                None => break, // every device is already participating
-            };
-            match self.coordinator.assign_client(self.tiers[client_id]) {
-                Some((task, aggregator)) => {
-                    if self.route_and_start(task, aggregator, client_id) {
-                        assigned += 1;
-                    } else {
-                        turned_away.push(client_id);
-                    }
-                }
-                None => turned_away.push(client_id), // no eligible task now
-            }
-        }
-        for client_id in turned_away {
-            self.pool.release(client_id);
-        }
-
-        for runtime in &mut self.runtimes {
-            runtime.record_utilization(self.now);
-        }
-        self.queue.schedule(
-            self.now + self.config.control_plane_interval_s,
-            EventKind::ControlPlaneTick,
-        );
-    }
-
-    /// Routes an assigned client through the next Selector and, if routing
-    /// succeeds, starts the participation.  Returns false when the client
-    /// must retry later (stale Selector map or dead Aggregator).
-    fn route_and_start(&mut self, task: usize, aggregator: AggregatorId, client_id: usize) -> bool {
-        let selector_index = self.selector_cursor % self.selectors.len();
-        self.selector_cursor += 1;
-        let selector = &self.selectors[selector_index];
-
-        // A Selector whose map sequence is behind the Coordinator's refuses
-        // to route and asks the client to retry while it refreshes.
-        if selector.is_stale(&self.coordinator) {
-            self.stats.stale_route_refusals += 1;
-            return false;
-        }
-        match selector.route(task) {
-            RouteOutcome::StaleMap => {
-                self.stats.stale_route_refusals += 1;
-                return false;
-            }
-            RouteOutcome::Routed(routed) => {
-                // The connection to a dead Aggregator fails outright; the
-                // client retries at a later check-in.
-                if self.crashed.contains(&routed) || routed != aggregator {
-                    return false;
-                }
-            }
-        }
-
-        let device = self.population.device(client_id);
-        let participation_id = self.next_participation_id;
-        self.next_participation_id += 1;
-
-        let timeout = self.runtimes[task].config().client_timeout_s;
-        let start = self.now + self.config.selection_latency_s;
-        let drops_out = self.rng.gen::<f64>() < device.dropout_prob;
-        let exceeds_timeout = device.exceeds_timeout(timeout);
-        let execution_time = device.clamped_execution_time(timeout);
-
-        self.runtimes[task].begin_participation(participation_id, client_id, execution_time);
-        self.upload_route.insert(participation_id, aggregator);
-
-        if drops_out {
-            let fraction: f64 = self.rng.gen_range(0.05..0.95);
-            self.queue.schedule(
-                start + fraction * execution_time,
-                EventKind::TaskClientFailed {
-                    task,
-                    client_id,
-                    participation_id,
-                },
-            );
-        } else if exceeds_timeout {
-            self.queue.schedule(
-                start + timeout,
-                EventKind::TaskClientFailed {
-                    task,
-                    client_id,
-                    participation_id,
-                },
-            );
-        } else {
-            self.queue.schedule(
-                start + execution_time,
-                EventKind::TaskClientFinished {
-                    task,
-                    client_id,
-                    participation_id,
-                },
-            );
-        }
-        true
-    }
-
-    fn refresh_selectors(&mut self) {
-        for selector in &mut self.selectors {
-            if selector.is_stale(&self.coordinator) {
-                selector.refresh(&self.coordinator);
-            }
-        }
-        self.queue.schedule(
-            self.now + self.config.selector_refresh_interval_s,
-            EventKind::RefreshSelectors,
-        );
-    }
-
-    fn handle_client_finished(&mut self, task: usize, client_id: usize, participation_id: u64) {
-        let destination = self.upload_route.remove(&participation_id);
-        // An upload addressed to a dead Aggregator is lost in transit; the
-        // participation failed from the task's point of view.
-        if destination
-            .map(|agg| self.crashed.contains(&agg))
-            .unwrap_or(false)
-        {
-            self.stats.lost_in_transit_updates += 1;
-            if let Some(freed) = self.runtimes[task].client_failed(participation_id) {
-                self.pool.release(freed);
-            }
-            return;
-        }
-        let outcome = match self.runtimes[task].offer_update(participation_id, self.now) {
-            Some(outcome) => outcome,
-            None => return, // aborted earlier (round end, staleness, failover)
-        };
-        self.pool.release(client_id);
-        for freed in &outcome.freed {
-            self.pool.release(freed.client_id);
+            virtual_hours: report.virtual_hours,
+            tasks,
+            metrics,
+            fleet: report.fleet,
         }
     }
 }

@@ -1,16 +1,17 @@
 //! Per-task training state, factored out of the single-task engine.
 //!
 //! A [`TaskRuntime`] owns everything one federated task needs server-side:
-//! the versioned model and its optimizer, the (sync or async) aggregator,
-//! the download snapshot, the in-flight participation map, synchronous round
+//! the versioned model and its optimizer, the aggregation strategy (held as
+//! a `Box<dyn Aggregator>`, so the runtime is agnostic of sync vs async vs
+//! hybrid), the download snapshot, the in-flight participation map, round
 //! bookkeeping, and a per-task [`MetricsCollector`].  It exposes a narrow
 //! API — [`begin_participation`](TaskRuntime::begin_participation),
 //! [`offer_update`](TaskRuntime::offer_update),
 //! [`client_failed`](TaskRuntime::client_failed),
-//! [`demand`](TaskRuntime::demand), [`evaluate`](TaskRuntime::evaluate) —
-//! so the same runtime can be driven by the single-task [`crate::engine`]
-//! or placed on a simulated Aggregator by
-//! [`crate::multi_task::MultiTaskSimulation`].
+//! [`demand`](TaskRuntime::demand), [`evaluate`](TaskRuntime::evaluate),
+//! [`poll`](TaskRuntime::poll) —
+//! so the same runtime can be driven by any [`crate::scenario::Scenario`]
+//! path or placed on a simulated Aggregator process.
 //!
 //! The runtime is deliberately ignorant of *who* participates and *when*:
 //! client selection, event scheduling, dropouts, and timeouts belong to the
@@ -19,20 +20,19 @@
 //! reproducing the paper's fault-tolerance semantics (buffered state is
 //! lost with the Aggregator; training resumes after reassignment).  For
 //! in-flight participations a driver can either let their uploads fail
-//! lazily when they arrive (what [`crate::multi_task`] does: the upload is
-//! addressed to the dead Aggregator and is reported through
+//! lazily when they arrive (what the fleet scenario path does: the upload
+//! is addressed to the dead Aggregator and is reported through
 //! [`client_failed`](TaskRuntime::client_failed)) or abort them all
 //! eagerly with
 //! [`abort_all_in_flight`](TaskRuntime::abort_all_in_flight).
 
 use crate::events::SimTime;
 use crate::metrics::{MetricsCollector, ParticipationRecord};
+use papaya_core::aggregator::{self, AccumulateOutcome, Aggregator};
 use papaya_core::client::{ClientTrainer, ClientUpdate};
-use papaya_core::config::{TaskConfig, TrainingMode};
-use papaya_core::fedbuff::FedBuffAggregator;
+use papaya_core::config::TaskConfig;
 use papaya_core::model::ServerModel;
 use papaya_core::server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
-use papaya_core::sync_agg::SyncRoundAggregator;
 use papaya_nn::params::ParamVec;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -79,11 +79,6 @@ struct InFlight {
     execution_time_s: f64,
 }
 
-enum AggregatorState {
-    Async(FedBuffAggregator),
-    Sync(SyncRoundAggregator),
-}
-
 /// A participation released by the runtime (stale abort, round end, or a
 /// forced abort after an Aggregator failure); the driver must return the
 /// device to its selection pool.
@@ -118,7 +113,7 @@ pub struct TaskRuntime {
     model: ServerModel,
     snapshot: Arc<ParamVec>,
     optimizer: Box<dyn ServerOptimizer>,
-    aggregator: AggregatorState,
+    aggregator: Box<dyn Aggregator>,
     in_flight: HashMap<u64, InFlight>,
     completed_this_round: usize,
     round_number: u64,
@@ -132,7 +127,9 @@ pub struct TaskRuntime {
 impl TaskRuntime {
     /// Creates the runtime for one task.  `eval_ids` is the fixed evaluation
     /// sample (chosen by the driver from its population) and `seed` salts the
-    /// per-participation training randomness.
+    /// per-participation training randomness.  The aggregation strategy is
+    /// built from the task's mode by [`papaya_core::aggregator::for_task`];
+    /// nothing in the runtime branches on the mode afterwards.
     pub fn new(
         config: TaskConfig,
         server_optimizer: ServerOptimizerKind,
@@ -141,26 +138,32 @@ impl TaskRuntime {
         seed: u64,
         target_loss: Option<f64>,
     ) -> Self {
+        let aggregator = aggregator::for_task(&config);
+        Self::with_aggregator(
+            config,
+            server_optimizer,
+            aggregator,
+            trainer,
+            eval_ids,
+            seed,
+            target_loss,
+        )
+    }
+
+    /// Creates the runtime with an explicit aggregation strategy, for
+    /// strategies a [`TaskConfig`] cannot express.
+    pub fn with_aggregator(
+        config: TaskConfig,
+        server_optimizer: ServerOptimizerKind,
+        aggregator: Box<dyn Aggregator>,
+        trainer: Arc<dyn ClientTrainer>,
+        eval_ids: Vec<usize>,
+        seed: u64,
+        target_loss: Option<f64>,
+    ) -> Self {
         let model = ServerModel::new(trainer.initial_parameters());
         let snapshot = Arc::new(model.snapshot());
         let optimizer = server_optimizer.build();
-        let aggregator = match config.mode {
-            TrainingMode::Async {
-                max_staleness,
-                staleness_weighting,
-            } => AggregatorState::Async(
-                FedBuffAggregator::new(
-                    config.aggregation_goal,
-                    staleness_weighting,
-                    Some(max_staleness),
-                )
-                .with_example_weighting(config.weight_by_examples),
-            ),
-            TrainingMode::Sync { .. } => AggregatorState::Sync(
-                SyncRoundAggregator::new(config.aggregation_goal)
-                    .with_example_weighting(config.weight_by_examples),
-            ),
-        };
         TaskRuntime {
             config,
             seed,
@@ -223,8 +226,8 @@ impl TaskRuntime {
         self.final_loss
     }
 
-    /// The synchronous round currently in progress (0-based; also counts
-    /// buffered-async server updates in async mode's bookkeeping).
+    /// The synchronous round currently in progress (0-based; stays 0 for
+    /// buffered strategies, whose releases never close a round).
     pub fn round_number(&self) -> u64 {
         self.round_number
     }
@@ -262,8 +265,8 @@ impl TaskRuntime {
     }
 
     /// A client finished local training and reports its update.  Runs the
-    /// trainer, feeds the aggregator, and applies a server update when an
-    /// aggregation goal is reached.  Returns `None` when the participation
+    /// trainer, feeds the aggregator, and applies a server update when the
+    /// aggregator becomes ready.  Returns `None` when the participation
     /// was already aborted (round end, staleness abort, or failover).
     pub fn offer_update(&mut self, participation_id: u64, now: SimTime) -> Option<UpdateOutcome> {
         let in_flight = self.in_flight.remove(&participation_id)?;
@@ -276,70 +279,93 @@ impl TaskRuntime {
             self.seed ^ participation_id,
         );
         let num_examples = result.num_examples;
-        let update = ClientUpdate::from_result(client_id, in_flight.start_version, result);
 
         let mut outcome = UpdateOutcome::default();
-        match &mut self.aggregator {
-            AggregatorState::Async(agg) => {
-                let accumulate_outcome = agg.accumulate(update, self.model.version());
-                outcome.accepted = accumulate_outcome.accepted();
-                if let papaya_core::fedbuff::AccumulateOutcome::Accepted { staleness } =
-                    accumulate_outcome
-                {
-                    self.metrics.staleness_sum += staleness;
-                    self.metrics.aggregated_updates += 1;
-                } else {
-                    self.metrics.rejected_stale_updates += 1;
-                }
-                self.metrics.participations.push(ParticipationRecord {
-                    client_id,
-                    execution_time_s: in_flight.execution_time_s,
-                    num_examples,
-                    aggregated: outcome.accepted,
-                });
-                if agg.is_ready() {
-                    let delta = agg.take().expect("aggregation goal reached");
-                    self.apply_server_update(&delta);
-                    outcome.server_updated = true;
-                    outcome.freed = self.abort_overly_stale_clients();
-                }
+        if self.aggregator.closes_round_on_release() && in_flight.round != self.round_number {
+            // Update from a previous round arriving late; discarded.
+            self.metrics.discarded_updates += 1;
+            self.metrics.participations.push(ParticipationRecord {
+                client_id,
+                execution_time_s: in_flight.execution_time_s,
+                num_examples,
+                aggregated: false,
+            });
+            return Some(outcome);
+        }
+
+        let update = ClientUpdate::from_result(client_id, in_flight.start_version, result);
+        let accumulate_outcome = self
+            .aggregator
+            .accumulate(update, self.model.version(), now);
+        match accumulate_outcome {
+            AccumulateOutcome::Accepted { staleness } => {
+                outcome.accepted = true;
+                self.metrics.staleness_sum += staleness;
+                self.metrics.aggregated_updates += 1;
             }
-            AggregatorState::Sync(agg) => {
-                if in_flight.round != self.round_number {
-                    // Update from a previous round arriving late; discarded.
-                    self.metrics.discarded_updates += 1;
-                    self.metrics.participations.push(ParticipationRecord {
-                        client_id,
-                        execution_time_s: in_flight.execution_time_s,
-                        num_examples,
-                        aggregated: false,
-                    });
-                } else {
-                    let accepted = agg.accumulate(update);
-                    self.completed_this_round += 1;
-                    outcome.accepted = accepted;
-                    if accepted {
-                        self.metrics.aggregated_updates += 1;
-                    } else {
-                        self.metrics.discarded_updates += 1;
-                    }
-                    self.metrics.participations.push(ParticipationRecord {
-                        client_id,
-                        execution_time_s: in_flight.execution_time_s,
-                        num_examples,
-                        aggregated: accepted,
-                    });
-                    if agg.is_ready() {
-                        let delta = agg.take().expect("round complete");
-                        self.apply_server_update(&delta);
-                        outcome.server_updated = true;
-                        outcome.round_ended = true;
-                        outcome.freed = self.end_sync_round(now);
-                    }
-                }
+            AccumulateOutcome::RejectedStale { .. } => {
+                self.metrics.rejected_stale_updates += 1;
+            }
+            AccumulateOutcome::Discarded => {
+                self.metrics.discarded_updates += 1;
+            }
+        }
+        if self.aggregator.closes_round_on_release() {
+            self.completed_this_round += 1;
+        }
+        self.metrics.participations.push(ParticipationRecord {
+            client_id,
+            execution_time_s: in_flight.execution_time_s,
+            num_examples,
+            aggregated: outcome.accepted,
+        });
+
+        if self.aggregator.is_ready(now) {
+            let delta = self
+                .aggregator
+                .take(now)
+                .expect("ready aggregator must release");
+            self.apply_server_update(&delta);
+            outcome.server_updated = true;
+            if self.aggregator.closes_round_on_release() {
+                outcome.round_ended = true;
+                outcome.freed = self.end_sync_round(now);
+            } else {
+                outcome.freed = self.abort_overly_stale_clients();
             }
         }
         Some(outcome)
+    }
+
+    /// Checks time-based release conditions at `now` (deadline strategies):
+    /// if the aggregator is ready without a new arrival, the buffer is
+    /// released and the server model steps.  Count-based strategies drain in
+    /// [`offer_update`](TaskRuntime::offer_update), so this is a no-op for
+    /// them.  Returns `None` when nothing was released.
+    pub fn poll(&mut self, now: SimTime) -> Option<UpdateOutcome> {
+        if !self.aggregator.is_ready(now) {
+            return None;
+        }
+        let delta = self.aggregator.take(now)?;
+        self.apply_server_update(&delta);
+        let mut outcome = UpdateOutcome {
+            server_updated: true,
+            ..UpdateOutcome::default()
+        };
+        if self.aggregator.closes_round_on_release() {
+            outcome.round_ended = true;
+            outcome.freed = self.end_sync_round(now);
+        } else {
+            outcome.freed = self.abort_overly_stale_clients();
+        }
+        Some(outcome)
+    }
+
+    /// The virtual time at which the aggregator becomes ready without a new
+    /// arrival, if one exists (deadline strategies with an open buffer).
+    /// Drivers schedule a [`poll`](TaskRuntime::poll) at this time.
+    pub fn next_deadline_s(&self) -> Option<f64> {
+        self.aggregator.next_deadline_s()
     }
 
     /// A participating client failed (dropout, crash, or timeout abort).
@@ -377,10 +403,7 @@ impl TaskRuntime {
     /// the Aggregator holding this task dies.  Returns how many buffered
     /// updates were lost; they are also recorded in the task metrics.
     pub fn drop_buffered_updates(&mut self) -> usize {
-        let dropped = match &mut self.aggregator {
-            AggregatorState::Async(agg) => agg.reset(),
-            AggregatorState::Sync(agg) => agg.reset(),
-        };
+        let dropped = self.aggregator.reset();
         // A synchronous round loses its progress with the buffer.
         self.completed_this_round = 0;
         self.metrics.lost_buffered_updates += dropped as u64;
@@ -421,13 +444,14 @@ impl TaskRuntime {
         self.metrics.server_updates += 1;
     }
 
-    /// Aborts in-flight clients whose staleness would exceed the bound
-    /// (Appendix E.1: "clients may also be aborted by the server if staleness
-    /// is higher than a configurable value").
+    /// Aborts in-flight clients whose staleness would exceed the strategy's
+    /// bound (Appendix E.1: "clients may also be aborted by the server if
+    /// staleness is higher than a configurable value").  No-op for
+    /// strategies without a staleness bound.
     fn abort_overly_stale_clients(&mut self) -> Vec<FreedClient> {
-        let max_staleness = match self.config.mode {
-            TrainingMode::Async { max_staleness, .. } => max_staleness,
-            TrainingMode::Sync { .. } => return Vec::new(),
+        let max_staleness = match self.aggregator.max_staleness() {
+            Some(max) => max,
+            None => return Vec::new(),
         };
         let version = self.model.version();
         let mut to_abort: Vec<u64> = self
@@ -603,5 +627,57 @@ mod tests {
         assert!((loss - initial).abs() < 1e-9);
         assert!(rt.target_reached());
         assert_eq!(rt.hours_to_target(), Some(1.0));
+    }
+
+    #[test]
+    fn poll_is_a_noop_for_count_based_strategies() {
+        let mut rt = runtime(TaskConfig::async_task("t", 8, 3));
+        rt.begin_participation(0, 0, 1.0);
+        rt.offer_update(0, 1.0).unwrap();
+        assert!(rt.poll(1e9).is_none());
+        assert_eq!(rt.version(), 0);
+    }
+
+    #[test]
+    fn poll_releases_a_timed_hybrid_buffer_on_deadline() {
+        let mut rt = runtime(TaskConfig::timed_hybrid_task("t", 8, 100, 60.0));
+        rt.begin_participation(0, 0, 1.0);
+        rt.begin_participation(1, 1, 1.0);
+        rt.offer_update(0, 10.0).unwrap();
+        rt.offer_update(1, 20.0).unwrap();
+        // Goal of 100 is nowhere near met; before the deadline nothing moves.
+        assert!(rt.poll(50.0).is_none());
+        assert_eq!(rt.version(), 0);
+        // 60 s after the buffer opened, poll force-releases it.
+        let outcome = rt.poll(70.0).expect("deadline release");
+        assert!(outcome.server_updated && !outcome.round_ended);
+        assert_eq!(rt.version(), 1);
+        assert_eq!(rt.metrics().server_updates, 1);
+        // The buffer restarts empty.
+        assert!(rt.poll(71.0).is_none());
+    }
+
+    #[test]
+    fn hybrid_runtime_rejects_overly_stale_uploads() {
+        let mut rt =
+            runtime(TaskConfig::timed_hybrid_task("t", 8, 1, 1000.0).with_max_staleness(0));
+        // Client 0 downloads at version 0; two releases later its upload is
+        // staler than the bound and must be rejected.
+        rt.begin_participation(0, 0, 1.0);
+        rt.begin_participation(1, 1, 1.0);
+        rt.begin_participation(2, 2, 1.0);
+        rt.offer_update(1, 1.0).unwrap(); // goal 1 → release, version 1
+        assert_eq!(rt.version(), 1);
+        let outcome = rt.offer_update(0, 2.0);
+        // Client 0 was aborted by the post-release staleness sweep (its
+        // staleness exceeded the bound), or rejected on arrival.
+        match outcome {
+            None => {}
+            Some(o) => assert!(!o.accepted),
+        }
+        assert!(
+            rt.metrics().rejected_stale_updates + rt.metrics().failed_participations > 0,
+            "stale client neither rejected nor aborted"
+        );
     }
 }

@@ -13,7 +13,7 @@ use papaya_core::client::ClientTrainer;
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
-use papaya_sim::engine::{Simulation, SimulationConfig, SimulationResult};
+use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario, TaskReport};
 use std::sync::Arc;
 
 fn run(
@@ -21,15 +21,22 @@ fn run(
     population: &Population,
     trainer: &Arc<SurrogateObjective>,
     target: f64,
-) -> SimulationResult {
+) -> TaskReport {
     // Evaluate often: time-to-target is quantized by the evaluation
     // interval, and a coarse interval drowns the comparison in noise.
-    let config = SimulationConfig::new(task)
-        .with_target_loss(target)
-        .with_max_virtual_time_hours(100.0)
-        .with_eval_interval_s(10.0)
-        .with_seed(7);
-    Simulation::new(config, population.clone(), trainer.clone()).run()
+    Scenario::builder()
+        .population(population.clone())
+        .task_with_trainer(task, trainer.clone())
+        .limits(
+            RunLimits::default()
+                .with_target_loss(target)
+                .with_max_virtual_time_hours(100.0),
+        )
+        .eval(EvalPolicy::default().with_interval_s(10.0))
+        .seed(7)
+        .build()
+        .run()
+        .into_single()
 }
 
 fn main() {
@@ -59,13 +66,13 @@ fn main() {
         target,
     );
 
-    let fmt = |r: &SimulationResult| {
+    let fmt = |r: &TaskReport| {
         format!(
             "time to target = {:>7} h | trips = {:6} | server updates/h = {:8.1} | mean active = {:5.1}",
             r.hours_to_target
                 .map(|h| format!("{h:.2}"))
                 .unwrap_or_else(|| ">cap".into()),
-            r.comm_trips,
+            r.comm_trips(),
             r.summary.server_updates_per_hour,
             r.summary.mean_active_clients,
         )
@@ -76,7 +83,7 @@ fn main() {
         println!(
             "\nAsyncFL is {:.1}x faster and {:.1}x more communication-efficient on this run.",
             s / a,
-            sync.comm_trips as f64 / async_fl.comm_trips as f64
+            sync.comm_trips() as f64 / async_fl.comm_trips() as f64
         );
     }
 }

@@ -14,7 +14,7 @@ use papaya_core::TaskConfig;
 use papaya_data::dataset::FederatedTextDataset;
 use papaya_data::population::{Population, PopulationConfig};
 use papaya_lm::{LmClientTrainer, LmConfig};
-use papaya_sim::engine::{Simulation, SimulationConfig};
+use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario};
 use std::sync::Arc;
 
 fn main() {
@@ -36,18 +36,30 @@ fn main() {
         28.0
     );
 
-    let task = TaskConfig::async_task("char-lm", 16, 4);
-    let config = SimulationConfig::new(task)
-        .with_max_client_updates(400)
-        .with_max_virtual_time_hours(200.0)
-        .with_eval_interval_s(20_000.0)
-        .with_eval_sample_size(24)
-        .with_seed(3);
-    let result = Simulation::new(config, population, trainer.clone()).run();
+    let report = Scenario::builder()
+        .population(population)
+        .task_with_trainer(TaskConfig::async_task("char-lm", 16, 4), trainer.clone())
+        .limits(
+            RunLimits::default()
+                .with_max_client_updates(400)
+                .with_max_virtual_time_hours(200.0),
+        )
+        .eval(
+            EvalPolicy::default()
+                .with_interval_s(20_000.0)
+                .with_sample_size(24),
+        )
+        .seed(3)
+        .build()
+        .run();
+    let virtual_hours = report.virtual_hours;
+    let result = report.into_single();
 
     println!(
         "after {} client updates ({} server updates, {:.1} virtual hours):",
-        result.comm_trips, result.server_updates, result.virtual_hours
+        result.comm_trips(),
+        result.server_updates(),
+        virtual_hours
     );
     println!(
         "  test perplexity, all clients        : {:.2}",

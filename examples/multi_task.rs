@@ -16,26 +16,27 @@
 
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
-use papaya_sim::multi_task::{MultiTaskConfig, MultiTaskSimulation};
+use papaya_sim::scenario::{EvalPolicy, FleetSpec, RunLimits, Scenario};
 
 fn main() {
-    let tasks = vec![
-        TaskConfig::async_task("keyboard-lm", 64, 16),
-        TaskConfig::async_task("speech-kws", 32, 8).with_min_capability_tier(1),
-        TaskConfig::sync_task("photo-ranker", 40, 0.3),
-        TaskConfig::async_task("smart-reply", 24, 8).with_min_capability_tier(2),
-    ];
-    let config = MultiTaskConfig::new(tasks)
-        .with_aggregators(2)
-        .with_selectors(3)
-        .with_max_virtual_time_hours(2.0)
-        .with_eval_interval_s(300.0)
-        .with_crash(1800.0, 0)
-        .with_seed(7);
     let population = Population::generate(&PopulationConfig::default().with_size(2000), 7);
+    let scenario = Scenario::builder()
+        .population(population)
+        // All three aggregation strategies behind the same control plane.
+        .task(TaskConfig::async_task("keyboard-lm", 64, 16))
+        .task(TaskConfig::async_task("speech-kws", 32, 8).with_min_capability_tier(1))
+        .task(TaskConfig::sync_task("photo-ranker", 40, 0.3))
+        .task(TaskConfig::async_task("smart-reply", 24, 8).with_min_capability_tier(2))
+        .task(TaskConfig::timed_hybrid_task("health-study", 16, 32, 600.0))
+        .fleet(FleetSpec::new(2, 3))
+        .limits(RunLimits::default().with_max_virtual_time_hours(2.0))
+        .eval(EvalPolicy::default().with_interval_s(300.0))
+        .crash_at(1800.0, 0)
+        .seed(7)
+        .build();
 
-    println!("4 tasks, 2000 shared devices, 2 aggregators; aggregator 0 crashes at t=30min\n");
-    let result = MultiTaskSimulation::with_surrogate_trainers(config, population).run();
+    println!("5 tasks, 2000 shared devices, 2 aggregators; aggregator 0 crashes at t=30min\n");
+    let result = scenario.run();
 
     println!(
         "{:<14} {:>6} {:>10} {:>10} {:>8} {:>8} {:>10} {:>8}",
@@ -48,15 +49,18 @@ fn main() {
             task.reassignments,
             task.initial_loss,
             task.final_loss,
-            task.summary.comm_trips,
-            (task.summary.server_updates_per_hour * result.virtual_hours).round(),
+            task.comm_trips(),
+            task.server_updates(),
             task.summary.mean_staleness,
             task.lost_buffered_updates,
         );
     }
 
     let cp = &result.fleet.control_plane;
-    println!("\nfleet over {:.1} virtual hours:", result.virtual_hours);
+    println!(
+        "\nfleet over {:.1} virtual hours (stopped: {}):",
+        result.virtual_hours, result.stop_reason
+    );
     println!(
         "  comm trips:            {:>8}",
         result.fleet.total_comm_trips

@@ -12,7 +12,7 @@
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
-use papaya_sim::engine::{Simulation, SimulationConfig};
+use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario};
 use std::sync::Arc;
 
 fn main() {
@@ -36,23 +36,28 @@ fn main() {
 
     // 3. An asynchronous task: 128 clients training concurrently, server
     //    update every 32 client updates, stale updates down-weighted by
-    //    1/sqrt(1+s).
-    let task = TaskConfig::async_task("quickstart", 128, 32);
-    let config = SimulationConfig::new(task)
-        .with_max_virtual_time_hours(2.0)
-        .with_eval_interval_s(600.0)
-        .with_seed(42);
+    //    1/sqrt(1+s).  Composed through the unified Scenario builder — the
+    //    same entrypoint drives multi-tenant fleets with crash schedules.
+    let scenario = Scenario::builder()
+        .population(population)
+        .task_with_trainer(TaskConfig::async_task("quickstart", 128, 32), trainer)
+        .limits(RunLimits::default().with_max_virtual_time_hours(2.0))
+        .eval(EvalPolicy::default().with_interval_s(600.0))
+        .seed(42)
+        .build();
 
     // 4. Run the discrete-event simulation of the whole system.
-    let result = Simulation::new(config, population, trainer).run();
+    let report = scenario.run();
+    let result = report.single();
 
     println!("\nloss curve (virtual hours, population loss):");
     for (hours, loss) in result.metrics.loss_curve.iter().step_by(2) {
         println!("  {hours:5.2} h   {loss:.4}");
     }
     println!("\nsummary:");
-    println!("  server model updates : {}", result.server_updates);
-    println!("  client updates (trips): {}", result.comm_trips);
+    println!("  stopped because      : {}", report.stop_reason);
+    println!("  server model updates : {}", result.server_updates());
+    println!("  client updates (trips): {}", result.comm_trips());
     println!(
         "  mean staleness       : {:.2}",
         result.summary.mean_staleness

@@ -5,19 +5,19 @@ use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
 use papaya_data::stats::mean;
-use papaya_sim::engine::{Simulation, SimulationConfig, SimulationResult};
+use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario, TaskReport};
 use std::sync::Arc;
 
-fn run(
-    task: TaskConfig,
-    population: &Population,
-    trainer: &Arc<SurrogateObjective>,
-) -> SimulationResult {
-    let config = SimulationConfig::new(task)
-        .with_max_virtual_time_hours(4.0)
-        .with_eval_interval_s(3600.0)
-        .with_seed(29);
-    Simulation::new(config, population.clone(), trainer.clone()).run()
+fn run(task: TaskConfig, population: &Population, trainer: &Arc<SurrogateObjective>) -> TaskReport {
+    Scenario::builder()
+        .population(population.clone())
+        .task_with_trainer(task, trainer.clone())
+        .limits(RunLimits::default().with_max_virtual_time_hours(4.0))
+        .eval(EvalPolicy::default().with_interval_s(3600.0))
+        .seed(29)
+        .build()
+        .run()
+        .into_single()
 }
 
 #[test]

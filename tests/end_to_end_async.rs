@@ -6,7 +6,7 @@ use papaya_core::client::ClientTrainer;
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
-use papaya_sim::engine::{Simulation, SimulationConfig, SimulationResult};
+use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario, TaskReport};
 use std::sync::Arc;
 
 fn setup(seed: u64) -> (Population, Arc<SurrogateObjective>) {
@@ -25,18 +25,23 @@ fn run(
     trainer: &Arc<SurrogateObjective>,
     target: Option<f64>,
     hours: f64,
-) -> SimulationResult {
+) -> TaskReport {
     // Evaluate often: time-to-target (and the communication spent getting
     // there) is quantized by the evaluation interval, so a coarse interval
     // drowns the sync/async comparison in measurement noise.
-    let mut config = SimulationConfig::new(task)
-        .with_max_virtual_time_hours(hours)
-        .with_eval_interval_s(10.0)
-        .with_seed(11);
+    let mut limits = RunLimits::default().with_max_virtual_time_hours(hours);
     if let Some(t) = target {
-        config = config.with_target_loss(t);
+        limits = limits.with_target_loss(t);
     }
-    Simulation::new(config, population.clone(), trainer.clone()).run()
+    Scenario::builder()
+        .population(population.clone())
+        .task_with_trainer(task, trainer.clone())
+        .limits(limits)
+        .eval(EvalPolicy::default().with_interval_s(10.0))
+        .seed(11)
+        .build()
+        .run()
+        .into_single()
 }
 
 #[test]
@@ -72,10 +77,10 @@ fn async_reaches_target_faster_and_cheaper_than_sync() {
         "async ({async_hours:.3} h) should beat sync ({sync_hours:.3} h)"
     );
     assert!(
-        async_fl.comm_trips < sync.comm_trips,
+        async_fl.comm_trips() < sync.comm_trips(),
         "async should use fewer communication trips ({} vs {})",
-        async_fl.comm_trips,
-        sync.comm_trips
+        async_fl.comm_trips(),
+        sync.comm_trips()
     );
 }
 

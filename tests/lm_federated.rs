@@ -7,7 +7,8 @@ use papaya_core::TaskConfig;
 use papaya_data::dataset::FederatedTextDataset;
 use papaya_data::population::{Population, PopulationConfig};
 use papaya_lm::{LmClientTrainer, LmConfig};
-use papaya_sim::engine::{ServerOptimizerKind, Simulation, SimulationConfig};
+use papaya_sim::scenario::{EvalPolicy, RunLimits, Scenario};
+use papaya_sim::ServerOptimizerKind;
 use std::sync::Arc;
 
 #[test]
@@ -24,20 +25,29 @@ fn federated_lstm_improves_perplexity_through_the_simulator() {
         "initial {initial_ppl}"
     );
 
-    let task = TaskConfig::async_task("lm", 12, 4);
-    let config = SimulationConfig::new(task)
-        .with_max_client_updates(160)
-        .with_max_virtual_time_hours(300.0)
-        .with_eval_interval_s(40_000.0)
-        .with_eval_sample_size(16)
-        .with_server_optimizer(ServerOptimizerKind::FedAvg)
-        .with_seed(31);
-    let result = Simulation::new(config, population, trainer.clone()).run();
+    let result = Scenario::builder()
+        .population(population)
+        .task_with_trainer(TaskConfig::async_task("lm", 12, 4), trainer.clone())
+        .limits(
+            RunLimits::default()
+                .with_max_client_updates(160)
+                .with_max_virtual_time_hours(300.0),
+        )
+        .eval(
+            EvalPolicy::default()
+                .with_interval_s(40_000.0)
+                .with_sample_size(16),
+        )
+        .server_optimizer(ServerOptimizerKind::FedAvg)
+        .seed(31)
+        .build()
+        .run()
+        .into_single();
 
     assert!(
-        result.server_updates >= 30,
+        result.server_updates() >= 30,
         "updates {}",
-        result.server_updates
+        result.server_updates()
     );
     let final_ppl = trainer.perplexity(&result.final_params, &all);
     assert!(

@@ -7,25 +7,24 @@
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
 use papaya_sim::cluster::{Coordinator, Selector, TaskSpec};
-use papaya_sim::multi_task::{MultiTaskConfig, MultiTaskResult, MultiTaskSimulation};
+use papaya_sim::scenario::{EvalPolicy, FleetSpec, Report, RunLimits, Scenario};
 
-fn failover_run(seed: u64) -> MultiTaskResult {
-    let tasks = vec![
-        TaskConfig::async_task("keyboard-lm", 64, 16),
-        TaskConfig::async_task("speech-kws", 32, 8).with_min_capability_tier(1),
-        TaskConfig::sync_task("photo-ranker", 40, 0.3),
-        TaskConfig::async_task("smart-reply", 24, 8),
-    ];
-    let config = MultiTaskConfig::new(tasks)
-        .with_aggregators(2)
-        .with_selectors(3)
-        .with_max_virtual_time_hours(2.0)
-        .with_eval_interval_s(300.0)
-        // Aggregator 0 dies mid-run, while every task is training.
-        .with_crash(1800.0, 0)
-        .with_seed(seed);
+fn failover_run(seed: u64) -> Report {
     let population = Population::generate(&PopulationConfig::default().with_size(2000), seed);
-    MultiTaskSimulation::with_surrogate_trainers(config, population).run()
+    Scenario::builder()
+        .population(population)
+        .task(TaskConfig::async_task("keyboard-lm", 64, 16))
+        .task(TaskConfig::async_task("speech-kws", 32, 8).with_min_capability_tier(1))
+        .task(TaskConfig::sync_task("photo-ranker", 40, 0.3))
+        .task(TaskConfig::async_task("smart-reply", 24, 8))
+        .fleet(FleetSpec::new(2, 3))
+        .limits(RunLimits::default().with_max_virtual_time_hours(2.0))
+        .eval(EvalPolicy::default().with_interval_s(300.0))
+        // Aggregator 0 dies mid-run, while every task is training.
+        .crash_at(1800.0, 0)
+        .seed(seed)
+        .build()
+        .run()
 }
 
 #[test]
@@ -67,7 +66,7 @@ fn aggregator_crash_reassigns_tasks_and_training_resumes() {
     // than it started with: training resumed after failover.
     for task in &result.tasks {
         assert!(
-            task.summary.comm_trips > 0,
+            task.comm_trips() > 0,
             "task {} received no client updates",
             task.name
         );
@@ -84,11 +83,7 @@ fn aggregator_crash_reassigns_tasks_and_training_resumes() {
     assert_eq!(result.tasks.len(), 4);
     assert_eq!(
         result.fleet.total_comm_trips,
-        result
-            .tasks
-            .iter()
-            .map(|t| t.summary.comm_trips)
-            .sum::<u64>()
+        result.tasks.iter().map(|t| t.comm_trips()).sum::<u64>()
     );
     assert!(result.fleet.mean_active_clients > 0.0);
 }
@@ -103,6 +98,7 @@ fn failover_runs_are_deterministic() {
         assert_eq!(x.final_loss, y.final_loss);
         assert_eq!(x.reassignments, y.reassignments);
     }
+    assert_eq!(a.stop_reason, b.stop_reason);
 }
 
 #[test]

@@ -1,5 +1,6 @@
 //! Property-based tests over core data structures and protocol invariants.
 
+use papaya_core::aggregator::Aggregator;
 use papaya_core::client::ClientUpdate;
 use papaya_core::fedbuff::FedBuffAggregator;
 use papaya_core::staleness::StalenessWeighting;
@@ -148,9 +149,10 @@ proptest! {
                     train_loss: 0.0,
                 },
                 2,
+                i as f64,
             );
         }
-        let out = agg.take().unwrap();
+        let out = agg.take(0.0).unwrap();
         for j in 0..4 {
             let column: Vec<f32> = deltas.iter().map(|d| d[j]).collect();
             let min = column.iter().cloned().fold(f32::INFINITY, f32::min);
