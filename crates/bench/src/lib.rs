@@ -18,5 +18,6 @@
 //! `EXPERIMENTS.md`.
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::common::{parse_args, CliArgs, Scale};

@@ -111,10 +111,25 @@ impl AggregatorStats {
     }
 
     /// Records an accepted update of the given staleness.
+    ///
+    /// All counters saturate instead of wrapping, so week-long soak runs
+    /// cannot panic a debug build on overflow.
     pub fn record_accepted(&mut self, staleness: u64) {
-        self.accepted += 1;
-        self.staleness_sum += staleness;
+        self.accepted = self.accepted.saturating_add(1);
+        self.staleness_sum = self.staleness_sum.saturating_add(staleness);
         self.max_observed_staleness = self.max_observed_staleness.max(staleness);
+    }
+
+    /// Records an update rejected for exceeding the staleness bound
+    /// (saturating).
+    pub fn record_rejected_stale(&mut self) {
+        self.rejected_stale = self.rejected_stale.saturating_add(1);
+    }
+
+    /// Records an update discarded because the goal was already met
+    /// (saturating).
+    pub fn record_discarded(&mut self) {
+        self.discarded = self.discarded.saturating_add(1);
     }
 }
 
@@ -349,6 +364,27 @@ mod tests {
         assert_eq!(stats.accepted, 2);
         assert!((stats.mean_staleness() - 2.0).abs() < 1e-12);
         assert_eq!(stats.max_observed_staleness, 4);
+    }
+
+    #[test]
+    fn stats_counters_saturate_instead_of_overflowing() {
+        // A soak run that somehow reaches u64::MAX must not panic in debug
+        // builds; the counters pin at the maximum.
+        let mut stats = AggregatorStats {
+            accepted: u64::MAX,
+            rejected_stale: u64::MAX,
+            discarded: u64::MAX,
+            staleness_sum: u64::MAX - 1,
+            max_observed_staleness: 0,
+        };
+        stats.record_accepted(7);
+        stats.record_rejected_stale();
+        stats.record_discarded();
+        assert_eq!(stats.accepted, u64::MAX);
+        assert_eq!(stats.rejected_stale, u64::MAX);
+        assert_eq!(stats.discarded, u64::MAX);
+        assert_eq!(stats.staleness_sum, u64::MAX);
+        assert_eq!(stats.max_observed_staleness, 7);
     }
 
     #[test]

@@ -9,6 +9,17 @@
 
 use papaya_nn::params::ParamVec;
 
+/// Derives the RNG seed of one participation from the task's base seed.
+///
+/// This is the *only* place the per-participation training stream is
+/// derived, split out of the runtime's shared state so that a sequential
+/// driver and a parallel training executor are guaranteed to hand the same
+/// seed to [`ClientTrainer::train`] for the same participation — the
+/// precondition for bit-identical simulations at any thread count.
+pub fn participation_seed(task_seed: u64, participation_id: u64) -> u64 {
+    task_seed ^ participation_id
+}
+
 /// The result of one client's local training.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LocalTrainResult {
@@ -79,6 +90,13 @@ pub trait ClientTrainer: Send + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn participation_seed_is_deterministic_and_distinct() {
+        assert_eq!(participation_seed(5, 9), participation_seed(5, 9));
+        assert_ne!(participation_seed(5, 9), participation_seed(5, 10));
+        assert_ne!(participation_seed(5, 9), participation_seed(6, 9));
+    }
 
     #[test]
     fn staleness_is_version_difference() {

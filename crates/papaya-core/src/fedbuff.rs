@@ -72,7 +72,7 @@ impl Aggregator for FedBuffAggregator {
         let staleness = update.staleness(current_version);
         if let Some(max) = self.max_staleness {
             if staleness > max {
-                self.stats.rejected_stale += 1;
+                self.stats.record_rejected_stale();
                 return AccumulateOutcome::RejectedStale {
                     staleness,
                     max_staleness: max,

@@ -67,7 +67,7 @@ impl Aggregator for SyncRoundAggregator {
         _now_s: f64,
     ) -> AccumulateOutcome {
         if self.buffer.len() >= self.aggregation_goal {
-            self.stats.discarded += 1;
+            self.stats.record_discarded();
             return AccumulateOutcome::Discarded;
         }
         // Zero-example clients carry zero weight: counted toward the round

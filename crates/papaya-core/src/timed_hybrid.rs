@@ -111,7 +111,7 @@ impl Aggregator for TimedHybridAggregator {
         let staleness = update.staleness(current_version);
         if let Some(max) = self.max_staleness {
             if staleness > max {
-                self.stats.rejected_stale += 1;
+                self.stats.record_rejected_stale();
                 return AccumulateOutcome::RejectedStale {
                     staleness,
                     max_staleness: max,
@@ -144,7 +144,7 @@ impl Aggregator for TimedHybridAggregator {
             return None;
         }
         if self.buffer.len() < self.aggregation_goal {
-            self.timed_releases += 1;
+            self.timed_releases = self.timed_releases.saturating_add(1);
         }
         self.open_since_s = None;
         self.buffer.release()

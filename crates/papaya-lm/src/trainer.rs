@@ -168,6 +168,29 @@ mod tests {
     }
 
     #[test]
+    fn trainer_is_shareable_across_training_threads() {
+        // The parallel executor in papaya-sim hands one Arc'd trainer to a
+        // worker pool; the LSTM trainer must be Send + Sync and produce
+        // bit-identical results when trained concurrently.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LmClientTrainer>();
+
+        let t = Arc::new(trainer(5));
+        let global = Arc::new(t.initial_parameters());
+        let expected = t.train(2, &global, 9);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let global = Arc::clone(&global);
+                std::thread::spawn(move || t.train(2, &global, 9))
+            })
+            .collect();
+        for worker in workers {
+            assert_eq!(worker.join().expect("worker panicked"), expected);
+        }
+    }
+
+    #[test]
     fn federated_rounds_reduce_population_perplexity() {
         let t = trainer(20);
         let mut params = t.initial_parameters();

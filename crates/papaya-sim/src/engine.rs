@@ -15,6 +15,7 @@
 //! translating the unified [`crate::scenario::Report`] back into a
 //! [`SimulationResult`].
 
+use crate::executor::Parallelism;
 use crate::metrics::{MetricsCollector, MetricsSummary};
 pub use crate::scenario::StopReason;
 use crate::scenario::{EvalPolicy, RunLimits, Scenario};
@@ -73,6 +74,13 @@ impl SimulationConfig {
     /// Sets the client-update budget.
     pub fn with_max_client_updates(mut self, updates: u64) -> Self {
         self.limits = self.limits.with_max_client_updates(updates);
+        self
+    }
+
+    /// Sets the client-training parallelism (results are bit-identical at
+    /// every setting; see [`crate::executor`]).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.limits = self.limits.with_parallelism(parallelism);
         self
     }
 
@@ -354,6 +362,21 @@ mod tests {
             .utilization_trace
             .iter()
             .all(|&(_, active)| active <= 120));
+    }
+
+    #[test]
+    fn parallelism_knob_preserves_results_through_the_shim() {
+        let pop = population(400);
+        let t = trainer(&pop);
+        let base = SimulationConfig::new(TaskConfig::async_task("t", 32, 8))
+            .with_max_virtual_time_hours(0.5)
+            .with_seed(3);
+        let sequential = Simulation::new(base.clone(), pop.clone(), t.clone()).run();
+        let parallel = Simulation::new(base.with_parallelism(Parallelism(2)), pop, t).run();
+        assert_eq!(sequential.comm_trips, parallel.comm_trips);
+        assert_eq!(sequential.server_updates, parallel.server_updates);
+        assert_eq!(sequential.final_loss, parallel.final_loss);
+        assert_eq!(sequential.final_params, parallel.final_params);
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Deterministic parallel execution of client local training.
+//!
+//! The production system the paper describes runs client training massively
+//! in parallel while the coordinator stays a small sequential control plane
+//! (Section 4).  The simulator mirrors that split: the event loop remains a
+//! single sequential thread owning every piece of mutable simulation state,
+//! and only the *client local training* — by far the hot path at scale — is
+//! farmed out to a fixed-size [`Executor`] worker pool.
+//!
+//! Correctness rests on one invariant: [`ClientTrainer::train`] is a pure
+//! function of `(client_id, start_params, seed)` (the trait demands
+//! determinism, and trainers take `&self`).  All three inputs are fixed the
+//! moment a client is selected — the download snapshot is captured at
+//! [`begin_participation`](crate::task_runtime::TaskRuntime::begin_participation)
+//! time and the per-participation seed is derived with
+//! [`papaya_core::client::participation_seed`] — so the pool can start
+//! computing a result *speculatively* as soon as the client is selected,
+//! long before its finish event fires.  The event loop consumes results in
+//! strict event order and performs every state mutation (aggregation, model
+//! steps, metrics) itself, which makes a run **bit-identical to the
+//! sequential path at any thread count**: the exact same `train` calls
+//! happen with the exact same arguments, and everything order-sensitive
+//! stays on one thread.  Speculative results for participations that are
+//! later aborted (dropout, timeout, round end, staleness abort, Aggregator
+//! failover) are simply discarded — trainers are immutable, so a wasted
+//! computation has no observable effect.
+//!
+//! If the driver reaches a finish event whose job is still queued, it steals
+//! the job and runs it inline rather than blocking — the pool accelerates
+//! the simulation but never serializes it.
+
+use papaya_core::client::{ClientTrainer, LocalTrainResult};
+use papaya_nn::params::ParamVec;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How many worker threads run client local training.
+///
+/// `Parallelism(0)` (the default) is the sequential path: no pool is
+/// created and training runs inline on the event-loop thread.
+/// `Parallelism(n)` with `n ≥ 1` spawns `n` workers.  Results are
+/// bit-identical at every setting; see the module docs for why.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Parallelism(pub usize);
+
+impl Parallelism {
+    /// Training runs inline on the event-loop thread (the default).
+    pub fn sequential() -> Self {
+        Parallelism(0)
+    }
+
+    /// One worker per hardware thread reported by the OS.
+    pub fn auto() -> Self {
+        Parallelism(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads (0 means sequential).
+    pub fn workers(&self) -> usize {
+        self.0
+    }
+
+    /// Whether training runs inline without a pool.
+    pub fn is_sequential(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One unit of speculative work: everything `train` needs, captured at
+/// selection time.
+pub struct TrainJob {
+    /// Identifier of the participation the result belongs to.
+    pub participation_id: u64,
+    /// The device doing the training.
+    pub client_id: usize,
+    /// The model snapshot the client downloaded.
+    pub start_params: Arc<ParamVec>,
+    /// The participation's derived RNG seed.
+    pub seed: u64,
+    /// The task's trainer.
+    pub trainer: Arc<dyn ClientTrainer>,
+}
+
+impl TrainJob {
+    fn run(&self) -> LocalTrainResult {
+        self.trainer
+            .train(self.client_id, &self.start_params, self.seed)
+    }
+}
+
+/// Lifetime counters of one executor, for perf harness output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Jobs completed by worker threads.
+    pub completed_by_workers: u64,
+    /// Jobs the event loop stole and ran inline because the result was
+    /// needed before a worker picked them up.
+    pub stolen_by_driver: u64,
+    /// Speculative results discarded because the participation was aborted.
+    pub discarded: u64,
+}
+
+/// Every submitted-but-unconsumed participation id lives in exactly one of
+/// `jobs` (queued), `running`, or `results` — transitions happen atomically
+/// under the one mutex, which is what makes [`Executor::take_or_run`] safe.
+#[derive(Default)]
+struct Inner {
+    /// Queued jobs by participation id.
+    jobs: HashMap<u64, TrainJob>,
+    /// FIFO order of queued participation ids (ids may be stale if the job
+    /// was stolen or discarded; workers skip missing entries).
+    order: VecDeque<u64>,
+    /// Participations currently being trained by a worker.
+    running: HashSet<u64>,
+    /// Finished results awaiting consumption.  `Err` carries the panic
+    /// message of a trainer that panicked on the worker; the driver
+    /// re-raises it in [`Executor::take_or_run`] so the failure surfaces
+    /// exactly like the sequential path's instead of deadlocking the loop.
+    results: HashMap<u64, Result<LocalTrainResult, String>>,
+    /// Running participations whose result must be dropped on completion.
+    cancelled: HashSet<u64>,
+    stats: ExecutorStats,
+    shutdown: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signalled when a job is queued (or shutdown begins).
+    job_ready: Condvar,
+    /// Signalled when a worker publishes a result.
+    result_ready: Condvar,
+}
+
+/// A fixed-size `std::thread` pool running [`TrainJob`]s off the event-loop
+/// thread.  Created per scenario run; dropping it joins the workers.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns a pool with the given number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`; use no executor at all for the sequential
+    /// path.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "an executor needs at least one worker");
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner::default()),
+            job_ready: Condvar::new(),
+            result_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("papaya-train-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn training worker")
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// Builds a pool for the given knob, or `None` for the sequential path.
+    pub fn from_parallelism(parallelism: Parallelism) -> Option<Arc<Executor>> {
+        if parallelism.is_sequential() {
+            None
+        } else {
+            Some(Arc::new(Executor::new(parallelism.workers())))
+        }
+    }
+
+    /// Queues a speculative training job.  Ids must be unique for the
+    /// lifetime of the executor (the scenario drivers' participation ids
+    /// are).
+    pub fn submit(&self, job: TrainJob) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.order.push_back(job.participation_id);
+        inner.jobs.insert(job.participation_id, job);
+        drop(inner);
+        self.shared.job_ready.notify_one();
+    }
+
+    /// Returns the result for `participation_id`, in one of three ways:
+    /// still queued → the driver steals the job and runs it inline; running
+    /// → blocks until the worker publishes it; never submitted → runs
+    /// `fallback` inline (the sequential code path).
+    pub fn take_or_run(
+        &self,
+        participation_id: u64,
+        fallback: impl FnOnce() -> LocalTrainResult,
+    ) -> LocalTrainResult {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if let Some(job) = inner.jobs.remove(&participation_id) {
+            inner.stats.stolen_by_driver += 1;
+            drop(inner);
+            return job.run();
+        }
+        loop {
+            if let Some(result) = inner.results.remove(&participation_id) {
+                match result {
+                    Ok(result) => return result,
+                    Err(message) => panic!(
+                        "client trainer panicked on a worker thread \
+                         (participation {participation_id}): {message}"
+                    ),
+                }
+            }
+            if !inner.running.contains(&participation_id) {
+                // Never submitted (or already consumed, which drivers never
+                // do): train inline exactly as the sequential path would.
+                drop(inner);
+                return fallback();
+            }
+            inner = self.shared.result_ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Drops any speculative work for an aborted participation: removes a
+    /// queued job or finished result, or marks a running job so its result
+    /// is discarded on completion.  A no-op for ids never submitted.
+    pub fn discard(&self, participation_id: u64) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        let dropped = inner.jobs.remove(&participation_id).is_some()
+            || inner.results.remove(&participation_id).is_some()
+            || (inner.running.contains(&participation_id)
+                && inner.cancelled.insert(participation_id));
+        if dropped {
+            inner.stats.discarded += 1;
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> ExecutorStats {
+        self.shared.inner.lock().unwrap().stats
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut inner = shared.inner.lock().unwrap();
+    loop {
+        // Find the next queued job, skipping ids that were stolen or
+        // discarded while waiting in the order queue.
+        let job = loop {
+            if inner.shutdown {
+                return;
+            }
+            match inner.order.pop_front() {
+                Some(id) => {
+                    if let Some(job) = inner.jobs.remove(&id) {
+                        inner.running.insert(id);
+                        break job;
+                    }
+                }
+                None => {
+                    inner = shared.job_ready.wait(inner).unwrap();
+                }
+            }
+        };
+        drop(inner);
+
+        // Catch trainer panics so a buggy trainer fails the run loudly (the
+        // driver re-raises in `take_or_run`) instead of leaving the id stuck
+        // in `running` and deadlocking the event loop.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run())).map_err(
+            |payload| {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                }
+            },
+        );
+
+        inner = shared.inner.lock().unwrap();
+        inner.running.remove(&job.participation_id);
+        if inner.cancelled.remove(&job.participation_id) {
+            // Aborted mid-flight; the result (or panic) must not surface —
+            // the sequential path would never have run this training at all.
+        } else {
+            if result.is_ok() {
+                inner.stats.completed_by_workers += 1;
+            }
+            inner.results.insert(job.participation_id, result);
+            shared.result_ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
+    use papaya_data::population::{Population, PopulationConfig};
+
+    fn trainer() -> Arc<dyn ClientTrainer> {
+        let pop = Population::generate(&PopulationConfig::default().with_size(50), 3);
+        Arc::new(SurrogateObjective::new(&pop, SurrogateConfig::default(), 3))
+    }
+
+    fn job(trainer: &Arc<dyn ClientTrainer>, pid: u64, client: usize) -> TrainJob {
+        TrainJob {
+            participation_id: pid,
+            client_id: client,
+            start_params: Arc::new(trainer.initial_parameters()),
+            seed: 0xABC ^ pid,
+            trainer: Arc::clone(trainer),
+        }
+    }
+
+    #[test]
+    fn pool_results_match_inline_training() {
+        let trainer = trainer();
+        let executor = Executor::new(3);
+        for pid in 0..20u64 {
+            executor.submit(job(&trainer, pid, pid as usize % 50));
+        }
+        for pid in 0..20u64 {
+            let expected = trainer.train(
+                pid as usize % 50,
+                &trainer.initial_parameters(),
+                0xABC ^ pid,
+            );
+            let got = executor.take_or_run(pid, || unreachable!("job was submitted"));
+            assert_eq!(got, expected, "participation {pid}");
+        }
+        let stats = executor.stats();
+        assert_eq!(stats.completed_by_workers + stats.stolen_by_driver, 20);
+    }
+
+    #[test]
+    fn unsubmitted_id_falls_back_inline() {
+        let trainer = trainer();
+        let executor = Executor::new(1);
+        let expected = trainer.train(7, &trainer.initial_parameters(), 42);
+        let got = executor.take_or_run(99, || trainer.train(7, &trainer.initial_parameters(), 42));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn discard_drops_queued_and_finished_work() {
+        let trainer = trainer();
+        let executor = Executor::new(1);
+        executor.submit(job(&trainer, 1, 1));
+        executor.submit(job(&trainer, 2, 2));
+        executor.discard(1);
+        executor.discard(1); // idempotent
+        executor.discard(77); // never submitted: no-op
+                              // Participation 2 is unaffected.
+        let expected = trainer.train(2, &trainer.initial_parameters(), 0xABC ^ 2);
+        assert_eq!(executor.take_or_run(2, || unreachable!()), expected);
+        assert!(executor.stats().discarded >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_driver() {
+        let trainer = trainer();
+        let executor = Executor::new(1);
+        // Client 999 does not exist; the surrogate trainer panics on it.
+        executor.submit(job(&trainer, 5, 999));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            executor.take_or_run(5, || unreachable!("job was submitted"))
+        }));
+        // Whether the worker hit the panic or the driver stole the job, the
+        // failure must surface as a panic here — never as a hang.
+        assert!(outcome.is_err(), "trainer panic was swallowed");
+    }
+
+    #[test]
+    fn parallelism_knob_semantics() {
+        assert!(Parallelism::default().is_sequential());
+        assert!(Parallelism::sequential().is_sequential());
+        assert_eq!(Parallelism(4).workers(), 4);
+        assert!(!Parallelism(1).is_sequential());
+        assert!(Parallelism::auto().workers() >= 1);
+        assert!(Executor::from_parallelism(Parallelism::sequential()).is_none());
+        let pool = Executor::from_parallelism(Parallelism(2)).expect("pool");
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn drop_joins_workers_with_pending_jobs() {
+        let trainer = trainer();
+        let executor = Executor::new(2);
+        for pid in 0..50u64 {
+            executor.submit(job(&trainer, pid, pid as usize % 50));
+        }
+        drop(executor); // must not hang or panic
+    }
+}

@@ -9,6 +9,9 @@
 //! surrogate objective).
 //!
 //! * [`events`] — the simulated clock and event queue;
+//! * [`executor`] — the deterministic parallel client-training pool: local
+//!   training runs speculatively on worker threads while the event loop
+//!   stays sequential, so reports are bit-identical at any thread count;
 //! * [`scenario`] — the unified entrypoint: one [`Scenario`] builder
 //!   composing tasks, population, fleet size, crash schedule, eval policy,
 //!   and seed, returning one [`Report`] for every workload shape;
@@ -53,6 +56,7 @@ pub mod client_runtime;
 pub mod cluster;
 pub mod engine;
 pub mod events;
+pub mod executor;
 pub mod metrics;
 pub mod multi_task;
 pub mod sampling;
@@ -60,6 +64,7 @@ pub mod scenario;
 pub mod task_runtime;
 
 pub use engine::{Simulation, SimulationConfig, SimulationResult};
+pub use executor::{Executor, ExecutorStats, Parallelism};
 pub use metrics::{
     ControlPlaneStats, FleetSummary, MetricsSummary, ParticipationRecord, TaskSummary,
 };

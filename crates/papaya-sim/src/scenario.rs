@@ -43,6 +43,7 @@
 
 use crate::cluster::{AggregatorId, Coordinator, RouteOutcome, Selector, TaskSpec};
 use crate::events::{EventKind, EventQueue, SimTime};
+use crate::executor::{Executor, Parallelism};
 use crate::metrics::{
     ControlPlaneStats, FleetSummary, MetricsCollector, MetricsSummary, TaskSummary,
 };
@@ -91,6 +92,10 @@ pub struct RunLimits {
     /// Stop once the evaluated population loss drops to this value (every
     /// task, for fleet runs).
     pub target_loss: Option<f64>,
+    /// Worker threads running client local training off the event-loop
+    /// thread.  Reports are bit-identical at every setting (see
+    /// [`crate::executor`]); the default is the sequential path.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RunLimits {
@@ -99,6 +104,7 @@ impl Default for RunLimits {
             max_virtual_time_s: 200.0 * 3600.0,
             max_client_updates: None,
             target_loss: None,
+            parallelism: Parallelism::sequential(),
         }
     }
 }
@@ -125,6 +131,12 @@ impl RunLimits {
     /// Sets the target-loss stopping criterion.
     pub fn with_target_loss(mut self, target: f64) -> Self {
         self.target_loss = Some(target);
+        self
+    }
+
+    /// Sets the client-training parallelism.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -327,11 +339,38 @@ pub struct Report {
     pub stop_reason: StopReason,
     /// Total virtual hours simulated.
     pub virtual_hours: f64,
+    /// Discrete events processed by the run loop (the perf harness divides
+    /// this by wall-clock time for an events/sec throughput figure).
+    pub events_processed: u64,
     /// Per-task end-of-run reports, in task order.
     pub tasks: Vec<TaskReport>,
     /// Cross-task roll-up including control-plane counters (zeroed for
     /// direct, fleet-less runs).
     pub fleet: FleetSummary,
+}
+
+/// FNV-1a accumulator used by [`Report::fingerprint`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
 }
 
 impl Report {
@@ -348,6 +387,74 @@ impl Report {
             self.tasks.len()
         );
         &self.tasks[0]
+    }
+
+    /// A bit-exact digest of everything the run produced: stop reason,
+    /// timing, every counter, the full loss curves, utilization and
+    /// participation traces, and the bit patterns of the final model
+    /// parameters of every task.  Two runs are bit-identical iff their
+    /// fingerprints are equal — this is what the determinism suite and the
+    /// perf harness compare across [`Parallelism`] settings.
+    pub fn fingerprint(&self) -> String {
+        let mut h = Fnv::new();
+        h.u64(match self.stop_reason {
+            StopReason::TargetLossReached => 0,
+            StopReason::MaxVirtualTime => 1,
+            StopReason::MaxClientUpdates => 2,
+        });
+        h.f64(self.virtual_hours);
+        h.u64(self.events_processed);
+        for task in &self.tasks {
+            let m = &task.metrics;
+            h.bytes(task.name.as_bytes());
+            h.u64(m.comm_trips);
+            h.u64(m.server_updates);
+            h.u64(m.aggregated_updates);
+            h.u64(m.rejected_stale_updates);
+            h.u64(m.discarded_updates);
+            h.u64(m.failed_participations);
+            h.u64(m.aborted_by_round_end);
+            h.u64(m.staleness_sum);
+            h.u64(m.lost_buffered_updates);
+            h.u64(task.reassignments);
+            h.u64(task.final_version);
+            h.f64(task.initial_loss);
+            h.f64(task.final_loss);
+            h.f64(task.hours_to_target.unwrap_or(f64::NEG_INFINITY));
+            for &(t, loss) in &m.loss_curve {
+                h.f64(t);
+                h.f64(loss);
+            }
+            for &(t, active) in &m.utilization_trace {
+                h.f64(t);
+                h.u64(active as u64);
+            }
+            for p in &m.participations {
+                h.u64(p.client_id as u64);
+                h.f64(p.execution_time_s);
+                h.u64(p.num_examples as u64);
+                h.u64(p.aggregated as u64);
+            }
+            for &d in &m.round_durations_s {
+                h.f64(d);
+            }
+            for &w in task.final_params.as_slice() {
+                h.bytes(&w.to_bits().to_le_bytes());
+            }
+        }
+        let cp = &self.fleet.control_plane;
+        h.u64(cp.aggregator_failures);
+        h.u64(cp.task_reassignments);
+        h.u64(cp.stale_route_refusals);
+        h.u64(cp.lost_in_transit_updates);
+        h.u64(cp.final_map_sequence);
+        format!(
+            "{:?}/{}ev/{}tasks/{:016x}",
+            self.stop_reason,
+            self.events_processed,
+            self.tasks.len(),
+            h.0
+        )
     }
 
     /// Consumes the report and returns the only task's report.
@@ -471,6 +578,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the client-training parallelism (shorthand for the
+    /// [`RunLimits::parallelism`] field).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.limits.parallelism = parallelism;
+        self
+    }
+
     /// Sets the delay between a client being selected and starting to train.
     pub fn selection_latency_s(mut self, latency_s: f64) -> Self {
         self.selection_latency_s = latency_s;
@@ -572,10 +686,16 @@ impl Scenario {
     }
 
     /// Runs the scenario to completion and returns the unified report.
+    ///
+    /// With a non-sequential [`RunLimits::parallelism`] a worker pool is
+    /// created for the duration of the run and client local training is
+    /// executed speculatively off the event-loop thread; the report is
+    /// bit-identical either way.
     pub fn run(&self) -> Report {
+        let executor = Executor::from_parallelism(self.limits.parallelism);
         match &self.fleet {
-            None => DirectState::new(self).run(),
-            Some(fleet) => FleetState::new(self, fleet).run(),
+            None => DirectState::new(self, executor).run(),
+            Some(fleet) => FleetState::new(self, fleet, executor).run(),
         }
     }
 }
@@ -651,7 +771,7 @@ struct DirectState<'a> {
 }
 
 impl<'a> DirectState<'a> {
-    fn new(scenario: &'a Scenario) -> Self {
+    fn new(scenario: &'a Scenario, executor: Option<Arc<Executor>>) -> Self {
         let mut rng = StdRng::seed_from_u64(scenario.seed);
         // Fixed evaluation sample.
         let eval_ids = sample_eval_ids(
@@ -659,7 +779,7 @@ impl<'a> DirectState<'a> {
             scenario.population.len(),
             scenario.eval.sample_size,
         );
-        let runtime = TaskRuntime::new(
+        let mut runtime = TaskRuntime::new(
             scenario.tasks[0].clone(),
             scenario.server_optimizer,
             Arc::clone(&scenario.trainers[0]),
@@ -667,6 +787,7 @@ impl<'a> DirectState<'a> {
             scenario.seed,
             scenario.limits.target_loss,
         );
+        runtime.set_executor(executor);
         DirectState {
             scenario,
             rng,
@@ -701,6 +822,7 @@ impl<'a> DirectState<'a> {
 
         let limits = self.scenario.limits;
         let mut stop_reason = StopReason::MaxVirtualTime;
+        let mut events_processed = 0u64;
         while let Some(event) = self.queue.pop() {
             if event.time > limits.max_virtual_time_s {
                 stop_reason = StopReason::MaxVirtualTime;
@@ -708,6 +830,7 @@ impl<'a> DirectState<'a> {
                 break;
             }
             self.now = event.time;
+            events_processed += 1;
             match event.kind {
                 EventKind::ClientFinished {
                     client_id,
@@ -777,6 +900,7 @@ impl<'a> DirectState<'a> {
         Report {
             stop_reason,
             virtual_hours,
+            events_processed,
             tasks: vec![report],
             fleet,
         }
@@ -839,6 +963,9 @@ impl<'a> DirectState<'a> {
                     participation_id,
                 },
             );
+            // This participation will reach its finish event: start its
+            // local training on the worker pool now (no-op sequentially).
+            self.runtime.prefetch_training(participation_id);
         }
         true
     }
@@ -888,7 +1015,7 @@ struct FleetState<'a> {
 }
 
 impl<'a> FleetState<'a> {
-    fn new(scenario: &'a Scenario, fleet: &'a FleetSpec) -> Self {
+    fn new(scenario: &'a Scenario, fleet: &'a FleetSpec, executor: Option<Arc<Executor>>) -> Self {
         let mut rng = StdRng::seed_from_u64(scenario.seed);
         let mut coordinator = Coordinator::new(fleet.heartbeat_timeout_s, scenario.seed ^ 0xC0FFEE);
         for id in 0..fleet.aggregators {
@@ -902,14 +1029,18 @@ impl<'a> FleetState<'a> {
                 scenario.population.len(),
                 scenario.eval.sample_size,
             );
-            runtimes.push(TaskRuntime::new(
+            let mut runtime = TaskRuntime::new(
                 task.clone(),
                 scenario.server_optimizer,
                 Arc::clone(&scenario.trainers[task_id]),
                 eval_ids,
                 scenario.seed ^ ((task_id as u64 + 1) << 32),
                 scenario.limits.target_loss,
-            ));
+            );
+            // All runtimes share one pool; participation ids are unique
+            // across tasks, so jobs never collide.
+            runtime.set_executor(executor.clone());
+            runtimes.push(runtime);
         }
         let mut selectors = vec![Selector::new(); fleet.selectors];
         for selector in &mut selectors {
@@ -982,12 +1113,14 @@ impl<'a> FleetState<'a> {
 
         let limits = self.scenario.limits;
         let mut stop_reason = StopReason::MaxVirtualTime;
+        let mut events_processed = 0u64;
         while let Some(event) = self.queue.pop() {
             if event.time > limits.max_virtual_time_s {
                 self.now = limits.max_virtual_time_s;
                 break;
             }
             self.now = event.time;
+            events_processed += 1;
             match event.kind {
                 EventKind::ControlPlaneTick => self.control_plane_tick(),
                 EventKind::RefreshSelectors => self.refresh_selectors(),
@@ -1069,6 +1202,7 @@ impl<'a> FleetState<'a> {
         Report {
             stop_reason,
             virtual_hours,
+            events_processed,
             tasks: reports,
             fleet,
         }
@@ -1207,6 +1341,9 @@ impl<'a> FleetState<'a> {
                     participation_id,
                 },
             );
+            // This participation will reach its finish event: start its
+            // local training on the worker pool now (no-op sequentially).
+            self.runtimes[task].prefetch_training(participation_id);
         }
         true
     }
@@ -1318,6 +1455,31 @@ mod tests {
         let b = run();
         assert_eq!(a.tasks[0].final_loss, b.tasks[0].final_loss);
         assert_eq!(a.tasks[0].comm_trips(), b.tasks[0].comm_trips());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let run = |parallelism: Parallelism| {
+            Scenario::builder()
+                .population(population(500))
+                .task(TaskConfig::async_task("t", 32, 8))
+                .limits(RunLimits::default().with_max_virtual_time_hours(0.5))
+                .eval(EvalPolicy::default().with_interval_s(600.0))
+                .parallelism(parallelism)
+                .seed(11)
+                .build()
+                .run()
+        };
+        let sequential = run(Parallelism::sequential());
+        assert!(sequential.events_processed > 0);
+        for workers in [1, 3] {
+            let parallel = run(Parallelism(workers));
+            assert_eq!(
+                sequential.fingerprint(),
+                parallel.fingerprint(),
+                "{workers} workers diverged from the sequential path"
+            );
+        }
     }
 
     #[test]

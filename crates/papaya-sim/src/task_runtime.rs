@@ -27,9 +27,10 @@
 //! [`abort_all_in_flight`](TaskRuntime::abort_all_in_flight).
 
 use crate::events::SimTime;
+use crate::executor::{Executor, TrainJob};
 use crate::metrics::{MetricsCollector, ParticipationRecord};
 use papaya_core::aggregator::{self, AccumulateOutcome, Aggregator};
-use papaya_core::client::{ClientTrainer, ClientUpdate};
+use papaya_core::client::{participation_seed, ClientTrainer, ClientUpdate};
 use papaya_core::config::TaskConfig;
 use papaya_core::model::ServerModel;
 use papaya_core::server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
@@ -115,6 +116,10 @@ pub struct TaskRuntime {
     optimizer: Box<dyn ServerOptimizer>,
     aggregator: Box<dyn Aggregator>,
     in_flight: HashMap<u64, InFlight>,
+    /// Parallel training pool, shared across the scenario's runtimes.
+    /// `None` is the sequential path: training runs inline in
+    /// [`offer_update`](TaskRuntime::offer_update).
+    executor: Option<Arc<Executor>>,
     completed_this_round: usize,
     round_number: u64,
     round_start_time: SimTime,
@@ -174,6 +179,7 @@ impl TaskRuntime {
             optimizer,
             aggregator,
             in_flight: HashMap::new(),
+            executor: None,
             completed_this_round: 0,
             round_number: 0,
             round_start_time: 0.0,
@@ -257,6 +263,40 @@ impl TaskRuntime {
         self.in_flight.contains_key(&participation_id)
     }
 
+    /// Attaches (or detaches) the parallel training pool.  Scenario drivers
+    /// share one executor across every runtime of a run.
+    pub fn set_executor(&mut self, executor: Option<Arc<Executor>>) {
+        self.executor = executor;
+    }
+
+    /// Queues the participation's local training on the executor, so the
+    /// result is (usually) already computed when the finish event fires.
+    /// Drivers call this only for participations that will reach their
+    /// finish event — speculating on doomed ones would waste workers.  A
+    /// no-op without an executor or for unknown participations.
+    pub fn prefetch_training(&self, participation_id: u64) {
+        let executor = match &self.executor {
+            Some(executor) => executor,
+            None => return,
+        };
+        if let Some(in_flight) = self.in_flight.get(&participation_id) {
+            executor.submit(TrainJob {
+                participation_id,
+                client_id: in_flight.client_id,
+                start_params: Arc::clone(&in_flight.start_params),
+                seed: participation_seed(self.seed, participation_id),
+                trainer: Arc::clone(&self.trainer),
+            });
+        }
+    }
+
+    /// Drops any speculative training queued for an aborted participation.
+    fn discard_prefetch(&self, participation_id: u64) {
+        if let Some(executor) = &self.executor {
+            executor.discard(participation_id);
+        }
+    }
+
     /// Records a utilization sample at `now`.
     pub fn record_utilization(&mut self, now: SimTime) {
         self.metrics
@@ -273,11 +313,17 @@ impl TaskRuntime {
         let client_id = in_flight.client_id;
         self.metrics.comm_trips += 1;
 
-        let result = self.trainer.train(
-            client_id,
-            &in_flight.start_params,
-            self.seed ^ participation_id,
-        );
+        let seed = participation_seed(self.seed, participation_id);
+        let result = match &self.executor {
+            // The pool usually finished this job long ago; if it is still
+            // queued the driver steals it and trains inline.  Either way the
+            // inputs are identical to the sequential call below, so the
+            // result is bit-identical.
+            Some(executor) => executor.take_or_run(participation_id, || {
+                self.trainer.train(client_id, &in_flight.start_params, seed)
+            }),
+            None => self.trainer.train(client_id, &in_flight.start_params, seed),
+        };
         let num_examples = result.num_examples;
 
         let mut outcome = UpdateOutcome::default();
@@ -373,6 +419,7 @@ impl TaskRuntime {
     /// already been aborted.
     pub fn client_failed(&mut self, participation_id: u64) -> Option<usize> {
         let in_flight = self.in_flight.remove(&participation_id)?;
+        self.discard_prefetch(participation_id);
         self.metrics.failed_participations += 1;
         Some(in_flight.client_id)
     }
@@ -423,6 +470,9 @@ impl TaskRuntime {
             })
             .collect();
         freed.sort_unstable_by_key(|f| f.participation_id);
+        for f in &freed {
+            self.discard_prefetch(f.participation_id);
+        }
         self.metrics.failed_participations += freed.len() as u64;
         freed
     }
@@ -464,6 +514,7 @@ impl TaskRuntime {
         let mut freed = Vec::with_capacity(to_abort.len());
         for id in to_abort {
             if let Some(f) = self.in_flight.remove(&id) {
+                self.discard_prefetch(id);
                 self.metrics.failed_participations += 1;
                 freed.push(FreedClient {
                     participation_id: id,
@@ -488,6 +539,7 @@ impl TaskRuntime {
         let mut freed = Vec::with_capacity(to_abort.len());
         for id in to_abort {
             if let Some(f) = self.in_flight.remove(&id) {
+                self.discard_prefetch(id);
                 self.metrics.aborted_by_round_end += 1;
                 freed.push(FreedClient {
                     participation_id: id,
@@ -627,6 +679,30 @@ mod tests {
         assert!((loss - initial).abs() < 1e-9);
         assert!(rt.target_reached());
         assert_eq!(rt.hours_to_target(), Some(1.0));
+    }
+
+    #[test]
+    fn executor_backed_runtime_matches_sequential() {
+        let drive = |executor: Option<Arc<crate::executor::Executor>>| {
+            let mut rt = runtime(TaskConfig::async_task("t", 8, 3));
+            rt.set_executor(executor);
+            // A mix of prefetched finishes, an un-prefetched finish, a
+            // failure, and a staleness-era release.
+            for pid in 0..4u64 {
+                rt.begin_participation(pid, pid as usize, 5.0);
+            }
+            rt.prefetch_training(0);
+            rt.prefetch_training(1);
+            rt.prefetch_training(3); // later fails; result discarded
+            rt.client_failed(3);
+            rt.offer_update(0, 10.0).unwrap();
+            rt.offer_update(1, 11.0).unwrap();
+            rt.offer_update(2, 12.0).unwrap(); // never prefetched
+            (rt.version(), rt.metrics().comm_trips, rt.model_snapshot())
+        };
+        let sequential = drive(None);
+        let parallel = drive(Some(Arc::new(crate::executor::Executor::new(2))));
+        assert_eq!(sequential, parallel);
     }
 
     #[test]
