@@ -1,12 +1,15 @@
 //! The `perf_suite` harness: canonical scenarios, wall-clock measurement,
 //! `BENCH_*.json` serialization, and the CI regression gate.
 //!
-//! Three canonical scenarios track the simulator's performance trajectory
+//! Four canonical scenarios track the simulator's performance trajectory
 //! (the MLSys systems-benchmarking practice of measuring the *system*, not
 //! just the model):
 //!
 //! * `fedbuff-20k` — single-task FedBuff over a 20 000-device population,
 //!   the paper's reference asynchronous workload;
+//! * `fedbuff-20k-secagg` — the same workload through AsyncSecAgg, which
+//!   tracks the secure pipeline's overhead (per-update key exchange and
+//!   masking, per-buffer TSA key release);
 //! * `timed-hybrid` — the deadline-release strategy, which stresses the
 //!   exact-deadline event path;
 //! * `fleet-crash` — a 6-task multi-tenant fleet with an injected
@@ -23,6 +26,7 @@
 //! results are never comparable, and [`compare`] refuses to try.
 
 use crate::experiments::common::population;
+use papaya_core::config::SecAggMode;
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_core::TaskConfig;
 use papaya_sim::scenario::{EvalPolicy, FleetSpec, Report, RunLimits, Scenario};
@@ -69,6 +73,36 @@ pub fn build_scenario(name: &str, quick: bool, parallelism: Parallelism, seed: u
                     RunLimits::default()
                         .with_max_virtual_time_hours(100.0)
                         .with_max_client_updates(scale(40_000, 4_000) as u64)
+                        .with_parallelism(parallelism),
+                )
+                .eval(
+                    EvalPolicy::default()
+                        .with_interval_s(1800.0)
+                        .with_sample_size(100),
+                )
+                .seed(seed)
+                .build()
+        }
+        "fedbuff-20k-secagg" => {
+            // The fedbuff-20k workload with AsyncSecAgg in the loop: every
+            // accepted update runs the client protocol (key exchange,
+            // masking) and every release is a TSA key release, so the gate
+            // tracks the secure pipeline's overhead over time.  The update
+            // budget is smaller than the clear scenario's because the
+            // per-update DH exchange dominates the wall clock.
+            let pop = population(scale(20_000, 2_000), seed);
+            let trainer = Arc::new(SurrogateObjective::new(&pop, perf_surrogate_config(), seed));
+            Scenario::builder()
+                .population(pop)
+                .task_with_trainer(
+                    TaskConfig::async_task("fedbuff-20k-secagg", scale(1024, 256), scale(128, 32))
+                        .with_secagg(SecAggMode::AsyncSecAgg),
+                    trainer,
+                )
+                .limits(
+                    RunLimits::default()
+                        .with_max_virtual_time_hours(100.0)
+                        .with_max_client_updates(scale(10_000, 1_200) as u64)
                         .with_parallelism(parallelism),
                 )
                 .eval(
@@ -147,7 +181,12 @@ pub fn build_scenario(name: &str, quick: bool, parallelism: Parallelism, seed: u
 }
 
 /// The canonical scenario set, in run order.
-pub const SCENARIO_NAMES: [&str; 3] = ["fedbuff-20k", "timed-hybrid", "fleet-crash"];
+pub const SCENARIO_NAMES: [&str; 4] = [
+    "fedbuff-20k",
+    "fedbuff-20k-secagg",
+    "timed-hybrid",
+    "fleet-crash",
+];
 
 /// Measured performance of one scenario at one thread count.
 #[derive(Clone, Debug, PartialEq)]

@@ -198,6 +198,26 @@ pub trait Aggregator: Send {
     fn closes_round_on_release(&self) -> bool {
         false
     }
+
+    /// The weight this strategy would assign to an accepted update, given
+    /// only metadata the server legitimately sees in the clear: the client's
+    /// example count and the staleness at upload time.
+    ///
+    /// Must be a pure function of that metadata (no buffer state) and must
+    /// be exactly the weight [`accumulate`](Aggregator::accumulate) folds
+    /// with — [`crate::secure::SecureAggregator`] relies on this to
+    /// reproduce the weighted average in ciphertext space, where the weight
+    /// is applied client-side before masking and the weight *total* is the
+    /// only thing the server tracks in the clear.
+    fn update_weight(&self, num_examples: usize, staleness: u64) -> f64;
+
+    /// Secure-aggregation telemetry, for strategies that run the AsyncSecAgg
+    /// protocol underneath ([`crate::secure::SecureAggregator`]).  Clear
+    /// strategies return `None`; drivers use this both to detect that a
+    /// task is running privately and to export TEE-boundary metrics.
+    fn secure_telemetry(&self) -> Option<&crate::secure::SecureTelemetry> {
+        None
+    }
 }
 
 /// Builds the aggregation strategy a task's [`TrainingMode`] asks for.

@@ -79,14 +79,7 @@ impl Aggregator for FedBuffAggregator {
                 };
             }
         }
-        // A client that trained on zero examples carries zero weight: it
-        // still counts toward the aggregation goal but contributes nothing.
-        let example_weight = if self.weight_by_examples {
-            update.num_examples as f64
-        } else {
-            1.0
-        };
-        let weight = example_weight * self.staleness_weighting.weight(staleness);
+        let weight = self.update_weight(update.num_examples, staleness);
         self.buffer.fold(&update.delta, weight);
         self.stats.record_accepted(staleness);
         AccumulateOutcome::Accepted { staleness }
@@ -121,6 +114,18 @@ impl Aggregator for FedBuffAggregator {
 
     fn max_staleness(&self) -> Option<u64> {
         self.max_staleness
+    }
+
+    /// Example weight (a client that trained on zero examples carries zero
+    /// weight: it still counts toward the aggregation goal but contributes
+    /// nothing) times the staleness down-weight.
+    fn update_weight(&self, num_examples: usize, staleness: u64) -> f64 {
+        let example_weight = if self.weight_by_examples {
+            num_examples as f64
+        } else {
+            1.0
+        };
+        example_weight * self.staleness_weighting.weight(staleness)
     }
 }
 

@@ -17,6 +17,9 @@
 //!   mid-round replacement;
 //! * [`timed_hybrid`] — a FedBuff buffer with a sync-style round deadline
 //!   that force-releases on timeout (bounded straggler tail);
+//! * [`secure`] — the [`secure::SecureAggregator`] decorator running any
+//!   strategy through the TEE-based asynchronous secure-aggregation
+//!   protocol (masking on accumulate, per-buffer TSA key release on take);
 //! * [`server_opt`] — server optimizers applied to aggregated deltas
 //!   (FedAvg/FedSGD/FedAdam, Reddi et al., 2020);
 //! * [`model`] — the versioned server model;
@@ -53,6 +56,7 @@ pub mod client;
 pub mod config;
 pub mod fedbuff;
 pub mod model;
+pub mod secure;
 pub mod server_opt;
 pub mod staleness;
 pub mod surrogate;
@@ -64,6 +68,7 @@ pub use client::{ClientTrainer, ClientUpdate, LocalTrainResult};
 pub use config::{SecAggMode, TaskConfig, TrainingMode};
 pub use fedbuff::FedBuffAggregator;
 pub use model::ServerModel;
+pub use secure::{SecureAggregator, SecureTelemetry};
 pub use server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
 pub use staleness::StalenessWeighting;
 pub use surrogate::SurrogateObjective;

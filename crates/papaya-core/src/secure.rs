@@ -1,0 +1,619 @@
+//! The [`SecureAggregator`] decorator: any aggregation strategy, run through
+//! the asynchronous TEE-based secure-aggregation protocol.
+//!
+//! `SecureAggregator` wraps a `Box<dyn Aggregator>` and preserves its entire
+//! observable contract — accept/reject decisions, readiness (count, deadline,
+//! or round goal), lifetime stats, reset-on-crash semantics — while moving
+//! the *numerical* aggregation into ciphertext space:
+//!
+//! * on [`accumulate`](Aggregator::accumulate) the simulated client
+//!   fixed-point-encodes its (weight-scaled) delta, masks it with a
+//!   seed-expanded one-time pad, and uploads; the untrusted host sums masked
+//!   updates incrementally and forwards only the encrypted seed into the
+//!   TSA (`O(K + m)` boundary traffic, Figure 6);
+//! * on [`take`](Aggregator::take) the TSA releases the aggregated unmask
+//!   for the closing buffer — the per-buffer *key release* — and the host
+//!   subtracts it, decodes `Σ wᵢ·Δᵢ`, and divides by the publicly known
+//!   weight total;
+//! * on [`reset`](Aggregator::reset) (Aggregator crash) the masked partial
+//!   sum is dropped **without** a key release: the TSA never unmasks a
+//!   partial buffer, so a crash reveals nothing.
+//!
+//! Two modeling choices worth stating explicitly:
+//!
+//! 1. **Weights are applied client-side before masking.**  Every weight in
+//!    the system ([`Aggregator::update_weight`]) is a pure function of
+//!    metadata the server already sees in the clear (example count,
+//!    staleness), so the server can hand the weight to the client with the
+//!    download/upload exchange and track only the weight *total*; nothing
+//!    an honest-but-curious server learns changes.
+//! 2. **The inner strategy still folds the clear update.**  In this
+//!    simulation the wrapped strategy serves as the *reference path*: it
+//!    drives policy (readiness, staleness, round semantics) exactly as a
+//!    production metadata service would, and its release is compared
+//!    against the decoded secure release to produce the per-buffer
+//!    quantization-error trace.  The value returned to the server model is
+//!    always the **decoded secure sum**, never the clear reference.
+//!
+//! The protocol RNG is seeded deterministically, and every protocol step
+//! happens inside `accumulate`/`take`/`reset` on the event-loop thread, so
+//! simulations stay bit-identical at any training parallelism.
+
+use crate::aggregator::{AccumulateOutcome, Aggregator, AggregatorStats};
+use crate::client::ClientUpdate;
+use crate::config::{TaskConfig, TrainingMode};
+use papaya_crypto::chacha20::ChaCha20Rng;
+use papaya_crypto::sha256::sha256;
+use papaya_nn::params::ParamVec;
+use papaya_secagg::fixed_point::FixedPointCodec;
+use papaya_secagg::group::GroupParams;
+use papaya_secagg::{SecAggClient, SecAggConfig, Tsa, TsaPublication, UntrustedAggregator};
+
+/// Cumulative counters of the secure pipeline, exported through
+/// [`Aggregator::secure_telemetry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SecureTelemetry {
+    /// Masked updates accepted into a ciphertext buffer.
+    pub masked_updates: u64,
+    /// Masked uploads discarded by server policy (staleness rejection or a
+    /// closed round) — dropped on the host without forwarding the seed, so
+    /// host and TSA sums stay consistent.
+    pub masked_discarded: u64,
+    /// Per-buffer TSA key releases (aggregated unmasks generated).  Always
+    /// equals the number of server updates of a secure task: the TSA never
+    /// unmasks a partial buffer.
+    pub tsa_key_releases: u64,
+    /// Buffers dropped without a key release (Aggregator crashes).
+    pub buffers_dropped_unreleased: u64,
+    /// Key releases whose decoded sum diverged from the clear reference by
+    /// more than the fixed-point error budget — the signature of a
+    /// per-client encode saturation or an aggregate wrapping the group
+    /// modulus.  A nonzero count means the deployment needs a larger group
+    /// or a smaller scale.
+    pub out_of_range_releases: u64,
+    /// Cumulative bytes into the TEE (encrypted seeds + key exchanges).
+    pub tee_bytes_in: u64,
+    /// Cumulative bytes out of the TEE (initial messages + unmask vectors).
+    pub tee_bytes_out: u64,
+    /// `(virtual_seconds, max_abs_error)` per key release: the element-wise
+    /// gap between the decoded secure release and the clear reference
+    /// release (pure fixed-point quantization).
+    pub quantization_error_trace: Vec<(f64, f64)>,
+}
+
+impl SecureTelemetry {
+    /// Mean TEE-boundary bytes (inbound) per masked client update — the
+    /// `O(K + m)` claim of Figure 6 in counter form.
+    pub fn tee_bytes_in_per_client(&self) -> f64 {
+        if self.masked_updates == 0 {
+            0.0
+        } else {
+            self.tee_bytes_in as f64 / self.masked_updates as f64
+        }
+    }
+
+    /// Largest per-release quantization error observed so far.
+    pub fn max_quantization_error(&self) -> f64 {
+        self.quantization_error_trace
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(0.0, f64::max)
+    }
+
+    /// Refreshes `self` from a newer snapshot of the same telemetry stream:
+    /// cumulative counters are overwritten, and the append-only error trace
+    /// is extended with the entries `self` has not seen yet (so periodic
+    /// syncing stays O(new entries), not O(trace)).
+    pub fn sync_from(&mut self, src: &SecureTelemetry) {
+        let synced = self.quantization_error_trace.len();
+        debug_assert!(
+            synced <= src.quantization_error_trace.len(),
+            "telemetry snapshots must come from one growing stream"
+        );
+        self.quantization_error_trace
+            .extend_from_slice(&src.quantization_error_trace[synced..]);
+        self.masked_updates = src.masked_updates;
+        self.masked_discarded = src.masked_discarded;
+        self.tsa_key_releases = src.tsa_key_releases;
+        self.buffers_dropped_unreleased = src.buffers_dropped_unreleased;
+        self.out_of_range_releases = src.out_of_range_releases;
+        self.tee_bytes_in = src.tee_bytes_in;
+        self.tee_bytes_out = src.tee_bytes_out;
+    }
+}
+
+/// The TSA unmasking threshold a task's strategy calls for.
+///
+/// Strategies whose releases always carry exactly the aggregation goal
+/// (FedBuff drains the instant the goal is met; a synchronous round closes
+/// at the goal) get the goal itself — the strongest privacy the release
+/// pattern supports.  The timed hybrid force-releases *partial* buffers on a
+/// deadline, so any threshold above 1 would deadlock a deadline release; a
+/// deployment wanting a larger `t` must accept stalled releases instead.
+pub fn recommended_threshold(config: &TaskConfig) -> usize {
+    match config.mode {
+        TrainingMode::TimedHybrid { .. } => 1,
+        TrainingMode::Async { .. } | TrainingMode::Sync { .. } => config.aggregation_goal,
+    }
+}
+
+/// The protocol configuration used for simulated secure tasks: the small
+/// (non-production-strength) Diffie–Hellman group for speed, and fixed point
+/// over `Z_{2^40}` with scale `2^16` so weighted aggregates up to ±2²³ —
+/// far beyond anything an example-weighted buffer produces — encode without
+/// wrapping, at ~1.5e-5 resolution.
+fn simulation_config(vector_len: usize, threshold: usize) -> SecAggConfig {
+    let mut config = SecAggConfig::insecure_fast(vector_len, threshold);
+    config.codec = FixedPointCodec::new(GroupParams::new(1 << 40), 65_536.0);
+    config
+}
+
+/// Derives a 32-byte protocol seed from a task seed, domain-separated so the
+/// TSA hardware key and the client RNG stream never collide.
+fn derive_seed(domain: &[u8], seed: u64) -> [u8; 32] {
+    let mut input = domain.to_vec();
+    input.extend_from_slice(&seed.to_le_bytes());
+    sha256(&input)
+}
+
+/// An aggregation strategy wrapped in the AsyncSecAgg protocol.
+pub struct SecureAggregator {
+    inner: Box<dyn Aggregator>,
+    config: SecAggConfig,
+    tsa: Tsa,
+    publication: TsaPublication,
+    rng: ChaCha20Rng,
+    host: UntrustedAggregator,
+    /// Clear-metadata weight total of the buffer in progress.
+    weight_sum: f64,
+    telemetry: SecureTelemetry,
+}
+
+impl SecureAggregator {
+    /// Wraps `inner` in the secure pipeline for updates of `vector_len`
+    /// parameters.  The TSA refuses to release an unmask for a buffer with
+    /// fewer than `threshold` contributions
+    /// (see [`recommended_threshold`]); `seed` makes the protocol run
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector_len == 0` or `threshold == 0`.
+    pub fn new(inner: Box<dyn Aggregator>, vector_len: usize, threshold: usize, seed: u64) -> Self {
+        Self::with_config(inner, simulation_config(vector_len, threshold), seed)
+    }
+
+    /// Wraps `inner` with an explicit protocol configuration, for
+    /// deployments needing a different group/scale trade-off (larger models,
+    /// larger weighted aggregates) than [`SecureAggregator::new`]'s default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no parameters or a zero threshold.
+    pub fn with_config(inner: Box<dyn Aggregator>, config: SecAggConfig, seed: u64) -> Self {
+        assert!(config.vector_len > 0, "secure updates must have parameters");
+        assert!(config.threshold > 0, "unmasking threshold must be positive");
+        let tsa = Tsa::new(&config, derive_seed(b"papaya/tsa-hardware-key/", seed));
+        let publication = tsa.publication();
+        let host = UntrustedAggregator::new(&config);
+        let rng = ChaCha20Rng::from_seed(derive_seed(b"papaya/secagg-clients/", seed));
+        SecureAggregator {
+            inner,
+            config,
+            tsa,
+            publication,
+            rng,
+            host,
+            weight_sum: 0.0,
+            telemetry: SecureTelemetry::default(),
+        }
+    }
+
+    /// The cumulative secure-pipeline telemetry.
+    pub fn telemetry(&self) -> &SecureTelemetry {
+        &self.telemetry
+    }
+
+    /// The TSA unmasking threshold.
+    pub fn threshold(&self) -> usize {
+        self.config.threshold
+    }
+
+    fn sync_boundary(&mut self) {
+        let stats = self.tsa.boundary_stats();
+        self.telemetry.tee_bytes_in = stats.bytes_in;
+        self.telemetry.tee_bytes_out = stats.bytes_out;
+    }
+}
+
+impl Aggregator for SecureAggregator {
+    /// Runs the client protocol for the offered update (attestation check,
+    /// key exchange, weight-scaled fixed-point encoding, masking), then lets
+    /// the inner strategy decide.  Accepted uploads are folded into the
+    /// host's masked sum and their seed forwarded into the TSA; rejected or
+    /// discarded uploads are dropped on the host without a seed forward.
+    fn accumulate(
+        &mut self,
+        update: ClientUpdate,
+        current_version: u64,
+        now_s: f64,
+    ) -> AccumulateOutcome {
+        assert_eq!(
+            update.delta.len(),
+            self.config.vector_len,
+            "update dimensionality does not match the secure-aggregation config"
+        );
+        let staleness = update.staleness(current_version);
+        let weight = self.inner.update_weight(update.num_examples, staleness);
+        // Client side: scale by the metadata-derived weight exactly as the
+        // clear buffer would (`f32` product), encode, mask, upload.
+        let mut scaled = update.delta.clone();
+        scaled.scale(weight as f32);
+        let initial = self
+            .tsa
+            .prepare_initial_messages(1, &mut self.rng)
+            .pop()
+            .expect("one initial message");
+        let upload = SecAggClient::participate(
+            scaled.as_slice(),
+            &initial,
+            &self.publication,
+            &self.config,
+            &mut self.rng,
+        )
+        .expect("simulated client validates its own TSA");
+
+        let outcome = self.inner.accumulate(update, current_version, now_s);
+        if outcome.accepted() {
+            self.host
+                .submit(upload, &mut self.tsa)
+                .expect("fresh key-exchange completion is accepted");
+            self.weight_sum += weight;
+            self.telemetry.masked_updates += 1;
+        } else {
+            // The masked upload is dropped host-side; tell the TSA to
+            // forget the never-to-be-completed exchange so rejected clients
+            // cannot pin enclave state forever.
+            self.tsa.revoke_unused_exchange(initial.index);
+            self.telemetry.masked_discarded += 1;
+        }
+        self.sync_boundary();
+        outcome
+    }
+
+    /// Ready when the inner strategy is ready *and* the buffer holds at
+    /// least the TSA threshold — below it the key release is refused and the
+    /// buffer keeps accumulating (privacy outranks the release schedule).
+    fn is_ready(&self, now_s: f64) -> bool {
+        self.inner.is_ready(now_s) && self.host.accepted() >= self.config.threshold
+    }
+
+    fn take(&mut self, now_s: f64) -> Option<ParamVec> {
+        if !self.is_ready(now_s) {
+            return None;
+        }
+        let reference = self.inner.take(now_s)?;
+        let accepted = self.host.accepted();
+        let decoded = self
+            .host
+            .finalize(&mut self.tsa)
+            .expect("is_ready implies the TSA threshold is met");
+        self.telemetry.tsa_key_releases += 1;
+        // Weighted average: the weight total is public metadata, so the
+        // division happens in the clear — mirroring WeightedBuffer, an
+        // all-zero-weight buffer releases an exact zero delta.
+        let weight_sum = std::mem::replace(&mut self.weight_sum, 0.0);
+        let released = if weight_sum > 0.0 {
+            let mut sum = ParamVec::from_vec(decoded);
+            sum.scale((1.0 / weight_sum) as f32);
+            sum
+        } else {
+            ParamVec::zeros(self.config.vector_len)
+        };
+        let error = released
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .map(|(s, c)| (s - c).abs() as f64)
+            .fold(0.0, f64::max);
+        self.telemetry.quantization_error_trace.push((now_s, error));
+        // Fixed-point error budget for this release: one half-quantum of
+        // encode rounding per contribution (plus one for the decode),
+        // scaled down by the weight total, plus `f32` representation noise
+        // on the reference.  An error past the budget cannot come from
+        // quantization — a client's weighted delta saturated at encode or
+        // the aggregate wrapped the modulus — so flag the release instead
+        // of letting a garbage delta pass silently.
+        let reference_magnitude = reference
+            .as_slice()
+            .iter()
+            .map(|v| v.abs() as f64)
+            .fold(0.0, f64::max);
+        let quanta = (accepted as f64 + 1.0) / self.config.codec.scale();
+        let budget = if weight_sum > 0.0 {
+            quanta / weight_sum + reference_magnitude * 1e-4 + 1e-9
+        } else {
+            0.0
+        };
+        if error > budget {
+            self.telemetry.out_of_range_releases += 1;
+        }
+        self.sync_boundary();
+        Some(released)
+    }
+
+    /// Drops the buffer on both sides of the TEE boundary **without** a key
+    /// release (the Aggregator holding the masked sum died); the TSA never
+    /// unmasks a partial buffer.  The inner strategy's lifetime stats
+    /// survive, as the trait requires.
+    fn reset(&mut self) -> usize {
+        if self.host.accepted() > 0 {
+            self.telemetry.buffers_dropped_unreleased += 1;
+        }
+        self.host.discard_buffer(&mut self.tsa);
+        self.weight_sum = 0.0;
+        self.inner.reset()
+    }
+
+    fn goal(&self) -> usize {
+        self.inner.goal()
+    }
+
+    fn buffered(&self) -> usize {
+        self.inner.buffered()
+    }
+
+    fn stats(&self) -> &AggregatorStats {
+        self.inner.stats()
+    }
+
+    fn max_staleness(&self) -> Option<u64> {
+        self.inner.max_staleness()
+    }
+
+    fn next_deadline_s(&self) -> Option<f64> {
+        self.inner.next_deadline_s()
+    }
+
+    fn closes_round_on_release(&self) -> bool {
+        self.inner.closes_round_on_release()
+    }
+
+    fn update_weight(&self, num_examples: usize, staleness: u64) -> f64 {
+        self.inner.update_weight(num_examples, staleness)
+    }
+
+    fn secure_telemetry(&self) -> Option<&SecureTelemetry> {
+        Some(&self.telemetry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fedbuff::FedBuffAggregator;
+    use crate::staleness::StalenessWeighting;
+    use crate::timed_hybrid::TimedHybridAggregator;
+
+    fn update(id: usize, delta: Vec<f32>, examples: usize, start_version: u64) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            delta: ParamVec::from_vec(delta),
+            num_examples: examples,
+            start_version,
+            train_loss: 0.0,
+        }
+    }
+
+    fn secure_fedbuff(goal: usize, weighting: StalenessWeighting) -> SecureAggregator {
+        SecureAggregator::new(
+            Box::new(FedBuffAggregator::new(goal, weighting, Some(5))),
+            2,
+            goal,
+            0xC0DE,
+        )
+    }
+
+    #[test]
+    fn secure_release_matches_clear_release_to_fixed_point_tolerance() {
+        let mut clear = FedBuffAggregator::new(3, StalenessWeighting::PolynomialHalf, Some(5));
+        let mut secure = secure_fedbuff(3, StalenessWeighting::PolynomialHalf);
+        let updates = [
+            update(0, vec![0.25, -1.5], 10, 0),
+            update(1, vec![1.125, 0.5], 30, 0),
+            update(2, vec![-0.75, 2.0], 20, 1),
+        ];
+        for u in &updates {
+            assert!(clear.accumulate(u.clone(), 2, 0.0).accepted());
+            assert!(secure.accumulate(u.clone(), 2, 0.0).accepted());
+        }
+        let clear_out = clear.take(0.0).unwrap();
+        let secure_out = secure.take(0.0).unwrap();
+        for (c, s) in clear_out.as_slice().iter().zip(secure_out.as_slice()) {
+            assert!((c - s).abs() < 1e-4, "clear {c} vs secure {s}");
+        }
+        let telemetry = secure.telemetry();
+        assert_eq!(telemetry.masked_updates, 3);
+        assert_eq!(telemetry.tsa_key_releases, 1);
+        assert_eq!(telemetry.quantization_error_trace.len(), 1);
+        assert!(telemetry.max_quantization_error() < 1e-4);
+        assert!(telemetry.tee_bytes_in > 0 && telemetry.tee_bytes_out > 0);
+    }
+
+    #[test]
+    fn secure_releases_are_deterministic_for_a_seed() {
+        let run = || {
+            let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+            agg.accumulate(update(0, vec![0.3, 0.7], 10, 0), 0, 0.0);
+            agg.accumulate(update(1, vec![-0.1, 0.2], 20, 0), 0, 1.0);
+            agg.take(1.0).unwrap()
+        };
+        assert_eq!(run().as_slice(), run().as_slice());
+    }
+
+    #[test]
+    fn rejected_stale_upload_is_discarded_masked_not_submitted() {
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        // max_staleness is 5; staleness 7 must be rejected by the inner
+        // policy, and the masked upload dropped without a seed forward.
+        let outcome = agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 7, 0.0);
+        assert!(!outcome.accepted());
+        assert_eq!(agg.telemetry().masked_discarded, 1);
+        assert_eq!(agg.telemetry().masked_updates, 0);
+        assert_eq!(agg.tsa.processed_clients(), 0);
+        assert_eq!(agg.stats().rejected_stale, 1);
+    }
+
+    #[test]
+    fn reset_drops_masked_buffer_without_key_release() {
+        let mut agg = secure_fedbuff(3, StalenessWeighting::Constant);
+        agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![2.0, 2.0], 10, 0), 0, 0.0);
+        assert_eq!(agg.reset(), 2);
+        let telemetry = agg.telemetry();
+        assert_eq!(telemetry.buffers_dropped_unreleased, 1);
+        assert_eq!(telemetry.tsa_key_releases, 0);
+        // Lifetime stats survive, and the next buffer is uncontaminated.
+        assert_eq!(agg.stats().accepted, 2);
+        for i in 0..3 {
+            agg.accumulate(update(10 + i, vec![4.0, -4.0], 10, 0), 0, 1.0);
+        }
+        let out = agg.take(1.0).unwrap();
+        assert!((out.as_slice()[0] - 4.0).abs() < 1e-4, "{out:?}");
+        assert_eq!(agg.telemetry().tsa_key_releases, 1);
+        // Resetting an empty buffer does not count a dropped buffer.
+        assert_eq!(agg.reset(), 0);
+        assert_eq!(agg.telemetry().buffers_dropped_unreleased, 1);
+    }
+
+    #[test]
+    fn below_threshold_deadline_release_is_blocked() {
+        // A timed hybrid with threshold 2: the deadline passes with a single
+        // buffered update, but the TSA refuses the key release, so nothing
+        // moves and the buffered update survives for the next arrival.
+        let inner = Box::new(TimedHybridAggregator::new(
+            10,
+            StalenessWeighting::Constant,
+            None,
+            60.0,
+        ));
+        let mut agg = SecureAggregator::new(inner, 2, 2, 7);
+        agg.accumulate(update(0, vec![1.0, 0.0], 10, 0), 0, 0.0);
+        assert!(!agg.is_ready(1e6), "threshold must gate readiness");
+        assert!(agg.take(1e6).is_none());
+        assert_eq!(agg.buffered(), 1, "blocked release must not drain");
+        // A second contribution satisfies the threshold.
+        agg.accumulate(update(1, vec![0.0, 1.0], 10, 0), 0, 2.0);
+        assert!(agg.is_ready(70.0));
+        let out = agg.take(70.0).unwrap();
+        assert!((out.as_slice()[0] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn all_zero_weight_buffer_releases_exact_zeros() {
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        agg.accumulate(update(0, vec![3.0, -1.0], 0, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![5.0, 2.0], 0, 0), 0, 0.0);
+        assert_eq!(agg.take(0.0).unwrap().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn tee_traffic_per_client_is_independent_of_model_size() {
+        let per_client = |dim: usize| {
+            let inner = Box::new(FedBuffAggregator::new(
+                2,
+                StalenessWeighting::Constant,
+                None,
+            ));
+            let mut agg = SecureAggregator::new(inner, dim, 2, 3);
+            agg.accumulate(update(0, [0.1; 2].repeat(dim / 2), 10, 0), 0, 0.0);
+            agg.accumulate(update(1, [0.2; 2].repeat(dim / 2), 10, 0), 0, 0.0);
+            agg.take(0.0).unwrap();
+            agg.telemetry().tee_bytes_in_per_client()
+        };
+        let small = per_client(4);
+        let large = per_client(4096);
+        assert!(small > 0.0);
+        assert_eq!(small, large, "inbound TEE bytes must not scale with m");
+    }
+
+    #[test]
+    fn out_of_range_aggregates_are_flagged_not_silent() {
+        // A deliberately tiny group (±128 representable) so two in-range
+        // contributions wrap the modulus when summed: the release must be
+        // counted as out-of-range instead of passing silently.
+        let inner = Box::new(FedBuffAggregator::new(
+            2,
+            StalenessWeighting::Constant,
+            None,
+        ));
+        let mut config = SecAggConfig::insecure_fast(1, 2);
+        config.codec = FixedPointCodec::new(GroupParams::new(1 << 16), 256.0);
+        let mut agg = SecureAggregator::with_config(inner, config, 9);
+        agg.accumulate(update(0, vec![100.0], 1, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![100.0], 1, 0), 0, 0.0);
+        let released = agg.take(0.0).unwrap();
+        assert_eq!(agg.telemetry().out_of_range_releases, 1);
+        // The wrapped decode is nowhere near the clear average of 100.
+        assert!((released.as_slice()[0] - 100.0).abs() > 1.0);
+
+        // A healthy buffer afterwards is not flagged.
+        agg.accumulate(update(2, vec![1.0], 1, 0), 0, 1.0);
+        agg.accumulate(update(3, vec![2.0], 1, 0), 0, 1.0);
+        let ok = agg.take(1.0).unwrap();
+        assert!((ok.as_slice()[0] - 1.5).abs() < 1e-2);
+        assert_eq!(agg.telemetry().out_of_range_releases, 1);
+    }
+
+    #[test]
+    fn telemetry_sync_from_is_incremental_on_the_trace() {
+        let mut dst = SecureTelemetry::default();
+        let mut src = SecureTelemetry {
+            masked_updates: 3,
+            tsa_key_releases: 1,
+            quantization_error_trace: vec![(1.0, 1e-6)],
+            ..SecureTelemetry::default()
+        };
+        dst.sync_from(&src);
+        assert_eq!(dst, src);
+        src.tsa_key_releases = 2;
+        src.quantization_error_trace.push((2.0, 2e-6));
+        dst.sync_from(&src);
+        assert_eq!(dst, src);
+        // Re-syncing an unchanged stream is a no-op, not a duplication.
+        dst.sync_from(&src);
+        assert_eq!(dst.quantization_error_trace.len(), 2);
+    }
+
+    #[test]
+    fn rejected_upload_releases_tsa_exchange_state() {
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        // Rejected by the staleness bound: the exchange must be revoked, so
+        // the TSA holds no pending per-client state afterwards.
+        agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 7, 0.0);
+        assert_eq!(agg.tsa.pending_exchanges(), 0);
+    }
+
+    #[test]
+    fn recommended_threshold_follows_the_release_pattern() {
+        assert_eq!(
+            recommended_threshold(&TaskConfig::async_task("a", 100, 25)),
+            25
+        );
+        assert_eq!(
+            recommended_threshold(&TaskConfig::sync_task("s", 130, 0.3)),
+            100
+        );
+        assert_eq!(
+            recommended_threshold(&TaskConfig::timed_hybrid_task("h", 10, 4, 60.0)),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality does not match")]
+    fn mismatched_dimensions_panic() {
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        agg.accumulate(update(0, vec![1.0], 10, 0), 0, 0.0);
+    }
+}

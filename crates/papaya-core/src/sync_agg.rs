@@ -70,14 +70,8 @@ impl Aggregator for SyncRoundAggregator {
             self.stats.record_discarded();
             return AccumulateOutcome::Discarded;
         }
-        // Zero-example clients carry zero weight: counted toward the round
-        // goal but contributing nothing to the average.
-        let weight = if self.weight_by_examples {
-            update.num_examples as f64
-        } else {
-            1.0
-        };
         let staleness = update.staleness(current_version);
+        let weight = self.update_weight(update.num_examples, staleness);
         self.buffer.fold(&update.delta, weight);
         self.accepted_clients.push(update.client_id);
         self.stats.record_accepted(staleness);
@@ -115,6 +109,17 @@ impl Aggregator for SyncRoundAggregator {
 
     fn closes_round_on_release(&self) -> bool {
         true
+    }
+
+    /// Zero-example clients carry zero weight: counted toward the round
+    /// goal but contributing nothing to the average.  Within a round the
+    /// server model does not move, so staleness never enters the weight.
+    fn update_weight(&self, num_examples: usize, _staleness: u64) -> f64 {
+        if self.weight_by_examples {
+            num_examples as f64
+        } else {
+            1.0
+        }
     }
 }
 

@@ -118,12 +118,7 @@ impl Aggregator for TimedHybridAggregator {
                 };
             }
         }
-        let example_weight = if self.weight_by_examples {
-            update.num_examples as f64
-        } else {
-            1.0
-        };
-        let weight = example_weight * self.staleness_weighting.weight(staleness);
+        let weight = self.update_weight(update.num_examples, staleness);
         if self.buffer.len() == 0 {
             self.open_since_s = Some(now_s);
         }
@@ -173,6 +168,17 @@ impl Aggregator for TimedHybridAggregator {
 
     fn next_deadline_s(&self) -> Option<f64> {
         TimedHybridAggregator::next_deadline_s(self)
+    }
+
+    /// FedBuff's weighting: example count (zero-example clients contribute
+    /// nothing) times the staleness down-weight.
+    fn update_weight(&self, num_examples: usize, staleness: u64) -> f64 {
+        let example_weight = if self.weight_by_examples {
+            num_examples as f64
+        } else {
+            1.0
+        };
+        example_weight * self.staleness_weighting.weight(staleness)
     }
 }
 

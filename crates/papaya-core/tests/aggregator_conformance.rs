@@ -6,19 +6,24 @@
 //! (including the all-zero-weight edge case), reset-after-crash semantics
 //! with preserved lifetime counters, and staleness rejection wherever a
 //! bound is configured.  Each check is written once against
-//! `&mut dyn Aggregator` and run against all registered implementations.
+//! `&mut dyn Aggregator` and run against all registered implementations —
+//! including a [`SecureAggregator`]-wrapped variant of each strategy, which
+//! must pass the whole suite unchanged (the secure decorator alters the
+//! numerics only to fixed-point precision, never the protocol behavior).
 
 use papaya_core::aggregator::{AccumulateOutcome, Aggregator};
 use papaya_core::client::ClientUpdate;
 use papaya_core::staleness::StalenessWeighting;
-use papaya_core::{FedBuffAggregator, SyncRoundAggregator, TimedHybridAggregator};
+use papaya_core::{
+    FedBuffAggregator, SecureAggregator, SyncRoundAggregator, TimedHybridAggregator,
+};
 use papaya_nn::params::ParamVec;
 
 const GOAL: usize = 3;
 
-/// One factory per implementation, all configured with the same goal and
-/// (where supported) the same staleness bound.
-fn implementations() -> Vec<(&'static str, Box<dyn Aggregator>)> {
+/// One factory per clear implementation, all configured with the same goal
+/// and (where supported) the same staleness bound.
+fn clear_implementations() -> Vec<(&'static str, Box<dyn Aggregator>)> {
     vec![
         (
             "fedbuff",
@@ -39,6 +44,25 @@ fn implementations() -> Vec<(&'static str, Box<dyn Aggregator>)> {
             )),
         ),
     ]
+}
+
+/// Every clear strategy plus its secure-wrapped counterpart.  The wrapped
+/// variants use the threshold the release pattern supports (the goal for
+/// strategies that always release full buffers, 1 for the deadline
+/// strategy), matching `papaya_core::secure::recommended_threshold`.
+fn implementations() -> Vec<(String, Box<dyn Aggregator>)> {
+    let mut all: Vec<(String, Box<dyn Aggregator>)> = Vec::new();
+    for (name, agg) in clear_implementations() {
+        all.push((name.to_string(), agg));
+    }
+    for (name, agg) in clear_implementations() {
+        let threshold = if name == "timed_hybrid" { 1 } else { GOAL };
+        all.push((
+            format!("secure+{name}"),
+            Box::new(SecureAggregator::new(agg, 2, threshold, 0xC0DE)),
+        ));
+    }
+    all
 }
 
 fn update(id: usize, value: f32, examples: usize, start_version: u64) -> ClientUpdate {
@@ -201,7 +225,7 @@ fn stats_accumulate_across_releases() {
 fn round_closing_and_over_goal_behavior_match_the_strategy() {
     for (name, mut agg) in implementations() {
         let closes = agg.closes_round_on_release();
-        assert_eq!(closes, name == "sync_round", "{name}");
+        assert_eq!(closes, name.ends_with("sync_round"), "{name}");
         fill(agg.as_mut(), GOAL, 1.0);
         let over_goal = agg.accumulate(update(99, 50.0, 10, 0), 0, 0.0);
         if closes {

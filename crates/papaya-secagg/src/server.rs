@@ -105,6 +105,23 @@ impl UntrustedAggregator {
         tsa.start_new_round();
         Ok(decoded)
     }
+
+    /// Abandons the buffer in progress *without* a TSA key release: the
+    /// masked partial sum is dropped on the host and the TSA forgets the
+    /// matching mask sum, so the unmask for this buffer is never generated
+    /// and the server learns nothing about the dropped contributions.
+    ///
+    /// This is the streaming counterpart of a FedBuff Aggregator crash
+    /// (`drop_buffered_updates`): buffered state dies with the process, and
+    /// the next buffer starts clean on both sides of the TEE boundary.
+    /// Returns how many masked updates were dropped.
+    pub fn discard_buffer(&mut self, tsa: &mut Tsa) -> usize {
+        let dropped = self.accepted;
+        self.masked_sum = GroupVec::zeros(self.masked_sum.params(), self.vector_len);
+        self.accepted = 0;
+        tsa.start_new_round();
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +237,41 @@ mod tests {
         let sum = agg.finalize(&mut tsa).unwrap();
         assert!((sum[0] - 1.0).abs() < 1e-3);
         assert_eq!(agg.accepted(), 0, "aggregator reset after finalize");
+    }
+
+    #[test]
+    fn discard_buffer_drops_partial_sum_without_key_release() {
+        let config = SecAggConfig::insecure_fast(3, 2);
+        let mut tsa = Tsa::new(&config, [0x29u8; 32]);
+        let publication = tsa.publication();
+        let mut rng = ChaCha20Rng::from_seed([13u8; 32]);
+        let inits = tsa.prepare_initial_messages(4, &mut rng);
+        let mut agg = UntrustedAggregator::new(&config);
+
+        // Two updates land, then the buffer is abandoned (Aggregator crash).
+        for init in inits.iter().take(2) {
+            let msg =
+                SecAggClient::participate(&[5.0, 5.0, 5.0], init, &publication, &config, &mut rng)
+                    .unwrap();
+            agg.submit(msg, &mut tsa).unwrap();
+        }
+        let out_before = tsa.boundary_stats().messages_out;
+        assert_eq!(agg.discard_buffer(&mut tsa), 2);
+        assert_eq!(agg.accepted(), 0);
+        // No unmask vector crossed the boundary: the TSA never released a key
+        // for the partial buffer.
+        assert_eq!(tsa.boundary_stats().messages_out, out_before);
+
+        // The next buffer is uncontaminated by the dropped masked updates.
+        for init in inits.iter().skip(2) {
+            let msg =
+                SecAggClient::participate(&[1.0, 2.0, 3.0], init, &publication, &config, &mut rng)
+                    .unwrap();
+            agg.submit(msg, &mut tsa).unwrap();
+        }
+        let sum = agg.finalize(&mut tsa).unwrap();
+        assert!((sum[0] - 2.0).abs() < 1e-3, "contaminated: {sum:?}");
+        assert!((sum[2] - 6.0).abs() < 1e-3, "contaminated: {sum:?}");
     }
 
     #[test]

@@ -234,6 +234,29 @@ impl Tsa {
         self.processed
     }
 
+    /// Discards the private half of a key exchange whose client will never
+    /// complete it (the host turned the upload away before forwarding the
+    /// seed).  Without this, every abandoned exchange would pin its private
+    /// key forever.  The index stays single-use: a completing message for a
+    /// revoked index is rejected like any replay.  Returns whether a
+    /// pending exchange was actually revoked.
+    pub fn revoke_unused_exchange(&mut self, index: usize) -> bool {
+        // The revocation notice is a constant-size host→TEE control message.
+        self.boundary.bytes_in += 8;
+        self.boundary.messages_in += 1;
+        let revoked = self.private_keys.remove(&index).is_some();
+        if revoked {
+            self.used_indices.insert(index);
+        }
+        revoked
+    }
+
+    /// Number of key exchanges prepared but not yet completed or revoked
+    /// (the TSA's only per-client state).
+    pub fn pending_exchanges(&self) -> usize {
+        self.private_keys.len()
+    }
+
     /// Releases the aggregated unmask (Figure 16 step 7) if at least
     /// `threshold` clients have been processed, and finalizes the round.
     ///
@@ -419,6 +442,32 @@ mod tests {
             tsa.process_client(&upload.completing),
             Err(TsaError::UnknownIndex(99))
         );
+    }
+
+    #[test]
+    fn revoked_exchange_frees_state_and_rejects_completion() {
+        let (mut tsa, config, mut rng) = setup(4, 1);
+        let publication = tsa.publication();
+        let msgs = tsa.prepare_initial_messages(2, &mut rng);
+        assert_eq!(tsa.pending_exchanges(), 2);
+        assert!(tsa.revoke_unused_exchange(msgs[0].index));
+        assert_eq!(tsa.pending_exchanges(), 1);
+        // Revoking again (or revoking a completed/unknown index) is a no-op.
+        assert!(!tsa.revoke_unused_exchange(msgs[0].index));
+        assert!(!tsa.revoke_unused_exchange(999));
+        // A completion for the revoked index is rejected like a replay.
+        let upload =
+            SecAggClient::participate(&[0.5; 4], &msgs[0], &publication, &config, &mut rng)
+                .unwrap();
+        assert_eq!(
+            tsa.process_client(&upload.completing),
+            Err(TsaError::IndexAlreadyUsed(msgs[0].index))
+        );
+        // The untouched exchange still works.
+        let ok = SecAggClient::participate(&[0.5; 4], &msgs[1], &publication, &config, &mut rng)
+            .unwrap();
+        tsa.process_client(&ok.completing).unwrap();
+        assert_eq!(tsa.pending_exchanges(), 0);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Property tests for the fixed-point codec (Appendix D).
+//!
+//! The codec is the numerical foundation of the secure pipeline: the
+//! equivalence of a secure run and a clear run rests on (1) a bounded
+//! encode/decode roundtrip error, (2) the linearity of encoding under group
+//! addition (`sum of encodings == encoding of sum` as long as the aggregate
+//! stays in range), and (3) well-defined saturation/wrap behavior at the
+//! extremes a full aggregation buffer can reach.  Each property is checked
+//! over random scales, moduli, and values.
+
+use papaya_secagg::fixed_point::FixedPointCodec;
+use papaya_secagg::group::{GroupParams, GroupVec};
+use proptest::prelude::*;
+
+/// A codec over `Z_{2^32}` with a random power-of-two scale.
+fn codec(scale_pow: u32) -> FixedPointCodec {
+    FixedPointCodec::new(GroupParams::z2_32(), (1u64 << scale_pow) as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Roundtrip error is at most one quantum (`1/scale`) plus `f32`
+    /// representation noise, for any in-range value at any scale.
+    #[test]
+    fn roundtrip_error_is_bounded_by_one_quantum(
+        v in -30_000.0f32..30_000.0,
+        scale_pow in 8u32..20,
+    ) {
+        let c = codec(scale_pow);
+        prop_assume!((v as f64).abs() < c.max_magnitude() - 1.0);
+        let decoded = c.decode_value(c.encode_value(v));
+        let tolerance = 1.0 / c.scale() as f32 + v.abs() * f32::EPSILON * 4.0;
+        prop_assert!(
+            (decoded - v).abs() <= tolerance,
+            "scale 2^{scale_pow}: {v} -> {decoded}"
+        );
+    }
+
+    /// Linearity under the modulus: summing `k` encodings in the group and
+    /// decoding equals the real sum within `k` quanta — the property that
+    /// makes masked ciphertext-space aggregation decode to the true
+    /// aggregate.
+    #[test]
+    fn sum_of_encodings_is_encoding_of_sum(
+        values in proptest::collection::vec(-100.0f32..100.0, 1..48),
+        scale_pow in 10u32..18,
+    ) {
+        let c = codec(scale_pow);
+        let mut acc = GroupVec::zeros(c.params(), 1);
+        let mut real_sum = 0.0f64;
+        for &v in &values {
+            acc.add_assign(&c.encode_vec(&[v]));
+            real_sum += v as f64;
+        }
+        // 48 * 100 stays far inside Z_{2^32}'s ±(2^31/scale) range.
+        let decoded = c.decode_vec(&acc)[0] as f64;
+        let tolerance = values.len() as f64 / c.scale() + real_sum.abs() * 1e-6;
+        prop_assert!(
+            (decoded - real_sum).abs() <= tolerance,
+            "k={}: {decoded} vs {real_sum}",
+            values.len()
+        );
+    }
+
+    /// Group addition of two in-range encodings never loses integer bits:
+    /// the decoded pairwise sum equals the sum of the two decoded values up
+    /// to `f32` representation noise (the integer addition below the wrap
+    /// point is itself lossless; only the final `f32` conversion rounds).
+    #[test]
+    fn pairwise_group_addition_is_exact_on_decoded_values(
+        a in -10_000.0f32..10_000.0,
+        b in -10_000.0f32..10_000.0,
+        scale_pow in 8u32..16,
+    ) {
+        let c = codec(scale_pow);
+        let ea = c.encode_value(a);
+        let eb = c.encode_value(b);
+        let sum = c.decode_value(c.params().add(ea, eb)) as f64;
+        let exact = c.decode_value(ea) as f64 + c.decode_value(eb) as f64;
+        let tolerance = (a.abs() + b.abs()) as f64 * f32::EPSILON as f64 * 4.0 + 1e-12;
+        prop_assert!((sum - exact).abs() <= tolerance, "{sum} vs {exact}");
+    }
+
+    /// Values beyond the representable range saturate at the range boundary
+    /// instead of wrapping: the decoded value sits within one quantum of
+    /// `±max_magnitude` and keeps the sign of the input.
+    #[test]
+    fn out_of_range_values_saturate_at_the_boundary(
+        magnitude in 1.0f64..1e12,
+        negative in any::<bool>(),
+        scale_pow in 8u32..16,
+    ) {
+        let c = codec(scale_pow);
+        let v = (c.max_magnitude() * (1.0 + magnitude)) as f32 * if negative { -1.0 } else { 1.0 };
+        let decoded = c.decode_value(c.encode_value(v)) as f64;
+        let quantum = 1.0 / c.scale();
+        if negative {
+            prop_assert!((decoded + c.max_magnitude()).abs() <= quantum, "{decoded}");
+        } else {
+            prop_assert!(
+                (decoded - c.max_magnitude()).abs() <= quantum && decoded <= c.max_magnitude(),
+                "{decoded} vs {}",
+                c.max_magnitude()
+            );
+        }
+    }
+
+    /// The buffer-size extreme: a buffer of `k` saturated positive updates
+    /// overflows the signed range and wraps — decoding the group sum equals
+    /// the mathematically wrapped (mod-centered) value, not the real sum.
+    /// This is exactly why deployments must pick `n` and the scale with the
+    /// aggregate's magnitude in mind (Appendix D).
+    #[test]
+    fn saturated_buffers_wrap_predictably(
+        k in 2u64..32,
+        scale_pow in 8u32..14,
+    ) {
+        let c = codec(scale_pow);
+        let n = c.params().modulus();
+        let max_encoding = c.encode_value(1e30); // saturates to n/2 - 1
+        prop_assert_eq!(max_encoding, n / 2 - 1);
+        let mut acc = 0u64;
+        for _ in 0..k {
+            acc = c.params().add(acc, max_encoding);
+        }
+        // Integer model of the same wrap: k * (n/2 - 1) mod n, re-centered.
+        let expected_int = (k as u128 * (n as u128 / 2 - 1) % n as u128) as u64;
+        let expected = c.decode_value(expected_int);
+        prop_assert_eq!(c.decode_value(acc), expected);
+        // With at least two saturated contributions the aggregate has left
+        // the representable range, so the decode cannot equal the real sum.
+        let real_sum = k as f64 * c.max_magnitude();
+        prop_assert!((c.decode_value(acc) as f64 - real_sum).abs() > 1.0);
+    }
+}

@@ -77,6 +77,15 @@ pub enum EventKind {
         /// The task whose aggregator reached its deadline.
         task: usize,
     },
+    /// A secure task's buffer closed and the TSA released the aggregated
+    /// unmask for it (the per-buffer key release of AsyncSecAgg).  Scheduled
+    /// by scenario drivers at release time so every key release is visible
+    /// in the event stream; the handler refreshes the task's
+    /// secure-aggregation metrics from the aggregator's telemetry.
+    TsaKeyRelease {
+        /// The task whose buffer was unmasked.
+        task: usize,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -125,6 +134,9 @@ impl fmt::Display for EventKind {
             }
             EventKind::AggregatorDeadline { task } => {
                 write!(f, "task {task}: aggregation deadline check")
+            }
+            EventKind::TsaKeyRelease { task } => {
+                write!(f, "task {task}: TSA key release (buffer unmasked)")
             }
         }
     }
@@ -287,6 +299,10 @@ mod tests {
             }
             .to_string(),
             "task 1: client 7 finished (participation 9)"
+        );
+        assert_eq!(
+            EventKind::TsaKeyRelease { task: 3 }.to_string(),
+            "task 3: TSA key release (buffer unmasked)"
         );
     }
 

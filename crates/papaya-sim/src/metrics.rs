@@ -1,5 +1,6 @@
 //! Metrics collected during a simulation run.
 
+use papaya_core::secure::SecureTelemetry;
 use papaya_data::stats::{ks_two_sample, KsTestResult};
 
 /// One client participation whose update was *aggregated* (or discarded),
@@ -48,6 +49,14 @@ pub struct MetricsCollector {
     /// Buffered updates lost when the Aggregator holding this task died
     /// before reaching an aggregation goal.
     pub lost_buffered_updates: u64,
+    /// Secure-aggregation telemetry, synced from the task's
+    /// [`SecureAggregator`](papaya_core::secure::SecureAggregator): masked
+    /// update counts, per-buffer TSA key releases (always equal to
+    /// [`server_updates`](MetricsCollector::server_updates) for a secure
+    /// task — the TSA never unmasks a partial buffer), crash-time buffer
+    /// drops, TEE boundary bytes, and the per-release quantization-error
+    /// trace.  All-zero/empty for tasks running in the clear.
+    pub secure: SecureTelemetry,
 }
 
 impl MetricsCollector {
@@ -128,6 +137,11 @@ pub struct MetricsSummary {
     pub mean_active_clients: f64,
     /// Mean synchronous round duration (seconds), if applicable.
     pub mean_round_duration_s: f64,
+    /// Per-buffer TSA key releases (0 for tasks running in the clear).
+    pub tsa_key_releases: u64,
+    /// Mean inbound TEE-boundary bytes per masked update (0 for clear
+    /// tasks).
+    pub tee_boundary_bytes_per_masked_update: f64,
 }
 
 impl MetricsCollector {
@@ -145,6 +159,8 @@ impl MetricsCollector {
             mean_staleness: self.mean_staleness(),
             mean_active_clients: self.mean_active_clients(),
             mean_round_duration_s: self.mean_round_duration_s(),
+            tsa_key_releases: self.secure.tsa_key_releases,
+            tee_boundary_bytes_per_masked_update: self.secure.tee_bytes_in_per_client(),
         }
     }
 }
@@ -264,6 +280,21 @@ mod tests {
         assert_eq!(s.comm_trips, 500);
         assert_eq!(s.mean_staleness, 0.5);
         assert_eq!(s.mean_active_clients, 15.0);
+    }
+
+    #[test]
+    fn secure_telemetry_feeds_the_summary() {
+        let mut m = MetricsCollector::new();
+        assert_eq!(m.secure, SecureTelemetry::default());
+        m.secure.masked_updates = 4;
+        m.secure.tee_bytes_in = 1200;
+        m.secure.tsa_key_releases = 2;
+        m.secure.quantization_error_trace = vec![(10.0, 1e-6), (20.0, 3e-5), (30.0, 2e-6)];
+        assert_eq!(m.secure.tee_bytes_in_per_client(), 300.0);
+        assert_eq!(m.secure.max_quantization_error(), 3e-5);
+        let s = m.summarize(3600.0);
+        assert_eq!(s.tsa_key_releases, 2);
+        assert_eq!(s.tee_boundary_bytes_per_masked_update, 300.0);
     }
 
     #[test]

@@ -50,7 +50,7 @@ use crate::metrics::{
 use crate::sampling::SamplingPool;
 use crate::task_runtime::{ServerOptimizerKind, TaskRuntime};
 use papaya_core::client::ClientTrainer;
-use papaya_core::config::TaskConfig;
+use papaya_core::config::{SecAggMode, TaskConfig, TrainingMode};
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_data::population::{DeviceProfile, Population};
 use papaya_nn::params::ParamVec;
@@ -416,6 +416,17 @@ impl Report {
             h.u64(m.aborted_by_round_end);
             h.u64(m.staleness_sum);
             h.u64(m.lost_buffered_updates);
+            h.u64(m.secure.masked_updates);
+            h.u64(m.secure.masked_discarded);
+            h.u64(m.secure.tsa_key_releases);
+            h.u64(m.secure.buffers_dropped_unreleased);
+            h.u64(m.secure.out_of_range_releases);
+            h.u64(m.secure.tee_bytes_in);
+            h.u64(m.secure.tee_bytes_out);
+            for &(t, e) in &m.secure.quantization_error_trace {
+                h.f64(t);
+                h.f64(e);
+            }
             h.u64(task.reassignments);
             h.u64(task.final_version);
             h.f64(task.initial_loss);
@@ -503,6 +514,7 @@ pub struct ScenarioBuilder {
     selection_latency_s: f64,
     utilization_sample_interval_s: f64,
     server_optimizer: ServerOptimizerKind,
+    secagg_override: Option<SecAggMode>,
     seed: u64,
 }
 
@@ -520,6 +532,7 @@ impl Default for ScenarioBuilder {
             selection_latency_s: 2.0,
             utilization_sample_interval_s: 60.0,
             server_optimizer: ServerOptimizerKind::FedAvg,
+            secagg_override: None,
             seed: 0,
         }
     }
@@ -603,6 +616,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the secure-aggregation mode of **every** task of the scenario
+    /// (overriding whatever the individual [`TaskConfig`]s carry).  With
+    /// [`SecAggMode::AsyncSecAgg`] each task's aggregation strategy is
+    /// wrapped in a [`papaya_core::secure::SecureAggregator`]: clients mask
+    /// their updates, the Aggregator sums ciphertext, and the TSA releases
+    /// one unmask key per closing buffer.  For per-task control use
+    /// [`TaskConfig::with_secagg`] instead.
+    pub fn secagg(mut self, mode: SecAggMode) -> Self {
+        self.secagg_override = Some(mode);
+        self
+    }
+
     /// Sets the RNG seed controlling selection, assignment, dropouts, and
     /// training noise.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -616,12 +641,23 @@ impl ScenarioBuilder {
     ///
     /// Panics when the composition is invalid: no population or an empty
     /// one, no tasks, more than one task (or injected crashes) without a
-    /// fleet, a fleet without Aggregators or Selectors, or a heartbeat
-    /// timeout not exceeding the control-plane interval.
-    pub fn build(self) -> Scenario {
+    /// fleet, a fleet without Aggregators or Selectors, a heartbeat
+    /// timeout not exceeding the control-plane interval, or a task config
+    /// the pipeline would not honor (a non-positive/non-finite client
+    /// timeout, or a capability-tier restriction without a fleet to
+    /// enforce it).
+    pub fn build(mut self) -> Scenario {
         let population = self.population.expect("a population is required");
         assert!(!population.is_empty(), "population must not be empty");
         assert!(!self.tasks.is_empty(), "at least one task is required");
+        if let Some(mode) = self.secagg_override {
+            for task in &mut self.tasks {
+                task.secagg = mode;
+            }
+        }
+        for task in &self.tasks {
+            validate_task_config(task, self.fleet.is_some());
+        }
         if let Some(fleet) = &self.fleet {
             assert!(fleet.aggregators > 0, "at least one aggregator is required");
             assert!(fleet.selectors > 0, "at least one selector is required");
@@ -672,6 +708,54 @@ impl ScenarioBuilder {
             seed,
         }
     }
+}
+
+/// The single choke point where a scenario acknowledges every `TaskConfig`
+/// field it honors.  The destructuring is exhaustive on purpose — adding a
+/// field to `TaskConfig` without deciding whether (and where) scenarios
+/// honor it becomes a compile error here, so a knob can never again sit
+/// silently ignored the way `SecAggMode` once did.
+///
+/// # Panics
+///
+/// Panics on a config the pipeline would *not* honor: a non-positive or
+/// non-finite client timeout, or a capability-tier restriction on a direct
+/// (fleet-less) scenario, whose uniform selection has no Selector to
+/// enforce tiers.
+fn validate_task_config(task: &TaskConfig, has_fleet: bool) {
+    let TaskConfig {
+        name: _,               // report labels
+        concurrency: _,        // demand computation (positivity checked at construction)
+        aggregation_goal: _,   // strategy goal (positivity checked at construction)
+        mode,                  // aggregator::for_task builds the strategy
+        weight_by_examples: _, // strategy weighting
+        client_timeout_s,      // timeout aborts scheduled at selection
+        secagg,                // SecureAggregator wrapping in TaskRuntime
+        model_size_bytes: _,   // communication-cost accounting
+        min_capability_tier,   // Selector routing (fleet scenarios only)
+    } = task;
+    // Exhaustive matches: a new mode or secagg variant must be wired up (or
+    // explicitly rejected) before it compiles.
+    match mode {
+        TrainingMode::Sync { .. }
+        | TrainingMode::Async { .. }
+        | TrainingMode::TimedHybrid { .. } => {}
+    }
+    match secagg {
+        SecAggMode::Disabled | SecAggMode::AsyncSecAgg => {}
+    }
+    assert!(
+        client_timeout_s.is_finite() && *client_timeout_s > 0.0,
+        "task {:?}: client timeout must be positive and finite",
+        task.name
+    );
+    assert!(
+        *min_capability_tier == 0 || has_fleet,
+        "task {:?}: min_capability_tier is enforced by Selector routing and \
+         requires a fleet; direct scenarios select devices uniformly and \
+         would silently ignore it",
+        task.name
+    );
 }
 
 impl Scenario {
@@ -875,11 +959,21 @@ impl<'a> DirectState<'a> {
                     // Exact timed release; a stale check (the buffer closed
                     // or moved since scheduling) polls as a no-op.
                     if let Some(outcome) = self.runtime.poll(self.now) {
+                        if outcome.tsa_key_released {
+                            self.queue
+                                .schedule(self.now, EventKind::TsaKeyRelease { task: 0 });
+                        }
                         for freed in &outcome.freed {
                             self.pool.release(freed.client_id);
                         }
                         self.fill_demand();
                     }
+                }
+                EventKind::TsaKeyRelease { task: _ } => {
+                    // The TSA unmasked the buffer that just closed; refresh
+                    // the task's secure-aggregation metrics from the
+                    // aggregator's telemetry.
+                    self.runtime.sync_secure_telemetry();
                 }
                 _ => unreachable!("direct scenarios schedule no fleet events"),
             }
@@ -975,6 +1069,10 @@ impl<'a> DirectState<'a> {
             Some(outcome) => outcome,
             None => return, // aborted earlier (round ended or staleness abort)
         };
+        if outcome.tsa_key_released {
+            self.queue
+                .schedule(self.now, EventKind::TsaKeyRelease { task: 0 });
+        }
         self.pool.release(client_id);
         for freed in &outcome.freed {
             self.pool.release(freed.client_id);
@@ -1156,11 +1254,20 @@ impl<'a> FleetState<'a> {
                     // Exact timed release; a stale check (the buffer closed
                     // or moved since scheduling) polls as a no-op.
                     if let Some(outcome) = self.runtimes[task].poll(self.now) {
+                        if outcome.tsa_key_released {
+                            self.queue
+                                .schedule(self.now, EventKind::TsaKeyRelease { task });
+                        }
                         for freed in &outcome.freed {
                             self.upload_route.remove(&freed.participation_id);
                             self.pool.release(freed.client_id);
                         }
                     }
+                }
+                EventKind::TsaKeyRelease { task } => {
+                    // The TSA unmasked the buffer that just closed; refresh
+                    // the task's secure-aggregation metrics.
+                    self.runtimes[task].sync_secure_telemetry();
                 }
                 EventKind::EvaluateTask { task } => {
                     self.runtimes[task].evaluate(self.now);
@@ -1378,6 +1485,10 @@ impl<'a> FleetState<'a> {
             Some(outcome) => outcome,
             None => return, // aborted earlier (round end, staleness, failover)
         };
+        if outcome.tsa_key_released {
+            self.queue
+                .schedule(self.now, EventKind::TsaKeyRelease { task });
+        }
         self.pool.release(client_id);
         for freed in &outcome.freed {
             self.upload_route.remove(&freed.participation_id);
@@ -1548,6 +1659,69 @@ mod tests {
         assert!(default_policy.tasks[0].comm_trips() > 0);
         let impossible = base().tier_policy(TierPolicy::new(1e9, 1e9)).build().run();
         assert_eq!(impossible.tasks[0].comm_trips(), 0);
+    }
+
+    #[test]
+    fn secagg_flag_is_honored_not_silently_ignored() {
+        // Regression test for the era when `SecAggMode::AsyncSecAgg` was a
+        // config flag the simulator never read: a secure run must actually
+        // engage the protocol (masked updates, per-buffer key releases) and
+        // must therefore fingerprint differently from the clear run.
+        let run = |mode: SecAggMode| {
+            Scenario::builder()
+                .population(population(300))
+                .task(TaskConfig::async_task("t", 16, 4).with_secagg(mode))
+                .limits(RunLimits::default().with_max_virtual_time_hours(0.25))
+                .eval(EvalPolicy::default().with_interval_s(600.0))
+                .seed(21)
+                .build()
+                .run()
+        };
+        let clear = run(SecAggMode::Disabled);
+        let secure = run(SecAggMode::AsyncSecAgg);
+        let m = &secure.single().metrics;
+        assert!(m.secure.masked_updates > 0, "protocol never engaged");
+        assert_eq!(m.secure.masked_updates, m.aggregated_updates);
+        assert_eq!(m.secure.tsa_key_releases, m.server_updates);
+        assert!(m.secure.tee_bytes_in > 0);
+        assert_eq!(clear.single().metrics.secure.masked_updates, 0);
+        assert_eq!(clear.single().metrics.secure.tsa_key_releases, 0);
+        assert_ne!(clear.fingerprint(), secure.fingerprint());
+    }
+
+    #[test]
+    fn secagg_builder_knob_applies_to_every_task() {
+        let scenario = Scenario::builder()
+            .population(population(300))
+            .task(TaskConfig::async_task("a", 16, 4))
+            .task(TaskConfig::sync_task("s", 12, 0.3))
+            .fleet(FleetSpec::new(1, 1))
+            .secagg(SecAggMode::AsyncSecAgg)
+            .seed(1)
+            .build();
+        for task in scenario.tasks() {
+            assert_eq!(task.secagg, SecAggMode::AsyncSecAgg, "{}", task.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_capability_tier is enforced by Selector routing")]
+    fn capability_tier_without_fleet_rejected() {
+        // A direct scenario has no Selectors, so a tier restriction would be
+        // silently ignored — the builder must reject it instead.
+        let _ = Scenario::builder()
+            .population(population(100))
+            .task(TaskConfig::async_task("t", 8, 2).with_min_capability_tier(1))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "client timeout must be positive and finite")]
+    fn non_finite_timeout_rejected() {
+        let _ = Scenario::builder()
+            .population(population(100))
+            .task(TaskConfig::async_task("t", 8, 2).with_timeout(f64::NAN))
+            .build();
     }
 
     #[test]

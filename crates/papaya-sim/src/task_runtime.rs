@@ -31,8 +31,9 @@ use crate::executor::{Executor, TrainJob};
 use crate::metrics::{MetricsCollector, ParticipationRecord};
 use papaya_core::aggregator::{self, AccumulateOutcome, Aggregator};
 use papaya_core::client::{participation_seed, ClientTrainer, ClientUpdate};
-use papaya_core::config::TaskConfig;
+use papaya_core::config::{SecAggMode, TaskConfig};
 use papaya_core::model::ServerModel;
+use papaya_core::secure::{self, SecureAggregator};
 use papaya_core::server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
 use papaya_nn::params::ParamVec;
 use std::collections::HashMap;
@@ -100,6 +101,10 @@ pub struct UpdateOutcome {
     pub server_updated: bool,
     /// A synchronous round closed.
     pub round_ended: bool,
+    /// The server update came from a secure buffer: the TSA released the
+    /// per-buffer unmask key.  Drivers schedule a
+    /// [`crate::events::EventKind::TsaKeyRelease`] event when this is set.
+    pub tsa_key_released: bool,
     /// Participations aborted as a consequence (staleness bound or round
     /// end); their devices are free again.
     pub freed: Vec<FreedClient>,
@@ -157,6 +162,12 @@ impl TaskRuntime {
 
     /// Creates the runtime with an explicit aggregation strategy, for
     /// strategies a [`TaskConfig`] cannot express.
+    ///
+    /// When the task asks for [`SecAggMode::AsyncSecAgg`], the strategy is
+    /// wrapped in a [`SecureAggregator`] here — the single place the flag is
+    /// honored: masking on accumulate, a per-buffer TSA key release on
+    /// take, crash-time buffer drops without a key release, with the
+    /// threshold [`secure::recommended_threshold`] derives from the mode.
     pub fn with_aggregator(
         config: TaskConfig,
         server_optimizer: ServerOptimizerKind,
@@ -166,6 +177,17 @@ impl TaskRuntime {
         seed: u64,
         target_loss: Option<f64>,
     ) -> Self {
+        let aggregator: Box<dyn Aggregator> = match config.secagg {
+            SecAggMode::Disabled => aggregator,
+            SecAggMode::AsyncSecAgg => Box::new(SecureAggregator::new(
+                aggregator,
+                trainer.parameter_count(),
+                secure::recommended_threshold(&config),
+                // Domain-separate the protocol stream from the training and
+                // driver streams derived from the same task seed.
+                seed ^ 0x5ECA_665E_CA66,
+            )),
+        };
         let model = ServerModel::new(trainer.initial_parameters());
         let snapshot = Arc::new(model.snapshot());
         let optimizer = server_optimizer.build();
@@ -373,6 +395,7 @@ impl TaskRuntime {
                 .expect("ready aggregator must release");
             self.apply_server_update(&delta);
             outcome.server_updated = true;
+            outcome.tsa_key_released = self.is_secure();
             if self.aggregator.closes_round_on_release() {
                 outcome.round_ended = true;
                 outcome.freed = self.end_sync_round(now);
@@ -396,6 +419,7 @@ impl TaskRuntime {
         self.apply_server_update(&delta);
         let mut outcome = UpdateOutcome {
             server_updated: true,
+            tsa_key_released: self.is_secure(),
             ..UpdateOutcome::default()
         };
         if self.aggregator.closes_round_on_release() {
@@ -477,8 +501,28 @@ impl TaskRuntime {
         freed
     }
 
+    /// Whether this task runs through the secure-aggregation pipeline.
+    pub fn is_secure(&self) -> bool {
+        self.aggregator.secure_telemetry().is_some()
+    }
+
+    /// Copies the secure pipeline's cumulative telemetry into the task
+    /// metrics (a no-op for clear tasks).  Drivers call this when handling
+    /// a [`crate::events::EventKind::TsaKeyRelease`] event, and
+    /// [`into_parts`](TaskRuntime::into_parts) calls it once more so the
+    /// final report covers post-release activity (crash-time drops,
+    /// trailing discarded uploads).
+    pub fn sync_secure_telemetry(&mut self) {
+        if let Some(telemetry) = self.aggregator.secure_telemetry() {
+            // Incremental: counters are overwritten, the append-only error
+            // trace only copies entries the metrics have not seen yet.
+            self.metrics.secure.sync_from(telemetry);
+        }
+    }
+
     /// Consumes the runtime and returns its pieces for result assembly.
-    pub fn into_parts(self) -> (MetricsCollector, ParamVec, u64, f64, Option<f64>) {
+    pub fn into_parts(mut self) -> (MetricsCollector, ParamVec, u64, f64, Option<f64>) {
+        self.sync_secure_telemetry();
         (
             self.metrics,
             self.model.snapshot(),
@@ -703,6 +747,63 @@ mod tests {
         let sequential = drive(None);
         let parallel = drive(Some(Arc::new(crate::executor::Executor::new(2))));
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn secagg_config_flag_wraps_the_aggregator() {
+        let mut clear = runtime(TaskConfig::async_task("t", 8, 2));
+        assert!(!clear.is_secure());
+
+        let mut rt = runtime(
+            TaskConfig::async_task("t", 8, 2).with_secagg(papaya_core::SecAggMode::AsyncSecAgg),
+        );
+        assert!(rt.is_secure());
+        rt.begin_participation(0, 0, 10.0);
+        rt.begin_participation(1, 1, 10.0);
+        rt.offer_update(0, 10.0).unwrap();
+        let outcome = rt.offer_update(1, 11.0).unwrap();
+        assert!(outcome.server_updated && outcome.tsa_key_released);
+        assert_eq!(rt.version(), 1);
+
+        // The clear runtime's releases carry no key-release marker.
+        clear.begin_participation(0, 0, 10.0);
+        clear.begin_participation(1, 1, 10.0);
+        clear.offer_update(0, 10.0).unwrap();
+        let clear_outcome = clear.offer_update(1, 11.0).unwrap();
+        assert!(clear_outcome.server_updated && !clear_outcome.tsa_key_released);
+
+        // The secure and clear models agree to fixed-point tolerance.
+        let secure_params = rt.model_snapshot();
+        let clear_params = clear.model_snapshot();
+        let max_diff = secure_params
+            .as_slice()
+            .iter()
+            .zip(clear_params.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-3, "secure vs clear diverged: {max_diff}");
+
+        let (metrics, ..) = rt.into_parts();
+        assert_eq!(metrics.secure.masked_updates, 2);
+        assert_eq!(metrics.secure.tsa_key_releases, 1);
+        assert!(metrics.secure.tee_bytes_in > 0);
+        assert_eq!(metrics.secure.quantization_error_trace.len(), 1);
+    }
+
+    #[test]
+    fn secure_drop_buffered_updates_has_no_key_release() {
+        let mut rt = runtime(
+            TaskConfig::async_task("t", 8, 3).with_secagg(papaya_core::SecAggMode::AsyncSecAgg),
+        );
+        rt.begin_participation(0, 0, 1.0);
+        rt.begin_participation(1, 1, 1.0);
+        rt.offer_update(0, 1.0).unwrap();
+        rt.offer_update(1, 1.0).unwrap();
+        assert_eq!(rt.drop_buffered_updates(), 2);
+        let (metrics, ..) = rt.into_parts();
+        assert_eq!(metrics.secure.buffers_dropped_unreleased, 1);
+        assert_eq!(metrics.secure.tsa_key_releases, 0);
+        assert_eq!(metrics.lost_buffered_updates, 2);
     }
 
     #[test]

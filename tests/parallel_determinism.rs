@@ -13,6 +13,7 @@
 //! the full loss/utilization/participation traces, and the bit patterns of
 //! the final model parameters.
 
+use papaya_core::config::SecAggMode;
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
 use papaya_sim::scenario::{EvalPolicy, FleetSpec, Report, RunLimits, Scenario, ScenarioBuilder};
@@ -92,6 +93,32 @@ fn timed_hybrid_direct_scenario_is_bit_identical() {
             .seed(33)
     });
     assert!(report.single().server_updates() > 0);
+}
+
+#[test]
+fn secagg_direct_scenario_is_bit_identical() {
+    // The whole AsyncSecAgg pipeline (per-update DH exchanges, masking, TSA
+    // key releases) runs on the event-loop thread in event order, so a
+    // secure report — including the masked counters, TEE byte counts, and
+    // the quantization-error trace the fingerprint hashes — must stay
+    // bit-identical at any thread count.
+    let report = assert_identical_across_thread_counts(|| {
+        Scenario::builder()
+            .population(population(500))
+            .task(
+                TaskConfig::async_task("secure-fedbuff", 32, 8)
+                    .with_secagg(SecAggMode::AsyncSecAgg),
+            )
+            .limits(RunLimits::default().with_max_virtual_time_hours(0.75))
+            .eval(EvalPolicy::default().with_interval_s(600.0))
+            .seed(36)
+    });
+    let metrics = &report.single().metrics;
+    assert!(
+        metrics.secure.tsa_key_releases > 0,
+        "no secure release happened"
+    );
+    assert_eq!(metrics.secure.tsa_key_releases, metrics.server_updates);
 }
 
 #[test]

@@ -1,0 +1,83 @@
+//! Secure aggregation under Aggregator failure (the paper's fault-tolerance
+//! story, privately): when the Aggregator holding a secure task's masked
+//! buffer dies, the buffered masked updates are dropped **without** a TSA
+//! key release — the TSA never unmasks a partial buffer, so the crash leaks
+//! nothing — and the task converges anyway after the Coordinator reassigns
+//! it to a survivor.
+
+use papaya_core::config::SecAggMode;
+use papaya_core::TaskConfig;
+use papaya_data::population::{Population, PopulationConfig};
+use papaya_sim::scenario::{EvalPolicy, FleetSpec, Scenario};
+use papaya_sim::RunLimits;
+
+#[test]
+fn aggregator_crash_drops_masked_buffer_without_key_release() {
+    let population = Population::generate(
+        &PopulationConfig::default()
+            .with_size(1_200)
+            .with_dropout(0.05),
+        71,
+    );
+    // Both tasks run securely, so whichever Aggregator the crash hits, a
+    // masked buffer is lost.
+    let report = Scenario::builder()
+        .population(population)
+        .task(TaskConfig::async_task("secure-a", 48, 12))
+        .task(TaskConfig::async_task("secure-b", 32, 8))
+        .secagg(SecAggMode::AsyncSecAgg)
+        .fleet(FleetSpec::new(2, 2))
+        .crash_at(1_800.0, 0)
+        .limits(RunLimits::default().with_max_virtual_time_hours(2.0))
+        .eval(EvalPolicy::default().with_interval_s(600.0))
+        .seed(71)
+        .build()
+        .run();
+
+    assert_eq!(report.fleet.control_plane.aggregator_failures, 1);
+    assert!(
+        report.fleet.control_plane.task_reassignments >= 1,
+        "orphaned task was never reassigned"
+    );
+
+    let total_lost: u64 = report
+        .tasks
+        .iter()
+        .map(|t| t.metrics.lost_buffered_updates)
+        .sum();
+    let total_buffers_dropped: u64 = report
+        .tasks
+        .iter()
+        .map(|t| t.metrics.secure.buffers_dropped_unreleased)
+        .sum();
+    assert!(total_lost > 0, "crash landed on an empty buffer; re-seed");
+    assert!(
+        total_buffers_dropped >= 1,
+        "masked buffer was not dropped on the secure path"
+    );
+
+    for task in &report.tasks {
+        let m = &task.metrics;
+        // The TSA released exactly one key per server update: no partial
+        // buffer — in particular not the crashed one — was ever unmasked.
+        assert_eq!(
+            m.secure.tsa_key_releases, m.server_updates,
+            "{}: partial-buffer unmask detected",
+            task.name
+        );
+        assert_eq!(
+            m.secure.masked_updates, m.aggregated_updates,
+            "{}",
+            task.name
+        );
+        // Post-crash convergence: the run kept training to a better loss.
+        assert!(task.server_updates() > 0, "{}", task.name);
+        assert!(
+            task.final_loss < task.initial_loss,
+            "{} did not converge past the crash: {} -> {}",
+            task.name,
+            task.initial_loss,
+            task.final_loss
+        );
+    }
+}
