@@ -2,6 +2,7 @@
 
 pub mod common;
 pub mod convergence;
+pub mod dp_exp;
 pub mod lm_exp;
 pub mod secagg_exp;
 pub mod systems;

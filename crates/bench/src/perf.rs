@@ -1,7 +1,7 @@
 //! The `perf_suite` harness: canonical scenarios, wall-clock measurement,
 //! `BENCH_*.json` serialization, and the CI regression gate.
 //!
-//! Four canonical scenarios track the simulator's performance trajectory
+//! Five canonical scenarios track the simulator's performance trajectory
 //! (the MLSys systems-benchmarking practice of measuring the *system*, not
 //! just the model):
 //!
@@ -10,6 +10,9 @@
 //! * `fedbuff-20k-secagg` — the same workload through AsyncSecAgg, which
 //!   tracks the secure pipeline's overhead (per-update key exchange and
 //!   masking, per-buffer TSA key release);
+//! * `fedbuff-20k-dp` — the same workload with user-level differential
+//!   privacy (per-update L2 clipping, seeded Gaussian release noise, RDP
+//!   accounting), which tracks the DP layer's overhead;
 //! * `timed-hybrid` — the deadline-release strategy, which stresses the
 //!   exact-deadline event path;
 //! * `fleet-crash` — a 6-task multi-tenant fleet with an injected
@@ -28,7 +31,7 @@
 use crate::experiments::common::population;
 use papaya_core::config::SecAggMode;
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
-use papaya_core::TaskConfig;
+use papaya_core::{DpConfig, TaskConfig};
 use papaya_sim::scenario::{EvalPolicy, FleetSpec, Report, RunLimits, Scenario};
 use papaya_sim::Parallelism;
 use std::fmt::Write as _;
@@ -113,6 +116,41 @@ pub fn build_scenario(name: &str, quick: bool, parallelism: Parallelism, seed: u
                 .seed(seed)
                 .build()
         }
+        "fedbuff-20k-dp" => {
+            // The fedbuff-20k workload with the DP layer in the loop: every
+            // accepted update is L2-clipped (a norm + scale over the model
+            // dimension) and every release draws model-dimension Gaussian
+            // noise and one accountant query, so the gate tracks the DP
+            // pipeline's overhead over time.  Cheap enough per update that
+            // the clear scenario's budget is kept.  (The concurrency-over-
+            // population sampling rate models amplification for the typical
+            // user; FedBuff selection is speed-biased, so it is not a
+            // worst-case certificate — see papaya_core::dp.)
+            let pop = population(scale(20_000, 2_000), seed);
+            let trainer = Arc::new(SurrogateObjective::new(&pop, perf_surrogate_config(), seed));
+            Scenario::builder()
+                .population(pop)
+                .task_with_trainer(
+                    TaskConfig::async_task("fedbuff-20k-dp", scale(1024, 256), scale(128, 32))
+                        .with_dp(DpConfig::new(2.0, 1.0).with_sampling_rate(
+                            scale(1024, 256) as f64 / scale(20_000, 2_000) as f64,
+                        )),
+                    trainer,
+                )
+                .limits(
+                    RunLimits::default()
+                        .with_max_virtual_time_hours(100.0)
+                        .with_max_client_updates(scale(40_000, 4_000) as u64)
+                        .with_parallelism(parallelism),
+                )
+                .eval(
+                    EvalPolicy::default()
+                        .with_interval_s(1800.0)
+                        .with_sample_size(100),
+                )
+                .seed(seed)
+                .build()
+        }
         "timed-hybrid" => {
             let pop = population(scale(6_000, 1_500), seed);
             let trainer = Arc::new(SurrogateObjective::new(&pop, perf_surrogate_config(), seed));
@@ -181,9 +219,10 @@ pub fn build_scenario(name: &str, quick: bool, parallelism: Parallelism, seed: u
 }
 
 /// The canonical scenario set, in run order.
-pub const SCENARIO_NAMES: [&str; 4] = [
+pub const SCENARIO_NAMES: [&str; 5] = [
     "fedbuff-20k",
     "fedbuff-20k-secagg",
+    "fedbuff-20k-dp",
     "timed-hybrid",
     "fleet-crash",
 ];

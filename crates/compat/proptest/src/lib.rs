@@ -271,6 +271,16 @@ macro_rules! prop_assert_eq {
             right
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
 }
 
 /// Asserts inequality inside a property.
@@ -283,6 +293,15 @@ macro_rules! prop_assert_ne {
             "assertion failed: {} != {} (both {:?})",
             stringify!($left),
             stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{} (both {:?})",
+            format!($($fmt)*),
             left
         );
     }};

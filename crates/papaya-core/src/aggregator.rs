@@ -218,6 +218,14 @@ pub trait Aggregator: Send {
     fn secure_telemetry(&self) -> Option<&crate::secure::SecureTelemetry> {
         None
     }
+
+    /// Differential-privacy telemetry, for strategies wrapped in the DP
+    /// pipeline ([`crate::dp::DpAggregator`]).  Non-DP strategies return
+    /// `None`; drivers use this both to detect that a task's releases are
+    /// noised and to export the clip/noise/ε traces.
+    fn dp_telemetry(&self) -> Option<&crate::dp::DpTelemetry> {
+        None
+    }
 }
 
 /// Builds the aggregation strategy a task's [`TrainingMode`] asks for.

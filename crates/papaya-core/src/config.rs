@@ -6,6 +6,7 @@
 //! stale clients, and the aggregation rule — are all derived from
 //! [`TrainingMode`].
 
+use crate::dp::DpConfig;
 use crate::staleness::StalenessWeighting;
 
 /// Whether and how secure aggregation is enabled for a task.
@@ -106,6 +107,11 @@ pub struct TaskConfig {
     pub client_timeout_s: f64,
     /// Secure-aggregation mode.
     pub secagg: SecAggMode,
+    /// User-level differential privacy: per-update L2 clipping, Gaussian
+    /// release noise, and privacy accounting.  `None` runs without DP.
+    /// Composes with [`SecAggMode::AsyncSecAgg`] (clipping happens
+    /// client-side before masking; the noise lands on the decoded release).
+    pub dp: Option<DpConfig>,
     /// Serialized model size in bytes (used for cost accounting only).
     pub model_size_bytes: u64,
     /// Minimum device capability tier required to train this task; clients
@@ -136,6 +142,7 @@ impl TaskConfig {
             weight_by_examples: true,
             client_timeout_s: 240.0,
             secagg: SecAggMode::Disabled,
+            dp: None,
             model_size_bytes: 20_000_000,
             min_capability_tier: 0,
         }
@@ -160,6 +167,7 @@ impl TaskConfig {
             weight_by_examples: true,
             client_timeout_s: 240.0,
             secagg: SecAggMode::Disabled,
+            dp: None,
             model_size_bytes: 20_000_000,
             min_capability_tier: 0,
         }
@@ -189,6 +197,7 @@ impl TaskConfig {
             weight_by_examples: true,
             client_timeout_s: 240.0,
             secagg: SecAggMode::Disabled,
+            dp: None,
             model_size_bytes: 20_000_000,
             min_capability_tier: 0,
         }
@@ -209,6 +218,13 @@ impl TaskConfig {
     /// Sets the secure aggregation mode.
     pub fn with_secagg(mut self, secagg: SecAggMode) -> Self {
         self.secagg = secagg;
+        self
+    }
+
+    /// Enables user-level differential privacy with the given
+    /// configuration.
+    pub fn with_dp(mut self, dp: DpConfig) -> Self {
+        self.dp = Some(dp);
         self
     }
 
@@ -312,12 +328,14 @@ mod tests {
             .with_timeout(60.0)
             .with_example_weighting(false)
             .with_secagg(SecAggMode::AsyncSecAgg)
+            .with_dp(DpConfig::new(1.0, 0.5))
             .with_max_staleness(7)
             .with_model_size_bytes(1000)
             .with_min_capability_tier(2);
         assert_eq!(t.client_timeout_s, 60.0);
         assert!(!t.weight_by_examples);
         assert_eq!(t.secagg, SecAggMode::AsyncSecAgg);
+        assert_eq!(t.dp, Some(DpConfig::new(1.0, 0.5)));
         assert_eq!(t.model_size_bytes, 1000);
         assert_eq!(t.min_capability_tier, 2);
         match t.mode {

@@ -20,6 +20,9 @@
 //! * [`secure`] — the [`secure::SecureAggregator`] decorator running any
 //!   strategy through the TEE-based asynchronous secure-aggregation
 //!   protocol (masking on accumulate, per-buffer TSA key release on take);
+//! * [`dp`] — the [`dp::DpAggregator`] decorator adding user-level
+//!   differential privacy to any strategy (per-update L2 clipping, seeded
+//!   Gaussian release noise, and an RDP [`dp::PrivacyAccountant`]);
 //! * [`server_opt`] — server optimizers applied to aggregated deltas
 //!   (FedAvg/FedSGD/FedAdam, Reddi et al., 2020);
 //! * [`model`] — the versioned server model;
@@ -54,6 +57,7 @@
 pub mod aggregator;
 pub mod client;
 pub mod config;
+pub mod dp;
 pub mod fedbuff;
 pub mod model;
 pub mod secure;
@@ -66,6 +70,7 @@ pub mod timed_hybrid;
 pub use aggregator::{AccumulateOutcome, Aggregator, AggregatorStats};
 pub use client::{ClientTrainer, ClientUpdate, LocalTrainResult};
 pub use config::{SecAggMode, TaskConfig, TrainingMode};
+pub use dp::{DpAggregator, DpConfig, DpTelemetry, PrivacyAccountant};
 pub use fedbuff::FedBuffAggregator;
 pub use model::ServerModel;
 pub use secure::{SecureAggregator, SecureTelemetry};

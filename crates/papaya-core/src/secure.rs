@@ -148,9 +148,10 @@ fn simulation_config(vector_len: usize, threshold: usize) -> SecAggConfig {
     config
 }
 
-/// Derives a 32-byte protocol seed from a task seed, domain-separated so the
-/// TSA hardware key and the client RNG stream never collide.
-fn derive_seed(domain: &[u8], seed: u64) -> [u8; 32] {
+/// Derives a 32-byte protocol seed from a task seed, domain-separated so
+/// the TSA hardware key, the client RNG stream, and the DP noise stream
+/// ([`crate::dp`]) never collide.
+pub(crate) fn derive_seed(domain: &[u8], seed: u64) -> [u8; 32] {
     let mut input = domain.to_vec();
     input.extend_from_slice(&seed.to_le_bytes());
     sha256(&input)
@@ -385,6 +386,10 @@ impl Aggregator for SecureAggregator {
 
     fn secure_telemetry(&self) -> Option<&SecureTelemetry> {
         Some(&self.telemetry)
+    }
+
+    fn dp_telemetry(&self) -> Option<&crate::dp::DpTelemetry> {
+        self.inner.dp_telemetry()
     }
 }
 

@@ -72,7 +72,7 @@ pub struct SurrogateObjective {
 fn standard_normal(rng: &mut StdRng) -> f32 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
-    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    papaya_data::stats::standard_normal_pair(u1, u2).0 as f32
 }
 
 impl SurrogateObjective {

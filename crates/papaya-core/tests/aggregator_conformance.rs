@@ -7,19 +7,29 @@
 //! with preserved lifetime counters, and staleness rejection wherever a
 //! bound is configured.  Each check is written once against
 //! `&mut dyn Aggregator` and run against all registered implementations —
-//! including a [`SecureAggregator`]-wrapped variant of each strategy, which
-//! must pass the whole suite unchanged (the secure decorator alters the
-//! numerics only to fixed-point precision, never the protocol behavior).
+//! including a [`SecureAggregator`]-wrapped variant of each strategy (the
+//! secure decorator alters the numerics only to fixed-point precision), a
+//! [`DpAggregator`]-wrapped variant (noiseless, with an unreachable clip
+//! bound — DP alters the numerics only when clipping or noise actually
+//! bind), and the full `dp+secure+fedbuff` stack; all must pass the whole
+//! suite unchanged, because neither decorator touches protocol behavior.
 
 use papaya_core::aggregator::{AccumulateOutcome, Aggregator};
 use papaya_core::client::ClientUpdate;
 use papaya_core::staleness::StalenessWeighting;
 use papaya_core::{
-    FedBuffAggregator, SecureAggregator, SyncRoundAggregator, TimedHybridAggregator,
+    DpAggregator, DpConfig, FedBuffAggregator, SecureAggregator, SyncRoundAggregator,
+    TimedHybridAggregator,
 };
 use papaya_nn::params::ParamVec;
 
 const GOAL: usize = 3;
+
+/// A DP configuration that must not perturb the conformance numerics: zero
+/// noise and a clip bound far above any delta the suite folds.
+fn conformance_dp() -> DpConfig {
+    DpConfig::new(1e6, 0.0)
+}
 
 /// One factory per clear implementation, all configured with the same goal
 /// and (where supported) the same staleness bound.
@@ -46,10 +56,11 @@ fn clear_implementations() -> Vec<(&'static str, Box<dyn Aggregator>)> {
     ]
 }
 
-/// Every clear strategy plus its secure-wrapped counterpart.  The wrapped
-/// variants use the threshold the release pattern supports (the goal for
-/// strategies that always release full buffers, 1 for the deadline
-/// strategy), matching `papaya_core::secure::recommended_threshold`.
+/// Every clear strategy plus its secure-wrapped, dp-wrapped, and
+/// dp-over-secure counterparts.  The secure variants use the threshold the
+/// release pattern supports (the goal for strategies that always release
+/// full buffers, 1 for the deadline strategy), matching
+/// `papaya_core::secure::recommended_threshold`.
 fn implementations() -> Vec<(String, Box<dyn Aggregator>)> {
     let mut all: Vec<(String, Box<dyn Aggregator>)> = Vec::new();
     for (name, agg) in clear_implementations() {
@@ -62,6 +73,23 @@ fn implementations() -> Vec<(String, Box<dyn Aggregator>)> {
             Box::new(SecureAggregator::new(agg, 2, threshold, 0xC0DE)),
         ));
     }
+    for (name, agg) in clear_implementations() {
+        all.push((
+            format!("dp+{name}"),
+            Box::new(DpAggregator::new(agg, conformance_dp(), 0xD1FF)),
+        ));
+    }
+    // The full privacy stack: clipping before masking, accounting on the
+    // decoded release.
+    let (name, agg) = clear_implementations().swap_remove(0);
+    all.push((
+        format!("dp+secure+{name}"),
+        Box::new(DpAggregator::new(
+            Box::new(SecureAggregator::new(agg, 2, GOAL, 0xC0DE)),
+            conformance_dp(),
+            0xD1FF,
+        )),
+    ));
     all
 }
 

@@ -115,11 +115,11 @@ pub struct Population {
     config: PopulationConfig,
 }
 
-/// Samples from a standard normal via the Box–Muller transform.
+/// Samples from a standard normal via the shared Box–Muller transform.
 fn standard_normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    crate::stats::standard_normal_pair(u1, u2).0
 }
 
 impl Population {

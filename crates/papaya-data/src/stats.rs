@@ -1,6 +1,20 @@
 //! Statistical helpers used by the evaluation harness: percentiles,
-//! histograms, correlation, and the two-sample Kolmogorov–Smirnov test the
-//! paper uses to quantify over-selection sampling bias (Section 7.4).
+//! histograms, correlation, the Box–Muller transform shared by every
+//! Gaussian sampler in the workspace, and the two-sample
+//! Kolmogorov–Smirnov test the paper uses to quantify over-selection
+//! sampling bias (Section 7.4).
+
+/// The Box–Muller transform: maps two uniforms to two independent standard
+/// normals.  `u1` must lie in `(0, 1]` (so the log is finite) and `u2` in
+/// `[0, 1)`; producing the uniforms is the caller's job, which keeps the
+/// transform usable from any RNG (`StdRng` populations and surrogates,
+/// `ChaCha20Rng` DP noise) without an RNG trait bound.
+pub fn standard_normal_pair(u1: f64, u2: f64) -> (f64, f64) {
+    debug_assert!(u1 > 0.0 && u1 <= 1.0, "u1 must be in (0, 1], got {u1}");
+    let radius = (-2.0 * u1.ln()).sqrt();
+    let angle = 2.0 * std::f64::consts::PI * u2;
+    (radius * angle.cos(), radius * angle.sin())
+}
 
 /// Returns the `p`-th percentile (0–100) of `values` using linear
 /// interpolation between order statistics.

@@ -86,6 +86,16 @@ pub enum EventKind {
         /// The task whose buffer was unmasked.
         task: usize,
     },
+    /// A DP task released a noised aggregate and the privacy accountant
+    /// composed it into the cumulative ε.  Scheduled by scenario drivers at
+    /// release time so every privacy-relevant release is visible in the
+    /// event stream; the handler refreshes the task's DP metrics from the
+    /// aggregator's telemetry and stops the run when the ε budget is
+    /// exhausted.
+    DpRelease {
+        /// The task whose release was noised and accounted.
+        task: usize,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -137,6 +147,9 @@ impl fmt::Display for EventKind {
             }
             EventKind::TsaKeyRelease { task } => {
                 write!(f, "task {task}: TSA key release (buffer unmasked)")
+            }
+            EventKind::DpRelease { task } => {
+                write!(f, "task {task}: DP release (noised and accounted)")
             }
         }
     }
@@ -303,6 +316,10 @@ mod tests {
         assert_eq!(
             EventKind::TsaKeyRelease { task: 3 }.to_string(),
             "task 3: TSA key release (buffer unmasked)"
+        );
+        assert_eq!(
+            EventKind::DpRelease { task: 4 }.to_string(),
+            "task 4: DP release (noised and accounted)"
         );
     }
 

@@ -1,5 +1,6 @@
 //! Metrics collected during a simulation run.
 
+use papaya_core::dp::DpTelemetry;
 use papaya_core::secure::SecureTelemetry;
 use papaya_data::stats::{ks_two_sample, KsTestResult};
 
@@ -57,6 +58,12 @@ pub struct MetricsCollector {
     /// drops, TEE boundary bytes, and the per-release quantization-error
     /// trace.  All-zero/empty for tasks running in the clear.
     pub secure: SecureTelemetry,
+    /// Differential-privacy telemetry, synced from the task's
+    /// [`DpAggregator`](papaya_core::dp::DpAggregator): clip counts, the
+    /// per-release clip-fraction/noise-std trace, and the cumulative
+    /// `epsilon(target_delta)` trajectory the accountant composed across
+    /// releases.  All-zero/empty for tasks running without DP.
+    pub dp: DpTelemetry,
 }
 
 impl MetricsCollector {
@@ -142,6 +149,12 @@ pub struct MetricsSummary {
     /// Mean inbound TEE-boundary bytes per masked update (0 for clear
     /// tasks).
     pub tee_boundary_bytes_per_masked_update: f64,
+    /// Noised releases fed into the privacy accountant (0 for non-DP
+    /// tasks).
+    pub dp_releases: u64,
+    /// Cumulative `epsilon(target_delta)` after the last DP release (0 for
+    /// non-DP tasks; `∞` for a noiseless DP mechanism).
+    pub cumulative_epsilon: f64,
 }
 
 impl MetricsCollector {
@@ -161,6 +174,8 @@ impl MetricsCollector {
             mean_round_duration_s: self.mean_round_duration_s(),
             tsa_key_releases: self.secure.tsa_key_releases,
             tee_boundary_bytes_per_masked_update: self.secure.tee_bytes_in_per_client(),
+            dp_releases: self.dp.releases,
+            cumulative_epsilon: self.dp.cumulative_epsilon,
         }
     }
 }
@@ -295,6 +310,20 @@ mod tests {
         let s = m.summarize(3600.0);
         assert_eq!(s.tsa_key_releases, 2);
         assert_eq!(s.tee_boundary_bytes_per_masked_update, 300.0);
+    }
+
+    #[test]
+    fn dp_telemetry_feeds_the_summary() {
+        let mut m = MetricsCollector::new();
+        assert_eq!(m.dp, DpTelemetry::default());
+        m.dp.accepted_updates = 10;
+        m.dp.clipped_updates = 4;
+        m.dp.releases = 3;
+        m.dp.cumulative_epsilon = 1.75;
+        assert_eq!(m.dp.clip_fraction(), 0.4);
+        let s = m.summarize(3600.0);
+        assert_eq!(s.dp_releases, 3);
+        assert_eq!(s.cumulative_epsilon, 1.75);
     }
 
     #[test]

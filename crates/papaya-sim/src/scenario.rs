@@ -51,6 +51,7 @@ use crate::sampling::SamplingPool;
 use crate::task_runtime::{ServerOptimizerKind, TaskRuntime};
 use papaya_core::client::ClientTrainer;
 use papaya_core::config::{SecAggMode, TaskConfig, TrainingMode};
+use papaya_core::dp::DpConfig;
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_data::population::{DeviceProfile, Population};
 use papaya_nn::params::ParamVec;
@@ -69,6 +70,10 @@ pub enum StopReason {
     MaxVirtualTime,
     /// The client-update budget was exhausted.
     MaxClientUpdates,
+    /// A DP task's cumulative `epsilon(target_delta)` reached its
+    /// configured budget; releasing further aggregates would overspend the
+    /// privacy guarantee, so the run stops.
+    PrivacyBudgetExhausted,
 }
 
 impl fmt::Display for StopReason {
@@ -77,6 +82,7 @@ impl fmt::Display for StopReason {
             StopReason::TargetLossReached => write!(f, "target loss reached"),
             StopReason::MaxVirtualTime => write!(f, "virtual-time budget exhausted"),
             StopReason::MaxClientUpdates => write!(f, "client-update budget exhausted"),
+            StopReason::PrivacyBudgetExhausted => write!(f, "privacy budget exhausted"),
         }
     }
 }
@@ -401,6 +407,7 @@ impl Report {
             StopReason::TargetLossReached => 0,
             StopReason::MaxVirtualTime => 1,
             StopReason::MaxClientUpdates => 2,
+            StopReason::PrivacyBudgetExhausted => 3,
         });
         h.f64(self.virtual_hours);
         h.u64(self.events_processed);
@@ -426,6 +433,16 @@ impl Report {
             for &(t, e) in &m.secure.quantization_error_trace {
                 h.f64(t);
                 h.f64(e);
+            }
+            h.u64(m.dp.accepted_updates);
+            h.u64(m.dp.clipped_updates);
+            h.u64(m.dp.releases);
+            h.f64(m.dp.cumulative_epsilon);
+            for release in &m.dp.release_trace {
+                h.f64(release.time_s);
+                h.f64(release.clip_fraction);
+                h.f64(release.noise_std);
+                h.f64(release.cumulative_epsilon);
             }
             h.u64(task.reassignments);
             h.u64(task.final_version);
@@ -515,6 +532,7 @@ pub struct ScenarioBuilder {
     utilization_sample_interval_s: f64,
     server_optimizer: ServerOptimizerKind,
     secagg_override: Option<SecAggMode>,
+    dp_override: Option<DpConfig>,
     seed: u64,
 }
 
@@ -533,6 +551,7 @@ impl Default for ScenarioBuilder {
             utilization_sample_interval_s: 60.0,
             server_optimizer: ServerOptimizerKind::FedAvg,
             secagg_override: None,
+            dp_override: None,
             seed: 0,
         }
     }
@@ -628,6 +647,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables user-level differential privacy on **every** task of the
+    /// scenario (overriding whatever the individual [`TaskConfig`]s carry).
+    /// Each task's aggregation strategy is wrapped in a
+    /// [`papaya_core::dp::DpAggregator`]: updates are L2-clipped to the
+    /// configured bound, every release carries seeded Gaussian noise, and a
+    /// per-task [`papaya_core::dp::PrivacyAccountant`] composes the
+    /// cumulative `(ε, δ)`.  Composes with [`ScenarioBuilder::secagg`] (DP
+    /// wraps outermost).  For per-task control use [`TaskConfig::with_dp`]
+    /// instead.
+    pub fn dp(mut self, config: DpConfig) -> Self {
+        self.dp_override = Some(config);
+        self
+    }
+
     /// Sets the RNG seed controlling selection, assignment, dropouts, and
     /// training noise.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -653,6 +686,11 @@ impl ScenarioBuilder {
         if let Some(mode) = self.secagg_override {
             for task in &mut self.tasks {
                 task.secagg = mode;
+            }
+        }
+        if let Some(dp) = self.dp_override {
+            for task in &mut self.tasks {
+                task.dp = Some(dp);
             }
         }
         for task in &self.tasks {
@@ -731,6 +769,7 @@ fn validate_task_config(task: &TaskConfig, has_fleet: bool) {
         weight_by_examples: _, // strategy weighting
         client_timeout_s,      // timeout aborts scheduled at selection
         secagg,                // SecureAggregator wrapping in TaskRuntime
+        dp,                    // DpAggregator wrapping in TaskRuntime
         model_size_bytes: _,   // communication-cost accounting
         min_capability_tier,   // Selector routing (fleet scenarios only)
     } = task;
@@ -743,6 +782,12 @@ fn validate_task_config(task: &TaskConfig, has_fleet: bool) {
     }
     match secagg {
         SecAggMode::Disabled | SecAggMode::AsyncSecAgg => {}
+    }
+    if let Some(dp) = dp {
+        // Every DP knob in range (positive finite clip bound, non-negative
+        // noise, sampling rate in (0, 1], delta in (0, 1), a budget only
+        // with noise) — rejected here rather than mid-run.
+        dp.validate();
     }
     assert!(
         client_timeout_s.is_finite() && *client_timeout_s > 0.0,
@@ -963,6 +1008,10 @@ impl<'a> DirectState<'a> {
                             self.queue
                                 .schedule(self.now, EventKind::TsaKeyRelease { task: 0 });
                         }
+                        if outcome.dp_released {
+                            self.queue
+                                .schedule(self.now, EventKind::DpRelease { task: 0 });
+                        }
                         for freed in &outcome.freed {
                             self.pool.release(freed.client_id);
                         }
@@ -974,6 +1023,16 @@ impl<'a> DirectState<'a> {
                     // the task's secure-aggregation metrics from the
                     // aggregator's telemetry.
                     self.runtime.sync_secure_telemetry();
+                }
+                EventKind::DpRelease { task: _ } => {
+                    // A noised aggregate was published and composed into the
+                    // cumulative ε; refresh the DP metrics and enforce the
+                    // privacy budget.
+                    self.runtime.sync_dp_telemetry();
+                    if self.runtime.privacy_budget_exhausted() {
+                        stop_reason = StopReason::PrivacyBudgetExhausted;
+                        break;
+                    }
                 }
                 _ => unreachable!("direct scenarios schedule no fleet events"),
             }
@@ -1072,6 +1131,10 @@ impl<'a> DirectState<'a> {
         if outcome.tsa_key_released {
             self.queue
                 .schedule(self.now, EventKind::TsaKeyRelease { task: 0 });
+        }
+        if outcome.dp_released {
+            self.queue
+                .schedule(self.now, EventKind::DpRelease { task: 0 });
         }
         self.pool.release(client_id);
         for freed in &outcome.freed {
@@ -1258,6 +1321,9 @@ impl<'a> FleetState<'a> {
                             self.queue
                                 .schedule(self.now, EventKind::TsaKeyRelease { task });
                         }
+                        if outcome.dp_released {
+                            self.queue.schedule(self.now, EventKind::DpRelease { task });
+                        }
                         for freed in &outcome.freed {
                             self.upload_route.remove(&freed.participation_id);
                             self.pool.release(freed.client_id);
@@ -1268,6 +1334,18 @@ impl<'a> FleetState<'a> {
                     // The TSA unmasked the buffer that just closed; refresh
                     // the task's secure-aggregation metrics.
                     self.runtimes[task].sync_secure_telemetry();
+                }
+                EventKind::DpRelease { task } => {
+                    // A noised aggregate was published and composed into
+                    // the cumulative ε; refresh the task's DP metrics and
+                    // enforce the budget — one task overspending its ε
+                    // stops the whole scenario (the operator must re-budget
+                    // before any further release is defensible).
+                    self.runtimes[task].sync_dp_telemetry();
+                    if self.runtimes[task].privacy_budget_exhausted() {
+                        stop_reason = StopReason::PrivacyBudgetExhausted;
+                        break;
+                    }
                 }
                 EventKind::EvaluateTask { task } => {
                     self.runtimes[task].evaluate(self.now);
@@ -1489,6 +1567,9 @@ impl<'a> FleetState<'a> {
             self.queue
                 .schedule(self.now, EventKind::TsaKeyRelease { task });
         }
+        if outcome.dp_released {
+            self.queue.schedule(self.now, EventKind::DpRelease { task });
+        }
         self.pool.release(client_id);
         for freed in &outcome.freed {
             self.upload_route.remove(&freed.participation_id);
@@ -1705,6 +1786,97 @@ mod tests {
     }
 
     #[test]
+    fn dp_flag_is_honored_not_silently_ignored() {
+        // A DP run must actually engage the pipeline (clip bookkeeping,
+        // noised releases, a growing ε) and must therefore fingerprint
+        // differently from the clear run.
+        let run = |dp: Option<DpConfig>| {
+            let mut task = TaskConfig::async_task("t", 16, 4);
+            if let Some(dp) = dp {
+                task = task.with_dp(dp);
+            }
+            Scenario::builder()
+                .population(population(300))
+                .task(task)
+                .limits(RunLimits::default().with_max_virtual_time_hours(0.25))
+                .eval(EvalPolicy::default().with_interval_s(600.0))
+                .seed(21)
+                .build()
+                .run()
+        };
+        let clear = run(None);
+        let private = run(Some(DpConfig::new(10.0, 0.5).with_sampling_rate(0.1)));
+        let m = &private.single().metrics;
+        assert!(m.dp.releases > 0, "pipeline never engaged");
+        assert_eq!(m.dp.releases, m.server_updates);
+        assert_eq!(m.dp.accepted_updates, m.aggregated_updates);
+        assert_eq!(m.dp.release_trace.len(), m.server_updates as usize);
+        assert!(m.dp.cumulative_epsilon.is_finite() && m.dp.cumulative_epsilon > 0.0);
+        assert_eq!(private.single().summary.dp_releases, m.dp.releases);
+        assert_eq!(
+            private.single().summary.cumulative_epsilon,
+            m.dp.cumulative_epsilon
+        );
+        assert_eq!(clear.single().metrics.dp.releases, 0);
+        assert_ne!(clear.fingerprint(), private.fingerprint());
+    }
+
+    #[test]
+    fn privacy_budget_stops_the_run() {
+        // A tight ε budget stops the run long before the virtual-time
+        // limit; the cumulative ε never overshoots by more than one
+        // release.
+        let report = Scenario::builder()
+            .population(population(300))
+            .task(
+                TaskConfig::async_task("t", 16, 4).with_dp(
+                    DpConfig::new(10.0, 1.0)
+                        .with_target_delta(1e-5)
+                        .with_epsilon_budget(20.0),
+                ),
+            )
+            .limits(RunLimits::default().with_max_virtual_time_hours(50.0))
+            .eval(EvalPolicy::default().with_interval_s(600.0))
+            .seed(22)
+            .build()
+            .run();
+        assert_eq!(report.stop_reason, StopReason::PrivacyBudgetExhausted);
+        assert!(report.virtual_hours < 50.0);
+        let m = &report.single().metrics;
+        assert!(m.dp.cumulative_epsilon >= 20.0);
+        // The release *before* the stop was still inside the budget.
+        if m.dp.release_trace.len() >= 2 {
+            let previous = m.dp.release_trace[m.dp.release_trace.len() - 2];
+            assert!(previous.cumulative_epsilon < 20.0);
+        }
+    }
+
+    #[test]
+    fn dp_builder_knob_applies_to_every_task() {
+        let dp = DpConfig::new(5.0, 1.0);
+        let scenario = Scenario::builder()
+            .population(population(300))
+            .task(TaskConfig::async_task("a", 16, 4))
+            .task(TaskConfig::sync_task("s", 12, 0.3))
+            .fleet(FleetSpec::new(1, 1))
+            .dp(dp)
+            .seed(1)
+            .build();
+        for task in scenario.tasks() {
+            assert_eq!(task.dp, Some(dp), "{}", task.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise multiplier must be non-negative")]
+    fn invalid_dp_config_rejected_at_build() {
+        let _ = Scenario::builder()
+            .population(population(100))
+            .task(TaskConfig::async_task("t", 8, 2).with_dp(DpConfig::new(1.0, -1.0)))
+            .build();
+    }
+
+    #[test]
     #[should_panic(expected = "min_capability_tier is enforced by Selector routing")]
     fn capability_tier_without_fleet_rejected() {
         // A direct scenario has no Selectors, so a tier restriction would be
@@ -1757,6 +1929,10 @@ mod tests {
         assert_eq!(
             StopReason::MaxClientUpdates.to_string(),
             "client-update budget exhausted"
+        );
+        assert_eq!(
+            StopReason::PrivacyBudgetExhausted.to_string(),
+            "privacy budget exhausted"
         );
     }
 

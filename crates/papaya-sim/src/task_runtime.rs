@@ -32,6 +32,7 @@ use crate::metrics::{MetricsCollector, ParticipationRecord};
 use papaya_core::aggregator::{self, AccumulateOutcome, Aggregator};
 use papaya_core::client::{participation_seed, ClientTrainer, ClientUpdate};
 use papaya_core::config::{SecAggMode, TaskConfig};
+use papaya_core::dp::DpAggregator;
 use papaya_core::model::ServerModel;
 use papaya_core::secure::{self, SecureAggregator};
 use papaya_core::server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
@@ -105,6 +106,11 @@ pub struct UpdateOutcome {
     /// per-buffer unmask key.  Drivers schedule a
     /// [`crate::events::EventKind::TsaKeyRelease`] event when this is set.
     pub tsa_key_released: bool,
+    /// The server update was a DP release: the delta was noised and the
+    /// privacy accountant composed it into the cumulative ε.  Drivers
+    /// schedule a [`crate::events::EventKind::DpRelease`] event when this
+    /// is set (whose handler also enforces the ε budget).
+    pub dp_released: bool,
     /// Participations aborted as a consequence (staleness bound or round
     /// end); their devices are free again.
     pub freed: Vec<FreedClient>,
@@ -168,6 +174,12 @@ impl TaskRuntime {
     /// honored: masking on accumulate, a per-buffer TSA key release on
     /// take, crash-time buffer drops without a key release, with the
     /// threshold [`secure::recommended_threshold`] derives from the mode.
+    ///
+    /// When the task carries a [`papaya_core::dp::DpConfig`], the (possibly
+    /// secure) strategy is additionally wrapped in a [`DpAggregator`] — DP
+    /// always goes **outermost**, so clipping happens on the client before
+    /// any masking and the release noise lands on the decoded aggregate
+    /// (where the TEE would add it).
     pub fn with_aggregator(
         config: TaskConfig,
         server_optimizer: ServerOptimizerKind,
@@ -187,6 +199,13 @@ impl TaskRuntime {
                 // driver streams derived from the same task seed.
                 seed ^ 0x5ECA_665E_CA66,
             )),
+        };
+        let aggregator: Box<dyn Aggregator> = match config.dp {
+            None => aggregator,
+            // Domain-separate the noise stream from the training, driver,
+            // and secure-protocol streams derived from the same task seed
+            // (DpAggregator hashes its seed again under a dp-only domain).
+            Some(dp) => Box::new(DpAggregator::new(aggregator, dp, seed ^ 0xD1FF_D1FF)),
         };
         let model = ServerModel::new(trainer.initial_parameters());
         let snapshot = Arc::new(model.snapshot());
@@ -396,6 +415,7 @@ impl TaskRuntime {
             self.apply_server_update(&delta);
             outcome.server_updated = true;
             outcome.tsa_key_released = self.is_secure();
+            outcome.dp_released = self.is_dp();
             if self.aggregator.closes_round_on_release() {
                 outcome.round_ended = true;
                 outcome.freed = self.end_sync_round(now);
@@ -420,6 +440,7 @@ impl TaskRuntime {
         let mut outcome = UpdateOutcome {
             server_updated: true,
             tsa_key_released: self.is_secure(),
+            dp_released: self.is_dp(),
             ..UpdateOutcome::default()
         };
         if self.aggregator.closes_round_on_release() {
@@ -506,6 +527,38 @@ impl TaskRuntime {
         self.aggregator.secure_telemetry().is_some()
     }
 
+    /// Whether this task's releases are differentially private.
+    pub fn is_dp(&self) -> bool {
+        self.aggregator.dp_telemetry().is_some()
+    }
+
+    /// Whether the task's cumulative ε has reached its configured budget
+    /// (always false for tasks without DP or without a budget).  Drivers
+    /// check this after handling a
+    /// [`crate::events::EventKind::DpRelease`] event and stop the scenario
+    /// with a privacy-budget stop reason.
+    pub fn privacy_budget_exhausted(&self) -> bool {
+        match (&self.config.dp, self.aggregator.dp_telemetry()) {
+            (Some(dp), Some(telemetry)) => dp
+                .epsilon_budget
+                .is_some_and(|budget| telemetry.cumulative_epsilon >= budget),
+            _ => false,
+        }
+    }
+
+    /// Copies the DP pipeline's cumulative telemetry into the task metrics
+    /// (a no-op for non-DP tasks).  Drivers call this when handling a
+    /// [`crate::events::EventKind::DpRelease`] event, and
+    /// [`into_parts`](TaskRuntime::into_parts) calls it once more so the
+    /// final report is complete.
+    pub fn sync_dp_telemetry(&mut self) {
+        if let Some(telemetry) = self.aggregator.dp_telemetry() {
+            // Incremental: counters are overwritten, the append-only
+            // release trace only copies entries the metrics have not seen.
+            self.metrics.dp.sync_from(telemetry);
+        }
+    }
+
     /// Copies the secure pipeline's cumulative telemetry into the task
     /// metrics (a no-op for clear tasks).  Drivers call this when handling
     /// a [`crate::events::EventKind::TsaKeyRelease`] event, and
@@ -523,6 +576,7 @@ impl TaskRuntime {
     /// Consumes the runtime and returns its pieces for result assembly.
     pub fn into_parts(mut self) -> (MetricsCollector, ParamVec, u64, f64, Option<f64>) {
         self.sync_secure_telemetry();
+        self.sync_dp_telemetry();
         (
             self.metrics,
             self.model.snapshot(),
@@ -804,6 +858,51 @@ mod tests {
         assert_eq!(metrics.secure.buffers_dropped_unreleased, 1);
         assert_eq!(metrics.secure.tsa_key_releases, 0);
         assert_eq!(metrics.lost_buffered_updates, 2);
+    }
+
+    #[test]
+    fn dp_config_flag_wraps_the_aggregator() {
+        let clear = runtime(TaskConfig::async_task("t", 8, 2));
+        assert!(!clear.is_dp());
+        assert!(!clear.privacy_budget_exhausted());
+
+        let mut rt = runtime(
+            TaskConfig::async_task("t", 8, 2)
+                .with_dp(papaya_core::DpConfig::new(50.0, 1.0).with_epsilon_budget(1e6)),
+        );
+        assert!(rt.is_dp());
+        assert!(!rt.is_secure());
+        rt.begin_participation(0, 0, 10.0);
+        rt.begin_participation(1, 1, 10.0);
+        rt.offer_update(0, 10.0).unwrap();
+        let outcome = rt.offer_update(1, 11.0).unwrap();
+        assert!(outcome.server_updated && outcome.dp_released);
+        assert!(!outcome.tsa_key_released);
+        assert!(!rt.privacy_budget_exhausted(), "budget of 1e6 is generous");
+        let (metrics, ..) = rt.into_parts();
+        assert_eq!(metrics.dp.releases, 1);
+        assert_eq!(metrics.dp.accepted_updates, 2);
+        assert_eq!(metrics.dp.release_trace.len(), 1);
+        assert!(metrics.dp.cumulative_epsilon > 0.0);
+    }
+
+    #[test]
+    fn dp_stacks_over_secagg_in_the_runtime() {
+        let mut rt = runtime(
+            TaskConfig::async_task("t", 8, 2)
+                .with_secagg(papaya_core::SecAggMode::AsyncSecAgg)
+                .with_dp(papaya_core::DpConfig::new(50.0, 0.0)),
+        );
+        assert!(rt.is_dp() && rt.is_secure());
+        rt.begin_participation(0, 0, 10.0);
+        rt.begin_participation(1, 1, 10.0);
+        rt.offer_update(0, 10.0).unwrap();
+        let outcome = rt.offer_update(1, 11.0).unwrap();
+        assert!(outcome.server_updated && outcome.dp_released && outcome.tsa_key_released);
+        let (metrics, ..) = rt.into_parts();
+        assert_eq!(metrics.dp.releases, 1);
+        assert_eq!(metrics.secure.tsa_key_releases, 1);
+        assert_eq!(metrics.secure.masked_updates, 2);
     }
 
     #[test]

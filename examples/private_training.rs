@@ -1,0 +1,136 @@
+//! User-level differential privacy end to end.
+//!
+//! ```bash
+//! cargo run --release --example private_training
+//! ```
+//!
+//! Part 1 is the no-op proof the DP layer rests on: an identical FedBuff
+//! scenario is trained twice — in the clear and with a *noiseless* DP
+//! configuration (`noise_multiplier = 0`, unreachable clip bound) — and
+//! the two runs must match **bit for bit** on counters and final
+//! parameters.  The decorator only ever changes the numerics when the
+//! guarantee needs it to.
+//!
+//! Part 2 turns the mechanism on: clipping binds, every release carries
+//! Gaussian noise, and the privacy accountant composes a finite
+//! `(ε, δ)` across releases, printed as the cumulative ε trajectory.
+//!
+//! Part 3 stacks DP over secure aggregation — clipping on the client
+//! before masking, noise on the decoded release (where the TEE would add
+//! it) — the full "private" column of the paper's title.
+
+use papaya_core::config::SecAggMode;
+use papaya_core::{DpConfig, TaskConfig};
+use papaya_data::population::{Population, PopulationConfig};
+use papaya_sim::scenario::{EvalPolicy, Report, RunLimits, Scenario};
+
+fn population() -> Population {
+    Population::generate(&PopulationConfig::default().with_size(600), 61)
+}
+
+fn run(task: TaskConfig) -> Report {
+    Scenario::builder()
+        .population(population())
+        .task(task)
+        .limits(RunLimits::default().with_max_virtual_time_hours(0.75))
+        .eval(EvalPolicy::default().with_interval_s(600.0))
+        .seed(9)
+        .build()
+        .run()
+}
+
+fn main() {
+    println!("== Part 1: noiseless DP is a bit-exact no-op ==\n");
+    let base = || TaskConfig::async_task("keyboard-lm", 32, 8);
+    let clear = run(base());
+    let noiseless = run(base().with_dp(DpConfig::new(1e9, 0.0)));
+    let (c, n) = (&clear.single().metrics, &noiseless.single().metrics);
+    assert_eq!(c.comm_trips, n.comm_trips);
+    assert_eq!(c.server_updates, n.server_updates);
+    assert_eq!(c.aggregated_updates, n.aggregated_updates);
+    assert_eq!(
+        clear.single().final_params,
+        noiseless.single().final_params,
+        "noiseless DP must be bit-exact against the clear run"
+    );
+    println!(
+        "clear vs dp(z=0): {} uploads, {} server updates, final params IDENTICAL (bitwise)",
+        c.comm_trips, c.server_updates
+    );
+    println!(
+        "dp bookkeeping still ran: {} accounted releases, 0 clipped, epsilon = inf (no noise)\n",
+        n.dp.releases
+    );
+
+    println!("== Part 2: the mechanism with real noise ==\n");
+    let dp = DpConfig::new(2.0, 1.0)
+        .with_sampling_rate(8.0 / 600.0)
+        .with_target_delta(1e-6);
+    let private = run(base().with_example_weighting(false).with_dp(dp));
+    let task = private.single();
+    let m = &task.metrics;
+    assert!(m.dp.releases > 0, "no DP release happened");
+    assert_eq!(m.dp.releases, m.server_updates);
+    assert!(m.dp.cumulative_epsilon.is_finite());
+    println!(
+        "clip bound C = {}, noise multiplier z = {}, q = {:.4}, delta = {:.0e}",
+        dp.clip_bound, dp.noise_multiplier, dp.sampling_rate, dp.target_delta
+    );
+    println!(
+        "{} releases, {:.0}% of accepted updates clipped, noise std {:.4} per release",
+        m.dp.releases,
+        100.0 * m.dp.clip_fraction(),
+        m.dp.release_trace.last().map_or(0.0, |r| r.noise_std),
+    );
+    let trace = &m.dp.release_trace;
+    let checkpoints = [0, trace.len() / 4, trace.len() / 2, trace.len() - 1];
+    println!("cumulative epsilon trajectory:");
+    for &i in &checkpoints {
+        let release = trace[i];
+        println!(
+            "  release {:>4} @ {:>7.0}s: epsilon = {:.3}",
+            i + 1,
+            release.time_s,
+            release.cumulative_epsilon
+        );
+    }
+    println!(
+        "loss {:.4} -> {:.4} (clear run reached {:.4}): the cost of ({:.2}, {:.0e})-DP",
+        task.initial_loss,
+        task.final_loss,
+        clear.single().final_loss,
+        m.dp.cumulative_epsilon,
+        dp.target_delta
+    );
+    println!(
+        "(epsilon modeled with Poisson-sampling amplification at q = {:.4}; \
+         FedBuff selection is speed-biased, so the conservative certificate uses q = 1)\n",
+        dp.sampling_rate
+    );
+    assert!(
+        task.final_loss < task.initial_loss,
+        "private run did not learn"
+    );
+
+    println!("== Part 3: DP stacked over secure aggregation ==\n");
+    let stacked = run(base()
+        .with_example_weighting(false)
+        .with_secagg(SecAggMode::AsyncSecAgg)
+        .with_dp(dp));
+    let sm = &stacked.single().metrics;
+    assert_eq!(sm.secure.tsa_key_releases, sm.server_updates);
+    assert_eq!(sm.dp.releases, sm.server_updates);
+    assert_eq!(
+        sm.secure.out_of_range_releases, 0,
+        "clipped-then-masked decode must match the reference"
+    );
+    println!(
+        "secure+dp: {} masked uploads, {} TSA key releases, every release noised and accounted",
+        sm.secure.masked_updates, sm.secure.tsa_key_releases
+    );
+    println!(
+        "cumulative epsilon {:.3} at ~{:.0} TEE-boundary bytes/client — practical, private, scalable",
+        sm.dp.cumulative_epsilon,
+        sm.secure.tee_bytes_in_per_client()
+    );
+}

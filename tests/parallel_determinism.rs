@@ -14,7 +14,7 @@
 //! the final model parameters.
 
 use papaya_core::config::SecAggMode;
-use papaya_core::TaskConfig;
+use papaya_core::{DpConfig, TaskConfig};
 use papaya_data::population::{Population, PopulationConfig};
 use papaya_sim::scenario::{EvalPolicy, FleetSpec, Report, RunLimits, Scenario, ScenarioBuilder};
 use papaya_sim::Parallelism;
@@ -119,6 +119,55 @@ fn secagg_direct_scenario_is_bit_identical() {
         "no secure release happened"
     );
     assert_eq!(metrics.secure.tsa_key_releases, metrics.server_updates);
+}
+
+#[test]
+fn dp_direct_scenario_is_bit_identical() {
+    // The DP pipeline draws real noise (noise_multiplier > 0) from its own
+    // seeded stream on the event-loop thread, so a noised report — clip
+    // counters, per-release noise std, and the cumulative ε trace the
+    // fingerprint hashes — must stay bit-identical at any thread count.
+    let report = assert_identical_across_thread_counts(|| {
+        Scenario::builder()
+            .population(population(500))
+            .task(
+                TaskConfig::async_task("dp-fedbuff", 32, 8)
+                    .with_dp(DpConfig::new(2.0, 1.0).with_sampling_rate(0.05)),
+            )
+            .limits(RunLimits::default().with_max_virtual_time_hours(0.75))
+            .eval(EvalPolicy::default().with_interval_s(600.0))
+            .seed(37)
+    });
+    let metrics = &report.single().metrics;
+    assert!(metrics.dp.releases > 0, "no DP release happened");
+    assert_eq!(metrics.dp.releases, metrics.server_updates);
+    assert!(
+        metrics.dp.release_trace.iter().any(|r| r.noise_std > 0.0),
+        "the determinism claim must cover actual noise"
+    );
+}
+
+#[test]
+fn stacked_dp_secagg_scenario_is_bit_identical() {
+    // The full privacy stack — clipping, masking, TSA key releases, decode,
+    // noise, accounting — all on the event-loop thread, bit-identical at
+    // any Parallelism.
+    let report = assert_identical_across_thread_counts(|| {
+        Scenario::builder()
+            .population(population(400))
+            .task(
+                TaskConfig::async_task("dp-secagg", 24, 6)
+                    .with_secagg(SecAggMode::AsyncSecAgg)
+                    .with_dp(DpConfig::new(2.0, 0.5).with_sampling_rate(0.05)),
+            )
+            .limits(RunLimits::default().with_max_virtual_time_hours(0.5))
+            .eval(EvalPolicy::default().with_interval_s(600.0))
+            .seed(38)
+    });
+    let metrics = &report.single().metrics;
+    assert!(metrics.dp.releases > 0 && metrics.secure.tsa_key_releases > 0);
+    assert_eq!(metrics.dp.releases, metrics.secure.tsa_key_releases);
+    assert_eq!(metrics.dp.releases, metrics.server_updates);
 }
 
 #[test]
