@@ -18,8 +18,14 @@
 //! ```bash
 //! cargo run -p bench --release --bin perf_suite -- --compare BENCH_baseline.json BENCH_ci.json
 //! ```
+//!
+//! `--profile <path>` additionally writes a JSON breakdown of where the
+//! secure pipeline's on-loop time went (DH handshakes vs mask expansion vs
+//! fixed-point encode vs release unmasking) — CI uploads it as an artifact
+//! so an overhead-gate failure comes with its own triage data.
 
 use bench::perf::{compare, run_suite, SuiteResult};
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 struct Args {
@@ -35,6 +41,8 @@ struct Args {
     /// acceptance check is `--full --threads 4 --min-speedup 1.8` on a
     /// >=4-core box.
     min_speedup: Option<f64>,
+    /// Write the secure-pipeline timing breakdown to this path.
+    profile: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         compare: None,
         factor: 2.0,
         min_speedup: None,
+        profile: None,
     };
     let mut i = 1;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -83,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--min-speedup: {e}"))?,
                 )
             }
+            "--profile" => args.profile = Some(value(&mut i)?),
             "--compare" => {
                 let baseline = value(&mut i)?;
                 let current = value(&mut i)?;
@@ -173,6 +183,45 @@ fn main() -> ExitCode {
             s.speedup,
             s.identical,
         );
+    }
+    for s in &suite.scenarios {
+        if let Some(factor) = s.secagg_overhead_factor {
+            println!(
+                "\n{}: secagg overhead {factor:.2}x over clear (per-event)",
+                s.name
+            );
+        }
+    }
+
+    if let Some(profile_path) = &args.profile {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"label\": \"{}\",", suite.label);
+        let _ = writeln!(out, "  \"scenarios\": [");
+        let secure: Vec<_> = suite
+            .scenarios
+            .iter()
+            .filter(|s| {
+                s.secure_handshake_s + s.secure_mask_s + s.secure_encode_s + s.secure_unmask_s > 0.0
+            })
+            .collect();
+        for (i, s) in secure.iter().enumerate() {
+            let comma = if i + 1 < secure.len() { "," } else { "" };
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
+            let _ = writeln!(out, "      \"handshake_s\": {:.6},", s.secure_handshake_s);
+            let _ = writeln!(out, "      \"mask_s\": {:.6},", s.secure_mask_s);
+            let _ = writeln!(out, "      \"encode_s\": {:.6},", s.secure_encode_s);
+            let _ = writeln!(out, "      \"unmask_s\": {:.6}", s.secure_unmask_s);
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        if let Err(e) = std::fs::write(profile_path, out) {
+            eprintln!("perf_suite: cannot write {profile_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote secure-pipeline profile to {profile_path}");
     }
 
     let path = args

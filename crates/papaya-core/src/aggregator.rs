@@ -226,6 +226,35 @@ pub trait Aggregator: Send {
     fn dp_telemetry(&self) -> Option<&crate::dp::DpTelemetry> {
         None
     }
+
+    /// Plans the mask work for `client_id`'s next participation, burning its
+    /// ratchet counter (session-cached secure aggregation only).  The plan
+    /// is pure — drivers may compute it speculatively on a worker thread —
+    /// and must be called exactly once per participation that will reach
+    /// [`accumulate`](Aggregator::accumulate), in driver event order.
+    /// Clear strategies return `None`.
+    fn plan_mask_precompute(&mut self, _client_id: usize) -> Option<crate::secure::MaskPlan> {
+        None
+    }
+
+    /// Hands back the result of a speculatively computed
+    /// [`plan_mask_precompute`](Aggregator::plan_mask_precompute) plan so
+    /// the next [`accumulate`](Aggregator::accumulate) for that client can
+    /// skip the inline computation.  Stale results (from before an
+    /// invalidation) are ignored.  No-op for clear strategies.
+    fn provide_precomputed_mask(
+        &mut self,
+        _client_id: usize,
+        _mask: crate::secure::PrecomputedMask,
+    ) {
+    }
+
+    /// Cumulative wall-clock spent in the secure pipeline's phases, for
+    /// profiling (never part of a report fingerprint).  Clear strategies
+    /// return `None`.
+    fn secure_timings(&self) -> Option<crate::secure::SecureTimings> {
+        None
+    }
 }
 
 /// Builds the aggregation strategy a task's [`TrainingMode`] asks for.

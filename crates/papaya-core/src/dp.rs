@@ -616,6 +616,20 @@ impl Aggregator for DpAggregator {
     fn dp_telemetry(&self) -> Option<&DpTelemetry> {
         Some(&self.telemetry)
     }
+
+    // DP is the outer layer of the dp+secure stack, so the speculative
+    // mask-precompute hooks pass straight through to the secure layer.
+    fn plan_mask_precompute(&mut self, client_id: usize) -> Option<crate::secure::MaskPlan> {
+        self.inner.plan_mask_precompute(client_id)
+    }
+
+    fn provide_precomputed_mask(&mut self, client_id: usize, mask: crate::secure::PrecomputedMask) {
+        self.inner.provide_precomputed_mask(client_id, mask)
+    }
+
+    fn secure_timings(&self) -> Option<crate::secure::SecureTimings> {
+        self.inner.secure_timings()
+    }
 }
 
 #[cfg(test)]

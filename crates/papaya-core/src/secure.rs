@@ -43,11 +43,21 @@ use crate::aggregator::{AccumulateOutcome, Aggregator, AggregatorStats};
 use crate::client::ClientUpdate;
 use crate::config::{TaskConfig, TrainingMode};
 use papaya_crypto::chacha20::ChaCha20Rng;
+use papaya_crypto::dh::{DhPrecomputedPublic, SharedSecret};
+use papaya_crypto::hmac::hmac_sha256;
 use papaya_crypto::sha256::sha256;
 use papaya_nn::params::ParamVec;
 use papaya_secagg::fixed_point::FixedPointCodec;
 use papaya_secagg::group::GroupParams;
+use papaya_secagg::session::{HandshakePlan, MaskPlanKind, MaskRef};
 use papaya_secagg::{SecAggClient, SecAggConfig, Tsa, TsaPublication, UntrustedAggregator};
+use std::collections::HashMap;
+use std::time::Instant;
+
+// Re-exported so the `Aggregator` trait hooks and the simulator's executor
+// speak the same types without a papaya-secagg dependency at every call
+// site.
+pub use papaya_secagg::session::{MaskPlan, MaskScratch, PrecomputedMask};
 
 /// Cumulative counters of the secure pipeline, exported through
 /// [`Aggregator::secure_telemetry`].
@@ -75,6 +85,15 @@ pub struct SecureTelemetry {
     pub tee_bytes_in: u64,
     /// Cumulative bytes out of the TEE (initial messages + unmask vectors).
     pub tee_bytes_out: u64,
+    /// Masked updates served from a cached session (ratchet only, zero
+    /// group exponentiations).
+    pub session_cache_hits: u64,
+    /// Masked updates that ran a full session handshake (first contact per
+    /// epoch).  Zero in per-update mode, which has no cache to miss.
+    pub session_cache_misses: u64,
+    /// Diffie–Hellman exchanges the session cache avoided: one per cache
+    /// hit, each worth ~4 group exponentiations of the per-update protocol.
+    pub dh_exchanges_saved: u64,
     /// `(virtual_seconds, max_abs_error)` per key release: the element-wise
     /// gap between the decoded secure release and the clear reference
     /// release (pure fixed-point quantization).
@@ -119,6 +138,44 @@ impl SecureTelemetry {
         self.out_of_range_releases = src.out_of_range_releases;
         self.tee_bytes_in = src.tee_bytes_in;
         self.tee_bytes_out = src.tee_bytes_out;
+        self.session_cache_hits = src.session_cache_hits;
+        self.session_cache_misses = src.session_cache_misses;
+        self.dh_exchanges_saved = src.dh_exchanges_saved;
+    }
+}
+
+/// Wall-clock seconds the secure pipeline spent on the event-loop thread,
+/// split by protocol stage — the `--profile` breakdown of the benchmark
+/// suite.  Speculatively precomputed masks are charged to the worker pool,
+/// not here, so under speculation `handshake_s + mask_s` collapse toward
+/// zero while `encode_s`/`unmask_s` (inherently on-loop) remain.
+///
+/// Excluded from [`SecureTelemetry`] (and from result fingerprints): wall
+/// time is machine-dependent, and fingerprints must not be.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SecureTimings {
+    /// Session handshakes (attestation check + Diffie–Hellman) run inline.
+    pub handshake_s: f64,
+    /// Mask ratchet + expansion run inline.
+    pub mask_s: f64,
+    /// Fixed-point encoding and mask application of uploads.
+    pub encode_s: f64,
+    /// Batched TSA key releases and unmask subtraction.
+    pub unmask_s: f64,
+}
+
+impl SecureTimings {
+    /// Total on-loop seconds across all stages.
+    pub fn total_s(&self) -> f64 {
+        self.handshake_s + self.mask_s + self.encode_s + self.unmask_s
+    }
+
+    /// Accumulates another breakdown (e.g. across a fleet of aggregators).
+    pub fn merge(&mut self, other: &SecureTimings) {
+        self.handshake_s += other.handshake_s;
+        self.mask_s += other.mask_s;
+        self.encode_s += other.encode_s;
+        self.unmask_s += other.unmask_s;
     }
 }
 
@@ -157,7 +214,70 @@ pub(crate) fn derive_seed(domain: &[u8], seed: u64) -> [u8; 32] {
     sha256(&input)
 }
 
+/// Host-side bookkeeping of the session-cached protocol mode.
+struct SessionState {
+    /// Master key from which each client's deterministic session-handshake
+    /// key is derived (keyed by client id and TSA epoch), so post-crash
+    /// re-handshakes get fresh keys without any shared protocol RNG draws —
+    /// the property that makes speculative precompute order-safe.
+    client_master: [u8; 32],
+    /// Established sessions: client id → cached shared secret.
+    secrets: HashMap<usize, SharedSecret>,
+    /// Next ratchet counter per client.  Burned at *plan* time: even a
+    /// participation later rejected by policy consumes its counter, so no
+    /// two uploads ever share a mask seed.
+    counters: HashMap<usize, u64>,
+    /// Plans issued (to the speculative executor) but not yet consumed.
+    planned: HashMap<usize, MaskPlan>,
+    /// Speculative results handed back via
+    /// [`Aggregator::provide_precomputed_mask`].
+    provided: HashMap<usize, PrecomputedMask>,
+    /// Mask references of the buffer in progress, released as one batch.
+    pending_refs: Vec<MaskRef>,
+    /// Monotone plan-id source.
+    next_plan_id: u64,
+    /// Plans below this id predate an invalidation; their speculative
+    /// results are rejected on arrival.
+    valid_from_plan_id: u64,
+    /// Fixed-base window table for the TSA's epoch key, built on the first
+    /// handshake of each epoch and shared (via `Arc`) by every handshake
+    /// plan of that epoch.  An epoch bump (crash, reset, republication)
+    /// naturally misses the cache and rebuilds.
+    epoch_table: Option<(u64, DhPrecomputedPublic)>,
+    /// Reusable mask-expansion buffer for inline (non-speculative) computes.
+    scratch: MaskScratch,
+}
+
+impl SessionState {
+    fn new(seed: u64) -> Self {
+        SessionState {
+            client_master: derive_seed(b"papaya/secagg-client-master/", seed),
+            secrets: HashMap::new(),
+            counters: HashMap::new(),
+            planned: HashMap::new(),
+            provided: HashMap::new(),
+            pending_refs: Vec::new(),
+            next_plan_id: 0,
+            valid_from_plan_id: 0,
+            epoch_table: None,
+            scratch: MaskScratch::default(),
+        }
+    }
+}
+
 /// An aggregation strategy wrapped in the AsyncSecAgg protocol.
+///
+/// Two protocol modes share this type:
+///
+/// * **Session-cached** (the default, [`SecureAggregator::new`]): per-client
+///   Diffie–Hellman sessions are cached across participations, later masks
+///   are derived by ratcheting, mask expansion can run speculatively off the
+///   event loop, and the TSA releases each buffer in one batched
+///   round-trip.
+/// * **Per-update** ([`SecureAggregator::new_per_update`]): the original
+///   protocol — a full key exchange and an individual seed forward per
+///   masked update.  Kept as the reference implementation; masks cancel
+///   exactly in both modes, so released aggregates are bit-identical.
 pub struct SecureAggregator {
     inner: Box<dyn Aggregator>,
     config: SecAggConfig,
@@ -168,12 +288,15 @@ pub struct SecureAggregator {
     /// Clear-metadata weight total of the buffer in progress.
     weight_sum: f64,
     telemetry: SecureTelemetry,
+    /// `Some` in session-cached mode, `None` in per-update mode.
+    session: Option<SessionState>,
+    timings: SecureTimings,
 }
 
 impl SecureAggregator {
-    /// Wraps `inner` in the secure pipeline for updates of `vector_len`
-    /// parameters.  The TSA refuses to release an unmask for a buffer with
-    /// fewer than `threshold` contributions
+    /// Wraps `inner` in the session-cached secure pipeline for updates of
+    /// `vector_len` parameters.  The TSA refuses to release an unmask for a
+    /// buffer with fewer than `threshold` contributions
     /// (see [`recommended_threshold`]); `seed` makes the protocol run
     /// deterministic.
     ///
@@ -184,6 +307,17 @@ impl SecureAggregator {
         Self::with_config(inner, simulation_config(vector_len, threshold), seed)
     }
 
+    /// Like [`SecureAggregator::new`] but running the original per-update
+    /// key-exchange protocol ([`crate::config::SecAggMode::AsyncSecAggPerUpdate`]).
+    pub fn new_per_update(
+        inner: Box<dyn Aggregator>,
+        vector_len: usize,
+        threshold: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_config_per_update(inner, simulation_config(vector_len, threshold), seed)
+    }
+
     /// Wraps `inner` with an explicit protocol configuration, for
     /// deployments needing a different group/scale trade-off (larger models,
     /// larger weighted aggregates) than [`SecureAggregator::new`]'s default.
@@ -192,6 +326,17 @@ impl SecureAggregator {
     ///
     /// Panics if the config has no parameters or a zero threshold.
     pub fn with_config(inner: Box<dyn Aggregator>, config: SecAggConfig, seed: u64) -> Self {
+        let mut agg = Self::with_config_per_update(inner, config, seed);
+        agg.session = Some(SessionState::new(seed));
+        agg
+    }
+
+    /// [`SecureAggregator::with_config`] in per-update mode.
+    pub fn with_config_per_update(
+        inner: Box<dyn Aggregator>,
+        config: SecAggConfig,
+        seed: u64,
+    ) -> Self {
         assert!(config.vector_len > 0, "secure updates must have parameters");
         assert!(config.threshold > 0, "unmasking threshold must be positive");
         let tsa = Tsa::new(&config, derive_seed(b"papaya/tsa-hardware-key/", seed));
@@ -207,12 +352,19 @@ impl SecureAggregator {
             host,
             weight_sum: 0.0,
             telemetry: SecureTelemetry::default(),
+            session: None,
+            timings: SecureTimings::default(),
         }
     }
 
     /// The cumulative secure-pipeline telemetry.
     pub fn telemetry(&self) -> &SecureTelemetry {
         &self.telemetry
+    }
+
+    /// The on-loop timing breakdown.
+    pub fn timings(&self) -> SecureTimings {
+        self.timings
     }
 
     /// The TSA unmasking threshold.
@@ -224,6 +376,204 @@ impl SecureAggregator {
         let stats = self.tsa.boundary_stats();
         self.telemetry.tee_bytes_in = stats.bytes_in;
         self.telemetry.tee_bytes_out = stats.bytes_out;
+    }
+
+    /// Builds the next mask plan for `client_id`, burning a ratchet counter.
+    fn session_plan(&mut self, client_id: usize) -> MaskPlan {
+        let cached = self
+            .session
+            .as_ref()
+            .expect("session_plan requires session mode")
+            .secrets
+            .get(&client_id)
+            .copied();
+        let kind = match cached {
+            Some(secret) => MaskPlanKind::Resumed { secret },
+            None => {
+                let init = self.tsa.session_init();
+                let session = self.session.as_mut().expect("checked above");
+                // Per-(client, epoch) deterministic handshake key: stable
+                // within an epoch (a rejected first contact retries with the
+                // same secret but a fresh counter), fresh across epochs.
+                let mut info = (client_id as u64).to_be_bytes().to_vec();
+                info.extend_from_slice(&init.epoch.to_be_bytes());
+                let client_key_seed = hmac_sha256(&session.client_master, &info);
+                // One fixed-base table per epoch, amortized over every
+                // first contact of the epoch.
+                let table = match &session.epoch_table {
+                    Some((epoch, table)) if *epoch == init.epoch => table.clone(),
+                    _ => {
+                        let table = self.config.dh_group.precompute_public(&init.tsa_public);
+                        session.epoch_table = Some((init.epoch, table.clone()));
+                        table
+                    }
+                };
+                MaskPlanKind::Handshake(Box::new(HandshakePlan {
+                    group: self.config.dh_group.clone(),
+                    client_key_seed,
+                    init,
+                    publication: self.publication.clone(),
+                    tsa_precomputed: Some(table),
+                }))
+            }
+        };
+        let session = self.session.as_mut().expect("checked above");
+        let counter_slot = session.counters.entry(client_id).or_insert(0);
+        let counter = *counter_slot;
+        *counter_slot += 1;
+        let plan_id = session.next_plan_id;
+        session.next_plan_id += 1;
+        MaskPlan {
+            plan_id,
+            counter,
+            vector_len: self.config.vector_len,
+            params: self.config.group_params(),
+            kind,
+        }
+    }
+
+    /// Takes the plan issued for `client_id` (or makes one on the spot) and
+    /// its mask: the speculative result when one with a matching plan id was
+    /// provided, an inline compute otherwise.
+    fn consume_mask(&mut self, client_id: usize) -> (MaskPlan, PrecomputedMask) {
+        let planned = self
+            .session
+            .as_mut()
+            .expect("consume_mask requires session mode")
+            .planned
+            .remove(&client_id);
+        let plan = planned.unwrap_or_else(|| self.session_plan(client_id));
+        let session = self.session.as_mut().expect("checked above");
+        let pre = match session.provided.remove(&client_id) {
+            Some(pre) if pre.plan_id == plan.plan_id => pre,
+            _ => {
+                let start = Instant::now();
+                let pre = plan.compute(&mut session.scratch);
+                let elapsed = start.elapsed().as_secs_f64();
+                // The handshake's modexps dwarf the mask expansion, so an
+                // inline first contact is charged entirely to handshakes.
+                match plan.kind {
+                    MaskPlanKind::Handshake(_) => self.timings.handshake_s += elapsed,
+                    MaskPlanKind::Resumed { .. } => self.timings.mask_s += elapsed,
+                }
+                pre
+            }
+        };
+        (plan, pre)
+    }
+
+    /// Session-mode [`Aggregator::accumulate`].
+    fn accumulate_session(
+        &mut self,
+        update: ClientUpdate,
+        current_version: u64,
+        now_s: f64,
+    ) -> AccumulateOutcome {
+        let staleness = update.staleness(current_version);
+        let weight = self.inner.update_weight(update.num_examples, staleness);
+        let client_id = update.client_id;
+        let (plan, pre) = self.consume_mask(client_id);
+        // Client side: scale by the metadata-derived weight exactly as the
+        // clear buffer would (`f32` product), encode, apply the one-time
+        // pad.
+        let mut scaled = update.delta.clone();
+        scaled.scale(weight as f32);
+        let start = Instant::now();
+        let masked = self
+            .config
+            .codec
+            .encode_vec(scaled.as_slice())
+            .add(&pre.mask);
+        self.timings.encode_s += start.elapsed().as_secs_f64();
+
+        let outcome = self.inner.accumulate(update, current_version, now_s);
+        // Cache accounting happens at consumption so hit/miss ordering is
+        // the event order, identical at any training parallelism.
+        match plan.kind {
+            MaskPlanKind::Resumed { .. } => {
+                self.telemetry.session_cache_hits += 1;
+                self.telemetry.dh_exchanges_saved += 1;
+            }
+            MaskPlanKind::Handshake(_) => self.telemetry.session_cache_misses += 1,
+        }
+        if outcome.accepted() {
+            if let Some(handshake) = pre.handshake {
+                self.tsa
+                    .establish_session(client_id as u64, &handshake.client_public);
+                let session = self.session.as_mut().expect("session mode");
+                session.secrets.insert(client_id, handshake.secret);
+            }
+            self.host
+                .submit_masked(&masked)
+                .expect("mask and update share the deployment group");
+            let session = self.session.as_mut().expect("session mode");
+            session.pending_refs.push(MaskRef {
+                client_id: client_id as u64,
+                counter: plan.counter,
+            });
+            self.weight_sum += weight;
+            self.telemetry.masked_updates += 1;
+        } else {
+            // The masked upload is dropped host-side.  For an established
+            // session the TSA must burn the counter so the seed can never
+            // be released; a rejected *first contact* established nothing —
+            // no enclave state to pin, and the next participation simply
+            // re-plans the handshake with a fresh counter.
+            if matches!(plan.kind, MaskPlanKind::Resumed { .. }) {
+                self.tsa
+                    .revoke_session_counter(client_id as u64, plan.counter);
+            }
+            self.telemetry.masked_discarded += 1;
+        }
+        self.sync_boundary();
+        outcome
+    }
+
+    /// Per-update-mode [`Aggregator::accumulate`] (the original protocol).
+    fn accumulate_per_update(
+        &mut self,
+        update: ClientUpdate,
+        current_version: u64,
+        now_s: f64,
+    ) -> AccumulateOutcome {
+        let staleness = update.staleness(current_version);
+        let weight = self.inner.update_weight(update.num_examples, staleness);
+        let mut scaled = update.delta.clone();
+        scaled.scale(weight as f32);
+        let start = Instant::now();
+        let initial = self
+            .tsa
+            .prepare_initial_messages(1, &mut self.rng)
+            .pop()
+            .expect("one initial message");
+        let upload = SecAggClient::participate(
+            scaled.as_slice(),
+            &initial,
+            &self.publication,
+            &self.config,
+            &mut self.rng,
+        )
+        .expect("simulated client validates its own TSA");
+        self.timings.handshake_s += start.elapsed().as_secs_f64();
+
+        let outcome = self.inner.accumulate(update, current_version, now_s);
+        if outcome.accepted() {
+            let start = Instant::now();
+            self.host
+                .submit(upload, &mut self.tsa)
+                .expect("fresh key-exchange completion is accepted");
+            self.timings.encode_s += start.elapsed().as_secs_f64();
+            self.weight_sum += weight;
+            self.telemetry.masked_updates += 1;
+        } else {
+            // The masked upload is dropped host-side; tell the TSA to
+            // forget the never-to-be-completed exchange so rejected clients
+            // cannot pin enclave state forever.
+            self.tsa.revoke_unused_exchange(initial.index);
+            self.telemetry.masked_discarded += 1;
+        }
+        self.sync_boundary();
+        outcome
     }
 }
 
@@ -244,42 +594,11 @@ impl Aggregator for SecureAggregator {
             self.config.vector_len,
             "update dimensionality does not match the secure-aggregation config"
         );
-        let staleness = update.staleness(current_version);
-        let weight = self.inner.update_weight(update.num_examples, staleness);
-        // Client side: scale by the metadata-derived weight exactly as the
-        // clear buffer would (`f32` product), encode, mask, upload.
-        let mut scaled = update.delta.clone();
-        scaled.scale(weight as f32);
-        let initial = self
-            .tsa
-            .prepare_initial_messages(1, &mut self.rng)
-            .pop()
-            .expect("one initial message");
-        let upload = SecAggClient::participate(
-            scaled.as_slice(),
-            &initial,
-            &self.publication,
-            &self.config,
-            &mut self.rng,
-        )
-        .expect("simulated client validates its own TSA");
-
-        let outcome = self.inner.accumulate(update, current_version, now_s);
-        if outcome.accepted() {
-            self.host
-                .submit(upload, &mut self.tsa)
-                .expect("fresh key-exchange completion is accepted");
-            self.weight_sum += weight;
-            self.telemetry.masked_updates += 1;
+        if self.session.is_some() {
+            self.accumulate_session(update, current_version, now_s)
         } else {
-            // The masked upload is dropped host-side; tell the TSA to
-            // forget the never-to-be-completed exchange so rejected clients
-            // cannot pin enclave state forever.
-            self.tsa.revoke_unused_exchange(initial.index);
-            self.telemetry.masked_discarded += 1;
+            self.accumulate_per_update(update, current_version, now_s)
         }
-        self.sync_boundary();
-        outcome
     }
 
     /// Ready when the inner strategy is ready *and* the buffer holds at
@@ -295,10 +614,20 @@ impl Aggregator for SecureAggregator {
         }
         let reference = self.inner.take(now_s)?;
         let accepted = self.host.accepted();
-        let decoded = self
-            .host
-            .finalize(&mut self.tsa)
-            .expect("is_ready implies the TSA threshold is met");
+        let start = Instant::now();
+        let decoded = if let Some(session) = self.session.as_mut() {
+            // One TSA round-trip for the whole buffer: the batch of 16-byte
+            // mask references goes in, the aggregated unmask comes out.
+            let refs = std::mem::take(&mut session.pending_refs);
+            self.host
+                .finalize_batch(&mut self.tsa, &refs)
+                .expect("is_ready implies the TSA threshold is met")
+        } else {
+            self.host
+                .finalize(&mut self.tsa)
+                .expect("is_ready implies the TSA threshold is met")
+        };
+        self.timings.unmask_s += start.elapsed().as_secs_f64();
         self.telemetry.tsa_key_releases += 1;
         // Weighted average: the weight total is public metadata, so the
         // division happens in the clear — mirroring WeightedBuffer, an
@@ -345,13 +674,27 @@ impl Aggregator for SecureAggregator {
 
     /// Drops the buffer on both sides of the TEE boundary **without** a key
     /// release (the Aggregator holding the masked sum died); the TSA never
-    /// unmasks a partial buffer.  The inner strategy's lifetime stats
-    /// survive, as the trait requires.
+    /// unmasks a partial buffer.  In session mode the crash also
+    /// invalidates every cached session — the enclave's epoch key died with
+    /// the process — so every client re-handshakes, and speculative results
+    /// planned before the crash are rejected by plan id.  The inner
+    /// strategy's lifetime stats survive, as the trait requires.
     fn reset(&mut self) -> usize {
         if self.host.accepted() > 0 {
             self.telemetry.buffers_dropped_unreleased += 1;
         }
-        self.host.discard_buffer(&mut self.tsa);
+        if let Some(session) = self.session.as_mut() {
+            self.host.discard_masked_sum();
+            self.tsa.invalidate_sessions();
+            session.secrets.clear();
+            session.counters.clear();
+            session.planned.clear();
+            session.provided.clear();
+            session.pending_refs.clear();
+            session.valid_from_plan_id = session.next_plan_id;
+        } else {
+            self.host.discard_buffer(&mut self.tsa);
+        }
         self.weight_sum = 0.0;
         self.inner.reset()
     }
@@ -391,6 +734,36 @@ impl Aggregator for SecureAggregator {
     fn dp_telemetry(&self) -> Option<&crate::dp::DpTelemetry> {
         self.inner.dp_telemetry()
     }
+
+    /// Issues the mask plan for `client_id`'s upcoming participation so the
+    /// expensive half (handshake and/or mask expansion) can run
+    /// speculatively off the event loop.  Per-update mode returns `None` —
+    /// its protocol draws from a shared RNG and cannot move off-loop.
+    fn plan_mask_precompute(&mut self, client_id: usize) -> Option<MaskPlan> {
+        self.session.as_ref()?;
+        let plan = self.session_plan(client_id);
+        self.session
+            .as_mut()
+            .expect("session mode")
+            .planned
+            .insert(client_id, plan.clone());
+        Some(plan)
+    }
+
+    /// Accepts a speculatively computed mask.  Results whose plan predates
+    /// an invalidation are dropped — the plan's session died with the
+    /// crash, so its mask must never be applied.
+    fn provide_precomputed_mask(&mut self, client_id: usize, mask: PrecomputedMask) {
+        if let Some(session) = self.session.as_mut() {
+            if mask.plan_id >= session.valid_from_plan_id {
+                session.provided.insert(client_id, mask);
+            }
+        }
+    }
+
+    fn secure_timings(&self) -> Option<SecureTimings> {
+        Some(self.timings)
+    }
 }
 
 #[cfg(test)]
@@ -412,6 +785,15 @@ mod tests {
 
     fn secure_fedbuff(goal: usize, weighting: StalenessWeighting) -> SecureAggregator {
         SecureAggregator::new(
+            Box::new(FedBuffAggregator::new(goal, weighting, Some(5))),
+            2,
+            goal,
+            0xC0DE,
+        )
+    }
+
+    fn per_update_fedbuff(goal: usize, weighting: StalenessWeighting) -> SecureAggregator {
+        SecureAggregator::new_per_update(
             Box::new(FedBuffAggregator::new(goal, weighting, Some(5))),
             2,
             goal,
@@ -458,15 +840,20 @@ mod tests {
 
     #[test]
     fn rejected_stale_upload_is_discarded_masked_not_submitted() {
-        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
-        // max_staleness is 5; staleness 7 must be rejected by the inner
-        // policy, and the masked upload dropped without a seed forward.
-        let outcome = agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 7, 0.0);
-        assert!(!outcome.accepted());
-        assert_eq!(agg.telemetry().masked_discarded, 1);
-        assert_eq!(agg.telemetry().masked_updates, 0);
-        assert_eq!(agg.tsa.processed_clients(), 0);
-        assert_eq!(agg.stats().rejected_stale, 1);
+        for mut agg in [
+            secure_fedbuff(2, StalenessWeighting::Constant),
+            per_update_fedbuff(2, StalenessWeighting::Constant),
+        ] {
+            // max_staleness is 5; staleness 7 must be rejected by the inner
+            // policy, and the masked upload dropped without a seed forward.
+            let outcome = agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 7, 0.0);
+            assert!(!outcome.accepted());
+            assert_eq!(agg.telemetry().masked_discarded, 1);
+            assert_eq!(agg.telemetry().masked_updates, 0);
+            assert_eq!(agg.tsa.processed_clients(), 0);
+            assert_eq!(agg.host.accepted(), 0);
+            assert_eq!(agg.stats().rejected_stale, 1);
+        }
     }
 
     #[test]
@@ -592,11 +979,172 @@ mod tests {
 
     #[test]
     fn rejected_upload_releases_tsa_exchange_state() {
-        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        let mut agg = per_update_fedbuff(2, StalenessWeighting::Constant);
         // Rejected by the staleness bound: the exchange must be revoked, so
         // the TSA holds no pending per-client state afterwards.
         agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 7, 0.0);
         assert_eq!(agg.tsa.pending_exchanges(), 0);
+    }
+
+    #[test]
+    fn rejected_first_contact_pins_no_session_state_but_burns_its_counter() {
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        // A policy-rejected first contact must not establish a session on
+        // either side of the boundary...
+        agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 7, 0.0);
+        assert_eq!(agg.tsa.active_sessions(), 0);
+        let session = agg.session.as_ref().unwrap();
+        assert!(session.secrets.is_empty());
+        assert!(session.pending_refs.is_empty());
+        // ...but its ratchet counter is burned, so the retry can never
+        // reuse the rejected participation's mask seed.
+        assert_eq!(session.counters[&0], 1);
+        agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 0, 1.0);
+        let session = agg.session.as_ref().unwrap();
+        assert_eq!(session.counters[&0], 2);
+        assert_eq!(
+            session.pending_refs,
+            vec![MaskRef {
+                client_id: 0,
+                counter: 1,
+            }]
+        );
+        assert_eq!(agg.tsa.active_sessions(), 1);
+    }
+
+    #[test]
+    fn rejected_resumed_participation_revokes_its_counter() {
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        // Establish client 0's session with an accepted first contact.
+        agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 0, 0.0);
+        assert_eq!(agg.telemetry().session_cache_misses, 1);
+        // Its next participation is rejected: the cached session survives,
+        // but the TSA burns the counter so the seed can never be released.
+        agg.accumulate(update(0, vec![2.0, 2.0], 10, 0), 7, 1.0);
+        assert_eq!(agg.telemetry().session_cache_hits, 1);
+        assert_eq!(agg.tsa.active_sessions(), 1);
+        // The pending counter 0 of the open buffer must still release.
+        agg.accumulate(update(1, vec![3.0, 3.0], 10, 0), 0, 2.0);
+        let out = agg.take(2.0).unwrap();
+        assert!((out.as_slice()[0] - 2.0).abs() < 1e-4, "{out:?}");
+    }
+
+    #[test]
+    fn session_cache_amortizes_handshakes_across_buffers() {
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        for round in 0..4u64 {
+            agg.accumulate(update(0, vec![0.5, 0.5], 10, round), round, round as f64);
+            agg.accumulate(update(1, vec![1.5, 1.5], 10, round), round, round as f64);
+            assert!(agg.take(round as f64).is_some());
+        }
+        let telemetry = agg.telemetry();
+        // 2 distinct clients handshake once each; the other 6 masked
+        // updates ride the cached sessions.
+        assert_eq!(telemetry.session_cache_misses, 2);
+        assert_eq!(telemetry.session_cache_hits, 6);
+        assert_eq!(telemetry.dh_exchanges_saved, 6);
+        assert_eq!(telemetry.tsa_key_releases, 4);
+        assert_eq!(agg.tsa.active_sessions(), 2);
+    }
+
+    #[test]
+    fn session_and_per_update_releases_are_bit_identical() {
+        // Masks cancel exactly in both protocol modes, so the released
+        // aggregates must match bit for bit, not just to tolerance.
+        let mut session = secure_fedbuff(3, StalenessWeighting::PolynomialHalf);
+        let mut per_update = per_update_fedbuff(3, StalenessWeighting::PolynomialHalf);
+        let updates = [
+            update(0, vec![0.25, -1.5], 10, 0),
+            update(1, vec![1.125, 0.5], 30, 0),
+            update(2, vec![-0.75, 2.0], 20, 1),
+        ];
+        for u in &updates {
+            assert!(session.accumulate(u.clone(), 2, 0.0).accepted());
+            assert!(per_update.accumulate(u.clone(), 2, 0.0).accepted());
+        }
+        let a = session.take(0.0).unwrap();
+        let b = per_update.take(0.0).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn speculative_precompute_is_bit_identical_to_inline() {
+        use papaya_secagg::MaskScratch;
+        let run = |speculate: bool| {
+            let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+            let mut scratch = MaskScratch::default();
+            let mut releases = Vec::new();
+            for round in 0..3u64 {
+                for id in 0..2usize {
+                    if speculate {
+                        // The executor's contract: compute the plan on some
+                        // worker, hand the result back before the upload.
+                        let plan = agg.plan_mask_precompute(id).unwrap();
+                        let pre = plan.compute(&mut scratch);
+                        agg.provide_precomputed_mask(id, pre);
+                    }
+                    agg.accumulate(
+                        update(id, vec![0.1 * id as f32, -0.2], 10, round),
+                        round,
+                        round as f64,
+                    );
+                }
+                releases.push(agg.take(round as f64).unwrap().as_slice().to_vec());
+            }
+            let hits = agg.telemetry().session_cache_hits;
+            let timings = agg.timings();
+            (releases, hits, timings)
+        };
+        let (inline_out, inline_hits, _) = run(false);
+        let (spec_out, spec_hits, spec_timings) = run(true);
+        assert_eq!(inline_out, spec_out);
+        assert_eq!(inline_hits, spec_hits);
+        // With every mask provided speculatively, no handshake or mask
+        // expansion ever ran on the "event loop".
+        assert_eq!(spec_timings.handshake_s, 0.0);
+        assert_eq!(spec_timings.mask_s, 0.0);
+        assert!(spec_timings.encode_s > 0.0);
+    }
+
+    #[test]
+    fn stale_speculative_results_are_rejected_after_reset() {
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        let plan = agg.plan_mask_precompute(0).unwrap();
+        let pre = plan.compute(&mut papaya_secagg::MaskScratch::default());
+        // The aggregator crashes between the plan and the result arriving.
+        agg.reset();
+        agg.provide_precomputed_mask(0, pre);
+        assert!(
+            agg.session.as_ref().unwrap().provided.is_empty(),
+            "a pre-crash speculative mask must not survive the invalidation"
+        );
+        // The post-crash epoch re-handshakes and still aggregates exactly.
+        agg.accumulate(update(0, vec![1.0, -1.0], 10, 0), 0, 1.0);
+        agg.accumulate(update(1, vec![3.0, 1.0], 10, 0), 0, 1.0);
+        let out = agg.take(1.0).unwrap();
+        assert!((out.as_slice()[0] - 2.0).abs() < 1e-4, "{out:?}");
+        assert_eq!(agg.telemetry().session_cache_misses, 2);
+    }
+
+    #[test]
+    fn reset_invalidates_sessions_and_forces_rehandshakes() {
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant);
+        agg.accumulate(update(0, vec![1.0, 1.0], 10, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![1.0, 1.0], 10, 0), 0, 0.0);
+        assert_eq!(agg.tsa.active_sessions(), 2);
+        let epoch_before = agg.tsa.session_epoch();
+        agg.reset();
+        assert_eq!(agg.tsa.active_sessions(), 0);
+        assert_eq!(agg.tsa.session_epoch(), epoch_before + 1);
+        assert_eq!(agg.telemetry().buffers_dropped_unreleased, 1);
+        assert_eq!(agg.telemetry().tsa_key_releases, 0);
+        // The same clients handshake again in the new epoch.
+        agg.accumulate(update(0, vec![2.0, 0.0], 10, 0), 0, 1.0);
+        agg.accumulate(update(1, vec![0.0, 2.0], 10, 0), 0, 1.0);
+        assert_eq!(agg.telemetry().session_cache_misses, 4);
+        assert_eq!(agg.telemetry().session_cache_hits, 0);
+        let out = agg.take(1.0).unwrap();
+        assert!((out.as_slice()[0] - 1.0).abs() < 1e-4, "{out:?}");
     }
 
     #[test]

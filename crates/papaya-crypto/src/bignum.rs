@@ -162,6 +162,17 @@ impl<const N: usize> Uint<N> {
         (self.limbs[i / 64] >> (i % 64)) & 1 == 1
     }
 
+    /// Returns 4-bit window `w` (bits `4w..4w+4`; windows never straddle a
+    /// limb boundary since 64 is a multiple of 4).
+    #[inline]
+    pub fn window4(&self, w: usize) -> u64 {
+        let bit = w * 4;
+        if bit >= N * 64 {
+            return 0;
+        }
+        (self.limbs[bit / 64] >> (bit % 64)) & 0xf
+    }
+
     /// Compares two values.
     pub fn cmp_value(&self, other: &Self) -> Ordering {
         for i in (0..N).rev() {
@@ -255,14 +266,20 @@ impl<const N: usize> Ord for Uint<N> {
 
 /// Montgomery-form modular arithmetic context for an odd modulus.
 ///
-/// Supports modular multiplication and exponentiation in `O(N^2)` limb
-/// operations per multiplication using the CIOS method.
+/// Supports modular multiplication and exponentiation in `O(w^2)` limb
+/// operations per multiplication using the CIOS method, where `w ≤ N` is the
+/// number of limbs the modulus actually occupies.  Arithmetic runs at the
+/// modulus's *active* width, so a 256-bit group embedded in a `Uint<32>`
+/// costs 4-limb multiplications, not 32-limb ones.
 #[derive(Clone, Debug)]
 pub struct Montgomery<const N: usize> {
     modulus: Uint<N>,
+    /// Number of significant limbs of the modulus; all arithmetic and the
+    /// Montgomery radix use this width.
+    active: usize,
     /// `-modulus^{-1} mod 2^64`.
     n0_inv: u64,
-    /// `R^2 mod modulus` where `R = 2^(64 N)`.
+    /// `R^2 mod modulus` where `R = 2^(64 w)` and `w` is the active width.
     r2: Uint<N>,
     /// `R mod modulus` (the Montgomery form of 1).
     r1: Uint<N>,
@@ -279,20 +296,25 @@ impl<const N: usize> Montgomery<N> {
             modulus.is_odd(),
             "Montgomery arithmetic requires an odd modulus"
         );
+        let active = modulus.highest_bit().expect("modulus must be non-zero") / 64 + 1;
         let n0_inv = inv_mod_2_64(modulus.limbs[0]).wrapping_neg();
 
-        // r1 = 2^(64N) mod modulus, computed by repeated modular doubling of 1.
+        // r1 = 2^(64 w) mod modulus, computed by repeated modular doubling
+        // of 1.  The radix must match the active width mont_mul runs at, or
+        // every conversion in and out of Montgomery form would be off by a
+        // power of two.
         let mut r1 = Uint::<N>::one().reduce(&modulus);
-        for _ in 0..(64 * N) {
+        for _ in 0..(64 * active) {
             r1 = r1.double_mod(&modulus);
         }
-        // r2 = 2^(128N) mod modulus = r1 doubled 64N more times.
+        // r2 = 2^(128 w) mod modulus = r1 doubled 64 w more times.
         let mut r2 = r1;
-        for _ in 0..(64 * N) {
+        for _ in 0..(64 * active) {
             r2 = r2.double_mod(&modulus);
         }
         Montgomery {
             modulus,
+            active,
             n0_inv,
             r2,
             r1,
@@ -304,9 +326,15 @@ impl<const N: usize> Montgomery<N> {
         &self.modulus
     }
 
-    /// Converts into Montgomery form.
+    /// Converts into Montgomery form.  Operands at or above the modulus are
+    /// reduced first: active-width multiplication requires both inputs'
+    /// limbs beyond the modulus width to be zero.
     pub fn to_mont(&self, a: &Uint<N>) -> Uint<N> {
-        self.mont_mul(a, &self.r2)
+        if a.cmp_value(&self.modulus) == Ordering::Less {
+            self.mont_mul(a, &self.r2)
+        } else {
+            self.mont_mul(&a.reduce(&self.modulus), &self.r2)
+        }
     }
 
     /// Converts out of Montgomery form.
@@ -315,43 +343,48 @@ impl<const N: usize> Montgomery<N> {
     }
 
     /// Montgomery multiplication: returns `a * b * R^{-1} mod modulus`.
+    ///
+    /// Both operands must be reduced (below the modulus); every caller in
+    /// this module guarantees it.  Runs at the modulus's active width `w`:
+    /// only the low `w` limbs participate, with the two CIOS overflow limbs
+    /// held in scalars, and the accumulator lives on the stack.
     // Index style keeps the CIOS carry chains legible across `t`, `a`, `b`.
     #[allow(clippy::needless_range_loop)]
     pub fn mont_mul(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
         // CIOS (coarsely integrated operand scanning).
+        let w = self.active;
         let n = &self.modulus.limbs;
-        let mut t = vec![0u64; N + 2];
-        for i in 0..N {
+        let mut t = [0u64; N];
+        let mut t_hi = 0u64; // t[w]
+        let mut t_hi2; // t[w + 1]; assigned each iteration before use
+        for i in 0..w {
             // t += a[i] * b
             let mut carry = 0u128;
-            for j in 0..N {
+            for j in 0..w {
                 let sum = t[j] as u128 + (a.limbs[i] as u128) * (b.limbs[j] as u128) + carry;
                 t[j] = sum as u64;
                 carry = sum >> 64;
             }
-            let sum = t[N] as u128 + carry;
-            t[N] = sum as u64;
-            t[N + 1] = (sum >> 64) as u64;
+            let sum = t_hi as u128 + carry;
+            t_hi = sum as u64;
+            t_hi2 = (sum >> 64) as u64;
 
             // m = t[0] * n0_inv mod 2^64
             let m = t[0].wrapping_mul(self.n0_inv);
             // t += m * n; then shift right one limb.
             let sum = t[0] as u128 + (m as u128) * (n[0] as u128);
             let mut carry = sum >> 64;
-            for j in 1..N {
+            for j in 1..w {
                 let sum = t[j] as u128 + (m as u128) * (n[j] as u128) + carry;
                 t[j - 1] = sum as u64;
                 carry = sum >> 64;
             }
-            let sum = t[N] as u128 + carry;
-            t[N - 1] = sum as u64;
-            t[N] = t[N + 1] + ((sum >> 64) as u64);
-            t[N + 1] = 0;
+            let sum = t_hi as u128 + carry;
+            t[w - 1] = sum as u64;
+            t_hi = t_hi2 + ((sum >> 64) as u64);
         }
-        let mut out = [0u64; N];
-        out.copy_from_slice(&t[..N]);
-        let result = Uint { limbs: out };
-        if t[N] != 0 || result.cmp_value(&self.modulus) != Ordering::Less {
+        let result = Uint { limbs: t };
+        if t_hi != 0 || result.cmp_value(&self.modulus) != Ordering::Less {
             result.overflowing_sub(&self.modulus).0
         } else {
             result
@@ -366,23 +399,104 @@ impl<const N: usize> Montgomery<N> {
         self.from_mont(&self.mont_mul(&am, &bm))
     }
 
-    /// Modular exponentiation `base^exponent mod modulus` using left-to-right
-    /// square-and-multiply over Montgomery form.
+    /// Modular exponentiation `base^exponent mod modulus` using a fixed
+    /// 4-bit window over Montgomery form (left-to-right): ~w/4 windowed
+    /// multiplies instead of one per set bit, on top of the w squarings.
     pub fn pow_mod<const E: usize>(&self, base: &Uint<N>, exponent: &Uint<E>) -> Uint<N> {
-        let base_m = self.to_mont(&base.reduce(&self.modulus));
-        let mut acc = self.r1; // Montgomery form of 1.
         let highest = match exponent.highest_bit() {
             Some(h) => h,
             None => return Uint::one().reduce(&self.modulus),
         };
-        for i in (0..=highest).rev() {
-            acc = self.mont_mul(&acc, &acc);
-            if exponent.bit(i) {
-                acc = self.mont_mul(&acc, &base_m);
+        // odd_powers[d - 1] = base^d in Montgomery form, d = 1..=15.
+        let base_m = self.to_mont(&base.reduce(&self.modulus));
+        let mut powers = [base_m; 15];
+        for d in 1..15 {
+            powers[d] = self.mont_mul(&powers[d - 1], &base_m);
+        }
+        let mut acc = self.r1; // Montgomery form of 1.
+        let top_window = highest / 4;
+        for w in (0..=top_window).rev() {
+            if w != top_window {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let digit = exponent.window4(w);
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &powers[digit as usize - 1]);
             }
         }
         self.from_mont(&acc)
     }
+
+    /// Builds a fixed-base window table for repeated exponentiations of the
+    /// same `base` with exponents up to `exp_bits` bits.  Costs ~18 modular
+    /// multiplications per 4-bit window to build; each subsequent
+    /// [`pow_mod_fixed`](Montgomery::pow_mod_fixed) then needs at most one
+    /// multiplication per window and **no squarings** — ~6x cheaper than
+    /// [`pow_mod`](Montgomery::pow_mod) for 256-bit exponents.  Worth it
+    /// from roughly four exponentiations on the same base.
+    pub fn precompute_base(&self, base: &Uint<N>, exp_bits: usize) -> FixedBase<N> {
+        let windows = exp_bits.div_ceil(4);
+        let mut table = Vec::with_capacity(windows * 15);
+        // window_base = base^(16^i) in Montgomery form.
+        let mut window_base = self.to_mont(&base.reduce(&self.modulus));
+        for i in 0..windows {
+            if i > 0 {
+                for _ in 0..4 {
+                    window_base = self.mont_mul(&window_base, &window_base);
+                }
+            }
+            // table[i * 15 + (d - 1)] = base^(d * 16^i), d = 1..=15.
+            let mut acc = window_base;
+            table.push(acc);
+            for _ in 1..15 {
+                acc = self.mont_mul(&acc, &window_base);
+                table.push(acc);
+            }
+        }
+        FixedBase { table, windows }
+    }
+
+    /// Fixed-base exponentiation against a table from
+    /// [`precompute_base`](Montgomery::precompute_base).  Bit-identical to
+    /// [`pow_mod`](Montgomery::pow_mod) on the same base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exponent has set bits beyond the table's `exp_bits`.
+    pub fn pow_mod_fixed<const E: usize>(
+        &self,
+        base: &FixedBase<N>,
+        exponent: &Uint<E>,
+    ) -> Uint<N> {
+        assert!(
+            exponent.highest_bit().map_or(0, |h| h / 4 + 1) <= base.windows,
+            "exponent exceeds the precomputed window count"
+        );
+        let mut acc = self.r1; // Montgomery form of 1.
+        for w in 0..base.windows {
+            let digit = exponent.window4(w);
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &base.table[w * 15 + digit as usize - 1]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// A precomputed 4-bit fixed-base window table: Montgomery-form powers
+/// `base^(d * 16^i)` for every window `i` and nonzero digit `d`, built by
+/// [`Montgomery::precompute_base`].  Exponentiation against it
+/// ([`Montgomery::pow_mod_fixed`]) needs no squarings at all, which is what
+/// makes per-epoch bases (a group generator, a TSA epoch key) cheap to
+/// exponentiate thousands of times.
+#[derive(Clone, Debug)]
+pub struct FixedBase<const N: usize> {
+    /// `table[i * 15 + (d - 1)] = base^(d * 16^i)` in Montgomery form.
+    table: Vec<Uint<N>>,
+    /// Number of 4-bit exponent windows covered.
+    windows: usize,
 }
 
 /// Computes the inverse of `a` modulo `2^64` for odd `a` (Newton iteration).
@@ -510,5 +624,127 @@ mod tests {
     #[should_panic(expected = "odd modulus")]
     fn even_modulus_rejected() {
         let _ = Montgomery::new(U256::from_u64(100));
+    }
+
+    #[test]
+    fn narrow_modulus_in_wide_type_matches_narrow_type() {
+        // The DH module embeds the 256-bit test group in a Uint<32>; the
+        // active-width fast path must agree with a natively 4-limb context.
+        let hex = "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+        let wide = Montgomery::new(U2048::from_hex(hex));
+        let narrow = Montgomery::new(U256::from_hex(hex));
+        for (a, e) in [(2u64, 65_537u64), (0xdeadbeef, 12_345), (3, u64::MAX)] {
+            let rw = wide.pow_mod(&U2048::from_u64(a), &U2048::from_u64(e));
+            let rn = narrow.pow_mod(&U256::from_u64(a), &U256::from_u64(e));
+            assert_eq!(rw.to_be_bytes()[32 * 8 - 32..], rn.to_be_bytes()[..]);
+        }
+    }
+
+    #[test]
+    fn fixed_base_matches_pow_mod() {
+        // The no-squaring fixed-base path must agree bit-for-bit with plain
+        // square-and-multiply across exponent shapes (sparse, dense, tiny,
+        // full-width) — the session handshake depends on the two paths being
+        // interchangeable.
+        let p = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+        let ctx = Montgomery::new(p);
+        let base = U256::from_u64(5);
+        let table = ctx.precompute_base(&base, 256);
+        let exponents = [
+            U256::ZERO,
+            U256::one(),
+            U256::from_u64(2),
+            U256::from_u64(0xdead_beef),
+            U256::from_u64(1 << 63),
+            U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"),
+            U256::from_hex("8000000000000000000000000000000000000000000000000000000000000001"),
+            U256::from_hex("123456789abcdef0fedcba9876543210aa55aa55aa55aa550123456789abcdef"),
+        ];
+        for e in exponents {
+            assert_eq!(
+                ctx.pow_mod_fixed(&table, &e),
+                ctx.pow_mod(&base, &e),
+                "e = {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_base_works_at_full_width() {
+        let p = U2048::from_u64(1_000_000_007);
+        let ctx = Montgomery::new(p);
+        let base = U2048::from_u64(123_456_789);
+        let table = ctx.precompute_base(&base, 64);
+        let e = U2048::from_u64(65_537);
+        assert_eq!(ctx.pow_mod_fixed(&table, &e), ctx.pow_mod(&base, &e));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the precomputed window count")]
+    fn fixed_base_rejects_oversized_exponents() {
+        let p = U256::from_u64(97);
+        let ctx = Montgomery::new(p);
+        let table = ctx.precompute_base(&U256::from_u64(5), 8);
+        let _ = ctx.pow_mod_fixed(&table, &U256::from_u64(1 << 9));
+    }
+
+    #[test]
+    fn window4_extracts_nibbles() {
+        let v = U256::from_hex("a1b2c3d4");
+        assert_eq!(v.window4(0), 0x4);
+        assert_eq!(v.window4(1), 0xd);
+        assert_eq!(v.window4(6), 0x1);
+        assert_eq!(v.window4(7), 0xa);
+        assert_eq!(v.window4(8), 0);
+        assert_eq!(v.window4(10_000), 0);
+    }
+
+    #[test]
+    fn to_mont_reduces_oversized_operands() {
+        // mul_mod feeds raw (possibly unreduced) operands through to_mont;
+        // values at or above the modulus must be reduced before the
+        // active-width multiply sees them.
+        let p = U2048::from_u64(1_000_000_007);
+        let ctx = Montgomery::new(p);
+        let big = U2048::from_hex("ffffffffffffffffffffffffffffffff"); // 128 bits
+        let expected = big.reduce(&p);
+        let r = ctx.mul_mod(&big, &U2048::from_u64(1));
+        assert_eq!(r, expected);
+        let reduced: u128 = big
+            .to_be_bytes()
+            .iter()
+            .fold(0u128, |acc, &b| (acc * 256 + b as u128) % 1_000_000_007);
+        let r2 = ctx.mul_mod(&big, &big);
+        assert_eq!(
+            r2,
+            U2048::from_u64((reduced * reduced % 1_000_000_007) as u64)
+        );
+    }
+
+    #[test]
+    fn fermat_little_theorem_2048bit_group() {
+        // RFC 3526 group 14 modulus at full 32-limb width: the w == N case
+        // must be untouched by the active-width path.  A short exponent
+        // keeps the test fast.
+        let p = U2048::from_hex(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+             020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+             4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+             EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+             98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+             9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+             E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+             3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+        );
+        let ctx = Montgomery::new(p);
+        // g^(2^20) via pow_mod against 20 iterated mul_mod squarings.
+        let g = U2048::from_u64(2);
+        let mut by_mul = g.reduce(&p);
+        for _ in 0..20 {
+            by_mul = ctx.mul_mod(&by_mul, &by_mul);
+        }
+        // Exponent 2^20: bit 20 set.
+        let e = U2048::from_u64(1 << 20);
+        assert_eq!(ctx.pow_mod(&g, &e), by_mul);
     }
 }

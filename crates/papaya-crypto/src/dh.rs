@@ -12,7 +12,7 @@
 //! * [`DhGroup::test_group_256`] — a 256-bit prime group used by tests and
 //!   large simulations where thousands of exchanges must run quickly.
 
-use crate::bignum::{Montgomery, Uint, U2048};
+use crate::bignum::{FixedBase, Montgomery, Uint, U2048};
 use crate::chacha20::ChaCha20Rng;
 use crate::sha256::Sha256;
 use std::sync::Arc;
@@ -20,11 +20,21 @@ use std::sync::Arc;
 /// Width (in 64-bit limbs) of exchanged group elements.
 const LIMBS: usize = 32;
 
+/// Private exponents are 256-bit (see [`DhPrivateKey::generate`]); fixed-base
+/// tables are sized to cover them.
+const EXPONENT_BITS: usize = 256;
+
 /// A Diffie–Hellman group: a prime modulus and a generator.
+///
+/// Carries a fixed-base window table for the generator (shared across
+/// clones), so key generation — always an exponentiation of the same base —
+/// skips every squaring.
 #[derive(Clone, Debug)]
 pub struct DhGroup {
     ctx: Arc<Montgomery<LIMBS>>,
     generator: U2048,
+    /// Fixed-base table for the generator, used by every key generation.
+    gen_table: Arc<FixedBase<LIMBS>>,
     /// Human-readable group label, included in key derivation transcripts.
     name: &'static str,
 }
@@ -59,11 +69,7 @@ impl DhGroup {
              E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
              3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
         );
-        DhGroup {
-            ctx: Arc::new(Montgomery::new(p)),
-            generator: U2048::from_u64(2),
-            name: "rfc3526-modp-2048",
-        }
+        Self::new(p, U2048::from_u64(2), "rfc3526-modp-2048")
     }
 
     /// A small 256-bit prime group (the secp256k1 field prime, generator 5).
@@ -73,10 +79,17 @@ impl DhGroup {
     /// quickly.  The protocol code paths are identical to the 2048-bit group.
     pub fn test_group_256() -> Self {
         let p = U2048::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+        Self::new(p, U2048::from_u64(5), "test-256")
+    }
+
+    fn new(p: U2048, generator: U2048, name: &'static str) -> Self {
+        let ctx = Arc::new(Montgomery::new(p));
+        let gen_table = Arc::new(ctx.precompute_base(&generator, EXPONENT_BITS));
         DhGroup {
-            ctx: Arc::new(Montgomery::new(p)),
-            generator: U2048::from_u64(5),
-            name: "test-256",
+            ctx,
+            generator,
+            gen_table,
+            name,
         }
     }
 
@@ -97,6 +110,34 @@ impl DhGroup {
 
     fn pow(&self, base: &U2048, exp: &Uint<4>) -> U2048 {
         self.ctx.pow_mod(base, exp)
+    }
+
+    /// Builds a fixed-base window table for `key`, for a party that will
+    /// complete many exchanges against the same peer key (every client of a
+    /// TSA epoch completes against the one epoch key).  Pays for itself
+    /// after a handful of [`DhPrivateKey::shared_secret_precomputed`] calls.
+    pub fn precompute_public(&self, key: &DhPublicKey) -> DhPrecomputedPublic {
+        DhPrecomputedPublic {
+            element: key.element,
+            table: Arc::new(self.ctx.precompute_base(&key.element, EXPONENT_BITS)),
+        }
+    }
+}
+
+/// A peer public key with a fixed-base window table attached; see
+/// [`DhGroup::precompute_public`].
+#[derive(Clone, Debug)]
+pub struct DhPrecomputedPublic {
+    element: U2048,
+    table: Arc<FixedBase<LIMBS>>,
+}
+
+impl DhPrecomputedPublic {
+    /// The public key this table was built from.
+    pub fn public_key(&self) -> DhPublicKey {
+        DhPublicKey {
+            element: self.element,
+        }
     }
 }
 
@@ -134,7 +175,9 @@ impl DhPrivateKey {
             let exponent = Uint::from_limbs(limbs);
             // Reject trivially weak exponents (0 and 1).
             if exponent.highest_bit().unwrap_or(0) >= 2 {
-                let element = group.pow(group.generator(), &exponent);
+                // Fixed-base exponentiation: bit-identical to pow(generator,
+                // exponent), minus all the squarings.
+                let element = group.ctx.pow_mod_fixed(&group.gen_table, &exponent);
                 return DhPrivateKey {
                     group: group.clone(),
                     exponent,
@@ -153,6 +196,18 @@ impl DhPrivateKey {
     /// 32-byte shared secret as `SHA-256(group_name || g^{xy})`.
     pub fn shared_secret(&self, peer: &DhPublicKey) -> SharedSecret {
         let shared_element = self.group.pow(&peer.element, &self.exponent);
+        self.derive_secret(&shared_element)
+    }
+
+    /// Like [`shared_secret`](DhPrivateKey::shared_secret) but against a
+    /// peer key with a precomputed fixed-base table — bit-identical output,
+    /// no squarings.
+    pub fn shared_secret_precomputed(&self, peer: &DhPrecomputedPublic) -> SharedSecret {
+        let shared_element = self.group.ctx.pow_mod_fixed(&peer.table, &self.exponent);
+        self.derive_secret(&shared_element)
+    }
+
+    fn derive_secret(&self, shared_element: &U2048) -> SharedSecret {
         let mut hasher = Sha256::new();
         hasher.update(self.group.name.as_bytes());
         hasher.update(&shared_element.to_be_bytes());
@@ -199,6 +254,25 @@ mod tests {
             a.shared_secret(&b.public_key()),
             eve.shared_secret(&b.public_key())
         );
+    }
+
+    #[test]
+    fn precomputed_shared_secret_matches_plain() {
+        for group in [DhGroup::test_group_256(), DhGroup::rfc3526_2048()] {
+            let mut rng = ChaCha20Rng::from_seed([7u8; 32]);
+            let tsa = DhPrivateKey::generate(&group, &mut rng);
+            let tsa_pre = group.precompute_public(&tsa.public_key());
+            assert_eq!(tsa_pre.public_key(), tsa.public_key());
+            for _ in 0..3 {
+                let client = DhPrivateKey::generate(&group, &mut rng);
+                assert_eq!(
+                    client.shared_secret_precomputed(&tsa_pre),
+                    client.shared_secret(&tsa.public_key()),
+                    "{}",
+                    group.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,18 @@ impl GroupVec {
         GroupVec { params, values }
     }
 
+    /// Builds a vector from values already reduced into the group, skipping
+    /// the reduction pass of [`GroupVec::from_values`].  Callers that fill a
+    /// scratch buffer element-by-element with reduced values (mask
+    /// expansion) use this to avoid a second walk over the vector.
+    pub fn from_reduced(params: GroupParams, values: Vec<u64>) -> Self {
+        debug_assert!(
+            values.iter().all(|&v| v < params.modulus),
+            "from_reduced given an unreduced value"
+        );
+        GroupVec { params, values }
+    }
+
     /// The group parameters.
     pub fn params(&self) -> GroupParams {
         self.params
@@ -115,6 +127,21 @@ impl GroupVec {
         assert_eq!(self.len(), other.len(), "length mismatch");
         for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
             *a = self.params.add(*a, *b);
+        }
+    }
+
+    /// Element-wise in-place addition of a raw slice of reduced group
+    /// elements, used by the batched TSA release to accumulate many mask
+    /// expansions through one reusable scratch buffer without constructing
+    /// an intermediate `GroupVec` per mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn add_assign_slice(&mut self, other: &[u64]) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        for (a, &b) in self.values.iter_mut().zip(other.iter()) {
+            *a = self.params.add(*a, b);
         }
     }
 
@@ -219,6 +246,35 @@ mod tests {
         let a = GroupVec::zeros(params, 2);
         let b = GroupVec::zeros(params, 3);
         let _ = a.add(&b);
+    }
+
+    #[test]
+    fn from_reduced_matches_from_values_on_reduced_input() {
+        let params = GroupParams::new(1000);
+        let raw = vec![0u64, 1, 999, 500];
+        assert_eq!(
+            GroupVec::from_reduced(params, raw.clone()),
+            GroupVec::from_values(params, raw)
+        );
+    }
+
+    #[test]
+    fn add_assign_slice_matches_add_assign() {
+        let params = GroupParams::new(97);
+        let mut a = GroupVec::from_values(params, vec![10, 96, 0]);
+        let mut b = a.clone();
+        let other = GroupVec::from_values(params, vec![90, 1, 96]);
+        a.add_assign(&other);
+        b.add_assign_slice(other.values());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_assign_slice_length_mismatch_panics() {
+        let params = GroupParams::new(7);
+        let mut a = GroupVec::zeros(params, 2);
+        a.add_assign_slice(&[1, 2, 3]);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod group;
 pub mod mask;
 pub mod protocol;
 pub mod server;
+pub mod session;
 pub mod tsa;
 
 pub use attestation::{AttestationQuote, TrustedBinary, TsaPublication};
@@ -70,4 +71,8 @@ pub use fixed_point::FixedPointCodec;
 pub use group::{GroupParams, GroupVec};
 pub use protocol::{ClientUploadMessage, KeyExchangeInitialMessage, SecAggConfig};
 pub use server::{AggregatorError, UntrustedAggregator};
+pub use session::{
+    client_handshake, ratchet_seed, HandshakePlan, MaskPlan, MaskPlanKind, MaskRef, MaskScratch,
+    PrecomputedMask, SessionHandshake, SessionInitMessage,
+};
 pub use tsa::{Tsa, TsaError};

@@ -23,6 +23,17 @@ pub fn expand_mask(seed: &MaskSeed, params: GroupParams, len: usize) -> GroupVec
     GroupVec::from_values(params, values)
 }
 
+/// Expands `seed` into `out`, reusing the buffer's capacity.  Produces the
+/// exact element stream of [`expand_mask`]; hot paths that expand many masks
+/// (the batched TSA release, the per-worker speculative precompute) call
+/// this with a long-lived scratch buffer to avoid per-mask allocation.
+pub fn expand_mask_into(seed: &MaskSeed, params: GroupParams, len: usize, out: &mut Vec<u64>) {
+    let mut rng = ChaCha20Rng::from_seed16(*seed);
+    let modulus = params.modulus();
+    out.clear();
+    out.extend((0..len).map(|_| rng.next_below(modulus)));
+}
+
 /// Samples a fresh random seed from the provided RNG.
 pub fn random_seed(rng: &mut ChaCha20Rng) -> MaskSeed {
     let mut seed = [0u8; SEED_LEN];
@@ -77,6 +88,16 @@ mod tests {
         let mask = expand_mask(&seed, params, 32);
         let cancelled = mask.sub(&expand_mask(&seed, params, 32));
         assert!(cancelled.values().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn expand_mask_into_matches_expand_mask() {
+        let params = GroupParams::new(1_000_003);
+        let seed = [11u8; SEED_LEN];
+        let reference = expand_mask(&seed, params, 777);
+        let mut scratch = vec![42u64; 9]; // stale contents must be cleared
+        expand_mask_into(&seed, params, 777, &mut scratch);
+        assert_eq!(scratch.as_slice(), reference.values());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::fixed_point::FixedPointCodec;
 use crate::group::GroupVec;
 use crate::protocol::{ClientUploadMessage, SecAggConfig};
+use crate::session::MaskRef;
 use crate::tsa::{Tsa, TsaError};
 
 /// Errors returned by the untrusted aggregator.
@@ -104,6 +105,55 @@ impl UntrustedAggregator {
         self.accepted = 0;
         tsa.start_new_round();
         Ok(decoded)
+    }
+
+    /// Submits one session-mode masked update: only the masked vector is
+    /// added to the running sum — the TSA learns about it later, as one
+    /// 16-byte [`MaskRef`] inside the closing buffer's
+    /// [`UntrustedAggregator::finalize_batch`] call, instead of through a
+    /// per-update completing message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregatorError::MalformedUpdate`] for shape mismatches.
+    pub fn submit_masked(&mut self, masked: &GroupVec) -> Result<(), AggregatorError> {
+        if masked.len() != self.vector_len || masked.params() != self.masked_sum.params() {
+            return Err(AggregatorError::MalformedUpdate);
+        }
+        self.masked_sum.add_assign(masked);
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// Finalizes a session-mode buffer in one TSA round-trip: sends the
+    /// buffer's [`MaskRef`]s, receives the accumulated mask sum, subtracts
+    /// it in a single pass, and decodes.  The aggregator resets for the next
+    /// buffer; the TSA has no per-round state to reset in session mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the TSA's batch validation errors; on error the host
+    /// buffer is left untouched (no state was released).
+    pub fn finalize_batch(
+        &mut self,
+        tsa: &mut Tsa,
+        refs: &[MaskRef],
+    ) -> Result<Vec<f32>, AggregatorError> {
+        let unmask = tsa.release_batch(refs)?;
+        let sum = self.masked_sum.sub(&unmask);
+        let decoded = self.codec.decode_vec(&sum);
+        self.discard_masked_sum();
+        Ok(decoded)
+    }
+
+    /// Drops the session-mode masked partial sum without any TSA contact:
+    /// the buffer's `MaskRef`s are never sent, so no key material for it is
+    /// ever released.  Returns how many masked updates were dropped.
+    pub fn discard_masked_sum(&mut self) -> usize {
+        let dropped = self.accepted;
+        self.masked_sum = GroupVec::zeros(self.masked_sum.params(), self.vector_len);
+        self.accepted = 0;
+        dropped
     }
 
     /// Abandons the buffer in progress *without* a TSA key release: the
@@ -272,6 +322,91 @@ mod tests {
         let sum = agg.finalize(&mut tsa).unwrap();
         assert!((sum[0] - 2.0).abs() < 1e-3, "contaminated: {sum:?}");
         assert!((sum[2] - 6.0).abs() < 1e-3, "contaminated: {sum:?}");
+    }
+
+    #[test]
+    fn session_mode_round_matches_plain_sum() {
+        // The full session-mode data path: handshake once per client, mask
+        // with ratcheted seeds, release the whole buffer in one batch.
+        use crate::session::{client_handshake, ratchet_seed, MaskRef};
+        let config = SecAggConfig::insecure_fast(4, 2);
+        let mut tsa = Tsa::new(&config, [0x31u8; 32]);
+        let publication = tsa.publication();
+        let init = tsa.session_init();
+        let mut agg = UntrustedAggregator::new(&config);
+
+        let updates = [vec![0.5f32, -1.0, 2.0, 0.0], vec![1.5, 1.0, -2.0, 0.25]];
+        let mut refs = Vec::new();
+        for (client_id, update) in updates.iter().enumerate() {
+            let client_id = client_id as u64;
+            let handshake = client_handshake(
+                &config.dh_group,
+                &[client_id as u8 + 9; 32],
+                &init,
+                &publication,
+            );
+            tsa.establish_session(client_id, &handshake.client_public);
+            let seed = ratchet_seed(&handshake.secret, 0);
+            let mask = crate::mask::expand_mask(&seed, config.group_params(), 4);
+            let masked = config.codec.encode_vec(update).add(&mask);
+            agg.submit_masked(&masked).unwrap();
+            refs.push(MaskRef {
+                client_id,
+                counter: 0,
+            });
+        }
+        assert_eq!(agg.accepted(), 2);
+        let sum = agg.finalize_batch(&mut tsa, &refs).unwrap();
+        let expected = [2.0f32, 0.0, 0.0, 0.25];
+        for (s, e) in sum.iter().zip(expected.iter()) {
+            assert!((s - e).abs() < 1e-3, "{s} vs {e}");
+        }
+        assert_eq!(agg.accepted(), 0, "aggregator reset after batch release");
+    }
+
+    #[test]
+    fn failed_batch_release_leaves_the_buffer_intact() {
+        use crate::session::MaskRef;
+        let config = SecAggConfig::insecure_fast(2, 3);
+        let mut tsa = Tsa::new(&config, [0x32u8; 32]);
+        let mut agg = UntrustedAggregator::new(&config);
+        let masked = GroupVec::zeros(config.group_params(), 2);
+        agg.submit_masked(&masked).unwrap();
+        let refs = [MaskRef {
+            client_id: 0,
+            counter: 0,
+        }];
+        assert!(agg.finalize_batch(&mut tsa, &refs).is_err());
+        assert_eq!(agg.accepted(), 1, "buffer must survive a failed release");
+    }
+
+    #[test]
+    fn discard_masked_sum_never_contacts_the_tsa() {
+        let config = SecAggConfig::insecure_fast(2, 1);
+        let tsa = Tsa::new(&config, [0x33u8; 32]);
+        let mut agg = UntrustedAggregator::new(&config);
+        agg.submit_masked(&GroupVec::zeros(config.group_params(), 2))
+            .unwrap();
+        let before = tsa.boundary_stats();
+        assert_eq!(agg.discard_masked_sum(), 1);
+        assert_eq!(agg.accepted(), 0);
+        assert_eq!(tsa.boundary_stats(), before);
+    }
+
+    #[test]
+    fn submit_masked_rejects_wrong_shape() {
+        let config = SecAggConfig::insecure_fast(4, 1);
+        let mut agg = UntrustedAggregator::new(&config);
+        let wrong_len = GroupVec::zeros(config.group_params(), 8);
+        assert_eq!(
+            agg.submit_masked(&wrong_len).unwrap_err(),
+            AggregatorError::MalformedUpdate
+        );
+        let wrong_group = GroupVec::zeros(crate::group::GroupParams::new(97), 4);
+        assert_eq!(
+            agg.submit_masked(&wrong_group).unwrap_err(),
+            AggregatorError::MalformedUpdate
+        );
     }
 
     #[test]

@@ -11,13 +11,15 @@
 
 use crate::attestation::{publish_binary, AttestationQuote, TsaPublication};
 use crate::group::GroupVec;
-use crate::mask::{expand_mask, MaskSeed, SEED_LEN};
+use crate::mask::{expand_mask, expand_mask_into, MaskSeed, SEED_LEN};
 use crate::protocol::{CompletingMessage, KeyExchangeInitialMessage, SecAggConfig};
+use crate::session::{ratchet_seed, MaskRef, SessionInitMessage};
 use papaya_crypto::aead::{open, AeadKey};
 use papaya_crypto::chacha20::ChaCha20Rng;
-use papaya_crypto::dh::DhPrivateKey;
+use papaya_crypto::dh::{DhPrivateKey, DhPublicKey, SharedSecret};
+use papaya_crypto::hmac::hmac_sha256;
 use papaya_crypto::merkle::MerkleLog;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Counters of data crossing the host↔TEE boundary.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,6 +59,17 @@ pub enum TsaError {
     /// The round was already finalized; the TSA ignores further requests
     /// until a new round is started.
     RoundFinalized,
+    /// A batched release referenced a client with no established session in
+    /// the current epoch.
+    UnknownSession(u64),
+    /// A batched release referenced a ratchet counter at or below the
+    /// session's monotone floor — a replay or a revoked participation.
+    StaleSessionCounter {
+        /// The session owner's client id.
+        client_id: u64,
+        /// The rejected counter.
+        counter: u64,
+    },
 }
 
 impl std::fmt::Display for TsaError {
@@ -74,6 +87,11 @@ impl std::fmt::Display for TsaError {
                 "only {processed} of required {required} clients processed"
             ),
             TsaError::RoundFinalized => write!(f, "aggregation round already finalized"),
+            TsaError::UnknownSession(id) => write!(f, "no established session for client {id}"),
+            TsaError::StaleSessionCounter { client_id, counter } => write!(
+                f,
+                "stale ratchet counter {counter} for client {client_id}'s session"
+            ),
         }
     }
 }
@@ -97,6 +115,31 @@ pub struct Tsa {
     processed: usize,
     finalized: bool,
     boundary: BoundaryStats,
+    /// Session epoch; bumped on every invalidation so cached client state
+    /// can never complete against a stale TSA key.
+    epoch: u64,
+    /// The TSA's private Diffie–Hellman key for the current epoch.
+    epoch_key: Option<DhPrivateKey>,
+    /// Cached epoch offer (public key + quote), built at most once per epoch.
+    epoch_init: Option<SessionInitMessage>,
+    /// Established sessions, keyed by client id.
+    sessions: HashMap<u64, TsaSession>,
+    /// Reusable mask-expansion buffer for batched releases.
+    scratch: Vec<u64>,
+}
+
+/// Per-client session state inside the TSA: the shared secret and the
+/// monotone ratchet-counter floor that makes every seed single-use.
+#[derive(Debug)]
+struct TsaSession {
+    secret: SharedSecret,
+    /// Smallest counter the TSA will still accept for this session.
+    next_counter: u64,
+    /// Individually revoked counters at or above the floor.  A revocation
+    /// cannot simply advance the floor: lower counters of the same session
+    /// may still be pending in the open buffer, and burning them would
+    /// poison the batch release.  The set is pruned as the floor passes it.
+    revoked: BTreeSet<u64>,
 }
 
 impl Tsa {
@@ -117,6 +160,11 @@ impl Tsa {
             processed: 0,
             finalized: false,
             boundary: BoundaryStats::default(),
+            epoch: 0,
+            epoch_key: None,
+            epoch_init: None,
+            sessions: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -146,8 +194,13 @@ impl Tsa {
 
     /// Records a new trusted binary release in the verifiable log (the
     /// Appendix C.2 update flow).  Returns the new log size.
+    ///
+    /// A binary change is an attestation change, so every cached session is
+    /// invalidated: clients must re-verify the new measurement before any
+    /// further masking.
     pub fn publish_new_binary(&mut self, binary: &crate::attestation::TrustedBinary) -> usize {
         publish_binary(&mut self.log, binary);
+        self.invalidate_sessions();
         self.log.len()
     }
 
@@ -287,6 +340,176 @@ impl Tsa {
         self.mask_sum = GroupVec::zeros(self.config.group_params(), self.config.vector_len);
         self.processed = 0;
         self.finalized = false;
+    }
+
+    // -----------------------------------------------------------------
+    // Session-cached key exchange (see `crate::session`)
+    // -----------------------------------------------------------------
+
+    /// The current session epoch.  Bumped on every invalidation; cached
+    /// client state from an older epoch is useless against the new key.
+    pub fn session_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Returns the TSA's session offer for the current epoch: its epoch
+    /// public key under an attestation quote.  The key is generated (and the
+    /// offer metered across the boundary) at most once per epoch — this is
+    /// the amortization that replaces the per-update initial message.
+    pub fn session_init(&mut self) -> SessionInitMessage {
+        if self.epoch_init.is_none() {
+            // The epoch key is derived from the hardware key and the epoch
+            // number, so it never touches the shared protocol RNG: session
+            // establishment consumes no randomness whose order could differ
+            // between sequential and speculative execution.
+            let mut info = b"papaya/epoch-key/".to_vec();
+            info.extend_from_slice(&self.epoch.to_be_bytes());
+            let seed = hmac_sha256(&self.hardware_key, &info);
+            let mut rng = ChaCha20Rng::from_seed(seed);
+            let private = DhPrivateKey::generate(&self.config.dh_group, &mut rng);
+            let public = private.public_key();
+            let payload = public.to_bytes();
+            let quote = AttestationQuote::sign(
+                &self.hardware_key,
+                self.config.trusted_binary.measurement(),
+                self.config.params_hash(),
+                &payload,
+            );
+            self.boundary.bytes_out += payload.len() as u64 + 128; // key + quote
+            self.boundary.messages_out += 1;
+            self.epoch_key = Some(private);
+            self.epoch_init = Some(SessionInitMessage {
+                epoch: self.epoch,
+                tsa_public: public,
+                quote,
+            });
+        }
+        self.epoch_init.clone().expect("built above")
+    }
+
+    /// Establishes (or refreshes) a client's session: the host forwards the
+    /// client's session public key, the TSA derives the shared secret.  The
+    /// ratchet-counter floor of an existing session is preserved so a
+    /// re-establishment can never resurrect an already-used or revoked
+    /// counter.
+    pub fn establish_session(&mut self, client_id: u64, client_public: &DhPublicKey) {
+        // client id + public key cross the boundary once per session.
+        self.boundary.bytes_in += 8 + client_public.to_bytes().len() as u64;
+        self.boundary.messages_in += 1;
+        if self.epoch_init.is_none() {
+            self.session_init();
+        }
+        let secret = self
+            .epoch_key
+            .as_ref()
+            .expect("epoch key exists after session_init")
+            .shared_secret(client_public);
+        self.sessions
+            .entry(client_id)
+            .and_modify(|s| s.secret = secret)
+            .or_insert(TsaSession {
+                secret,
+                next_counter: 0,
+                revoked: BTreeSet::new(),
+            });
+    }
+
+    /// Number of sessions established in the current epoch.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Releases the aggregated unmask for one closing buffer in a single
+    /// round-trip: the host sends the batch of [`MaskRef`]s (16 bytes per
+    /// update) and the TSA regenerates and sums every mask in one pass.
+    ///
+    /// The call is atomic: all refs are validated against the per-session
+    /// counter floors (including duplicates *within* the batch) before any
+    /// state changes; on error no floor moves and nothing is released.
+    /// Unlike the per-update path there is no round state to finalize —
+    /// the batch itself delimits the buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`TsaError::ThresholdNotMet`] when the batch is smaller than the
+    /// threshold, [`TsaError::UnknownSession`] and
+    /// [`TsaError::StaleSessionCounter`] on invalid refs.
+    pub fn release_batch(&mut self, refs: &[MaskRef]) -> Result<GroupVec, TsaError> {
+        // The batch crosses the boundary as one message: the refs plus a
+        // length header.
+        self.boundary.bytes_in += (refs.len() * MaskRef::BYTE_LEN) as u64 + 8;
+        self.boundary.messages_in += 1;
+        if refs.len() < self.config.threshold {
+            return Err(TsaError::ThresholdNotMet {
+                processed: refs.len(),
+                required: self.config.threshold,
+            });
+        }
+        // Validation pass: every ref must be at or above its session's
+        // floor, and refs within the batch must not collide.
+        let mut floors: HashMap<u64, u64> = HashMap::new();
+        for r in refs {
+            let session = self
+                .sessions
+                .get(&r.client_id)
+                .ok_or(TsaError::UnknownSession(r.client_id))?;
+            let floor = floors.entry(r.client_id).or_insert(session.next_counter);
+            if r.counter < *floor || session.revoked.contains(&r.counter) {
+                return Err(TsaError::StaleSessionCounter {
+                    client_id: r.client_id,
+                    counter: r.counter,
+                });
+            }
+            *floor = r.counter + 1;
+        }
+        // Release pass: expand every mask through one reusable buffer.
+        let params = self.config.group_params();
+        let mut sum = GroupVec::zeros(params, self.config.vector_len);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for r in refs {
+            let secret = self.sessions.get(&r.client_id).expect("validated").secret;
+            let seed = ratchet_seed(&secret, r.counter);
+            expand_mask_into(&seed, params, self.config.vector_len, &mut scratch);
+            sum.add_assign_slice(&scratch);
+        }
+        self.scratch = scratch;
+        for (client_id, floor) in floors {
+            let session = self.sessions.get_mut(&client_id).expect("validated");
+            session.next_counter = floor;
+            // Revocations the floor has now passed can never match again.
+            session.revoked = session.revoked.split_off(&floor);
+        }
+        self.boundary.bytes_out += sum.byte_len() as u64;
+        self.boundary.messages_out += 1;
+        Ok(sum)
+    }
+
+    /// Burns a ratchet counter whose masked update the host turned away
+    /// before any release (the session-mode analogue of
+    /// [`Tsa::revoke_unused_exchange`]): the counter is individually
+    /// revoked so its seed can never be released, while *lower* counters of
+    /// the same session still pending in the open buffer stay valid.
+    /// Returns whether the counter was still live.
+    pub fn revoke_session_counter(&mut self, client_id: u64, counter: u64) -> bool {
+        self.boundary.bytes_in += MaskRef::BYTE_LEN as u64;
+        self.boundary.messages_in += 1;
+        match self.sessions.get_mut(&client_id) {
+            Some(s) if counter >= s.next_counter => s.revoked.insert(counter),
+            _ => false,
+        }
+    }
+
+    /// Invalidates every cached session and bumps the epoch: the next
+    /// [`Tsa::session_init`] offers a fresh key, and every client must
+    /// re-handshake.  Called on attestation change
+    /// ([`Tsa::publish_new_binary`]) and by the host on aggregator
+    /// crash/reset.  Unmetered: a crash tears the enclave down with it, so
+    /// no message crosses the boundary.
+    pub fn invalidate_sessions(&mut self) {
+        self.sessions.clear();
+        self.epoch += 1;
+        self.epoch_key = None;
+        self.epoch_init = None;
     }
 
     /// Cumulative host↔TEE boundary traffic.
@@ -540,6 +763,296 @@ mod tests {
         assert_eq!(stats.bytes_in, 2 * 12);
         assert_eq!(stats.bytes_out, 12);
         assert_eq!(naive.clients(), 2);
+    }
+
+    mod sessions {
+        use super::*;
+        use crate::group::GroupVec;
+        use crate::mask::expand_mask;
+        use crate::session::{client_handshake, ratchet_seed, MaskRef};
+
+        /// Establishes a session for `client_id` and returns its secret.
+        fn establish(tsa: &mut Tsa, config: &SecAggConfig, client_id: u64) -> [u8; 32] {
+            let publication = tsa.publication();
+            let init = tsa.session_init();
+            let handshake = client_handshake(
+                &config.dh_group,
+                &[client_id as u8 + 1; 32],
+                &init,
+                &publication,
+            );
+            tsa.establish_session(client_id, &handshake.client_public);
+            handshake.secret
+        }
+
+        #[test]
+        fn batched_release_sums_the_ratcheted_masks() {
+            let (mut tsa, config, _) = setup(16, 2);
+            let s1 = establish(&mut tsa, &config, 1);
+            let s2 = establish(&mut tsa, &config, 2);
+            assert_eq!(tsa.active_sessions(), 2);
+            let refs = [
+                MaskRef {
+                    client_id: 1,
+                    counter: 0,
+                },
+                MaskRef {
+                    client_id: 2,
+                    counter: 0,
+                },
+                MaskRef {
+                    client_id: 1,
+                    counter: 1,
+                },
+            ];
+            let released = tsa.release_batch(&refs).unwrap();
+            let params = config.group_params();
+            let mut expected = GroupVec::zeros(params, 16);
+            for (secret, counter) in [(s1, 0), (s2, 0), (s1, 1)] {
+                expected.add_assign(&expand_mask(&ratchet_seed(&secret, counter), params, 16));
+            }
+            assert_eq!(released, expected);
+        }
+
+        #[test]
+        fn batched_release_enforces_threshold() {
+            let (mut tsa, config, _) = setup(8, 3);
+            establish(&mut tsa, &config, 1);
+            let refs = [
+                MaskRef {
+                    client_id: 1,
+                    counter: 0,
+                },
+                MaskRef {
+                    client_id: 1,
+                    counter: 1,
+                },
+            ];
+            assert_eq!(
+                tsa.release_batch(&refs),
+                Err(TsaError::ThresholdNotMet {
+                    processed: 2,
+                    required: 3
+                })
+            );
+        }
+
+        #[test]
+        fn counters_are_single_use_across_batches_and_within_a_batch() {
+            let (mut tsa, config, _) = setup(8, 1);
+            establish(&mut tsa, &config, 7);
+            // Duplicate inside one batch is caught by the validation pass.
+            let dup = [
+                MaskRef {
+                    client_id: 7,
+                    counter: 0,
+                },
+                MaskRef {
+                    client_id: 7,
+                    counter: 0,
+                },
+            ];
+            assert_eq!(
+                tsa.release_batch(&dup),
+                Err(TsaError::StaleSessionCounter {
+                    client_id: 7,
+                    counter: 0
+                })
+            );
+            // A released counter can never be released again.
+            tsa.release_batch(&[MaskRef {
+                client_id: 7,
+                counter: 0,
+            }])
+            .unwrap();
+            assert_eq!(
+                tsa.release_batch(&[MaskRef {
+                    client_id: 7,
+                    counter: 0,
+                }]),
+                Err(TsaError::StaleSessionCounter {
+                    client_id: 7,
+                    counter: 0
+                })
+            );
+            // Later counters still work.
+            tsa.release_batch(&[MaskRef {
+                client_id: 7,
+                counter: 3,
+            }])
+            .unwrap();
+        }
+
+        #[test]
+        fn failed_batch_moves_no_floor() {
+            let (mut tsa, config, _) = setup(8, 1);
+            establish(&mut tsa, &config, 1);
+            // client 2 has no session, so the whole batch fails...
+            let refs = [
+                MaskRef {
+                    client_id: 1,
+                    counter: 0,
+                },
+                MaskRef {
+                    client_id: 2,
+                    counter: 0,
+                },
+            ];
+            assert_eq!(tsa.release_batch(&refs), Err(TsaError::UnknownSession(2)));
+            // ...and client 1's counter 0 is still live.
+            tsa.release_batch(&[MaskRef {
+                client_id: 1,
+                counter: 0,
+            }])
+            .unwrap();
+        }
+
+        #[test]
+        fn revoked_counter_is_never_released() {
+            let (mut tsa, config, _) = setup(8, 1);
+            establish(&mut tsa, &config, 4);
+            assert!(tsa.revoke_session_counter(4, 0));
+            // Revoking an already-burned or unknown counter is a no-op.
+            assert!(!tsa.revoke_session_counter(4, 0));
+            assert!(!tsa.revoke_session_counter(99, 0));
+            assert_eq!(
+                tsa.release_batch(&[MaskRef {
+                    client_id: 4,
+                    counter: 0,
+                }]),
+                Err(TsaError::StaleSessionCounter {
+                    client_id: 4,
+                    counter: 0
+                })
+            );
+            tsa.release_batch(&[MaskRef {
+                client_id: 4,
+                counter: 1,
+            }])
+            .unwrap();
+        }
+
+        #[test]
+        fn revoking_a_later_counter_keeps_earlier_pending_counters_live() {
+            // Counter 0 sits in the open buffer when the client's *next*
+            // participation (counter 1) is policy-rejected and revoked.  The
+            // revocation must burn exactly counter 1: the buffer containing
+            // counter 0 still has to release.
+            let (mut tsa, config, _) = setup(8, 1);
+            establish(&mut tsa, &config, 6);
+            assert!(tsa.revoke_session_counter(6, 1));
+            tsa.release_batch(&[MaskRef {
+                client_id: 6,
+                counter: 0,
+            }])
+            .unwrap();
+            // The release moved the floor to 1; the revoked counter 1 stays
+            // dead, and the revocation set is pruned once the floor passes.
+            assert_eq!(
+                tsa.release_batch(&[MaskRef {
+                    client_id: 6,
+                    counter: 1,
+                }]),
+                Err(TsaError::StaleSessionCounter {
+                    client_id: 6,
+                    counter: 1
+                })
+            );
+            tsa.release_batch(&[MaskRef {
+                client_id: 6,
+                counter: 2,
+            }])
+            .unwrap();
+        }
+
+        #[test]
+        fn invalidation_clears_sessions_and_bumps_the_epoch() {
+            let (mut tsa, config, _) = setup(8, 1);
+            establish(&mut tsa, &config, 1);
+            let old_init = tsa.session_init();
+            assert_eq!(old_init.epoch, 0);
+            tsa.invalidate_sessions();
+            assert_eq!(tsa.active_sessions(), 0);
+            assert_eq!(tsa.session_epoch(), 1);
+            assert_eq!(
+                tsa.release_batch(&[MaskRef {
+                    client_id: 1,
+                    counter: 0,
+                }]),
+                Err(TsaError::UnknownSession(1))
+            );
+            // The new epoch offers a fresh key under a fresh quote.
+            let new_init = tsa.session_init();
+            assert_eq!(new_init.epoch, 1);
+            assert_ne!(
+                old_init.tsa_public.to_bytes(),
+                new_init.tsa_public.to_bytes()
+            );
+        }
+
+        #[test]
+        fn publishing_a_new_binary_invalidates_sessions() {
+            let (mut tsa, config, _) = setup(8, 1);
+            establish(&mut tsa, &config, 1);
+            tsa.publish_new_binary(&crate::attestation::TrustedBinary::new(
+                "tsa-v2",
+                b"new code".to_vec(),
+            ));
+            assert_eq!(tsa.active_sessions(), 0);
+            assert_eq!(tsa.session_epoch(), 1);
+        }
+
+        #[test]
+        fn session_init_is_metered_once_per_epoch() {
+            let (mut tsa, _, _) = setup(8, 1);
+            let before = tsa.boundary_stats().messages_out;
+            let a = tsa.session_init();
+            let b = tsa.session_init();
+            assert_eq!(a.tsa_public.to_bytes(), b.tsa_public.to_bytes());
+            assert_eq!(tsa.boundary_stats().messages_out, before + 1);
+        }
+
+        #[test]
+        fn re_establishment_preserves_the_counter_floor() {
+            let (mut tsa, config, _) = setup(8, 1);
+            establish(&mut tsa, &config, 1);
+            tsa.release_batch(&[MaskRef {
+                client_id: 1,
+                counter: 5,
+            }])
+            .unwrap();
+            // The host re-establishes (e.g. it lost its cache); the floor
+            // must survive so counter 5 stays burned.
+            establish(&mut tsa, &config, 1);
+            assert_eq!(
+                tsa.release_batch(&[MaskRef {
+                    client_id: 1,
+                    counter: 5,
+                }]),
+                Err(TsaError::StaleSessionCounter {
+                    client_id: 1,
+                    counter: 5
+                })
+            );
+        }
+
+        #[test]
+        fn batched_release_boundary_traffic_is_constant_per_update() {
+            // The session-mode Figure 6 story: 16 bytes per update into the
+            // enclave, independent of the model size.
+            let (mut tsa, config, _) = setup(1000, 1);
+            establish(&mut tsa, &config, 1);
+            let bytes_before = tsa.boundary_stats().bytes_in;
+            let refs: Vec<MaskRef> = (0..10)
+                .map(|counter| MaskRef {
+                    client_id: 1,
+                    counter,
+                })
+                .collect();
+            tsa.release_batch(&refs).unwrap();
+            let batch_bytes = tsa.boundary_stats().bytes_in - bytes_before;
+            assert_eq!(batch_bytes, 10 * MaskRef::BYTE_LEN as u64 + 8);
+        }
     }
 
     #[test]

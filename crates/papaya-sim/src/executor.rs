@@ -30,6 +30,7 @@
 //! the simulation but never serializes it.
 
 use papaya_core::client::{ClientTrainer, LocalTrainResult};
+use papaya_core::secure::{MaskPlan, MaskScratch, PrecomputedMask};
 use papaya_nn::params::ParamVec;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -102,6 +103,13 @@ pub struct ExecutorStats {
     pub stolen_by_driver: u64,
     /// Speculative results discarded because the participation was aborted.
     pub discarded: u64,
+    /// Mask-precompute jobs completed by worker threads.
+    pub masks_completed_by_workers: u64,
+    /// Mask jobs still queued when the driver needed them: the job is
+    /// cancelled and the aggregator expands the mask inline instead.
+    pub masks_cancelled_unstarted: u64,
+    /// Speculative masks discarded because the participation was aborted.
+    pub masks_discarded: u64,
 }
 
 /// Every submitted-but-unconsumed participation id lives in exactly one of
@@ -123,6 +131,16 @@ struct Inner {
     results: HashMap<u64, Result<LocalTrainResult, String>>,
     /// Running participations whose result must be dropped on completion.
     cancelled: HashSet<u64>,
+    /// Queued mask-precompute plans by participation id (secure tasks).
+    mask_jobs: HashMap<u64, MaskPlan>,
+    /// FIFO order of queued mask jobs; stale ids are skipped like `order`.
+    mask_order: VecDeque<u64>,
+    /// Mask computations currently running on a worker.
+    mask_running: HashSet<u64>,
+    /// Finished masks awaiting consumption (`Err` = worker panic message).
+    mask_results: HashMap<u64, Result<PrecomputedMask, String>>,
+    /// Running mask jobs whose result must be dropped on completion.
+    mask_cancelled: HashSet<u64>,
     stats: ExecutorStats,
     shutdown: bool,
 }
@@ -237,6 +255,60 @@ impl Executor {
         }
     }
 
+    /// Queues a speculative mask-precompute job for a secure task's
+    /// participation.  Ids share the participation-id space of
+    /// [`Executor::submit`] — each participation has at most one training
+    /// and one mask job.
+    pub fn submit_mask(&self, participation_id: u64, plan: MaskPlan) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.mask_order.push_back(participation_id);
+        inner.mask_jobs.insert(participation_id, plan);
+        drop(inner);
+        self.shared.job_ready.notify_one();
+    }
+
+    /// Returns the speculative mask for `participation_id` if a worker
+    /// produced (or is producing) it: finished → the result; running →
+    /// blocks until published; still queued → the job is *cancelled* and
+    /// `None` returned, so the aggregator expands the mask inline — mask
+    /// plans are pure, so both routes are bit-identical.  `None` for ids
+    /// never submitted.  Re-raises a worker panic on the driver thread.
+    pub fn take_mask(&self, participation_id: u64) -> Option<PrecomputedMask> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.mask_jobs.remove(&participation_id).is_some() {
+            inner.stats.masks_cancelled_unstarted += 1;
+            return None;
+        }
+        loop {
+            if let Some(result) = inner.mask_results.remove(&participation_id) {
+                match result {
+                    Ok(result) => return Some(result),
+                    Err(message) => panic!(
+                        "mask precompute panicked on a worker thread \
+                         (participation {participation_id}): {message}"
+                    ),
+                }
+            }
+            if !inner.mask_running.contains(&participation_id) {
+                return None;
+            }
+            inner = self.shared.result_ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Drops speculative mask work for an aborted participation, in the
+    /// same three states as [`Executor::discard`].
+    pub fn discard_mask(&self, participation_id: u64) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        let dropped = inner.mask_jobs.remove(&participation_id).is_some()
+            || inner.mask_results.remove(&participation_id).is_some()
+            || (inner.mask_running.contains(&participation_id)
+                && inner.mask_cancelled.insert(participation_id));
+        if dropped {
+            inner.stats.masks_discarded += 1;
+        }
+    }
+
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
@@ -261,20 +333,49 @@ impl Drop for Executor {
     }
 }
 
+/// The two kinds of speculative work a worker can pick up.
+enum WorkerJob {
+    Train(TrainJob),
+    Mask(u64, MaskPlan),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn worker_loop(shared: &Shared) {
+    // Each worker owns one reusable mask-expansion buffer, so steady-state
+    // mask precompute allocates once per mask instead of twice and workers
+    // never contend on shared scratch.
+    let mut scratch = MaskScratch::default();
     let mut inner = shared.inner.lock().unwrap();
     loop {
         // Find the next queued job, skipping ids that were stolen or
-        // discarded while waiting in the order queue.
+        // discarded while waiting in the order queue.  Mask jobs drain
+        // first: they are orders of magnitude cheaper than training and
+        // unblock the event loop's upload processing.
         let job = loop {
             if inner.shutdown {
                 return;
+            }
+            if let Some(id) = inner.mask_order.pop_front() {
+                if let Some(plan) = inner.mask_jobs.remove(&id) {
+                    inner.mask_running.insert(id);
+                    break WorkerJob::Mask(id, plan);
+                }
+                continue;
             }
             match inner.order.pop_front() {
                 Some(id) => {
                     if let Some(job) = inner.jobs.remove(&id) {
                         inner.running.insert(id);
-                        break job;
+                        break WorkerJob::Train(job);
                     }
                 }
                 None => {
@@ -284,32 +385,44 @@ fn worker_loop(shared: &Shared) {
         };
         drop(inner);
 
-        // Catch trainer panics so a buggy trainer fails the run loudly (the
-        // driver re-raises in `take_or_run`) instead of leaving the id stuck
-        // in `running` and deadlocking the event loop.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run())).map_err(
-            |payload| {
-                if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
+        // Catch panics so a buggy trainer or mask plan fails the run loudly
+        // (the driver re-raises in `take_or_run`/`take_mask`) instead of
+        // leaving the id stuck in a running set and deadlocking the loop.
+        match job {
+            WorkerJob::Train(job) => {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run()))
+                    .map_err(panic_message);
+                inner = shared.inner.lock().unwrap();
+                inner.running.remove(&job.participation_id);
+                if inner.cancelled.remove(&job.participation_id) {
+                    // Aborted mid-flight; the result (or panic) must not
+                    // surface — the sequential path would never have run
+                    // this training at all.
                 } else {
-                    "non-string panic payload".to_string()
+                    if result.is_ok() {
+                        inner.stats.completed_by_workers += 1;
+                    }
+                    inner.results.insert(job.participation_id, result);
+                    shared.result_ready.notify_all();
                 }
-            },
-        );
-
-        inner = shared.inner.lock().unwrap();
-        inner.running.remove(&job.participation_id);
-        if inner.cancelled.remove(&job.participation_id) {
-            // Aborted mid-flight; the result (or panic) must not surface —
-            // the sequential path would never have run this training at all.
-        } else {
-            if result.is_ok() {
-                inner.stats.completed_by_workers += 1;
             }
-            inner.results.insert(job.participation_id, result);
-            shared.result_ready.notify_all();
+            WorkerJob::Mask(id, plan) => {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    plan.compute(&mut scratch)
+                }))
+                .map_err(panic_message);
+                inner = shared.inner.lock().unwrap();
+                inner.mask_running.remove(&id);
+                if inner.mask_cancelled.remove(&id) {
+                    // Aborted mid-flight; drop the mask.
+                } else {
+                    if result.is_ok() {
+                        inner.stats.masks_completed_by_workers += 1;
+                    }
+                    inner.mask_results.insert(id, result);
+                    shared.result_ready.notify_all();
+                }
+            }
         }
     }
 }
@@ -413,5 +526,106 @@ mod tests {
             executor.submit(job(&trainer, pid, pid as usize % 50));
         }
         drop(executor); // must not hang or panic
+    }
+
+    /// Real plans straight off a session-mode [`SecureAggregator`] — the
+    /// only way the sim ever obtains them.
+    fn mask_plans(n: usize) -> Vec<MaskPlan> {
+        use papaya_core::fedbuff::FedBuffAggregator;
+        use papaya_core::secure::SecureAggregator;
+        use papaya_core::staleness::StalenessWeighting;
+        use papaya_core::Aggregator;
+        let mut agg = SecureAggregator::new(
+            Box::new(FedBuffAggregator::new(
+                4,
+                StalenessWeighting::Constant,
+                None,
+            )),
+            6,
+            1,
+            0xFEED,
+        );
+        (0..n)
+            .map(|client| {
+                agg.plan_mask_precompute(client)
+                    .expect("session mode always plans")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mask_jobs_round_trip_bit_identically() {
+        let plans = mask_plans(8);
+        let executor = Executor::new(2);
+        for (pid, plan) in plans.iter().enumerate() {
+            executor.submit_mask(pid as u64, plan.clone());
+        }
+        let mut scratch = MaskScratch::default();
+        for (pid, plan) in plans.iter().enumerate() {
+            let expected = plan.compute(&mut scratch);
+            // A still-queued job is cancelled (None) and the caller computes
+            // inline; either path must be bit-identical to the reference.
+            let got = match executor.take_mask(pid as u64) {
+                Some(pre) => pre,
+                None => plan.compute(&mut scratch),
+            };
+            assert_eq!(got.plan_id, expected.plan_id);
+            assert_eq!(got.mask, expected.mask, "participation {pid}");
+        }
+        let stats = executor.stats();
+        assert_eq!(
+            stats.masks_completed_by_workers + stats.masks_cancelled_unstarted,
+            8
+        );
+    }
+
+    #[test]
+    fn discarded_and_unknown_mask_jobs_return_none() {
+        let plans = mask_plans(2);
+        let executor = Executor::new(1);
+        executor.submit_mask(0, plans[0].clone());
+        executor.submit_mask(1, plans[1].clone());
+        executor.discard_mask(0);
+        executor.discard_mask(0); // idempotent
+        assert!(executor.take_mask(0).is_none(), "discarded job resurfaced");
+        assert!(executor.take_mask(99).is_none(), "unknown id produced work");
+        // Participation 1 is unaffected by its neighbor's discard.
+        let expected = plans[1].compute(&mut MaskScratch::default());
+        let got = match executor.take_mask(1) {
+            Some(pre) => pre,
+            None => plans[1].compute(&mut MaskScratch::default()),
+        };
+        assert_eq!(got.mask, expected.mask);
+        assert!(executor.stats().masks_discarded >= 1);
+    }
+
+    #[test]
+    fn mask_jobs_jump_the_training_queue() {
+        // Uploads block on masks, not on other clients' training, so
+        // workers must drain the mask queue first.  With one worker and the
+        // training queue stuffed, a late-submitted mask still finishes
+        // without the driver having to steal every training job.
+        let trainer = trainer();
+        let plans = mask_plans(1);
+        let executor = Executor::new(1);
+        for pid in 0..6u64 {
+            executor.submit(job(&trainer, pid, pid as usize % 50));
+        }
+        executor.submit_mask(100, plans[0].clone());
+        let expected = plans[0].compute(&mut MaskScratch::default());
+        let got = match executor.take_mask(100) {
+            Some(pre) => pre,
+            None => plans[0].compute(&mut MaskScratch::default()),
+        };
+        assert_eq!(got.mask, expected.mask);
+        for pid in 0..6u64 {
+            let _ = executor.take_or_run(pid, || {
+                trainer.train(
+                    pid as usize % 50,
+                    &trainer.initial_parameters(),
+                    0xABC ^ pid,
+                )
+            });
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Metrics collected during a simulation run.
 
 use papaya_core::dp::DpTelemetry;
-use papaya_core::secure::SecureTelemetry;
+use papaya_core::secure::{SecureTelemetry, SecureTimings};
 use papaya_data::stats::{ks_two_sample, KsTestResult};
 
 /// One client participation whose update was *aggregated* (or discarded),
@@ -58,6 +58,11 @@ pub struct MetricsCollector {
     /// drops, TEE boundary bytes, and the per-release quantization-error
     /// trace.  All-zero/empty for tasks running in the clear.
     pub secure: SecureTelemetry,
+    /// On-loop wall-clock breakdown of the secure pipeline (handshake,
+    /// mask expansion, encode, unmask).  Machine-dependent, so it is kept
+    /// out of [`SecureTelemetry`] and never hashed into run fingerprints;
+    /// `perf_suite --profile` surfaces it for overhead triage.
+    pub secure_timings: SecureTimings,
     /// Differential-privacy telemetry, synced from the task's
     /// [`DpAggregator`](papaya_core::dp::DpAggregator): clip counts, the
     /// per-release clip-fraction/noise-std trace, and the cumulative

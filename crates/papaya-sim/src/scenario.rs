@@ -430,6 +430,9 @@ impl Report {
             h.u64(m.secure.out_of_range_releases);
             h.u64(m.secure.tee_bytes_in);
             h.u64(m.secure.tee_bytes_out);
+            h.u64(m.secure.session_cache_hits);
+            h.u64(m.secure.session_cache_misses);
+            h.u64(m.secure.dh_exchanges_saved);
             for &(t, e) in &m.secure.quantization_error_trace {
                 h.f64(t);
                 h.f64(e);
@@ -781,7 +784,7 @@ fn validate_task_config(task: &TaskConfig, has_fleet: bool) {
         | TrainingMode::TimedHybrid { .. } => {}
     }
     match secagg {
-        SecAggMode::Disabled | SecAggMode::AsyncSecAgg => {}
+        SecAggMode::Disabled | SecAggMode::AsyncSecAgg | SecAggMode::AsyncSecAggPerUpdate => {}
     }
     if let Some(dp) = dp {
         // Every DP knob in range (positive finite clip bound, non-negative
@@ -1670,6 +1673,39 @@ mod tests {
                 sequential.fingerprint(),
                 parallel.fingerprint(),
                 "{workers} workers diverged from the sequential path"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_secure_run_is_bit_identical_to_sequential() {
+        // The secure pipeline speculates mask work onto the pool (plans are
+        // issued at selection time, results consumed in event order), so a
+        // session-cached secure run must stay bit-identical at any thread
+        // count — including the cache-hit/miss counters that feed the
+        // fingerprint.
+        let run = |parallelism: Parallelism| {
+            Scenario::builder()
+                .population(population(300))
+                .task(TaskConfig::async_task("t", 16, 4).with_secagg(SecAggMode::AsyncSecAgg))
+                .limits(RunLimits::default().with_max_virtual_time_hours(0.25))
+                .eval(EvalPolicy::default().with_interval_s(600.0))
+                .parallelism(parallelism)
+                .seed(21)
+                .build()
+                .run()
+        };
+        let sequential = run(Parallelism::sequential());
+        let m = &sequential.single().metrics;
+        assert!(m.secure.session_cache_misses > 0, "no first contacts");
+        assert!(m.secure.session_cache_hits > 0, "cache never resumed");
+        assert_eq!(m.secure.dh_exchanges_saved, m.secure.session_cache_hits);
+        for workers in [1, 3] {
+            let parallel = run(Parallelism(workers));
+            assert_eq!(
+                sequential.fingerprint(),
+                parallel.fingerprint(),
+                "{workers} workers diverged from the sequential secure path"
             );
         }
     }

@@ -199,6 +199,14 @@ impl TaskRuntime {
                 // driver streams derived from the same task seed.
                 seed ^ 0x5ECA_665E_CA66,
             )),
+            SecAggMode::AsyncSecAggPerUpdate => Box::new(SecureAggregator::new_per_update(
+                aggregator,
+                trainer.parameter_count(),
+                secure::recommended_threshold(&config),
+                // Same protocol-stream seed as the session-cached mode, so
+                // the two modes differ only in the key-exchange schedule.
+                seed ^ 0x5ECA_665E_CA66,
+            )),
         };
         let aggregator: Box<dyn Aggregator> = match config.dp {
             None => aggregator,
@@ -310,31 +318,47 @@ impl TaskRuntime {
         self.executor = executor;
     }
 
-    /// Queues the participation's local training on the executor, so the
-    /// result is (usually) already computed when the finish event fires.
-    /// Drivers call this only for participations that will reach their
-    /// finish event — speculating on doomed ones would waste workers.  A
-    /// no-op without an executor or for unknown participations.
-    pub fn prefetch_training(&self, participation_id: u64) {
+    /// Queues the participation's local training (and, for secure tasks, its
+    /// mask precompute) on the executor, so both are (usually) already
+    /// computed when the finish event fires.  Drivers call this only for
+    /// participations that will reach their finish event — speculating on
+    /// doomed ones would waste workers.
+    ///
+    /// The mask *plan* is issued here even on the sequential path (where it
+    /// is consumed inline at upload time): planning burns the session's
+    /// ratchet counter, and doing that at the same point of the event order
+    /// regardless of parallelism is what keeps secure runs bit-identical at
+    /// any thread count.
+    pub fn prefetch_training(&mut self, participation_id: u64) {
+        let in_flight = match self.in_flight.get(&participation_id) {
+            Some(in_flight) => in_flight,
+            None => return,
+        };
+        let client_id = in_flight.client_id;
+        let start_params = Arc::clone(&in_flight.start_params);
+        let mask_plan = self.aggregator.plan_mask_precompute(client_id);
         let executor = match &self.executor {
             Some(executor) => executor,
             None => return,
         };
-        if let Some(in_flight) = self.in_flight.get(&participation_id) {
-            executor.submit(TrainJob {
-                participation_id,
-                client_id: in_flight.client_id,
-                start_params: Arc::clone(&in_flight.start_params),
-                seed: participation_seed(self.seed, participation_id),
-                trainer: Arc::clone(&self.trainer),
-            });
+        executor.submit(TrainJob {
+            participation_id,
+            client_id,
+            start_params,
+            seed: participation_seed(self.seed, participation_id),
+            trainer: Arc::clone(&self.trainer),
+        });
+        if let Some(plan) = mask_plan {
+            executor.submit_mask(participation_id, plan);
         }
     }
 
-    /// Drops any speculative training queued for an aborted participation.
+    /// Drops any speculative training or mask work queued for an aborted
+    /// participation.
     fn discard_prefetch(&self, participation_id: u64) {
         if let Some(executor) = &self.executor {
             executor.discard(participation_id);
+            executor.discard_mask(participation_id);
         }
     }
 
@@ -369,7 +393,11 @@ impl TaskRuntime {
 
         let mut outcome = UpdateOutcome::default();
         if self.aggregator.closes_round_on_release() && in_flight.round != self.round_number {
-            // Update from a previous round arriving late; discarded.
+            // Update from a previous round arriving late; discarded (along
+            // with any speculative mask still on the pool).
+            if let Some(executor) = &self.executor {
+                executor.discard_mask(participation_id);
+            }
             self.metrics.discarded_updates += 1;
             self.metrics.participations.push(ParticipationRecord {
                 client_id,
@@ -378,6 +406,16 @@ impl TaskRuntime {
                 aggregated: false,
             });
             return Some(outcome);
+        }
+
+        // Hand a speculatively precomputed mask to the secure pipeline.  A
+        // still-queued job is cancelled (`take_mask` returns `None`) and the
+        // aggregator expands the mask inline — the plan is pure, so the two
+        // routes are bit-identical.
+        if let Some(executor) = &self.executor {
+            if let Some(mask) = executor.take_mask(participation_id) {
+                self.aggregator.provide_precomputed_mask(client_id, mask);
+            }
         }
 
         let update = ClientUpdate::from_result(client_id, in_flight.start_version, result);
@@ -570,6 +608,9 @@ impl TaskRuntime {
             // Incremental: counters are overwritten, the append-only error
             // trace only copies entries the metrics have not seen yet.
             self.metrics.secure.sync_from(telemetry);
+        }
+        if let Some(timings) = self.aggregator.secure_timings() {
+            self.metrics.secure_timings = timings;
         }
     }
 

@@ -160,6 +160,94 @@ fn timed_hybrid_secure_run_matches_clear_run() {
     );
 }
 
+/// Runs `task` through the session-cached protocol (`AsyncSecAgg`) and the
+/// legacy per-update key-exchange protocol (`AsyncSecAggPerUpdate`) and
+/// asserts the two are **bitwise** interchangeable: masks cancel exactly in
+/// both modes, so every released aggregate — and therefore the final model —
+/// must be bit-identical, while the session mode does strictly less TEE
+/// traffic and key-exchange work.  Fingerprints are *expected* to differ
+/// (TEE byte counts and cache counters are hashed), so the comparison is on
+/// parameters and policy counters, never fingerprints.
+fn assert_session_matches_per_update(task: TaskConfig, hours: f64) -> (Report, Report) {
+    let session = run(
+        task.clone().with_secagg(SecAggMode::AsyncSecAgg),
+        hours,
+        Parallelism::sequential(),
+    );
+    let per_update = run(
+        task.with_secagg(SecAggMode::AsyncSecAggPerUpdate),
+        hours,
+        Parallelism::sequential(),
+    );
+    let (s, p) = (&session.single().metrics, &per_update.single().metrics);
+
+    // Identical policy trajectory.
+    assert_eq!(s.comm_trips, p.comm_trips);
+    assert_eq!(s.server_updates, p.server_updates);
+    assert_eq!(s.aggregated_updates, p.aggregated_updates);
+    assert_eq!(s.rejected_stale_updates, p.rejected_stale_updates);
+    assert_eq!(s.discarded_updates, p.discarded_updates);
+    assert_eq!(s.participations, p.participations);
+    assert_eq!(s.secure.masked_updates, p.secure.masked_updates);
+    assert_eq!(s.secure.tsa_key_releases, p.secure.tsa_key_releases);
+    assert!(s.server_updates > 0, "nothing was aggregated");
+
+    // Bitwise-identical learning: the one-time pads differ between the two
+    // key schedules but cancel exactly inside each released buffer sum.
+    assert_eq!(
+        session.single().final_params.as_slice(),
+        per_update.single().final_params.as_slice(),
+        "session-cached releases must be bit-identical to per-update releases"
+    );
+    assert_eq!(session.single().final_loss, per_update.single().final_loss);
+
+    // The cache must actually amortize: resumed participations skip the DH
+    // exchange entirely, and the per-client TEE ingress drops from a full
+    // CompletingMessage to a 16-byte MaskRef.
+    assert!(s.secure.session_cache_misses > 0, "no first contacts");
+    assert!(s.secure.dh_exchanges_saved > 0, "cache never resumed");
+    assert_eq!(s.secure.dh_exchanges_saved, s.secure.session_cache_hits);
+    assert_eq!(p.secure.dh_exchanges_saved, 0, "legacy mode has no cache");
+    assert!(
+        s.secure.tee_bytes_in < p.secure.tee_bytes_in,
+        "session mode must shrink TEE ingress: {} vs {}",
+        s.secure.tee_bytes_in,
+        p.secure.tee_bytes_in
+    );
+    (session, per_update)
+}
+
+#[test]
+fn fedbuff_session_cache_matches_per_update_exchange() {
+    assert_session_matches_per_update(TaskConfig::async_task("fedbuff", 32, 8), 1.0);
+}
+
+#[test]
+fn sync_round_session_cache_matches_per_update_exchange() {
+    assert_session_matches_per_update(TaskConfig::sync_task("sync", 30, 0.3), 2.0);
+}
+
+#[test]
+fn timed_hybrid_session_cache_matches_per_update_exchange() {
+    assert_session_matches_per_update(
+        TaskConfig::timed_hybrid_task("hybrid", 24, 2_000, 600.0),
+        2.0,
+    );
+}
+
+#[test]
+fn dp_stacked_session_cache_matches_per_update_exchange() {
+    // DP goes outermost; its noise lands on the decoded aggregate, which is
+    // bit-identical between the two key schedules, so the noised model must
+    // be too.
+    use papaya_core::dp::DpConfig;
+    let task = TaskConfig::async_task("dp-secure", 32, 8).with_dp(DpConfig::new(2.0, 0.5));
+    let (session, _) = assert_session_matches_per_update(task, 1.0);
+    let m = &session.single().metrics;
+    assert!(m.dp.releases > 0, "DP pipeline never released");
+    assert!(m.dp.cumulative_epsilon > 0.0, "accountant never charged");
+}
+
 #[test]
 fn secure_fingerprint_is_thread_count_invariant() {
     // Acceptance criterion: a secure scenario's fingerprint must be

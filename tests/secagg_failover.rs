@@ -8,11 +8,10 @@
 use papaya_core::config::SecAggMode;
 use papaya_core::TaskConfig;
 use papaya_data::population::{Population, PopulationConfig};
-use papaya_sim::scenario::{EvalPolicy, FleetSpec, Scenario};
+use papaya_sim::scenario::{EvalPolicy, FleetSpec, Report, Scenario};
 use papaya_sim::RunLimits;
 
-#[test]
-fn aggregator_crash_drops_masked_buffer_without_key_release() {
+fn run_fleet(crash: Option<(f64, usize)>) -> Report {
     let population = Population::generate(
         &PopulationConfig::default()
             .with_size(1_200)
@@ -21,18 +20,24 @@ fn aggregator_crash_drops_masked_buffer_without_key_release() {
     );
     // Both tasks run securely, so whichever Aggregator the crash hits, a
     // masked buffer is lost.
-    let report = Scenario::builder()
+    let mut builder = Scenario::builder()
         .population(population)
         .task(TaskConfig::async_task("secure-a", 48, 12))
         .task(TaskConfig::async_task("secure-b", 32, 8))
         .secagg(SecAggMode::AsyncSecAgg)
         .fleet(FleetSpec::new(2, 2))
-        .crash_at(1_800.0, 0)
         .limits(RunLimits::default().with_max_virtual_time_hours(2.0))
         .eval(EvalPolicy::default().with_interval_s(600.0))
-        .seed(71)
-        .build()
-        .run();
+        .seed(71);
+    if let Some((time_s, aggregator)) = crash {
+        builder = builder.crash_at(time_s, aggregator);
+    }
+    builder.build().run()
+}
+
+#[test]
+fn aggregator_crash_drops_masked_buffer_without_key_release() {
+    let report = run_fleet(Some((1_800.0, 0)));
 
     assert_eq!(report.fleet.control_plane.aggregator_failures, 1);
     assert!(
@@ -80,4 +85,47 @@ fn aggregator_crash_drops_masked_buffer_without_key_release() {
             task.final_loss
         );
     }
+}
+
+#[test]
+fn aggregator_crash_invalidates_cached_sessions_and_forces_rehandshakes() {
+    // A crash wipes the replacement TSA's session table (the enclave's
+    // in-memory key cache dies with the machine), so every post-crash
+    // participation on the reassigned task must pay a fresh DH handshake.
+    // Observable fleet-wide: the crash run records strictly more
+    // first-contact handshakes (cache misses) than the identical run
+    // without a crash, where each client handshakes at most once per task.
+    // (That rejected uploads pin no session state, and that a reset drops
+    // the masked buffer without any key release, are pinned per-operation
+    // by the SecureAggregator unit suite.)
+    let crashed = run_fleet(Some((1_800.0, 0)));
+    let healthy = run_fleet(None);
+
+    let misses = |r: &Report| -> u64 {
+        r.tasks
+            .iter()
+            .map(|t| t.metrics.secure.session_cache_misses)
+            .sum()
+    };
+    let hits = |r: &Report| -> u64 {
+        r.tasks
+            .iter()
+            .map(|t| t.metrics.secure.session_cache_hits)
+            .sum()
+    };
+    assert!(hits(&healthy) > 0, "session cache never resumed");
+    assert!(
+        misses(&crashed) > misses(&healthy),
+        "crash did not force re-handshakes: {} misses with crash vs {} without",
+        misses(&crashed),
+        misses(&healthy)
+    );
+    // The session cache keeps amortizing after the failover: resumed
+    // participations still dominate first contacts over the whole run.
+    assert!(
+        hits(&crashed) > misses(&crashed),
+        "cache stopped amortizing after the crash: {} hits vs {} misses",
+        hits(&crashed),
+        misses(&crashed)
+    );
 }
