@@ -128,33 +128,39 @@ impl DpConfig {
     /// `target_delta` outside `(0, 1)`, or an ε budget that is non-positive
     /// or combined with `noise_multiplier == 0`.
     pub fn validate(&self) {
+        // Exhaustive destructure: a new DP knob must be range-checked here
+        // (or explicitly ignored) before it compiles — the same choke-point
+        // discipline as the scenario's TaskConfig validation.
+        let DpConfig {
+            clip_bound,
+            noise_multiplier,
+            sampling_rate,
+            target_delta,
+            epsilon_budget,
+        } = *self;
         assert!(
-            self.clip_bound.is_finite() && self.clip_bound > 0.0,
-            "dp: clip bound must be positive and finite, got {}",
-            self.clip_bound
+            clip_bound.is_finite() && clip_bound > 0.0,
+            "dp: clip bound must be positive and finite, got {clip_bound}"
         );
         assert!(
-            self.noise_multiplier.is_finite() && self.noise_multiplier >= 0.0,
-            "dp: noise multiplier must be non-negative and finite, got {}",
-            self.noise_multiplier
+            noise_multiplier.is_finite() && noise_multiplier >= 0.0,
+            "dp: noise multiplier must be non-negative and finite, got {noise_multiplier}"
         );
         assert!(
-            self.sampling_rate > 0.0 && self.sampling_rate <= 1.0,
-            "dp: sampling rate must be in (0, 1], got {}",
-            self.sampling_rate
+            sampling_rate > 0.0 && sampling_rate <= 1.0,
+            "dp: sampling rate must be in (0, 1], got {sampling_rate}"
         );
         assert!(
-            self.target_delta > 0.0 && self.target_delta < 1.0,
-            "dp: target delta must be in (0, 1), got {}",
-            self.target_delta
+            target_delta > 0.0 && target_delta < 1.0,
+            "dp: target delta must be in (0, 1), got {target_delta}"
         );
-        if let Some(budget) = self.epsilon_budget {
+        if let Some(budget) = epsilon_budget {
             assert!(
                 budget > 0.0,
                 "dp: epsilon budget must be positive, got {budget}"
             );
             assert!(
-                self.noise_multiplier > 0.0,
+                noise_multiplier > 0.0,
                 "dp: an epsilon budget requires noise (noise_multiplier > 0); \
                  a noiseless mechanism has infinite epsilon and would stop on \
                  the first release"

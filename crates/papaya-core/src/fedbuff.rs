@@ -59,6 +59,7 @@ impl FedBuffAggregator {
     }
 }
 
+// papaya-lint: allow(decorator-conformance) -- base strategy, no inner aggregator to forward to; the trait defaults are the correct behavior
 impl Aggregator for FedBuffAggregator {
     /// Offers an update to the buffer; `current_version` is the server model
     /// version at upload time (used to compute staleness).  Virtual time is

@@ -51,7 +51,7 @@ use papaya_secagg::fixed_point::FixedPointCodec;
 use papaya_secagg::group::GroupParams;
 use papaya_secagg::session::{HandshakePlan, MaskPlanKind, MaskRef};
 use papaya_secagg::{SecAggClient, SecAggConfig, Tsa, TsaPublication, UntrustedAggregator};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 // Re-exported so the `Aggregator` trait hooks and the simulator's executor
@@ -222,16 +222,16 @@ struct SessionState {
     /// the property that makes speculative precompute order-safe.
     client_master: [u8; 32],
     /// Established sessions: client id → cached shared secret.
-    secrets: HashMap<usize, SharedSecret>,
+    secrets: BTreeMap<usize, SharedSecret>,
     /// Next ratchet counter per client.  Burned at *plan* time: even a
     /// participation later rejected by policy consumes its counter, so no
     /// two uploads ever share a mask seed.
-    counters: HashMap<usize, u64>,
+    counters: BTreeMap<usize, u64>,
     /// Plans issued (to the speculative executor) but not yet consumed.
-    planned: HashMap<usize, MaskPlan>,
+    planned: BTreeMap<usize, MaskPlan>,
     /// Speculative results handed back via
     /// [`Aggregator::provide_precomputed_mask`].
-    provided: HashMap<usize, PrecomputedMask>,
+    provided: BTreeMap<usize, PrecomputedMask>,
     /// Mask references of the buffer in progress, released as one batch.
     pending_refs: Vec<MaskRef>,
     /// Monotone plan-id source.
@@ -248,14 +248,24 @@ struct SessionState {
     scratch: MaskScratch,
 }
 
+/// The session-cached protocol state.  Callers are session-mode paths that
+/// already dispatched on `session.is_some()`; taking the field (not
+/// `&mut self`) keeps sibling-field borrows legal at the call sites.
+fn session_state(session: &mut Option<SessionState>) -> &mut SessionState {
+    session
+        .as_mut()
+        // papaya-lint: allow(panic-hygiene) -- session-mode dispatch guarantees presence; absence is an internal invariant breach, not a reachable input
+        .expect("session-mode call on a per-update aggregator")
+}
+
 impl SessionState {
     fn new(seed: u64) -> Self {
         SessionState {
             client_master: derive_seed(b"papaya/secagg-client-master/", seed),
-            secrets: HashMap::new(),
-            counters: HashMap::new(),
-            planned: HashMap::new(),
-            provided: HashMap::new(),
+            secrets: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            planned: BTreeMap::new(),
+            provided: BTreeMap::new(),
             pending_refs: Vec::new(),
             next_plan_id: 0,
             valid_from_plan_id: 0,
@@ -380,10 +390,7 @@ impl SecureAggregator {
 
     /// Builds the next mask plan for `client_id`, burning a ratchet counter.
     fn session_plan(&mut self, client_id: usize) -> MaskPlan {
-        let cached = self
-            .session
-            .as_ref()
-            .expect("session_plan requires session mode")
+        let cached = session_state(&mut self.session)
             .secrets
             .get(&client_id)
             .copied();
@@ -391,7 +398,7 @@ impl SecureAggregator {
             Some(secret) => MaskPlanKind::Resumed { secret },
             None => {
                 let init = self.tsa.session_init();
-                let session = self.session.as_mut().expect("checked above");
+                let session = session_state(&mut self.session);
                 // Per-(client, epoch) deterministic handshake key: stable
                 // within an epoch (a rejected first contact retries with the
                 // same secret but a fresh counter), fresh across epochs.
@@ -417,7 +424,7 @@ impl SecureAggregator {
                 }))
             }
         };
-        let session = self.session.as_mut().expect("checked above");
+        let session = session_state(&mut self.session);
         let counter_slot = session.counters.entry(client_id).or_insert(0);
         let counter = *counter_slot;
         *counter_slot += 1;
@@ -436,17 +443,13 @@ impl SecureAggregator {
     /// its mask: the speculative result when one with a matching plan id was
     /// provided, an inline compute otherwise.
     fn consume_mask(&mut self, client_id: usize) -> (MaskPlan, PrecomputedMask) {
-        let planned = self
-            .session
-            .as_mut()
-            .expect("consume_mask requires session mode")
-            .planned
-            .remove(&client_id);
+        let planned = session_state(&mut self.session).planned.remove(&client_id);
         let plan = planned.unwrap_or_else(|| self.session_plan(client_id));
-        let session = self.session.as_mut().expect("checked above");
+        let session = session_state(&mut self.session);
         let pre = match session.provided.remove(&client_id) {
             Some(pre) if pre.plan_id == plan.plan_id => pre,
             _ => {
+                // papaya-lint: allow(wall-clock) -- stage timing for SecureTimings; profiling only, never fingerprinted
                 let start = Instant::now();
                 let pre = plan.compute(&mut session.scratch);
                 let elapsed = start.elapsed().as_secs_f64();
@@ -478,6 +481,7 @@ impl SecureAggregator {
         // pad.
         let mut scaled = update.delta.clone();
         scaled.scale(weight as f32);
+        // papaya-lint: allow(wall-clock) -- stage timing for SecureTimings; profiling only, never fingerprinted
         let start = Instant::now();
         let masked = self
             .config
@@ -500,13 +504,14 @@ impl SecureAggregator {
             if let Some(handshake) = pre.handshake {
                 self.tsa
                     .establish_session(client_id as u64, &handshake.client_public);
-                let session = self.session.as_mut().expect("session mode");
+                let session = session_state(&mut self.session);
                 session.secrets.insert(client_id, handshake.secret);
             }
             self.host
                 .submit_masked(&masked)
+                // papaya-lint: allow(panic-hygiene) -- codec and host share one deployment config by construction; a mismatch is a wiring bug
                 .expect("mask and update share the deployment group");
-            let session = self.session.as_mut().expect("session mode");
+            let session = session_state(&mut self.session);
             session.pending_refs.push(MaskRef {
                 client_id: client_id as u64,
                 counter: plan.counter,
@@ -540,11 +545,13 @@ impl SecureAggregator {
         let weight = self.inner.update_weight(update.num_examples, staleness);
         let mut scaled = update.delta.clone();
         scaled.scale(weight as f32);
+        // papaya-lint: allow(wall-clock) -- stage timing for SecureTimings; profiling only, never fingerprinted
         let start = Instant::now();
         let initial = self
             .tsa
             .prepare_initial_messages(1, &mut self.rng)
             .pop()
+            // papaya-lint: allow(panic-hygiene) -- one message was requested on the line above; an empty batch is an internal invariant breach
             .expect("one initial message");
         let upload = SecAggClient::participate(
             scaled.as_slice(),
@@ -553,14 +560,17 @@ impl SecureAggregator {
             &self.config,
             &mut self.rng,
         )
+        // papaya-lint: allow(panic-hygiene) -- the simulated client verifies the publication it was just handed; rejection is a protocol wiring bug
         .expect("simulated client validates its own TSA");
         self.timings.handshake_s += start.elapsed().as_secs_f64();
 
         let outcome = self.inner.accumulate(update, current_version, now_s);
         if outcome.accepted() {
+            // papaya-lint: allow(wall-clock) -- stage timing for SecureTimings; profiling only, never fingerprinted
             let start = Instant::now();
             self.host
                 .submit(upload, &mut self.tsa)
+                // papaya-lint: allow(panic-hygiene) -- the exchange was created by this aggregator's own TSA moments ago; rejection is a protocol wiring bug
                 .expect("fresh key-exchange completion is accepted");
             self.timings.encode_s += start.elapsed().as_secs_f64();
             self.weight_sum += weight;
@@ -614,6 +624,7 @@ impl Aggregator for SecureAggregator {
         }
         let reference = self.inner.take(now_s)?;
         let accepted = self.host.accepted();
+        // papaya-lint: allow(wall-clock) -- stage timing for SecureTimings; profiling only, never fingerprinted
         let start = Instant::now();
         let decoded = if let Some(session) = self.session.as_mut() {
             // One TSA round-trip for the whole buffer: the batch of 16-byte
@@ -621,10 +632,12 @@ impl Aggregator for SecureAggregator {
             let refs = std::mem::take(&mut session.pending_refs);
             self.host
                 .finalize_batch(&mut self.tsa, &refs)
+                // papaya-lint: allow(panic-hygiene) -- take() is gated on is_ready, which requires the TSA threshold; refusal is an internal invariant breach
                 .expect("is_ready implies the TSA threshold is met")
         } else {
             self.host
                 .finalize(&mut self.tsa)
+                // papaya-lint: allow(panic-hygiene) -- take() is gated on is_ready, which requires the TSA threshold; refusal is an internal invariant breach
                 .expect("is_ready implies the TSA threshold is met")
         };
         self.timings.unmask_s += start.elapsed().as_secs_f64();
@@ -742,9 +755,7 @@ impl Aggregator for SecureAggregator {
     fn plan_mask_precompute(&mut self, client_id: usize) -> Option<MaskPlan> {
         self.session.as_ref()?;
         let plan = self.session_plan(client_id);
-        self.session
-            .as_mut()
-            .expect("session mode")
+        session_state(&mut self.session)
             .planned
             .insert(client_id, plan.clone());
         Some(plan)

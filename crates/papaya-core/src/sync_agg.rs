@@ -55,6 +55,7 @@ impl SyncRoundAggregator {
     }
 }
 
+// papaya-lint: allow(decorator-conformance) -- base strategy, no inner aggregator to forward to; the trait defaults are the correct behavior
 impl Aggregator for SyncRoundAggregator {
     /// Offers an update.  Updates arriving after the round reached its goal
     /// are discarded (the over-selection waste path).  Within a round the

@@ -129,6 +129,7 @@ impl<const N: usize> Uint<N> {
             cleaned
         };
         for i in (0..padded.len()).step_by(2) {
+            // papaya-lint: allow(panic-hygiene) -- documented panic: from_hex is a test/constant helper whose contract rejects non-hex input
             bytes.push(u8::from_str_radix(&padded[i..i + 2], 16).expect("invalid hex digit"));
         }
         Self::from_be_bytes(&bytes)
@@ -296,6 +297,7 @@ impl<const N: usize> Montgomery<N> {
             modulus.is_odd(),
             "Montgomery arithmetic requires an odd modulus"
         );
+        // papaya-lint: allow(panic-hygiene) -- documented panic: Montgomery construction requires a non-zero odd modulus (asserted above)
         let active = modulus.highest_bit().expect("modulus must be non-zero") / 64 + 1;
         let n0_inv = inv_mod_2_64(modulus.limbs[0]).wrapping_neg();
 

@@ -1,0 +1,511 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The analyzer never parses Rust properly — it scans token streams — so the
+//! lexer's only job is to never *mis*-tokenize: a `HashMap` inside a string
+//! literal or a comment must not look like an identifier, a lifetime must
+//! not swallow the rest of the file as an unterminated char literal, and a
+//! nested block comment must not leak code back in.  Everything subtle in
+//! Rust lexing lives here: raw strings (`r#"…"#`), byte and raw-byte
+//! strings, raw identifiers (`r#fn`), nested `/* /* */ */` comments,
+//! lifetimes vs. char literals, and doc comments.
+
+/// What a token is; the scanner mostly matches on `Ident` and `Punct` text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are not distinguished).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without loop labels the
+    /// distinction does not matter for linting).
+    Lifetime,
+    /// Character or byte literal, quotes included.
+    CharLit,
+    /// String literal of any flavor (plain, raw, byte), delimiters included.
+    StrLit,
+    /// Numeric literal.
+    NumLit,
+    /// Punctuation. Multi-character operators are emitted as single tokens
+    /// only for `::`, `=>`, and `->`; everything else is one char per token.
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text. Raw identifiers are normalized (`r#fn` becomes `fn`);
+    /// literals keep their delimiters.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with the line it starts on.  Allow directives
+/// are parsed out of these; code rules never see comment text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body without the `//` / `/*` delimiters.
+    pub text: String,
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexer's output: code tokens and comments, separately.
+#[derive(Clone, Debug, Default)]
+pub struct LexOutput {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Unterminated literals or comments do not abort the
+/// scan: the remainder of the file is consumed as the open token, which is
+/// the most conservative recovery for a linter.
+pub fn lex(src: &str) -> LexOutput {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: LexOutput::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' if matches!(self.peek(1), Some('"' | '#')) => self.raw_prefixed(line),
+                'b' if matches!(self.peek(1), Some('\'' | '"' | 'r')) => self.byte_prefixed(line),
+                _ if is_ident_start(c) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Block comments nest in Rust: `/* /* */ */` is one comment.
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Plain `"…"` strings (escapes honored so `"\""` does not end early).
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::StrLit, text, line);
+    }
+
+    /// `r"…"` / `r#"…"#` raw strings and `r#ident` raw identifiers share the
+    /// `r` prefix; a quote after the hashes means string, otherwise ident.
+    fn raw_prefixed(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(1 + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(1 + hashes) == Some('"') {
+            self.bump(); // r
+            for _ in 0..hashes {
+                self.bump();
+            }
+            self.raw_string_body(hashes, line);
+        } else if hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier: emit the bare name so `r#type` scans as `type`.
+            self.bump(); // r
+            self.bump(); // #
+            self.ident(line);
+        } else {
+            self.ident(line);
+        }
+    }
+
+    /// After the opening `r##…` prefix: consume `"…"##` with matching hashes.
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        let mut text = String::from("\"");
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::StrLit, text, line);
+    }
+
+    /// `b'x'`, `b"…"`, and `br#"…"#` byte-flavored literals.
+    fn byte_prefixed(&mut self, line: u32) {
+        match self.peek(1) {
+            Some('\'') => {
+                self.bump(); // b
+                self.char_literal(line);
+            }
+            Some('"') => {
+                self.bump(); // b
+                self.string(line);
+            }
+            Some('r') => {
+                let mut hashes = 0usize;
+                while self.peek(2 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some('"') {
+                    self.bump(); // b
+                    self.bump(); // r
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes, line);
+                } else {
+                    self.ident(line);
+                }
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): a backslash after
+    /// the quote is always a char; otherwise it is a char only when a
+    /// closing quote follows the single content character.
+    fn char_or_lifetime(&mut self, line: u32) {
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if is_ident_start(c) => self.peek(2) == Some('\''),
+            Some(_) => true, // e.g. '+' or ' '
+            None => true,
+        };
+        if is_char {
+            self.char_literal(line);
+        } else {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn char_literal(&mut self, line: u32) {
+        let mut text = String::from("'");
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::CharLit, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    /// Numbers only need to be consumed coherently (their value is never
+    /// inspected): digits, then `.` only when followed by another digit so
+    /// ranges like `0..n` and method calls like `1.max(x)` do not glue, with
+    /// exponent signs (`1e-6`) folded in.
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let fractional_dot = c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.');
+            let exponent_sign =
+                (c == '+' || c == '-') && matches!(text.chars().next_back(), Some('e' | 'E'));
+            if c.is_ascii_alphanumeric() || c == '_' || fractional_dot || exponent_sign {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::NumLit, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let c = match self.bump() {
+            Some(c) => c,
+            None => return,
+        };
+        let joined = match (c, self.peek(0)) {
+            (':', Some(':')) => Some("::"),
+            ('=', Some('>')) => Some("=>"),
+            ('-', Some('>')) => Some("->"),
+            _ => None,
+        };
+        if let Some(op) = joined {
+            self.bump();
+            self.push(TokenKind::Punct, op.to_string(), line);
+        } else {
+            self.push(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn plain_tokens_carry_lines() {
+        let out = lex("let x = 1;\nlet y = x;\n");
+        let x = out
+            .tokens
+            .iter()
+            .filter(|t| t.text == "x")
+            .collect::<Vec<_>>();
+        assert_eq!(x.len(), 2);
+        assert_eq!(x[0].line, 1);
+        assert_eq!(x[1].line, 2);
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        assert_eq!(idents(r#"let s = "HashMap inside";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_inner_quotes() {
+        let out = lex(r###"let s = r#"quote " and HashMap"# ;"###);
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::StrLit)
+                .count(),
+            1
+        );
+        assert_eq!(
+            idents(r###"let s = r#"quote " and HashMap"# ;"###),
+            vec!["let", "s"]
+        );
+        // A raw string whose body contains a lone `"#`-like sequence only
+        // closes on the matching number of hashes.
+        let out = lex(r####"r##"inner "# still open"## x"####);
+        assert_eq!(out.tokens.len(), 2);
+        assert_eq!(out.tokens[1].text, "x");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(
+            idents(r#"let b = b"HashMap"; let c = b'x';"#),
+            vec!["let", "b", "let", "c"]
+        );
+        assert_eq!(idents(r##"let b = br#"HashMap"#;"##), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn raw_identifiers_normalize() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            idents("a /* outer /* inner */ still comment */ b"),
+            vec!["a", "b"]
+        );
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn line_and_doc_comments_are_captured() {
+        let out = lex("/// doc HashMap\n//! inner doc\n// plain\nfn f() {}\n");
+        assert_eq!(out.comments.len(), 3);
+        assert_eq!(out.comments[0].text, "/ doc HashMap");
+        assert_eq!(out.comments[1].line, 2);
+        assert!(!out.tokens.iter().any(|t| t.text == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+        // 'static is a lifetime even though it is long.
+        let out = lex("&'static str");
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let texts: Vec<String> = lex("0..n 1.5e-6 1_000u64 0xff 2.0f64")
+            .tokens
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(
+            texts,
+            vec!["0", ".", ".", "n", "1.5e-6", "1_000u64", "0xff", "2.0f64"]
+        );
+    }
+
+    #[test]
+    fn joined_operators() {
+        let texts: Vec<String> = lex("a::b => c -> d == e")
+            .tokens
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(
+            texts,
+            vec!["a", "::", "b", "=>", "c", "->", "d", "=", "=", "e"]
+        );
+    }
+
+    #[test]
+    fn unterminated_literals_consume_to_eof_without_panicking() {
+        assert_eq!(idents("let s = \"open"), vec!["let", "s"]);
+        assert_eq!(idents("a /* open"), vec!["a"]);
+        assert_eq!(idents("let c = 'open"), vec!["let", "c"]);
+    }
+}

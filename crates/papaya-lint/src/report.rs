@@ -1,0 +1,153 @@
+//! Findings, the machine-readable JSON report, and the baseline format.
+
+use std::fmt;
+
+/// One diagnostic: a rule violation at a file and line.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// The rule that fired (its `Rule::name`).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(
+        path: impl Into<String>,
+        line: u32,
+        rule: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            rule: rule.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Line-independent identity used by the baseline: a finding survives
+    /// unrelated edits shifting it up or down the file.
+    pub fn baseline_key(&self) -> String {
+        format!("{}\t{}\t{}", self.rule, self.path, self.message)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders findings as a JSON document (hand-rolled: the workspace builds
+/// with no registry access, so no serde).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(&f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"total\": {}\n}}\n", findings.len()));
+    out
+}
+
+/// Serializes findings as a baseline: one tab-separated
+/// `rule\tfile\tmessage` line each, sorted — trivially diffable and
+/// parseable without a JSON reader.
+pub fn to_baseline(findings: &[Finding]) -> String {
+    let mut keys: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+    keys.sort();
+    keys.dedup();
+    let mut out = keys.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a baseline file's keys (blank lines and `#` comments ignored).
+pub fn parse_baseline(content: &str) -> Vec<String> {
+    content
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let findings = vec![Finding::new(
+            "a.rs",
+            3,
+            "rule-x",
+            "uses \"quotes\"\nand newline",
+        )];
+        let json = to_json(&findings);
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"total\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = to_json(&[]);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"total\": 0"));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let findings = vec![
+            Finding::new("b.rs", 9, "r2", "msg two"),
+            Finding::new("a.rs", 3, "r1", "msg one"),
+        ];
+        let text = to_baseline(&findings);
+        let keys = parse_baseline(&text);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&findings[0].baseline_key()));
+        assert!(keys.contains(&findings[1].baseline_key()));
+        // Sorted output: r1 before r2.
+        assert!(text.find("r1").unwrap_or(usize::MAX) < text.find("r2").unwrap_or(0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Decorator conformance: the aggregation stack composes as
+//! `dp(secure(strategy))`, so any `Aggregator` impl that wraps another must
+//! forward the pass-through hooks — a decorator that forgets one silently
+//! severs telemetry (or weighting) for every layer beneath it.
+
+use super::Rule;
+use crate::report::Finding;
+use crate::scan::{find_seq, matching};
+use crate::Workspace;
+
+/// Hooks with trait-provided defaults that decorators must forward.  Base
+/// strategies (no inner aggregator) opt out with a justified allow.
+const FORWARDED_HOOKS: &[&str] = &["update_weight", "secure_telemetry", "dp_telemetry"];
+
+/// Every `impl Aggregator for …` block defines all pass-through hooks or
+/// carries an explicit opt-out allow.
+pub struct DecoratorConformance;
+
+impl Rule for DecoratorConformance {
+    fn name(&self) -> &'static str {
+        "decorator-conformance"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Aggregator impl forwards update_weight/secure_telemetry/dp_telemetry or opts out with a justified allow"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            let toks = &file.tokens;
+            let mut i = 0usize;
+            while let Some(at) = find_seq(toks, i, &["impl"]) {
+                i = at + 1;
+                if file.is_test_line(toks[at].line) {
+                    continue;
+                }
+                // Skip `impl<…>` generics, then require `Aggregator for`.
+                let mut j = at + 1;
+                if toks.get(j).map(|t| t.text.as_str()) == Some("<") {
+                    let mut depth = 0usize;
+                    while let Some(t) = toks.get(j) {
+                        match t.text.as_str() {
+                            "<" => depth += 1,
+                            ">" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                if toks.get(j).map(|t| t.text.as_str()) != Some("Aggregator")
+                    || toks.get(j + 1).map(|t| t.text.as_str()) != Some("for")
+                {
+                    continue;
+                }
+                // Find the impl body.
+                let mut k = j + 2;
+                while k < toks.len() && toks[k].text != "{" {
+                    k += 1;
+                }
+                if k >= toks.len() {
+                    continue;
+                }
+                let close = match matching(toks, k, "{", "}") {
+                    Some(c) => c,
+                    None => continue,
+                };
+                let body = &toks[k + 1..close];
+                let missing: Vec<&str> = FORWARDED_HOOKS
+                    .iter()
+                    .copied()
+                    .filter(|hook| find_seq(body, 0, &["fn", hook]).is_none())
+                    .collect();
+                if !missing.is_empty() {
+                    out.push(Finding::new(
+                        &file.path,
+                        toks[at].line,
+                        self.name(),
+                        format!(
+                            "`Aggregator` impl does not define {}; decorators must \
+                             forward these hooks to their inner layer (base strategies \
+                             opt out with a justified allow)",
+                            missing
+                                .iter()
+                                .map(|m| format!("`{m}`"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    ));
+                }
+                i = close;
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Exhaustiveness rules: cross-file checks that configuration structs,
+//! event dispatch, and metrics stay fully wired as they grow.  These
+//! generalize PR 4's "exhaustive destructure choke point" from a convention
+//! into a machine-checked invariant.
+
+use super::{path_ends_with, Rule};
+use crate::report::Finding;
+use crate::scan::{
+    enum_variants, find_destructure, find_seq, fn_body, matching, struct_fields, SourceFile,
+};
+use crate::Workspace;
+
+fn find_file<'a>(ws: &'a Workspace, suffix: &str) -> Option<&'a SourceFile> {
+    ws.files.iter().find(|f| path_ends_with(&f.path, suffix))
+}
+
+/// `(struct, struct file, validator fn, validator file)` — every field of
+/// the struct must be named in the validator's destructuring pattern, so
+/// adding a knob without deciding how runs honor it fails the lint (and,
+/// for the destructure itself, the build).
+const CONFIG_CHECKS: &[(&str, &str, &str, &str)] = &[
+    (
+        "TaskConfig",
+        "papaya-core/src/config.rs",
+        "validate_task_config",
+        "papaya-sim/src/scenario.rs",
+    ),
+    (
+        "DpConfig",
+        "papaya-core/src/dp.rs",
+        "validate",
+        "papaya-core/src/dp.rs",
+    ),
+    (
+        "RunLimits",
+        "papaya-sim/src/scenario.rs",
+        "validate_run_limits",
+        "papaya-sim/src/scenario.rs",
+    ),
+];
+
+/// Every `TaskConfig`/`DpConfig`/`RunLimits` field must appear in its
+/// validator's exhaustive destructure, and the destructure must not use a
+/// `..` rest pattern.
+pub struct ConfigValidate;
+
+impl Rule for ConfigValidate {
+    fn name(&self) -> &'static str {
+        "config-validate"
+    }
+
+    fn description(&self) -> &'static str {
+        "every TaskConfig/DpConfig/RunLimits field must be destructured in its validator (no `..` rest patterns)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for &(struct_name, struct_file, fn_name, fn_file) in CONFIG_CHECKS {
+            let sfile = match find_file(ws, struct_file) {
+                Some(f) => f,
+                None => continue, // struct not in this (fixture) workspace
+            };
+            let fields = match struct_fields(sfile, struct_name) {
+                Some(f) => f,
+                None => continue,
+            };
+            let vfile = match find_file(ws, fn_file) {
+                Some(f) => f,
+                None => {
+                    out.push(Finding::new(
+                        &sfile.path,
+                        1,
+                        self.name(),
+                        format!(
+                            "struct `{struct_name}` has no reachable validator: expected \
+                             `{fn_name}` in `{fn_file}`"
+                        ),
+                    ));
+                    continue;
+                }
+            };
+            let body = fn_body(vfile, fn_name, 0);
+            let destructure = body.and_then(|(start, end, _)| {
+                find_destructure(&vfile.tokens, (start, end), struct_name)
+            });
+            let d = match destructure {
+                Some(d) => d,
+                None => {
+                    out.push(Finding::new(
+                        &vfile.path,
+                        body.map(|(_, _, line)| line).unwrap_or(1),
+                        self.name(),
+                        format!(
+                            "validator `{fn_name}` must exhaustively destructure \
+                             `{struct_name}` so new fields cannot be silently ignored"
+                        ),
+                    ));
+                    continue;
+                }
+            };
+            if d.has_rest {
+                out.push(Finding::new(
+                    &vfile.path,
+                    d.line,
+                    self.name(),
+                    format!(
+                        "`{struct_name}` destructure in `{fn_name}` uses a `..` rest \
+                         pattern, which silently absorbs new fields"
+                    ),
+                ));
+            }
+            for field in &fields {
+                if !d.fields.iter().any(|f| f.name == field.name) {
+                    out.push(Finding::new(
+                        &vfile.path,
+                        d.line,
+                        self.name(),
+                        format!(
+                            "field `{}` of `{struct_name}` is not destructured in \
+                             `{fn_name}`; decide how runs honor it (or ignore it \
+                             explicitly with `{}: _`)",
+                            field.name, field.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+const EVENTS_FILE: &str = "papaya-sim/src/events.rs";
+const DISPATCH_FILE: &str = "papaya-sim/src/scenario.rs";
+
+/// Both scenario dispatch paths (`match event.kind` in the direct and fleet
+/// run loops) must name every `EventKind` variant explicitly and must not
+/// hide behind a `_` wildcard arm.
+pub struct EventDispatch;
+
+impl Rule for EventDispatch {
+    fn name(&self) -> &'static str {
+        "event-dispatch"
+    }
+
+    fn description(&self) -> &'static str {
+        "both scenario dispatch matches must name every EventKind variant explicitly, with no `_` wildcard arm"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let events = match find_file(ws, EVENTS_FILE) {
+            Some(f) => f,
+            None => return,
+        };
+        let variants = match enum_variants(events, "EventKind") {
+            Some(v) => v,
+            None => return,
+        };
+        let dispatch = match find_file(ws, DISPATCH_FILE) {
+            Some(f) => f,
+            None => {
+                out.push(Finding::new(
+                    &events.path,
+                    1,
+                    self.name(),
+                    format!("`EventKind` has no reachable dispatch file `{DISPATCH_FILE}`"),
+                ));
+                return;
+            }
+        };
+        let matches = event_kind_matches(dispatch);
+        if matches.len() < 2 {
+            out.push(Finding::new(
+                &dispatch.path,
+                1,
+                self.name(),
+                format!(
+                    "expected both scenario paths to dispatch on `event.kind` \
+                     (found {} `match event.kind` site(s), need at least 2)",
+                    matches.len()
+                ),
+            ));
+        }
+        for (open, close, line) in matches {
+            let body = &dispatch.tokens[open + 1..close];
+            for variant in &variants {
+                if find_seq(body, 0, &["EventKind", "::", &variant.name]).is_none() {
+                    out.push(Finding::new(
+                        &dispatch.path,
+                        line,
+                        self.name(),
+                        format!(
+                            "dispatch `match event.kind` does not handle \
+                             `EventKind::{}`; every variant must be named in both \
+                             scenario paths",
+                            variant.name
+                        ),
+                    ));
+                }
+            }
+            // A `_ =>` arm directly inside the match body defeats the
+            // compiler's exhaustiveness check for future variants.
+            let mut depth = 0usize;
+            for (i, tok) in body.iter().enumerate() {
+                match tok.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => depth = depth.saturating_sub(1),
+                    "_" if depth == 0 && body.get(i + 1).map(|t| t.text.as_str()) == Some("=>") => {
+                        out.push(Finding::new(
+                            &dispatch.path,
+                            tok.line,
+                            self.name(),
+                            "dispatch `match event.kind` has a `_` wildcard arm; list \
+                             foreign variants explicitly so a new `EventKind` variant \
+                             is a compile error here, not a silent fallthrough",
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// All `match` sites in `file` whose scrutinee tokens contain `event.kind`:
+/// `(body_open, body_close, match_line)`.
+fn event_kind_matches(file: &SourceFile) -> Vec<(usize, usize, u32)> {
+    let toks = &file.tokens;
+    let mut sites = Vec::new();
+    let mut i = 0usize;
+    while let Some(at) = find_seq(toks, i, &["match"]) {
+        i = at + 1;
+        // Scrutinee runs to the first `{` (no struct expressions appear in
+        // these scrutinees).
+        let mut j = at + 1;
+        let mut has_event_kind = false;
+        while j < toks.len() && toks[j].text != "{" {
+            if toks[j].text == "event"
+                && toks.get(j + 1).map(|t| t.text.as_str()) == Some(".")
+                && toks.get(j + 2).map(|t| t.text.as_str()) == Some("kind")
+            {
+                has_event_kind = true;
+            }
+            j += 1;
+        }
+        if !has_event_kind || j >= toks.len() {
+            continue;
+        }
+        if let Some(close) = matching(toks, j, "{", "}") {
+            sites.push((j, close, toks[at].line));
+            i = close;
+        }
+    }
+    sites
+}
+
+const METRICS_FILE: &str = "papaya-sim/src/metrics.rs";
+const SECURE_FILE: &str = "papaya-core/src/secure.rs";
+const DP_FILE: &str = "papaya-core/src/dp.rs";
+const FINGERPRINT_FILE: &str = "papaya-sim/src/scenario.rs";
+
+/// `(struct, file)` pairs whose fields must be hashed in
+/// `Report::fingerprint()` or carry an explicit exemption.
+const METRIC_STRUCTS: &[(&str, &str)] = &[
+    ("MetricsCollector", METRICS_FILE),
+    ("SecureTelemetry", SECURE_FILE),
+    ("DpTelemetry", DP_FILE),
+];
+
+/// Every metrics/telemetry field is either referenced inside
+/// `Report::fingerprint()` or carries an allow exemption on its declaration
+/// line — so a new counter cannot silently escape the determinism pin.
+pub struct MetricsFingerprint;
+
+impl Rule for MetricsFingerprint {
+    fn name(&self) -> &'static str {
+        "metrics-fingerprint"
+    }
+
+    fn description(&self) -> &'static str {
+        "every MetricsCollector/SecureTelemetry/DpTelemetry field must be hashed in Report::fingerprint() or carry an explicit exemption"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let hashed: Option<Vec<&str>> = find_file(ws, FINGERPRINT_FILE)
+            .and_then(|f| fn_body(f, "fingerprint", 0).map(|(s, e, _)| (f, s, e)))
+            .map(|(f, s, e)| f.tokens[s..e].iter().map(|t| t.text.as_str()).collect());
+        for &(struct_name, struct_file) in METRIC_STRUCTS {
+            let sfile = match find_file(ws, struct_file) {
+                Some(f) => f,
+                None => continue,
+            };
+            let fields = match struct_fields(sfile, struct_name) {
+                Some(f) => f,
+                None => continue,
+            };
+            let hashed = match &hashed {
+                Some(h) => h,
+                None => {
+                    out.push(Finding::new(
+                        &sfile.path,
+                        1,
+                        self.name(),
+                        format!(
+                            "`{struct_name}` fields must be pinned by `fn fingerprint` \
+                             in `{FINGERPRINT_FILE}`, which was not found"
+                        ),
+                    ));
+                    continue;
+                }
+            };
+            for field in &fields {
+                if !hashed.contains(&field.name.as_str()) {
+                    out.push(Finding::new(
+                        &sfile.path,
+                        field.line,
+                        self.name(),
+                        format!(
+                            "field `{}` of `{struct_name}` is not hashed in \
+                             `Report::fingerprint()`; hash it or exempt it with a \
+                             justified allow on its declaration",
+                            field.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Panic hygiene: `unwrap()`/`expect()` in non-test library code either
+//! becomes a typed error or carries a justified allow explaining why the
+//! panic is an invariant violation rather than a reachable failure.
+
+use super::Rule;
+use crate::report::Finding;
+use crate::Workspace;
+
+/// Flags `.unwrap(` and `.expect(` in non-test code.  Adapters like
+/// `unwrap_or_else` are distinct identifiers and never fire.
+pub struct PanicHygiene;
+
+impl Rule for PanicHygiene {
+    fn name(&self) -> &'static str {
+        "panic-hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap()/expect() in non-test library code without a justified allow (typed errors preferred)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            let toks = &file.tokens;
+            for i in 0..toks.len() {
+                if toks[i].text != "." {
+                    continue;
+                }
+                let name = match toks.get(i + 1) {
+                    Some(t) if t.text == "unwrap" || t.text == "expect" => t.text.as_str(),
+                    _ => continue,
+                };
+                if toks.get(i + 2).map(|t| t.text.as_str()) != Some("(") {
+                    continue;
+                }
+                let line = toks[i + 1].line;
+                if file.is_test_line(line) {
+                    continue;
+                }
+                out.push(Finding::new(
+                    &file.path,
+                    line,
+                    self.name(),
+                    format!(
+                        "`.{name}()` can panic in library code; return a typed error, or \
+                         justify the invariant with an allow"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -68,6 +68,7 @@ impl Embedding {
         let ids = self
             .cached_ids
             .as_ref()
+            // papaya-lint: allow(panic-hygiene) -- documented panic: backward before forward is a training-loop sequencing bug
             .expect("backward called before forward");
         assert_eq!(grad_output.rows(), ids.len());
         for (row, &id) in ids.iter().enumerate() {

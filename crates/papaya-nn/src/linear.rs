@@ -61,6 +61,7 @@ impl Linear {
         let input = self
             .cached_input
             .as_ref()
+            // papaya-lint: allow(panic-hygiene) -- documented panic: backward before forward is a training-loop sequencing bug
             .expect("backward called before forward");
         // dW = x^T * dy ; db = sum_rows(dy) ; dx = dy * W^T
         self.weight_grad

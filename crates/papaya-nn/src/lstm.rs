@@ -147,6 +147,7 @@ impl LstmCell {
         let cache = self
             .caches
             .pop()
+            // papaya-lint: allow(panic-hygiene) -- documented panic: more backward than forward steps is a training-loop sequencing bug
             .expect("backward_step called with no cached forward step");
         let h = self.hidden;
         let batch = grad_h.rows();

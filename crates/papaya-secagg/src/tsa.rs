@@ -19,7 +19,7 @@ use papaya_crypto::chacha20::ChaCha20Rng;
 use papaya_crypto::dh::{DhPrivateKey, DhPublicKey, SharedSecret};
 use papaya_crypto::hmac::hmac_sha256;
 use papaya_crypto::merkle::MerkleLog;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Counters of data crossing the host↔TEE boundary.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -104,9 +104,9 @@ pub struct Tsa {
     config: SecAggConfig,
     hardware_key: [u8; 32],
     /// Private halves of issued key exchanges, keyed by index.
-    private_keys: HashMap<usize, DhPrivateKey>,
+    private_keys: BTreeMap<usize, DhPrivateKey>,
     /// Indices whose completion has already been processed (ever).
-    used_indices: HashSet<usize>,
+    used_indices: BTreeSet<usize>,
     next_index: usize,
     /// The verifiable log recording released trusted binaries.
     log: MerkleLog,
@@ -123,7 +123,7 @@ pub struct Tsa {
     /// Cached epoch offer (public key + quote), built at most once per epoch.
     epoch_init: Option<SessionInitMessage>,
     /// Established sessions, keyed by client id.
-    sessions: HashMap<u64, TsaSession>,
+    sessions: BTreeMap<u64, TsaSession>,
     /// Reusable mask-expansion buffer for batched releases.
     scratch: Vec<u64>,
 }
@@ -152,8 +152,8 @@ impl Tsa {
         Tsa {
             config: config.clone(),
             hardware_key,
-            private_keys: HashMap::new(),
-            used_indices: HashSet::new(),
+            private_keys: BTreeMap::new(),
+            used_indices: BTreeSet::new(),
             next_index: 0,
             log,
             mask_sum: GroupVec::zeros(config.group_params(), config.vector_len),
@@ -163,7 +163,7 @@ impl Tsa {
             epoch: 0,
             epoch_key: None,
             epoch_init: None,
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             scratch: Vec::new(),
         }
     }
@@ -176,6 +176,7 @@ impl Tsa {
         let record = binary.log_record();
         let index = (0..self.log.len())
             .find(|&i| self.log.get(i) == Some(record.as_slice()))
+            // papaya-lint: allow(panic-hygiene) -- the constructor records the binary before any publication can be requested
             .expect("binary recorded at construction");
         TsaPublication {
             expected_measurement: binary.measurement(),
@@ -187,6 +188,7 @@ impl Tsa {
             inclusion_proof: self
                 .log
                 .inclusion_proof(index)
+                // papaya-lint: allow(panic-hygiene) -- `index` was found in the log two statements above; a missing proof is an internal invariant breach
                 .expect("inclusion proof for recorded binary"),
             hardware_key: self.hardware_key,
         }
@@ -384,6 +386,7 @@ impl Tsa {
                 quote,
             });
         }
+        // papaya-lint: allow(panic-hygiene) -- the branch above populates `epoch_init` whenever it was empty
         self.epoch_init.clone().expect("built above")
     }
 
@@ -402,6 +405,7 @@ impl Tsa {
         let secret = self
             .epoch_key
             .as_ref()
+            // papaya-lint: allow(panic-hygiene) -- session_init was just run if the epoch key was absent; absence here is an internal invariant breach
             .expect("epoch key exists after session_init")
             .shared_secret(client_public);
         self.sessions
@@ -446,8 +450,10 @@ impl Tsa {
             });
         }
         // Validation pass: every ref must be at or above its session's
-        // floor, and refs within the batch must not collide.
-        let mut floors: HashMap<u64, u64> = HashMap::new();
+        // floor, and refs within the batch must not collide.  Ordered map:
+        // the floor-advance loop below iterates it, and enclave state
+        // transitions must not depend on hash order.
+        let mut floors: BTreeMap<u64, u64> = BTreeMap::new();
         for r in refs {
             let session = self
                 .sessions
@@ -467,6 +473,7 @@ impl Tsa {
         let mut sum = GroupVec::zeros(params, self.config.vector_len);
         let mut scratch = std::mem::take(&mut self.scratch);
         for r in refs {
+            // papaya-lint: allow(panic-hygiene) -- every ref passed the validation pass above, which requires an established session
             let secret = self.sessions.get(&r.client_id).expect("validated").secret;
             let seed = ratchet_seed(&secret, r.counter);
             expand_mask_into(&seed, params, self.config.vector_len, &mut scratch);
@@ -474,6 +481,7 @@ impl Tsa {
         }
         self.scratch = scratch;
         for (client_id, floor) in floors {
+            // papaya-lint: allow(panic-hygiene) -- `floors` keys were validated against established sessions above
             let session = self.sessions.get_mut(&client_id).expect("validated");
             session.next_counter = floor;
             // Revocations the floor has now passed can never match again.

@@ -18,7 +18,7 @@
 use papaya_core::config::TaskConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of an Aggregator instance.
 pub type AggregatorId = usize;
@@ -75,20 +75,20 @@ pub struct AssignmentMap {
     /// Monotonic version of the map.
     pub sequence: u64,
     /// Task to aggregator routing.
-    pub routes: HashMap<TaskId, AggregatorId>,
+    pub routes: BTreeMap<TaskId, AggregatorId>,
 }
 
 /// The Coordinator: single leader responsible for task placement and client
 /// assignment.
 #[derive(Debug)]
 pub struct Coordinator {
-    aggregators: HashMap<AggregatorId, AggregatorState>,
-    tasks: HashMap<TaskId, TaskSpec>,
-    assignments: HashMap<TaskId, AggregatorId>,
+    aggregators: BTreeMap<AggregatorId, AggregatorState>,
+    tasks: BTreeMap<TaskId, TaskSpec>,
+    assignments: BTreeMap<TaskId, AggregatorId>,
     /// Client demand per task as reported by Aggregators, plus the number of
     /// clients assigned but not yet confirmed (Section 6.2).
-    reported_demand: HashMap<TaskId, usize>,
-    unconfirmed_assignments: HashMap<TaskId, usize>,
+    reported_demand: BTreeMap<TaskId, usize>,
+    unconfirmed_assignments: BTreeMap<TaskId, usize>,
     sequence: u64,
     heartbeat_timeout_s: f64,
     rng: StdRng,
@@ -99,11 +99,11 @@ impl Coordinator {
     /// `heartbeat_timeout_s` are considered failed.
     pub fn new(heartbeat_timeout_s: f64, seed: u64) -> Self {
         Coordinator {
-            aggregators: HashMap::new(),
-            tasks: HashMap::new(),
-            assignments: HashMap::new(),
-            reported_demand: HashMap::new(),
-            unconfirmed_assignments: HashMap::new(),
+            aggregators: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            assignments: BTreeMap::new(),
+            reported_demand: BTreeMap::new(),
+            unconfirmed_assignments: BTreeMap::new(),
             sequence: 0,
             heartbeat_timeout_s,
             rng: StdRng::seed_from_u64(seed),
@@ -140,6 +140,7 @@ impl Coordinator {
         self.tasks.insert(task_id, spec);
         let target = self
             .least_loaded_alive_aggregator()
+            // papaya-lint: allow(panic-hygiene) -- documented panic: submitting with no alive Aggregator is a caller contract breach (see doc comment)
             .expect("no alive aggregator available");
         self.assignments.insert(task_id, target);
         self.sequence += 1;
@@ -147,7 +148,7 @@ impl Coordinator {
     }
 
     fn least_loaded_alive_aggregator(&self) -> Option<AggregatorId> {
-        let mut loads: HashMap<AggregatorId, u64> = self
+        let mut loads: BTreeMap<AggregatorId, u64> = self
             .aggregators
             .iter()
             .filter(|(_, s)| s.alive)
@@ -165,8 +166,8 @@ impl Coordinator {
     }
 
     /// Current workload (sum of estimated task workloads) per Aggregator.
-    pub fn aggregator_loads(&self) -> HashMap<AggregatorId, u64> {
-        let mut loads: HashMap<AggregatorId, u64> =
+    pub fn aggregator_loads(&self) -> BTreeMap<AggregatorId, u64> {
+        let mut loads: BTreeMap<AggregatorId, u64> =
             self.aggregators.keys().map(|&id| (id, 0)).collect();
         for (task, agg) in &self.assignments {
             if let (Some(load), Some(spec)) = (loads.get_mut(agg), self.tasks.get(task)) {
@@ -197,8 +198,8 @@ impl Coordinator {
             .filter(|(_, agg)| failed.contains(agg))
             .map(|(&task, _)| task)
             .collect();
-        // HashMap iteration order is not deterministic across instances;
-        // reassign in task order so identical runs place identically.
+        // Reassign in sorted task order so identical runs place identically
+        // (the sort also documents the order for future map changes).
         orphaned.sort_unstable();
         for task in orphaned {
             if let Some(target) = self.least_loaded_alive_aggregator() {

@@ -32,8 +32,8 @@
 use papaya_core::client::{ClientTrainer, LocalTrainResult};
 use papaya_core::secure::{MaskPlan, MaskScratch, PrecomputedMask};
 use papaya_nn::params::ParamVec;
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// How many worker threads run client local training.
@@ -118,29 +118,29 @@ pub struct ExecutorStats {
 #[derive(Default)]
 struct Inner {
     /// Queued jobs by participation id.
-    jobs: HashMap<u64, TrainJob>,
+    jobs: BTreeMap<u64, TrainJob>,
     /// FIFO order of queued participation ids (ids may be stale if the job
     /// was stolen or discarded; workers skip missing entries).
     order: VecDeque<u64>,
     /// Participations currently being trained by a worker.
-    running: HashSet<u64>,
+    running: BTreeSet<u64>,
     /// Finished results awaiting consumption.  `Err` carries the panic
     /// message of a trainer that panicked on the worker; the driver
     /// re-raises it in [`Executor::take_or_run`] so the failure surfaces
     /// exactly like the sequential path's instead of deadlocking the loop.
-    results: HashMap<u64, Result<LocalTrainResult, String>>,
+    results: BTreeMap<u64, Result<LocalTrainResult, String>>,
     /// Running participations whose result must be dropped on completion.
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     /// Queued mask-precompute plans by participation id (secure tasks).
-    mask_jobs: HashMap<u64, MaskPlan>,
+    mask_jobs: BTreeMap<u64, MaskPlan>,
     /// FIFO order of queued mask jobs; stale ids are skipped like `order`.
     mask_order: VecDeque<u64>,
     /// Mask computations currently running on a worker.
-    mask_running: HashSet<u64>,
+    mask_running: BTreeSet<u64>,
     /// Finished masks awaiting consumption (`Err` = worker panic message).
-    mask_results: HashMap<u64, Result<PrecomputedMask, String>>,
+    mask_results: BTreeMap<u64, Result<PrecomputedMask, String>>,
     /// Running mask jobs whose result must be dropped on completion.
-    mask_cancelled: HashSet<u64>,
+    mask_cancelled: BTreeSet<u64>,
     stats: ExecutorStats,
     shutdown: bool,
 }
@@ -151,6 +151,23 @@ struct Shared {
     job_ready: Condvar,
     /// Signalled when a worker publishes a result.
     result_ready: Condvar,
+}
+
+impl Shared {
+    /// Locks the executor state.  Poisoning is unreachable: every worker
+    /// panic is caught by `catch_unwind` *before* the worker re-locks, so no
+    /// thread can die while holding the mutex — a poisoned lock is a harness
+    /// bug worth a loud crash, not a recoverable condition.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // papaya-lint: allow(panic-hygiene) -- lock poisoning is unreachable (worker panics are caught before re-locking); crashing loudly beats limping on poisoned state
+        self.inner.lock().unwrap()
+    }
+}
+
+/// Blocks on `condvar`, with the same poisoning argument as [`Shared::lock`].
+fn wait_on<'a>(condvar: &Condvar, guard: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+    // papaya-lint: allow(panic-hygiene) -- lock poisoning is unreachable (worker panics are caught before re-locking); crashing loudly beats limping on poisoned state
+    condvar.wait(guard).unwrap()
 }
 
 /// A fixed-size `std::thread` pool running [`TrainJob`]s off the event-loop
@@ -180,6 +197,7 @@ impl Executor {
                 std::thread::Builder::new()
                     .name(format!("papaya-train-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // papaya-lint: allow(panic-hygiene) -- thread spawn fails only on OS resource exhaustion at pool construction; no run state exists yet to unwind
                     .expect("spawn training worker")
             })
             .collect();
@@ -199,7 +217,7 @@ impl Executor {
     /// lifetime of the executor (the scenario drivers' participation ids
     /// are).
     pub fn submit(&self, job: TrainJob) {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = self.shared.lock();
         inner.order.push_back(job.participation_id);
         inner.jobs.insert(job.participation_id, job);
         drop(inner);
@@ -215,7 +233,7 @@ impl Executor {
         participation_id: u64,
         fallback: impl FnOnce() -> LocalTrainResult,
     ) -> LocalTrainResult {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = self.shared.lock();
         if let Some(job) = inner.jobs.remove(&participation_id) {
             inner.stats.stolen_by_driver += 1;
             drop(inner);
@@ -237,7 +255,7 @@ impl Executor {
                 drop(inner);
                 return fallback();
             }
-            inner = self.shared.result_ready.wait(inner).unwrap();
+            inner = wait_on(&self.shared.result_ready, inner);
         }
     }
 
@@ -245,7 +263,7 @@ impl Executor {
     /// queued job or finished result, or marks a running job so its result
     /// is discarded on completion.  A no-op for ids never submitted.
     pub fn discard(&self, participation_id: u64) {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = self.shared.lock();
         let dropped = inner.jobs.remove(&participation_id).is_some()
             || inner.results.remove(&participation_id).is_some()
             || (inner.running.contains(&participation_id)
@@ -260,7 +278,7 @@ impl Executor {
     /// [`Executor::submit`] — each participation has at most one training
     /// and one mask job.
     pub fn submit_mask(&self, participation_id: u64, plan: MaskPlan) {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = self.shared.lock();
         inner.mask_order.push_back(participation_id);
         inner.mask_jobs.insert(participation_id, plan);
         drop(inner);
@@ -274,7 +292,7 @@ impl Executor {
     /// plans are pure, so both routes are bit-identical.  `None` for ids
     /// never submitted.  Re-raises a worker panic on the driver thread.
     pub fn take_mask(&self, participation_id: u64) -> Option<PrecomputedMask> {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = self.shared.lock();
         if inner.mask_jobs.remove(&participation_id).is_some() {
             inner.stats.masks_cancelled_unstarted += 1;
             return None;
@@ -292,14 +310,14 @@ impl Executor {
             if !inner.mask_running.contains(&participation_id) {
                 return None;
             }
-            inner = self.shared.result_ready.wait(inner).unwrap();
+            inner = wait_on(&self.shared.result_ready, inner);
         }
     }
 
     /// Drops speculative mask work for an aborted participation, in the
     /// same three states as [`Executor::discard`].
     pub fn discard_mask(&self, participation_id: u64) {
-        let mut inner = self.shared.inner.lock().unwrap();
+        let mut inner = self.shared.lock();
         let dropped = inner.mask_jobs.remove(&participation_id).is_some()
             || inner.mask_results.remove(&participation_id).is_some()
             || (inner.mask_running.contains(&participation_id)
@@ -316,14 +334,14 @@ impl Executor {
 
     /// Snapshot of the lifetime counters.
     pub fn stats(&self) -> ExecutorStats {
-        self.shared.inner.lock().unwrap().stats
+        self.shared.lock().stats
     }
 }
 
 impl Drop for Executor {
     fn drop(&mut self) {
         {
-            let mut inner = self.shared.inner.lock().unwrap();
+            let mut inner = self.shared.lock();
             inner.shutdown = true;
         }
         self.shared.job_ready.notify_all();
@@ -354,7 +372,7 @@ fn worker_loop(shared: &Shared) {
     // mask precompute allocates once per mask instead of twice and workers
     // never contend on shared scratch.
     let mut scratch = MaskScratch::default();
-    let mut inner = shared.inner.lock().unwrap();
+    let mut inner = shared.lock();
     loop {
         // Find the next queued job, skipping ids that were stolen or
         // discarded while waiting in the order queue.  Mask jobs drain
@@ -379,7 +397,7 @@ fn worker_loop(shared: &Shared) {
                     }
                 }
                 None => {
-                    inner = shared.job_ready.wait(inner).unwrap();
+                    inner = wait_on(&shared.job_ready, inner);
                 }
             }
         };
@@ -392,7 +410,7 @@ fn worker_loop(shared: &Shared) {
             WorkerJob::Train(job) => {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run()))
                     .map_err(panic_message);
-                inner = shared.inner.lock().unwrap();
+                inner = shared.lock();
                 inner.running.remove(&job.participation_id);
                 if inner.cancelled.remove(&job.participation_id) {
                     // Aborted mid-flight; the result (or panic) must not
@@ -411,7 +429,7 @@ fn worker_loop(shared: &Shared) {
                     plan.compute(&mut scratch)
                 }))
                 .map_err(panic_message);
-                inner = shared.inner.lock().unwrap();
+                inner = shared.lock();
                 inner.mask_running.remove(&id);
                 if inner.mask_cancelled.remove(&id) {
                     // Aborted mid-flight; drop the mask.

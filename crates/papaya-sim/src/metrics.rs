@@ -62,6 +62,7 @@ pub struct MetricsCollector {
     /// mask expansion, encode, unmask).  Machine-dependent, so it is kept
     /// out of [`SecureTelemetry`] and never hashed into run fingerprints;
     /// `perf_suite --profile` surfaces it for overhead triage.
+    // papaya-lint: allow(metrics-fingerprint) -- wall-clock profiling is machine-dependent by nature; hashing it would break the determinism pin it exists to protect
     pub secure_timings: SecureTimings,
     /// Differential-privacy telemetry, synced from the task's
     /// [`DpAggregator`](papaya_core::dp::DpAggregator): clip counts, the

@@ -57,7 +57,7 @@ use papaya_data::population::{DeviceProfile, Population};
 use papaya_nn::params::ParamVec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -500,6 +500,7 @@ impl Report {
             "scenario ran {} tasks",
             self.tasks.len()
         );
+        // papaya-lint: allow(panic-hygiene) -- the assert directly above guarantees exactly one task; documented panic
         self.tasks.pop().expect("one task")
     }
 }
@@ -683,6 +684,7 @@ impl ScenarioBuilder {
     /// timeout, or a capability-tier restriction without a fleet to
     /// enforce it).
     pub fn build(mut self) -> Scenario {
+        // papaya-lint: allow(panic-hygiene) -- documented builder contract: build() panics without a population (see doc comment)
         let population = self.population.expect("a population is required");
         assert!(!population.is_empty(), "population must not be empty");
         assert!(!self.tasks.is_empty(), "at least one task is required");
@@ -699,6 +701,7 @@ impl ScenarioBuilder {
         for task in &self.tasks {
             validate_task_config(task, self.fleet.is_some());
         }
+        validate_run_limits(&self.limits);
         if let Some(fleet) = &self.fleet {
             assert!(fleet.aggregators > 0, "at least one aggregator is required");
             assert!(fleet.selectors > 0, "at least one selector is required");
@@ -806,6 +809,39 @@ fn validate_task_config(task: &TaskConfig, has_fleet: bool) {
     );
 }
 
+/// The choke point where a scenario acknowledges every [`RunLimits`] field
+/// it honors — the stop-condition sibling of [`validate_task_config`].  The
+/// destructuring is exhaustive on purpose: adding a limit knob without
+/// deciding how runs honor it becomes a compile error here (and a lint
+/// finding), never a silently ignored setting.
+///
+/// # Panics
+///
+/// Panics on limits the run loops would not honor: a non-positive or
+/// non-finite virtual-time budget, a zero client-update budget, or a
+/// non-finite target loss.
+fn validate_run_limits(limits: &RunLimits) {
+    let RunLimits {
+        max_virtual_time_s, // hard stop in both run loops
+        max_client_updates, // checked on every (Task)ClientFinished
+        target_loss,        // checked on every Evaluate(Task)
+        parallelism: _,     // executor pool size; any value is honored
+    } = limits;
+    assert!(
+        max_virtual_time_s.is_finite() && *max_virtual_time_s > 0.0,
+        "max_virtual_time_s must be positive and finite"
+    );
+    if let Some(max) = max_client_updates {
+        assert!(
+            *max > 0,
+            "max_client_updates of 0 would stop no run; use a positive budget"
+        );
+    }
+    if let Some(target) = target_loss {
+        assert!(target.is_finite(), "target_loss must be finite");
+    }
+}
+
 impl Scenario {
     /// Starts composing a scenario.
     pub fn builder() -> ScenarioBuilder {
@@ -839,7 +875,7 @@ pub(crate) fn sample_eval_ids(
     sample: usize,
 ) -> Vec<usize> {
     let sample = sample.min(population_len).max(1);
-    let mut chosen = HashSet::with_capacity(sample);
+    let mut chosen = BTreeSet::new();
     let mut eval_ids = Vec::with_capacity(sample);
     while eval_ids.len() < sample {
         let id = rng.gen_range(0..population_len);
@@ -1037,7 +1073,16 @@ impl<'a> DirectState<'a> {
                         break;
                     }
                 }
-                _ => unreachable!("direct scenarios schedule no fleet events"),
+                // Fleet-plane events, listed explicitly so a new
+                // `EventKind` variant is a compile error in this match.
+                EventKind::TaskClientFinished { .. }
+                | EventKind::TaskClientFailed { .. }
+                | EventKind::EvaluateTask { .. }
+                | EventKind::ControlPlaneTick
+                | EventKind::RefreshSelectors
+                | EventKind::AggregatorCrash { .. } => {
+                    unreachable!("direct scenarios schedule no fleet events")
+                }
             }
             self.schedule_deadline_check();
         }
@@ -1163,12 +1208,12 @@ struct FleetState<'a> {
     coordinator: Coordinator,
     selectors: Vec<Selector>,
     selector_cursor: usize,
-    crashed: HashSet<AggregatorId>,
+    crashed: BTreeSet<AggregatorId>,
     pool: SamplingPool,
     tiers: Vec<u8>,
     /// Aggregator each in-flight participation will upload to (the route
     /// the client received at selection time).
-    upload_route: HashMap<u64, AggregatorId>,
+    upload_route: BTreeMap<u64, AggregatorId>,
     next_participation_id: u64,
     reassignments: Vec<u64>,
     /// Latest aggregation deadline an `AggregatorDeadline` event has been
@@ -1224,10 +1269,10 @@ impl<'a> FleetState<'a> {
             coordinator,
             selectors,
             selector_cursor: 0,
-            crashed: HashSet::new(),
+            crashed: BTreeSet::new(),
             pool: SamplingPool::new(scenario.population.len()),
             tiers,
-            upload_route: HashMap::new(),
+            upload_route: BTreeMap::new(),
             next_participation_id: 0,
             reassignments: vec![0; scenario.tasks.len()],
             scheduled_deadlines: vec![None; scenario.tasks.len()],
@@ -1363,7 +1408,14 @@ impl<'a> FleetState<'a> {
                         EventKind::EvaluateTask { task },
                     );
                 }
-                _ => unreachable!("fleet scenarios schedule no direct-path events"),
+                // Direct-path events, listed explicitly so a new
+                // `EventKind` variant is a compile error in this match.
+                EventKind::ClientFinished { .. }
+                | EventKind::ClientFailed { .. }
+                | EventKind::Evaluate
+                | EventKind::SampleUtilization => {
+                    unreachable!("fleet scenarios schedule no direct-path events")
+                }
             }
             self.schedule_deadline_checks();
         }

@@ -37,7 +37,7 @@ use papaya_core::model::ServerModel;
 use papaya_core::secure::{self, SecureAggregator};
 use papaya_core::server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
 use papaya_nn::params::ParamVec;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Which server optimizer a runtime applies to aggregated deltas.
@@ -126,7 +126,7 @@ pub struct TaskRuntime {
     snapshot: Arc<ParamVec>,
     optimizer: Box<dyn ServerOptimizer>,
     aggregator: Box<dyn Aggregator>,
-    in_flight: HashMap<u64, InFlight>,
+    in_flight: BTreeMap<u64, InFlight>,
     /// Parallel training pool, shared across the scenario's runtimes.
     /// `None` is the sequential path: training runs inline in
     /// [`offer_update`](TaskRuntime::offer_update).
@@ -227,7 +227,7 @@ impl TaskRuntime {
             snapshot,
             optimizer,
             aggregator,
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             executor: None,
             completed_this_round: 0,
             round_number: 0,
@@ -449,6 +449,7 @@ impl TaskRuntime {
             let delta = self
                 .aggregator
                 .take(now)
+                // papaya-lint: allow(panic-hygiene) -- take() is called under is_ready(); a None here is an aggregator contract breach
                 .expect("ready aggregator must release");
             self.apply_server_update(&delta);
             outcome.server_updated = true;
@@ -544,9 +545,8 @@ impl TaskRuntime {
     /// would land on a dead Aggregator).  The driver must release the
     /// returned devices.
     pub fn abort_all_in_flight(&mut self) -> Vec<FreedClient> {
-        let mut freed: Vec<FreedClient> = self
-            .in_flight
-            .drain()
+        let mut freed: Vec<FreedClient> = std::mem::take(&mut self.in_flight)
+            .into_iter()
             .map(|(participation_id, f)| FreedClient {
                 participation_id,
                 client_id: f.client_id,
