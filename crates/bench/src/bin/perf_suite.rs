@@ -6,6 +6,8 @@
 //! ```bash
 //! cargo run -p bench --release --bin perf_suite -- --quick --threads 4 --label ci
 //! cargo run -p bench --release --bin perf_suite -- --full --label full
+//! # One scenario only (repeatable), e.g. the million-client memory gate:
+//! cargo run -p bench --release --bin perf_suite -- --quick --scenario fedbuff-1m
 //! # Acceptance check on a >=4-core box: fail unless every scenario
 //! # reaches the required sequential/parallel speedup.
 //! cargo run -p bench --release --bin perf_suite -- --full --threads 4 --min-speedup 1.8
@@ -24,7 +26,7 @@
 //! fixed-point encode vs release unmasking) — CI uploads it as an artifact
 //! so an overhead-gate failure comes with its own triage data.
 
-use bench::perf::{compare, run_suite, SuiteResult};
+use bench::perf::{compare, run_suite, run_suite_scenarios, SuiteResult, SCENARIO_NAMES};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -43,6 +45,8 @@ struct Args {
     min_speedup: Option<f64>,
     /// Write the secure-pipeline timing breakdown to this path.
     profile: Option<String>,
+    /// Run only these scenarios (`--scenario`, repeatable); empty = all.
+    scenarios: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         factor: 2.0,
         min_speedup: None,
         profile: None,
+        scenarios: Vec::new(),
     };
     let mut i = 1;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -93,6 +98,15 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--profile" => args.profile = Some(value(&mut i)?),
+            "--scenario" => {
+                let name = value(&mut i)?;
+                if !SCENARIO_NAMES.contains(&name.as_str()) {
+                    return Err(format!(
+                        "--scenario {name:?} is not canonical; known: {SCENARIO_NAMES:?}"
+                    ));
+                }
+                args.scenarios.push(name);
+            }
             "--compare" => {
                 let baseline = value(&mut i)?;
                 let current = value(&mut i)?;
@@ -154,10 +168,15 @@ fn main() -> ExitCode {
         "# perf_suite: {mode} scenarios, sequential vs {} worker threads, seed {}",
         args.threads, args.seed
     );
-    let suite = run_suite(&args.label, args.quick, args.threads, args.seed);
+    let suite = if args.scenarios.is_empty() {
+        run_suite(&args.label, args.quick, args.threads, args.seed)
+    } else {
+        let names: Vec<&str> = args.scenarios.iter().map(String::as_str).collect();
+        run_suite_scenarios(&args.label, args.quick, args.threads, args.seed, &names)
+    };
 
     println!(
-        "{:<14} {:>9} {:>9} {:>10} {:>10} {:>12} {:>12} {:>8} {:>10}",
+        "{:<14} {:>9} {:>9} {:>10} {:>10} {:>12} {:>12} {:>8} {:>9} {:>10}",
         "scenario",
         "seq (s)",
         "par (s)",
@@ -166,13 +185,18 @@ fn main() -> ExitCode {
         "ev/s seq",
         "ev/s par",
         "speedup",
+        "rss MiB",
         "identical"
     );
     let mut all_identical = true;
     for s in &suite.scenarios {
         all_identical &= s.identical;
+        let rss = s
+            .peak_rss_bytes
+            .map(|b| format!("{:.0}", b as f64 / (1 << 20) as f64))
+            .unwrap_or_else(|| "n/a".to_string());
         println!(
-            "{:<14} {:>9.3} {:>9.3} {:>10} {:>10} {:>12.0} {:>12.0} {:>7.2}x {:>10}",
+            "{:<14} {:>9.3} {:>9.3} {:>10} {:>10} {:>12.0} {:>12.0} {:>7.2}x {:>9} {:>10}",
             s.name,
             s.wall_s_sequential,
             s.wall_s_parallel,
@@ -181,6 +205,7 @@ fn main() -> ExitCode {
             s.events_per_sec_sequential,
             s.events_per_sec_parallel,
             s.speedup,
+            rss,
             s.identical,
         );
     }

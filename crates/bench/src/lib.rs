@@ -19,5 +19,6 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod rss;
 
 pub use experiments::common::{parse_args, CliArgs, Scale};

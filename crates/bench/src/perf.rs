@@ -1,7 +1,7 @@
 //! The `perf_suite` harness: canonical scenarios, wall-clock measurement,
 //! `BENCH_*.json` serialization, and the CI regression gate.
 //!
-//! Five canonical scenarios track the simulator's performance trajectory
+//! Seven canonical scenarios track the simulator's performance trajectory
 //! (the MLSys systems-benchmarking practice of measuring the *system*, not
 //! just the model):
 //!
@@ -16,21 +16,29 @@
 //! * `timed-hybrid` — the deadline-release strategy, which stresses the
 //!   exact-deadline event path;
 //! * `fleet-crash` — a 6-task multi-tenant fleet with an injected
-//!   Aggregator crash, which stresses the control plane.
+//!   Aggregator crash, which stresses the control plane;
+//! * `fedbuff-1m` — FedBuff over a **million-device** population (never
+//!   shrunk by `--quick`), which gates the O(bytes)-per-idle-client memory
+//!   path: sharded sampling pool, packed population, procedural trainer,
+//!   bounded traces (`docs/SCALING.md`);
+//! * `fleet-scale` — a 4-task fleet over 200 000 devices (50 000 quick),
+//!   the control plane at fleet population scale, also trace-bounded.
 //!
 //! Each scenario runs twice — sequentially and on an N-thread training
-//! pool — and the harness records wall-clock seconds, events/sec, the
-//! speedup, and whether the two reports were bit-identical (they must be;
-//! see [`papaya_sim::executor`]).  Results are written to
-//! `BENCH_<label>.json`; [`compare`] implements the CI gate that fails when
-//! wall-clock regresses beyond a factor against a checked-in baseline.
+//! pool — and the harness records wall-clock seconds, events/sec, peak
+//! resident memory (see [`crate::rss`]), the speedup, and whether the two
+//! reports were bit-identical (they must be; see [`papaya_sim::executor`]).
+//! Results are written to `BENCH_<label>.json`; [`compare`] implements the
+//! CI gate that fails when wall-clock, throughput, or peak RSS regresses
+//! beyond a factor against a checked-in baseline.
 //!
 //! `--quick` shrinks every scenario for the CI smoke job; quick and full
 //! results are never comparable, and [`compare`] refuses to try.
 
 use crate::experiments::common::population;
+use crate::rss::PeakRssSampler;
 use papaya_core::config::SecAggMode;
-use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
+use papaya_core::surrogate::{ProceduralSurrogate, SurrogateConfig, SurrogateObjective};
 use papaya_core::{DpConfig, TaskConfig};
 use papaya_sim::scenario::{EvalPolicy, FleetSpec, Report, RunLimits, Scenario};
 use papaya_sim::Parallelism;
@@ -217,17 +225,95 @@ pub fn build_scenario(name: &str, quick: bool, parallelism: Parallelism, seed: u
             }
             builder.build()
         }
+        "fedbuff-1m" => {
+            // A million devices even under --quick: this scenario exists to
+            // gate the memory story, so the population never shrinks — only
+            // the update budget and concurrency do.  The pieces that make a
+            // million idle clients affordable are all on this path: the
+            // packed population (12 B/device), the sharded sampling pool
+            // (8 B/device), the procedural surrogate (4 B/device instead of
+            // dim floats), and a bounded trace budget so metrics stay
+            // O(budget) rather than O(events).
+            let pop = population(1_000_000, seed);
+            let trainer = Arc::new(ProceduralSurrogate::new(
+                &pop,
+                perf_surrogate_config(),
+                seed,
+            ));
+            Scenario::builder()
+                .population(pop)
+                .task_with_trainer(
+                    TaskConfig::async_task("fedbuff-1m", scale(4096, 1024), scale(256, 64)),
+                    trainer,
+                )
+                .limits(
+                    RunLimits::default()
+                        .with_max_virtual_time_hours(100.0)
+                        .with_max_client_updates(scale(40_000, 3_000) as u64)
+                        .with_parallelism(parallelism)
+                        .with_trace_budget(4096),
+                )
+                .eval(
+                    EvalPolicy::default()
+                        .with_interval_s(3600.0)
+                        .with_sample_size(100),
+                )
+                .seed(seed)
+                .build()
+        }
+        "fleet-scale" => {
+            // The multi-tenant control plane at fleet population scale: four
+            // tasks sharing 200k devices (50k quick) through three
+            // aggregators and four selectors, no injected crash — this
+            // measures steady-state routing/selection cost where fleet-crash
+            // measures failover.  Trace-bounded like fedbuff-1m.
+            let pop = population(scale(200_000, 50_000), seed);
+            let trainer = Arc::new(ProceduralSurrogate::new(
+                &pop,
+                perf_surrogate_config(),
+                seed,
+            ));
+            let unit = scale(4, 1);
+            let tasks = vec![
+                TaskConfig::async_task("assistant-lm", 256 * unit, 64 * unit),
+                TaskConfig::async_task("photo-tagger", 128 * unit, 32 * unit)
+                    .with_min_capability_tier(1),
+                TaskConfig::timed_hybrid_task("telemetry", 64 * unit, 16 * unit, 600.0),
+                TaskConfig::sync_task("ranker", 96 * unit, 0.2),
+            ];
+            let mut builder = Scenario::builder()
+                .population(pop)
+                .fleet(FleetSpec::new(3, 4))
+                .limits(
+                    RunLimits::default()
+                        .with_max_virtual_time_hours(if quick { 0.5 } else { 2.0 })
+                        .with_parallelism(parallelism)
+                        .with_trace_budget(4096),
+                )
+                .eval(
+                    EvalPolicy::default()
+                        .with_interval_s(900.0)
+                        .with_sample_size(100),
+                )
+                .seed(seed);
+            for task in tasks {
+                builder = builder.task_with_trainer(task, trainer.clone());
+            }
+            builder.build()
+        }
         other => panic!("unknown perf scenario {other:?}; known: {SCENARIO_NAMES:?}"),
     }
 }
 
 /// The canonical scenario set, in run order.
-pub const SCENARIO_NAMES: [&str; 5] = [
+pub const SCENARIO_NAMES: [&str; 7] = [
     "fedbuff-20k",
     "fedbuff-20k-secagg",
     "fedbuff-20k-dp",
     "timed-hybrid",
     "fleet-crash",
+    "fedbuff-1m",
+    "fleet-scale",
 ];
 
 /// Measured performance of one scenario at one thread count.
@@ -268,6 +354,11 @@ pub struct ScenarioPerf {
     pub secure_encode_s: f64,
     /// See [`ScenarioPerf::secure_handshake_s`].
     pub secure_unmask_s: f64,
+    /// Peak resident set (bytes) observed across both runs of this
+    /// scenario, via [`crate::rss::PeakRssSampler`].  `None` when the OS
+    /// exposes no measurement (no `/proc`); the RSS gate in [`compare`]
+    /// only fires when both suites carry one.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// One `BENCH_*.json` payload: a labelled suite run.
@@ -293,6 +384,9 @@ fn timed_run(scenario: &Scenario) -> (f64, Report) {
 
 /// Runs one canonical scenario sequentially and at `threads` workers.
 pub fn measure_scenario(name: &str, quick: bool, threads: usize, seed: u64) -> ScenarioPerf {
+    // One RSS window spans both runs (build + run, sequential and
+    // parallel): the scenario's memory gate covers its worst case.
+    let rss = PeakRssSampler::start();
     let (wall_seq, report_seq) = timed_run(&build_scenario(
         name,
         quick,
@@ -301,6 +395,7 @@ pub fn measure_scenario(name: &str, quick: bool, threads: usize, seed: u64) -> S
     ));
     let (wall_par, report_par) =
         timed_run(&build_scenario(name, quick, Parallelism(threads), seed));
+    let peak_rss_bytes = rss.stop();
     let events = report_seq.events_processed;
     let mut timings = papaya_core::secure::SecureTimings::default();
     for task in &report_seq.tasks {
@@ -321,6 +416,7 @@ pub fn measure_scenario(name: &str, quick: bool, threads: usize, seed: u64) -> S
         secure_mask_s: timings.mask_s,
         secure_encode_s: timings.encode_s,
         secure_unmask_s: timings.unmask_s,
+        peak_rss_bytes,
     }
 }
 
@@ -330,7 +426,20 @@ const SECAGG_OVERHEAD_PAIR: (&str, &str) = ("fedbuff-20k-secagg", "fedbuff-20k")
 /// Runs the whole canonical suite and fills in the secagg overhead factor
 /// (secure sequential wall over clear sequential wall).
 pub fn run_suite(label: &str, quick: bool, threads: usize, seed: u64) -> SuiteResult {
-    let mut scenarios: Vec<ScenarioPerf> = SCENARIO_NAMES
+    run_suite_scenarios(label, quick, threads, seed, &SCENARIO_NAMES)
+}
+
+/// [`run_suite`] restricted to a subset of [`SCENARIO_NAMES`] (the
+/// `perf_suite --scenario` flag).  The secagg overhead factor is only
+/// filled in when both halves of the pair ran.
+pub fn run_suite_scenarios(
+    label: &str,
+    quick: bool,
+    threads: usize,
+    seed: u64,
+    names: &[&str],
+) -> SuiteResult {
+    let mut scenarios: Vec<ScenarioPerf> = names
         .iter()
         .map(|name| measure_scenario(name, quick, threads, seed))
         .collect();
@@ -432,7 +541,15 @@ impl SuiteResult {
             );
             let _ = writeln!(out, "      \"secure_mask_s\": {:.6},", s.secure_mask_s);
             let _ = writeln!(out, "      \"secure_encode_s\": {:.6},", s.secure_encode_s);
-            let _ = writeln!(out, "      \"secure_unmask_s\": {:.6}", s.secure_unmask_s);
+            let _ = writeln!(out, "      \"secure_unmask_s\": {:.6},", s.secure_unmask_s);
+            match s.peak_rss_bytes {
+                Some(bytes) => {
+                    let _ = writeln!(out, "      \"peak_rss_bytes\": {bytes}");
+                }
+                None => {
+                    let _ = writeln!(out, "      \"peak_rss_bytes\": null");
+                }
+            }
             let _ = writeln!(out, "    }}{comma}");
         }
         let _ = writeln!(out, "  ]");
@@ -478,6 +595,7 @@ impl SuiteResult {
                     secure_mask_s: f64_or_zero("secure_mask_s")?,
                     secure_encode_s: f64_or_zero("secure_encode_s")?,
                     secure_unmask_s: f64_or_zero("secure_unmask_s")?,
+                    peak_rss_bytes: opt_f64("peak_rss_bytes")?.map(|b| b as u64),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -507,6 +625,13 @@ pub const MIN_REGRESSION_WALL_S: f64 = 0.5;
 /// precompute, and batched TSA releases must hold it under 5x.
 pub const MAX_SECAGG_OVERHEAD_FACTOR: f64 = 5.0;
 
+/// Peak-RSS regressions are only flagged when the current measurement also
+/// exceeds this absolute floor: below it the reading is dominated by
+/// allocator and runtime baseline noise, not scenario state.  A real
+/// O(population) leak on `fedbuff-1m` (tens of MB per byte-per-device)
+/// clears the floor immediately.
+pub const MIN_RSS_GATE_BYTES: u64 = 64 << 20;
+
 /// The CI gate: compares a current suite against a baseline.
 ///
 /// Fails (with an explanation) when the suites are not comparable (different
@@ -515,9 +640,14 @@ pub const MAX_SECAGG_OVERHEAD_FACTOR: f64 = 5.0;
 /// scenario must not pass the gate), when any current scenario's
 /// [`secagg_overhead_factor`](ScenarioPerf::secagg_overhead_factor) exceeds
 /// the absolute [`MAX_SECAGG_OVERHEAD_FACTOR`] budget, or when any scenario
-/// present in both regressed in wall-clock — sequential or parallel — by
-/// more than `factor` while also exceeding [`MIN_REGRESSION_WALL_S`].
-/// Returns one human-readable line per compared scenario on success.
+/// present in both regressed by more than `factor` in wall-clock
+/// (sequential or parallel, above [`MIN_REGRESSION_WALL_S`]), sequential
+/// events/sec (same floor), or peak RSS (above [`MIN_RSS_GATE_BYTES`],
+/// gated only when both suites carry a measurement).
+/// Returns one human-readable line per compared scenario on success; when
+/// the *baseline* records a parallel speedup below 1.0 anywhere, a single
+/// note line flags it (informational — single-core runners make the
+/// parallel wall-clock comparison noisy — never a failure).
 pub fn compare(
     baseline: &SuiteResult,
     current: &SuiteResult,
@@ -531,6 +661,18 @@ pub fn compare(
     }
     let mut lines = Vec::new();
     let mut failures = Vec::new();
+    let sub_unity = baseline
+        .scenarios
+        .iter()
+        .filter(|b| b.speedup < 1.0)
+        .count();
+    if sub_unity > 0 {
+        lines.push(format!(
+            "note: baseline parallel speedup < 1.0 on {sub_unity} scenario(s) \
+             (recorded on a single-core or contended runner); parallel wall-clock \
+             comparisons are noisy there"
+        ));
+    }
     for base in &baseline.scenarios {
         if !current.scenarios.iter().any(|c| c.name == base.name) {
             failures.push(format!(
@@ -579,6 +721,38 @@ pub fn compare(
             } else {
                 lines.push(format!(
                     "{}: {kind} {c:.3}s vs baseline {b:.3}s ({ratio:.2}x, limit {factor:.1}x) ok",
+                    cur.name
+                ));
+            }
+        }
+        // Throughput gate: sequential events/sec must not collapse by more
+        // than the factor (same scheduler-noise floor as wall-clock; the
+        // event counts may legitimately differ between suites, so this is
+        // not redundant with the wall gate).
+        let rate_ratio = base.events_per_sec_sequential / cur.events_per_sec_sequential.max(1e-9);
+        if rate_ratio > factor && cur.wall_s_sequential > MIN_REGRESSION_WALL_S {
+            failures.push(format!(
+                "{}: sequential throughput regressed {rate_ratio:.2}x ({:.0} -> {:.0} events/s, limit {factor:.1}x)",
+                cur.name, base.events_per_sec_sequential, cur.events_per_sec_sequential
+            ));
+        } else {
+            lines.push(format!(
+                "{}: throughput {:.0} events/s vs baseline {:.0} ({rate_ratio:.2}x, limit {factor:.1}x) ok",
+                cur.name, cur.events_per_sec_sequential, base.events_per_sec_sequential
+            ));
+        }
+        // Memory gate: peak RSS, only when both suites measured it.
+        if let (Some(b), Some(c)) = (base.peak_rss_bytes, cur.peak_rss_bytes) {
+            let rss_ratio = c as f64 / (b as f64).max(1.0);
+            let (b_mib, c_mib) = (b as f64 / (1 << 20) as f64, c as f64 / (1 << 20) as f64);
+            if rss_ratio > factor && c > MIN_RSS_GATE_BYTES {
+                failures.push(format!(
+                    "{}: peak RSS regressed {rss_ratio:.2}x ({b_mib:.0} MiB -> {c_mib:.0} MiB, limit {factor:.1}x)",
+                    cur.name
+                ));
+            } else {
+                lines.push(format!(
+                    "{}: peak RSS {c_mib:.0} MiB vs baseline {b_mib:.0} MiB ({rss_ratio:.2}x, limit {factor:.1}x) ok",
                     cur.name
                 ));
             }
@@ -846,6 +1020,7 @@ mod tests {
                 secure_mask_s: 0.0,
                 secure_encode_s: 0.0,
                 secure_unmask_s: 0.0,
+                peak_rss_bytes: None,
             }],
         }
     }
@@ -941,6 +1116,7 @@ mod tests {
             "secure_mask_s",
             "secure_encode_s",
             "secure_unmask_s",
+            "peak_rss_bytes",
         ] {
             json = json
                 .lines()
@@ -953,6 +1129,77 @@ mod tests {
         let parsed = SuiteResult::from_json(&json).expect("parse");
         assert_eq!(parsed.scenarios[0].secagg_overhead_factor, None);
         assert_eq!(parsed.scenarios[0].secure_mask_s, 0.0);
+        assert_eq!(parsed.scenarios[0].peak_rss_bytes, None);
+    }
+
+    #[test]
+    fn suite_json_round_trips_peak_rss() {
+        let mut suite = sample_suite();
+        suite.scenarios[0].peak_rss_bytes = Some(123_456_789);
+        let parsed = SuiteResult::from_json(&suite.to_json()).expect("parse");
+        assert_eq!(parsed.scenarios[0].peak_rss_bytes, Some(123_456_789));
+    }
+
+    #[test]
+    fn compare_gates_peak_rss_above_the_floor() {
+        let mut baseline = sample_suite();
+        baseline.scenarios[0].peak_rss_bytes = Some(100 << 20);
+        let mut current = sample_suite();
+        // 150 MiB vs 100 MiB: 1.5x, within a 2x factor.
+        current.scenarios[0].peak_rss_bytes = Some(150 << 20);
+        let lines = compare(&baseline, &current, 2.0).expect("within factor");
+        assert!(lines.iter().any(|l| l.contains("peak RSS")), "{lines:?}");
+
+        current.scenarios[0].peak_rss_bytes = Some(250 << 20);
+        let err = compare(&baseline, &current, 2.0).unwrap_err();
+        assert!(err.contains("peak RSS regressed"), "{err}");
+    }
+
+    #[test]
+    fn compare_ignores_rss_blowups_below_the_absolute_floor() {
+        // 10 MiB -> 40 MiB is 4x but under the 64 MiB floor: allocator
+        // baseline noise, not scenario state.
+        let mut baseline = sample_suite();
+        baseline.scenarios[0].peak_rss_bytes = Some(10 << 20);
+        let mut current = sample_suite();
+        current.scenarios[0].peak_rss_bytes = Some(40 << 20);
+        assert!(compare(&baseline, &current, 2.0).is_ok());
+    }
+
+    #[test]
+    fn compare_skips_the_rss_gate_without_measurements() {
+        // An old baseline without RSS numbers must not fail the gate.
+        let baseline = sample_suite();
+        let mut current = sample_suite();
+        current.scenarios[0].peak_rss_bytes = Some(4 << 30);
+        let lines = compare(&baseline, &current, 2.0).expect("no baseline RSS, no gate");
+        assert!(!lines.iter().any(|l| l.contains("peak RSS")));
+    }
+
+    #[test]
+    fn compare_gates_sequential_throughput() {
+        let baseline = sample_suite();
+        let mut current = sample_suite();
+        // Same wall-clock, but events/sec collapsed past the factor while
+        // the run is above the noise floor.
+        current.scenarios[0].events_per_sec_sequential = 100.0;
+        let err = compare(&baseline, &current, 2.0).unwrap_err();
+        assert!(err.contains("throughput regressed"), "{err}");
+    }
+
+    #[test]
+    fn compare_notes_sub_unity_baseline_speedup_without_failing() {
+        let mut baseline = sample_suite();
+        baseline.scenarios[0].speedup = 0.8;
+        let current = sample_suite();
+        let lines = compare(&baseline, &current, 2.0).expect("a note, not a failure");
+        assert!(
+            lines.iter().any(|l| l.contains("speedup < 1.0")),
+            "{lines:?}"
+        );
+        // And the note is absent when the baseline parallelized fine.
+        let healthy = compare(&sample_suite(), &current, 2.0).expect("ok");
+        assert!(!healthy.iter().any(|l| l.contains("speedup < 1.0")));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Hand-rolled peak-RSS measurement for the perf suite (no external crates).
+//!
+//! The `fedbuff-1m` scenario exists to prove the simulator's per-client
+//! memory story (`docs/SCALING.md`), so the perf suite must *measure*
+//! resident memory, not just wall-clock.  Linux exposes everything needed:
+//!
+//! * `/proc/self/status` reports `VmHWM` (peak resident set) and `VmRSS`
+//!   (current resident set) in kB;
+//! * writing `5` to `/proc/self/clear_refs` resets `VmHWM` to the current
+//!   `VmRSS`, giving a per-measurement-window peak.
+//!
+//! [`PeakRssSampler`] prefers the kernel's own high-water mark (reset +
+//! read, zero overhead during the run).  When `clear_refs` is not writable
+//! (hardened containers mount `/proc` read-only), it degrades to a
+//! background thread polling `VmRSS` every few milliseconds — an
+//! underestimate bounded by the polling interval, still plenty to catch an
+//! O(population) regression.  On systems without `/proc` the sampler
+//! reports `None` and the RSS gate in [`crate::perf::compare`] is simply
+//! skipped (the gate only fires when both suites carry a measurement).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Parses a `VmHWM:`/`VmRSS:`-style line of `/proc/self/status` to bytes.
+fn parse_vm_field(status: &str, field: &str) -> Option<u64> {
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix(field))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map(|kb| kb * 1024)
+}
+
+fn read_vm_field(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_field(&status, field)
+}
+
+/// Current resident set size of this process, when the OS exposes it.
+pub fn current_rss_bytes() -> Option<u64> {
+    read_vm_field("VmRSS:")
+}
+
+/// Peak (high-water mark) resident set size since start or last reset.
+pub fn peak_rss_bytes() -> Option<u64> {
+    read_vm_field("VmHWM:")
+}
+
+/// One measurement window's peak-RSS recorder; see the module docs for the
+/// two strategies.  `start` before the measured work, `stop` after.
+pub struct PeakRssSampler {
+    mode: Mode,
+}
+
+enum Mode {
+    /// `clear_refs` reset succeeded: read `VmHWM` at stop.
+    HighWaterMark,
+    /// Reset unavailable: poll `VmRSS` on a background thread.
+    Poll {
+        stop: Arc<AtomicBool>,
+        handle: JoinHandle<u64>,
+    },
+    /// No `/proc`: report nothing.
+    Unavailable,
+}
+
+impl PeakRssSampler {
+    /// Milliseconds between `VmRSS` polls in the fallback mode.
+    const POLL_INTERVAL_MS: u64 = 2;
+
+    /// Starts a measurement window.
+    pub fn start() -> Self {
+        if peak_rss_bytes().is_none() {
+            return PeakRssSampler {
+                mode: Mode::Unavailable,
+            };
+        }
+        // "5" asks the kernel to reset the peak-RSS high-water mark.
+        if std::fs::write("/proc/self/clear_refs", "5").is_ok() {
+            return PeakRssSampler {
+                mode: Mode::HighWaterMark,
+            };
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut peak = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                if let Some(rss) = current_rss_bytes() {
+                    peak = peak.max(rss);
+                }
+                std::thread::sleep(Duration::from_millis(Self::POLL_INTERVAL_MS));
+            }
+            if let Some(rss) = current_rss_bytes() {
+                peak = peak.max(rss);
+            }
+            peak
+        });
+        PeakRssSampler {
+            mode: Mode::Poll { stop, handle },
+        }
+    }
+
+    /// Ends the window and returns the peak resident set in bytes observed
+    /// during it (`None` when the OS exposes no measurement).
+    pub fn stop(self) -> Option<u64> {
+        match self.mode {
+            Mode::HighWaterMark => peak_rss_bytes(),
+            Mode::Poll { stop, handle } => {
+                stop.store(true, Ordering::Relaxed);
+                handle.join().ok().filter(|&peak| peak > 0)
+            }
+            Mode::Unavailable => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_field_parser_handles_proc_status_lines() {
+        let status = "Name:\tperf_suite\nVmRSS:\t  123456 kB\nVmHWM:\t  654321 kB\n";
+        assert_eq!(parse_vm_field(status, "VmRSS:"), Some(123_456 * 1024));
+        assert_eq!(parse_vm_field(status, "VmHWM:"), Some(654_321 * 1024));
+        assert_eq!(parse_vm_field(status, "VmSwap:"), None);
+    }
+
+    #[test]
+    fn sampler_observes_a_large_allocation() {
+        let sampler = PeakRssSampler::start();
+        // Touch every page so the allocation is actually resident.
+        let mut block = vec![0u8; 64 << 20];
+        for page in block.chunks_mut(4096) {
+            page[0] = 1;
+        }
+        let peak = sampler.stop();
+        drop(block);
+        // The window's peak must at least cover the touched block; without
+        // /proc (peak == None) there is nothing to assert.
+        if let Some(bytes) = peak {
+            assert!(bytes >= 64 << 20, "peak {bytes} bytes");
+        }
+    }
+}

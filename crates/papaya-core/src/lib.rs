@@ -25,6 +25,9 @@
 //!   Gaussian release noise, and an RDP [`dp::PrivacyAccountant`]);
 //! * [`server_opt`] — server optimizers applied to aggregated deltas
 //!   (FedAvg/FedSGD/FedAdam, Reddi et al., 2020);
+//! * [`trace`] — bounded metric traces ([`trace::DecimatedTrace`] under a
+//!   [`trace::TraceBudget`], deterministic stride decimation) backing the
+//!   simulator's metrics layer at million-client scale;
 //! * [`model`] — the versioned server model;
 //! * [`client`] — the client-trainer abstraction (local SGD producing a
 //!   weighted delta) shared by the real LSTM trainer (`papaya-lm`) and the
@@ -66,6 +69,7 @@ pub mod staleness;
 pub mod surrogate;
 pub mod sync_agg;
 pub mod timed_hybrid;
+pub mod trace;
 
 pub use aggregator::{AccumulateOutcome, Aggregator, AggregatorStats};
 pub use client::{ClientTrainer, ClientUpdate, LocalTrainResult};
@@ -76,6 +80,7 @@ pub use model::ServerModel;
 pub use secure::{SecureAggregator, SecureTelemetry};
 pub use server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
 pub use staleness::StalenessWeighting;
-pub use surrogate::SurrogateObjective;
+pub use surrogate::{ProceduralSurrogate, SurrogateObjective};
 pub use sync_agg::SyncRoundAggregator;
 pub use timed_hybrid::TimedHybridAggregator;
+pub use trace::{DecimatedTrace, TraceBudget};

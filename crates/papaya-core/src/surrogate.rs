@@ -169,6 +169,152 @@ impl SurrogateObjective {
     }
 }
 
+/// The surrogate objective with O(bytes) per-client state: client optima
+/// are *derived on demand* from `(seed, client_id)` instead of being
+/// materialized up front.
+///
+/// [`SurrogateObjective`] stores `dim` floats per client (512 MB for a
+/// million clients at `dim = 128`), which caps how large a population fits
+/// in memory.  This variant stores only the population-level state (global
+/// optimum, bias direction, initial model — all O(dim)) plus a packed
+/// 4-byte example count per client, and re-derives a client's optimum from
+/// a per-client seeded RNG each time that client trains or is evaluated.
+/// Same statistical family as [`SurrogateObjective`] (per-client optimum =
+/// global + heterogeneity noise + volume-biased shift), but the two are
+/// *not* draw-for-draw identical: this one seeds per client rather than
+/// consuming one sequential RNG stream, precisely so that idle clients
+/// cost nothing.
+///
+/// This is the trainer behind the `fedbuff-1m` perf scenario
+/// (`docs/SCALING.md`): a million idle clients cost 4 MB here instead of
+/// half a gigabyte.
+#[derive(Clone, Debug)]
+pub struct ProceduralSurrogate {
+    config: SurrogateConfig,
+    global_optimum: Vec<f32>,
+    bias_direction: Vec<f32>,
+    initial: ParamVec,
+    /// The only per-client state: packed example counts (4 B/client).
+    num_examples: Vec<u32>,
+    max_examples: f32,
+    seed: u64,
+}
+
+impl ProceduralSurrogate {
+    /// Builds the objective for a device population.
+    pub fn new(population: &Population, config: SurrogateConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = config.dim;
+        let global_optimum: Vec<f32> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+        let mut bias_direction: Vec<f32> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+        let norm = bias_direction
+            .iter()
+            .map(|x| x * x)
+            .sum::<f32>()
+            .sqrt()
+            .max(1e-6);
+        for b in bias_direction.iter_mut() {
+            *b /= norm;
+        }
+        let num_examples: Vec<u32> = population.iter().map(|d| d.num_examples as u32).collect();
+        let max_examples = num_examples.iter().copied().max().unwrap_or(1).max(1) as f32;
+        let init_dir: Vec<f32> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+        let norm = init_dir.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        let initial: Vec<f32> = (0..dim)
+            .map(|j| global_optimum[j] + config.init_distance * init_dir[j] / norm)
+            .collect();
+        ProceduralSurrogate {
+            config,
+            global_optimum,
+            bias_direction,
+            initial: ParamVec::from_vec(initial),
+            num_examples,
+            max_examples,
+            seed,
+        }
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.num_examples.len()
+    }
+
+    /// Derives client `client_id`'s optimum from its seeded RNG (no stored
+    /// per-client state).  Deterministic: the same client always gets the
+    /// same optimum.
+    fn client_optimum(&self, client_id: usize) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (client_id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let volume_percentile = self.num_examples[client_id] as f32 / self.max_examples;
+        (0..self.config.dim)
+            .map(|j| {
+                self.global_optimum[j]
+                    + self.config.heterogeneity * standard_normal(&mut rng)
+                    + self.config.volume_bias * volume_percentile * self.bias_direction[j]
+            })
+            .collect()
+    }
+
+    /// Loss of `params` for a single client.
+    pub fn client_loss(&self, params: &ParamVec, client_id: usize) -> f64 {
+        let optimum = self.client_optimum(client_id);
+        params
+            .as_slice()
+            .iter()
+            .zip(optimum.iter())
+            .map(|(w, o)| 0.5 * ((w - o) as f64).powi(2))
+            .sum::<f64>()
+            / self.config.dim as f64
+    }
+}
+
+impl ClientTrainer for ProceduralSurrogate {
+    fn parameter_count(&self) -> usize {
+        self.config.dim
+    }
+
+    fn initial_parameters(&self) -> ParamVec {
+        self.initial.clone()
+    }
+
+    fn train(&self, client_id: usize, global: &ParamVec, seed: u64) -> LocalTrainResult {
+        assert!(client_id < self.num_clients(), "unknown client {client_id}");
+        assert_eq!(global.len(), self.config.dim, "parameter length mismatch");
+        let mut rng = StdRng::seed_from_u64(seed ^ (client_id as u64).wrapping_mul(0x9e37_79b9));
+        let optimum = self.client_optimum(client_id);
+        let examples = self.num_examples[client_id] as usize;
+        let steps =
+            (examples.div_ceil(self.config.batch_size)).clamp(1, self.config.max_local_steps);
+        let noise_scale = self.config.gradient_noise
+            / (self.config.batch_size.min(examples).max(1) as f32).sqrt();
+
+        let mut w: Vec<f32> = global.as_slice().to_vec();
+        for _ in 0..steps {
+            for j in 0..self.config.dim {
+                let grad = (w[j] - optimum[j]) + noise_scale * standard_normal(&mut rng);
+                w[j] -= self.config.local_learning_rate * grad;
+            }
+        }
+        let trained = ParamVec::from_vec(w);
+        let train_loss = self.client_loss(&trained, client_id) as f32;
+        LocalTrainResult {
+            delta: trained.sub(global),
+            num_examples: examples,
+            train_loss,
+        }
+    }
+
+    fn evaluate(&self, params: &ParamVec, client_ids: &[usize]) -> f64 {
+        assert!(!client_ids.is_empty(), "evaluate needs at least one client");
+        client_ids
+            .iter()
+            .map(|&id| self.client_loss(params, id))
+            .sum::<f64>()
+            / client_ids.len() as f64
+    }
+}
+
 impl ClientTrainer for SurrogateObjective {
     fn parameter_count(&self) -> usize {
         self.config.dim
@@ -230,6 +376,37 @@ mod tests {
     fn objective(n: usize) -> SurrogateObjective {
         let pop = Population::generate(&PopulationConfig::default().with_size(n), 5);
         SurrogateObjective::new(&pop, SurrogateConfig::default(), 5)
+    }
+
+    #[test]
+    fn procedural_surrogate_is_deterministic_and_trains() {
+        let pop = Population::generate(&PopulationConfig::default().with_size(300), 5);
+        let obj = ProceduralSurrogate::new(&pop, SurrogateConfig::default(), 5);
+        let global = obj.initial_parameters();
+        // Deterministic per (client, seed) — optima are re-derived, never stored.
+        assert_eq!(obj.train(7, &global, 42), obj.train(7, &global, 42));
+        assert_ne!(
+            obj.train(7, &global, 42).delta,
+            obj.train(8, &global, 42).delta
+        );
+        // A local step moves towards the client's optimum.
+        let before = obj.client_loss(&global, 7);
+        let result = obj.train(7, &global, 1);
+        let after = obj.client_loss(&global.add(&result.delta), 7);
+        assert!(after < before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn procedural_surrogate_per_client_state_is_bytes_not_dim() {
+        // The scale claim: per-client cost is one packed u32, independent of
+        // the model dimension (SurrogateObjective stores dim floats/client).
+        let pop = Population::generate(&PopulationConfig::default().with_size(1000), 5);
+        let obj = ProceduralSurrogate::new(&pop, SurrogateConfig::default(), 5);
+        assert_eq!(obj.num_clients(), 1000);
+        assert_eq!(
+            std::mem::size_of_val(&obj.num_examples[..]) / obj.num_clients(),
+            4
+        );
     }
 
     #[test]

@@ -109,9 +109,26 @@ impl DeviceProfile {
 }
 
 /// A synthetic population of devices.
+///
+/// # Packed idle state
+///
+/// At million-client scale the population dominates resident memory, so a
+/// device is *not* stored as a [`DeviceProfile`] struct.  Only the two
+/// quantities that cannot be re-derived from the config survive per device
+/// — the speed factor (`f64`, its RNG draw is sequential) and the example
+/// count (`u32`) — [`Population::BYTES_PER_DEVICE`] (12) bytes per idle
+/// client.  Everything else is a pure function of those and the
+/// [`PopulationConfig`]: [`Population::device`] materializes the full
+/// profile on demand, re-deriving `execution_time_s` with the exact
+/// floating-point expression the generator used, so the packed
+/// representation is bit-identical to the historical struct-of-structs one
+/// (see `docs/SCALING.md`).
 #[derive(Clone, Debug)]
 pub struct Population {
-    devices: Vec<DeviceProfile>,
+    /// Per-device relative compute speed (median 1.0).
+    speed: Vec<f64>,
+    /// Per-device local example count.
+    examples: Vec<u32>,
     config: PopulationConfig,
 }
 
@@ -123,42 +140,47 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
 }
 
 impl Population {
+    /// Stored bytes per idle device: the `f64` speed factor plus the `u32`
+    /// example count.  Everything else in a [`DeviceProfile`] is re-derived
+    /// on demand from the [`PopulationConfig`].  `docs/SCALING.md` budgets
+    /// against this and a test pins it.
+    pub const BYTES_PER_DEVICE: usize = std::mem::size_of::<f64>() + std::mem::size_of::<u32>();
+
     /// Generates a population from the given configuration and seed.
     pub fn generate(config: &PopulationConfig, seed: u64) -> Self {
+        assert!(
+            config.max_examples <= u32::MAX as usize,
+            "max_examples {} exceeds the packed u32 example range",
+            config.max_examples
+        );
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut devices = Vec::with_capacity(config.size);
-        for id in 0..config.size {
+        let mut speed = Vec::with_capacity(config.size);
+        let mut examples = Vec::with_capacity(config.size);
+        for _ in 0..config.size {
             let examples_raw = (config.examples_log_mean
                 + config.examples_log_std * standard_normal(&mut rng))
             .exp();
             let num_examples =
                 (examples_raw.round() as usize).clamp(config.min_examples, config.max_examples);
             let speed_factor = (config.speed_log_std * standard_normal(&mut rng)).exp();
-            let compute_time =
-                config.setup_time_s + config.per_example_time_s * num_examples as f64;
-            let execution_time_s = compute_time / speed_factor;
-            devices.push(DeviceProfile {
-                id,
-                num_examples,
-                speed_factor,
-                execution_time_s,
-                dropout_prob: config.dropout_prob,
-            });
+            speed.push(speed_factor);
+            examples.push(num_examples as u32);
         }
         Population {
-            devices,
+            speed,
+            examples,
             config: config.clone(),
         }
     }
 
     /// Number of devices.
     pub fn len(&self) -> usize {
-        self.devices.len()
+        self.examples.len()
     }
 
     /// Returns true when the population is empty.
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.examples.is_empty()
     }
 
     /// The configuration used to generate this population.
@@ -166,60 +188,64 @@ impl Population {
         &self.config
     }
 
-    /// Returns the profile of device `id`.
+    /// Materializes the profile of device `id` from the packed state.
+    ///
+    /// The execution time is recomputed with the exact expression the
+    /// generator historically stored, so the returned profile is
+    /// bit-identical to one built at generation time.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn device(&self, id: DeviceId) -> &DeviceProfile {
-        &self.devices[id]
+    pub fn device(&self, id: DeviceId) -> DeviceProfile {
+        let num_examples = self.examples[id] as usize;
+        let speed_factor = self.speed[id];
+        let compute_time =
+            self.config.setup_time_s + self.config.per_example_time_s * num_examples as f64;
+        let execution_time_s = compute_time / speed_factor;
+        DeviceProfile {
+            id,
+            num_examples,
+            speed_factor,
+            execution_time_s,
+            dropout_prob: self.config.dropout_prob,
+        }
     }
 
-    /// Iterates over all devices.
-    pub fn iter(&self) -> impl Iterator<Item = &DeviceProfile> {
-        self.devices.iter()
+    /// Iterates over all devices, materializing each profile on demand.
+    pub fn iter(&self) -> impl Iterator<Item = DeviceProfile> + '_ {
+        (0..self.len()).map(|id| self.device(id))
     }
 
     /// All execution times, in seconds (for Figure 2 style histograms).
     pub fn execution_times(&self) -> Vec<f64> {
-        self.devices.iter().map(|d| d.execution_time_s).collect()
+        self.iter().map(|d| d.execution_time_s).collect()
     }
 
     /// All example counts.
     pub fn example_counts(&self) -> Vec<usize> {
-        self.devices.iter().map(|d| d.num_examples).collect()
+        self.examples.iter().map(|&c| c as usize).collect()
     }
 
     /// Device ids whose example count falls at or above the given percentile
     /// of the population (used by Table 1's 75 %/99 % groups).
     pub fn ids_above_example_percentile(&self, percentile: f64) -> Vec<DeviceId> {
         let threshold = crate::stats::percentile(
-            &self
-                .devices
-                .iter()
-                .map(|d| d.num_examples as f64)
-                .collect::<Vec<_>>(),
+            &self.examples.iter().map(|&c| c as f64).collect::<Vec<_>>(),
             percentile,
         );
-        self.devices
+        self.examples
             .iter()
-            .filter(|d| d.num_examples as f64 >= threshold)
-            .map(|d| d.id)
+            .enumerate()
+            .filter(|&(_, &c)| c as f64 >= threshold)
+            .map(|(id, _)| id)
             .collect()
     }
 
     /// Pearson correlation between execution time and example count.
     pub fn time_examples_correlation(&self) -> f64 {
-        let times: Vec<f64> = self
-            .devices
-            .iter()
-            .map(|d| d.execution_time_s.ln())
-            .collect();
-        let counts: Vec<f64> = self
-            .devices
-            .iter()
-            .map(|d| (d.num_examples as f64).ln())
-            .collect();
+        let times: Vec<f64> = self.iter().map(|d| d.execution_time_s.ln()).collect();
+        let counts: Vec<f64> = self.examples.iter().map(|&c| (c as f64).ln()).collect();
         crate::stats::pearson_correlation(&times, &counts)
     }
 }
@@ -307,6 +333,29 @@ mod tests {
         assert!(d.exceeds_timeout(240.0));
         assert_eq!(d.clamped_execution_time(240.0), 240.0);
         assert!(!d.exceeds_timeout(1000.0));
+    }
+
+    #[test]
+    fn idle_state_stays_within_the_documented_byte_budget() {
+        // The packed per-device state is exactly what the two parallel
+        // vectors store; a materialized profile is strictly larger.  The
+        // docs/SCALING.md budget table assumes 12 bytes per idle device —
+        // this assertion fails before the docs can go stale.
+        assert_eq!(
+            Population::BYTES_PER_DEVICE,
+            std::mem::size_of::<f64>() + std::mem::size_of::<u32>()
+        );
+        assert_eq!(Population::BYTES_PER_DEVICE, 12);
+        assert!(Population::BYTES_PER_DEVICE < std::mem::size_of::<DeviceProfile>());
+    }
+
+    #[test]
+    fn materialized_profiles_match_across_calls_and_iteration() {
+        let p = pop(200);
+        for (i, d) in p.iter().enumerate() {
+            assert_eq!(d.id, i);
+            assert_eq!(d, p.device(i));
+        }
     }
 
     #[test]

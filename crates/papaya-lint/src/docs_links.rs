@@ -1,0 +1,169 @@
+//! Dead-link checker for the documentation set (the `--docs-links` mode).
+//!
+//! The docs book (`docs/*.md`, cross-linked from `README.md` and
+//! `crates/papaya-lint/RULES.md`) is held to the same standard as the code:
+//! CI fails when a relative link points at a file that does not exist.
+//! Hand-rolled like everything else in this crate — no markdown parser
+//! dependency, just the inline-link syntax the repo actually uses.
+//!
+//! What counts as a checkable link: an inline `[text](target)` whose target
+//! is not an absolute URL (`http://`, `https://`, `mailto:`) and not a
+//! pure in-page anchor (`#section`).  A `#anchor` suffix on a file target
+//! is stripped before the existence check (anchor validity is out of
+//! scope; file existence is the invariant).  Targets resolve relative to
+//! the *linking file's* directory, exactly as a reader clicking through a
+//! checkout (or the GitHub UI) would resolve them.
+
+use crate::report::Finding;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Extracts `(line, target)` pairs for every inline markdown link in
+/// `content` that warrants an existence check (relative file targets
+/// only; absolute URLs and pure anchors are skipped, anchors stripped).
+pub fn extract_relative_links(content: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut in_code_block = false;
+    for (idx, line) in content.lines().enumerate() {
+        // Fenced code blocks show link syntax without meaning it.
+        if line.trim_start().starts_with("```") {
+            in_code_block = !in_code_block;
+            continue;
+        }
+        if in_code_block {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let after = &rest[open + 2..];
+            let Some(close) = after.find(')') else { break };
+            let target = after[..close].trim();
+            rest = &after[close + 1..];
+            if target.is_empty()
+                || target.starts_with('#')
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            // Strip a #anchor suffix; the file part is what must exist.
+            let file_part = target.split('#').next().unwrap_or(target);
+            if file_part.is_empty() {
+                continue;
+            }
+            out.push((idx as u32 + 1, file_part.to_string()));
+        }
+    }
+    out
+}
+
+/// The markdown files whose links the checker owns: the repo-root
+/// `README.md`, everything under `docs/`, and the lint rulebook.
+fn doc_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let readme = root.join("README.md");
+    if readme.is_file() {
+        files.push(readme);
+    }
+    let rules = root.join("crates/papaya-lint/RULES.md");
+    if rules.is_file() {
+        files.push(rules);
+    }
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        let mut stack = vec![docs];
+        while let Some(dir) = stack.pop() {
+            for entry in std::fs::read_dir(&dir)? {
+                let path = entry?.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "md") {
+                    files.push(path);
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Checks every documentation file under `root` and returns one finding
+/// per dead relative link (empty when the docs are sound).
+pub fn check_docs_links(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in doc_files(root)? {
+        let content = std::fs::read_to_string(&file)?;
+        let dir = file.parent().unwrap_or(root);
+        for (line, target) in extract_relative_links(&content) {
+            if !dir.join(&target).exists() {
+                let rel = file.strip_prefix(root).unwrap_or(&file);
+                findings.push(Finding::new(
+                    rel.to_string_lossy(),
+                    line,
+                    "dead-doc-link",
+                    format!("link target `{target}` does not exist"),
+                ));
+            }
+        }
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_relative_links_and_strips_anchors() {
+        let md = "See [arch](docs/ARCHITECTURE.md) and \
+                  [rules](crates/papaya-lint/RULES.md#baselines).\n\
+                  External: [paper](https://example.com/x) and \
+                  [mail](mailto:a@b.c); in-page: [here](#section).\n";
+        let links = extract_relative_links(md);
+        assert_eq!(
+            links,
+            vec![
+                (1, "docs/ARCHITECTURE.md".to_string()),
+                (1, "crates/papaya-lint/RULES.md".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn code_blocks_and_multiple_links_per_line_are_handled() {
+        let md = "[a](x.md) then [b](y.md)\n```\n[not a link](nope.md)\n```\n[c](z.md)\n";
+        let links = extract_relative_links(md);
+        assert_eq!(
+            links.iter().map(|(_, t)| t.as_str()).collect::<Vec<_>>(),
+            vec!["x.md", "y.md", "z.md"]
+        );
+        assert_eq!(links[2].0, 5, "line numbers survive the skipped fence");
+    }
+
+    #[test]
+    fn dead_links_are_found_on_disk() {
+        let root =
+            std::env::temp_dir().join(format!("papaya-lint-docs-test-{}", std::process::id()));
+        let docs = root.join("docs");
+        std::fs::create_dir_all(&docs).expect("mkdir");
+        std::fs::write(
+            root.join("README.md"),
+            "[ok](docs/REAL.md) [bad](docs/GONE.md)\n",
+        )
+        .expect("write");
+        std::fs::write(
+            docs.join("REAL.md"),
+            "[up](../README.md) [broken](./missing/child.md#frag)\n",
+        )
+        .expect("write");
+        let findings = check_docs_links(&root).expect("check");
+        std::fs::remove_dir_all(&root).ok();
+        let targets: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(findings.len(), 2, "{targets:?}");
+        assert!(findings.iter().all(|f| f.rule == "dead-doc-link"));
+        assert!(targets.iter().any(|m| m.contains("docs/GONE.md")));
+        assert!(targets.iter().any(|m| m.contains("./missing/child.md")));
+    }
+}

@@ -322,9 +322,8 @@ impl Lexer {
     fn number(&mut self, line: u32) {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
-            let fractional_dot = c == '.'
-                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
-                && !text.contains('.');
+            let fractional_dot =
+                c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.');
             let exponent_sign =
                 (c == '+' || c == '-') && matches!(text.chars().next_back(), Some('e' | 'E'));
             if c.is_ascii_alphanumeric() || c == '_' || fractional_dot || exponent_sign {

@@ -26,6 +26,7 @@
 //! Unjustified, unknown, or unused allow directives are findings
 //! themselves.  See `RULES.md` for the catalog.
 
+pub mod docs_links;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -255,7 +256,8 @@ pub fn analyze(ws: &Workspace) -> Vec<Finding> {
                     d.line,
                     "unjustified-allow",
                     format!(
-                        "allow({}) has no justification; append ` -- <why this is sound>`",
+                        "allow({}) has no justification; append ` -- <why this is sound>` \
+                         (the determinism rationale lives in docs/DETERMINISM.md)",
                         d.rule
                     ),
                 ));
@@ -319,7 +321,17 @@ mod tests {
         )]);
         let findings = analyze(&w);
         assert!(findings.iter().any(|f| f.rule == "unordered-collections"));
-        assert!(findings.iter().any(|f| f.rule == "unjustified-allow"));
+        // The meta finding points the author at the written-down rationale,
+        // not just the syntax to silence it.
+        let meta = findings
+            .iter()
+            .find(|f| f.rule == "unjustified-allow")
+            .expect("unjustified-allow reported");
+        assert!(
+            meta.message.contains("docs/DETERMINISM.md"),
+            "message should cite the determinism doc: {}",
+            meta.message
+        );
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! ```text
 //! papaya-lint [--root DIR] [--deny-all] [--json PATH]
 //!             [--baseline PATH] [--write-baseline PATH] [--quiet]
+//! papaya-lint --docs-links [--root DIR]
 //! ```
 //!
 //! Exit codes: `0` clean (or advisory mode), `1` findings under
-//! `--deny-all`, `2` usage or I/O error.
+//! `--deny-all` (dead links always fail in `--docs-links` mode),
+//! `2` usage or I/O error.
 
+use papaya_lint::docs_links::check_docs_links;
 use papaya_lint::report::{parse_baseline, to_baseline, to_json, Finding};
 use papaya_lint::rules::all_rules;
 use papaya_lint::{analyze, Workspace};
@@ -22,19 +25,24 @@ struct Options {
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     quiet: bool,
+    docs_links: bool,
 }
 
 fn usage() -> String {
     let mut out = String::from(
         "papaya-lint: workspace invariant analyzer\n\n\
          USAGE: papaya-lint [--root DIR] [--deny-all] [--json PATH]\n\
-         \x20                [--baseline PATH] [--write-baseline PATH] [--quiet]\n\n\
+         \x20                [--baseline PATH] [--write-baseline PATH] [--quiet]\n\
+         \x20      papaya-lint --docs-links [--root DIR]\n\n\
          --root DIR            workspace root (default: current directory)\n\
          --deny-all            exit nonzero on any finding (the CI mode)\n\
          --json PATH           write the machine-readable JSON report\n\
          --baseline PATH       suppress findings listed in a baseline file\n\
          --write-baseline PATH write the current findings as a baseline\n\
-         --quiet               print only the summary line\n\nRULES:\n",
+         --quiet               print only the summary line\n\
+         --docs-links          check README.md/docs/**.md for dead relative\n\
+         \x20                      links instead of analyzing sources; any\n\
+         \x20                      dead link fails the run\n\nRULES:\n",
     );
     for rule in all_rules() {
         out.push_str(&format!("  {:22} {}\n", rule.name(), rule.description()));
@@ -50,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
         baseline: None,
         write_baseline: None,
         quiet: false,
+        docs_links: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
             "--baseline" => opts.baseline = Some(path_arg("--baseline")?),
             "--write-baseline" => opts.write_baseline = Some(path_arg("--write-baseline")?),
             "--quiet" => opts.quiet = true,
+            "--docs-links" => opts.docs_links = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
         }
@@ -124,6 +134,28 @@ fn run(opts: &Options) -> Result<Vec<Finding>, String> {
     Ok(findings)
 }
 
+/// The `--docs-links` mode: dead relative links in the documentation set
+/// are always hard failures — there is no advisory variant of a 404.
+fn run_docs_links(opts: &Options) -> ExitCode {
+    match check_docs_links(&opts.root) {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("papaya-lint: docs links clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("papaya-lint: {} dead doc link(s)", findings.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("papaya-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -132,6 +164,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.docs_links {
+        return run_docs_links(&opts);
+    }
     match run(&opts) {
         Ok(findings) => {
             if opts.deny_all && !findings.is_empty() {

@@ -2,6 +2,7 @@
 
 use papaya_core::dp::DpTelemetry;
 use papaya_core::secure::{SecureTelemetry, SecureTimings};
+use papaya_core::trace::{DecimatedTrace, TraceBudget};
 use papaya_data::stats::{ks_two_sample, KsTestResult};
 
 /// One client participation whose update was *aggregated* (or discarded),
@@ -20,12 +21,20 @@ pub struct ParticipationRecord {
 }
 
 /// Raw traces and counters produced by one simulation run.
+///
+/// The per-event traces (`utilization_trace`, `loss_curve`,
+/// `participations`) are [`DecimatedTrace`]s: unbounded by default, capped
+/// by deterministic stride decimation when the run sets a [`TraceBudget`]
+/// (the `RunLimits::trace_budget` knob), so metrics memory stays O(budget)
+/// at million-client scale.  Exact counters are never decimated.
+/// `round_durations_s` stays a plain `Vec`: it grows with completed rounds,
+/// not events.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsCollector {
     /// `(virtual_seconds, active_clients)` samples.
-    pub utilization_trace: Vec<(f64, usize)>,
+    pub utilization_trace: DecimatedTrace<(f64, usize)>,
     /// `(virtual_hours, population loss)` samples.
-    pub loss_curve: Vec<(f64, f64)>,
+    pub loss_curve: DecimatedTrace<(f64, f64)>,
     /// Client updates received at the server ("communication trips").
     pub comm_trips: u64,
     /// Updates discarded because the round had already closed
@@ -42,7 +51,7 @@ pub struct MetricsCollector {
     /// Completed synchronous round durations in seconds.
     pub round_durations_s: Vec<f64>,
     /// Participation records for bias analysis.
-    pub participations: Vec<ParticipationRecord>,
+    pub participations: DecimatedTrace<ParticipationRecord>,
     /// Sum of staleness over aggregated updates.
     pub staleness_sum: u64,
     /// Count of aggregated updates (denominator for mean staleness).
@@ -73,9 +82,19 @@ pub struct MetricsCollector {
 }
 
 impl MetricsCollector {
-    /// Creates an empty collector.
+    /// Creates an empty collector with unbounded traces.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Applies a retention budget to every per-event trace.
+    ///
+    /// Must be called before the first sample is recorded (the budget is
+    /// part of the decimation state that run fingerprints hash).
+    pub fn set_trace_budget(&mut self, budget: TraceBudget) {
+        self.utilization_trace.set_budget(budget);
+        self.loss_curve.set_budget(budget);
+        self.participations.set_budget(budget);
     }
 
     /// Mean staleness over aggregated updates.
@@ -294,7 +313,7 @@ mod tests {
         m.comm_trips = 500;
         m.staleness_sum = 50;
         m.aggregated_updates = 100;
-        m.utilization_trace = vec![(0.0, 10), (1.0, 20)];
+        m.utilization_trace = vec![(0.0, 10), (1.0, 20)].into();
         let s = m.summarize(7200.0);
         assert_eq!(s.virtual_hours, 2.0);
         assert_eq!(s.server_updates_per_hour, 50.0);
@@ -348,7 +367,8 @@ mod tests {
                 num_examples: 50,
                 aggregated: false,
             },
-        ];
+        ]
+        .into();
         assert_eq!(m.aggregated_execution_times(), vec![10.0]);
         assert_eq!(m.aggregated_example_counts(), vec![5.0]);
     }
@@ -360,11 +380,11 @@ mod tests {
         a.server_updates = 10;
         a.failed_participations = 3;
         a.lost_buffered_updates = 2;
-        a.utilization_trace = vec![(0.0, 4), (1.0, 6)];
+        a.utilization_trace = vec![(0.0, 4), (1.0, 6)].into();
         let mut b = MetricsCollector::new();
         b.comm_trips = 50;
         b.server_updates = 5;
-        b.utilization_trace = vec![(0.0, 10), (1.0, 10)];
+        b.utilization_trace = vec![(0.0, 10), (1.0, 10)].into();
         let tasks = vec![
             TaskSummary {
                 task_id: 0,

@@ -292,7 +292,7 @@ mod tests {
             .with_eval_interval_s(600.0)
             .with_seed(13);
         let pop = population(1500);
-        let tiers: Vec<u8> = pop.iter().map(capability_tier).collect();
+        let tiers: Vec<u8> = pop.iter().map(|d| capability_tier(&d)).collect();
         let sim = MultiTaskSimulation::with_surrogate_trainers(config, pop);
         let result = sim.run();
         // Task 3 requires tier 2; every participant must be a tier-2 device.

@@ -47,12 +47,13 @@ use crate::executor::{Executor, Parallelism};
 use crate::metrics::{
     ControlPlaneStats, FleetSummary, MetricsCollector, MetricsSummary, TaskSummary,
 };
-use crate::sampling::SamplingPool;
+use crate::sampling::{SamplingPool, DEFAULT_SHARD_CAPACITY};
 use crate::task_runtime::{ServerOptimizerKind, TaskRuntime};
 use papaya_core::client::ClientTrainer;
 use papaya_core::config::{SecAggMode, TaskConfig, TrainingMode};
 use papaya_core::dp::DpConfig;
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
+use papaya_core::trace::{DecimatedTrace, TraceBudget};
 use papaya_data::population::{DeviceProfile, Population};
 use papaya_nn::params::ParamVec;
 use rand::rngs::StdRng;
@@ -102,6 +103,19 @@ pub struct RunLimits {
     /// thread.  Reports are bit-identical at every setting (see
     /// [`crate::executor`]); the default is the sequential path.
     pub parallelism: Parallelism,
+    /// Retention budget for the per-event metric traces (utilization, loss
+    /// curve, participations).  The default keeps every sample; bounded
+    /// budgets decimate deterministically (see [`papaya_core::trace`]) and
+    /// are hashed into [`Report::fingerprint`], so a budgeted run never
+    /// fingerprint-collides with an unbudgeted one.  Essential at
+    /// million-client scale, where per-event traces would otherwise
+    /// dominate resident memory.
+    pub trace_budget: TraceBudget,
+    /// Ids per shard of the free-device sampling pool (see
+    /// [`crate::sampling::ShardedSamplingPool`]).  Affects memory and
+    /// allocator behaviour only: the drawn client sequence — and therefore
+    /// the fingerprint — is bit-identical at every setting.
+    pub sampling_shard_capacity: usize,
 }
 
 impl Default for RunLimits {
@@ -111,6 +125,8 @@ impl Default for RunLimits {
             max_client_updates: None,
             target_loss: None,
             parallelism: Parallelism::sequential(),
+            trace_budget: TraceBudget::UNBOUNDED,
+            sampling_shard_capacity: DEFAULT_SHARD_CAPACITY,
         }
     }
 }
@@ -143,6 +159,19 @@ impl RunLimits {
     /// Sets the client-training parallelism.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Caps every per-event metric trace at `max_samples` retained entries
+    /// (deterministic stride decimation).
+    pub fn with_trace_budget(mut self, max_samples: usize) -> Self {
+        self.trace_budget = TraceBudget::bounded(max_samples);
+        self
+    }
+
+    /// Sets the sampling pool's shard capacity (ids per shard).
+    pub fn with_sampling_shard_capacity(mut self, capacity: usize) -> Self {
+        self.sampling_shard_capacity = capacity;
         self
     }
 }
@@ -379,6 +408,19 @@ impl Fnv {
     }
 }
 
+/// Folds a trace's decimation parameters into the fingerprint, but only
+/// when a budget is active: an unbounded trace hashes nothing extra, so
+/// historical (pre-budget) fingerprints are preserved bit-for-bit, while a
+/// budgeted run can never collide with an unbudgeted one that happens to
+/// retain the same sample prefix.
+fn hash_decimation<T>(h: &mut Fnv, trace: &DecimatedTrace<T>) {
+    if trace.budget().is_bounded() {
+        h.u64(trace.budget().max_samples() as u64);
+        h.u64(trace.stride());
+        h.u64(trace.offered());
+    }
+}
+
 impl Report {
     /// The report of the only task of a direct scenario.
     ///
@@ -456,16 +498,19 @@ impl Report {
                 h.f64(t);
                 h.f64(loss);
             }
+            hash_decimation(&mut h, &m.loss_curve);
             for &(t, active) in &m.utilization_trace {
                 h.f64(t);
                 h.u64(active as u64);
             }
+            hash_decimation(&mut h, &m.utilization_trace);
             for p in &m.participations {
                 h.u64(p.client_id as u64);
                 h.f64(p.execution_time_s);
                 h.u64(p.num_examples as u64);
                 h.u64(p.aggregated as u64);
             }
+            hash_decimation(&mut h, &m.participations);
             for &d in &m.round_durations_s {
                 h.f64(d);
             }
@@ -822,14 +867,20 @@ fn validate_task_config(task: &TaskConfig, has_fleet: bool) {
 /// non-finite target loss.
 fn validate_run_limits(limits: &RunLimits) {
     let RunLimits {
-        max_virtual_time_s, // hard stop in both run loops
-        max_client_updates, // checked on every (Task)ClientFinished
-        target_loss,        // checked on every Evaluate(Task)
-        parallelism: _,     // executor pool size; any value is honored
+        max_virtual_time_s,      // hard stop in both run loops
+        max_client_updates,      // checked on every (Task)ClientFinished
+        target_loss,             // checked on every Evaluate(Task)
+        parallelism: _,          // executor pool size; any value is honored
+        trace_budget: _,         // validated at construction by TraceBudget::bounded
+        sampling_shard_capacity, // must be able to hold at least one id
     } = limits;
     assert!(
         max_virtual_time_s.is_finite() && *max_virtual_time_s > 0.0,
         "max_virtual_time_s must be positive and finite"
+    );
+    assert!(
+        *sampling_shard_capacity > 0,
+        "sampling_shard_capacity of 0 cannot hold any device ids"
     );
     if let Some(max) = max_client_updates {
         assert!(
@@ -956,12 +1007,16 @@ impl<'a> DirectState<'a> {
             scenario.limits.target_loss,
         );
         runtime.set_executor(executor);
+        runtime.set_trace_budget(scenario.limits.trace_budget);
         DirectState {
             scenario,
             rng,
             queue: EventQueue::new(),
             runtime,
-            pool: SamplingPool::new(scenario.population.len()),
+            pool: SamplingPool::with_shard_capacity(
+                scenario.population.len(),
+                scenario.limits.sampling_shard_capacity,
+            ),
             next_participation_id: 0,
             scheduled_deadline: None,
             now: 0.0,
@@ -1249,6 +1304,7 @@ impl<'a> FleetState<'a> {
             // All runtimes share one pool; participation ids are unique
             // across tasks, so jobs never collide.
             runtime.set_executor(executor.clone());
+            runtime.set_trace_budget(scenario.limits.trace_budget);
             runtimes.push(runtime);
         }
         let mut selectors = vec![Selector::new(); fleet.selectors];
@@ -1258,7 +1314,7 @@ impl<'a> FleetState<'a> {
         let tiers = scenario
             .population
             .iter()
-            .map(|device| scenario.tier_policy.tier(device))
+            .map(|device| scenario.tier_policy.tier(&device))
             .collect();
         FleetState {
             scenario,
@@ -1270,7 +1326,10 @@ impl<'a> FleetState<'a> {
             selectors,
             selector_cursor: 0,
             crashed: BTreeSet::new(),
-            pool: SamplingPool::new(scenario.population.len()),
+            pool: SamplingPool::with_shard_capacity(
+                scenario.population.len(),
+                scenario.limits.sampling_shard_capacity,
+            ),
             tiers,
             upload_route: BTreeMap::new(),
             next_participation_id: 0,

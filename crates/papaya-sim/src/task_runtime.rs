@@ -318,6 +318,13 @@ impl TaskRuntime {
         self.executor = executor;
     }
 
+    /// Applies the run's [`TraceBudget`](papaya_core::trace::TraceBudget)
+    /// to this task's per-event metric traces.  Scenario drivers call this
+    /// once at construction, before any event is processed.
+    pub fn set_trace_budget(&mut self, budget: papaya_core::trace::TraceBudget) {
+        self.metrics.set_trace_budget(budget);
+    }
+
     /// Queues the participation's local training (and, for secure tasks, its
     /// mask precompute) on the executor, so both are (usually) already
     /// computed when the finish event fires.  Drivers call this only for

@@ -1,0 +1,204 @@
+//! Scale-out suite: the million-client path's three load-bearing claims.
+//!
+//! `docs/SCALING.md` rests on three properties, each pinned here from
+//! outside the implementing crates:
+//!
+//! 1. **Sharding is invisible.**  The sharded sampling pool draws the
+//!    *bit-identical* client sequence at every shard capacity — including
+//!    the degenerate capacity that reproduces the historical flat pool —
+//!    so selection (and therefore every fingerprint) is independent of the
+//!    memory layout.  Checked both directly (property test over random
+//!    acquire/release interleavings) and end-to-end (scenario fingerprints
+//!    across shard capacities).
+//! 2. **Decimation is deterministic and honest.**  At a fixed
+//!    `RunLimits::trace_budget` the fingerprint is invariant across thread
+//!    counts and shard capacities, the retained traces actually respect
+//!    the budget, and changing the budget *changes* the fingerprint (the
+//!    decimation parameters are hashed in — a truncated trace can never
+//!    impersonate a full one).
+//! 3. **Idle clients are O(bytes).**  The combined per-idle-device state
+//!    across the packed population and the sampling pool is a documented
+//!    constant number of bytes, asserted at compile time.
+
+use papaya_core::TaskConfig;
+use papaya_data::population::{Population, PopulationConfig};
+use papaya_sim::sampling::ShardedSamplingPool;
+use papaya_sim::scenario::{EvalPolicy, Report, RunLimits, Scenario};
+use papaya_sim::Parallelism;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// Claim 3, at compile time: a packed population record (speed + example
+// count) plus a pool slot (free-list entry + slot index) per idle device.
+// 24 bytes of headroom documented in docs/SCALING.md; a struct growing
+// past it fails this build, not a profiling session six months later.
+const IDLE_BYTES_PER_DEVICE: usize =
+    Population::BYTES_PER_DEVICE + ShardedSamplingPool::BYTES_PER_DEVICE;
+const _: () = assert!(
+    IDLE_BYTES_PER_DEVICE <= 24,
+    "idle per-device state outgrew the documented 24-byte budget"
+);
+
+fn population(n: usize) -> Population {
+    Population::generate(
+        &PopulationConfig::default().with_size(n).with_dropout(0.1),
+        23,
+    )
+}
+
+fn scenario(limits: RunLimits, parallelism: Parallelism) -> Report {
+    Scenario::builder()
+        .population(population(900))
+        .task(TaskConfig::async_task("scale-out", 64, 16))
+        .limits(
+            limits
+                .with_max_virtual_time_hours(2.0)
+                .with_parallelism(parallelism),
+        )
+        .eval(EvalPolicy::default().with_interval_s(600.0))
+        .seed(47)
+        .build()
+        .run()
+}
+
+proptest! {
+    /// Claim 1, directly on the pool: any interleaving of draws and
+    /// releases produces the same id sequence at every shard capacity,
+    /// because the sharded free list reproduces the flat `swap_remove`
+    /// semantics exactly.  (`capacity >= n` IS the flat pool, so this also
+    /// proves draws are distributionally unchanged from the historical
+    /// implementation.)
+    #[test]
+    fn shard_draws_match_flat_draws(
+        n in 1usize..300,
+        capacity in 1usize..64,
+        seed in 0u64..1_000,
+    ) {
+        let mut flat = ShardedSamplingPool::with_shard_capacity(n, n.max(1));
+        let mut sharded = ShardedSamplingPool::with_shard_capacity(n, capacity);
+        let mut rng_flat = StdRng::seed_from_u64(seed);
+        let mut rng_sharded = StdRng::seed_from_u64(seed);
+        let mut acquired: Vec<usize> = Vec::new();
+        let mut step_rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        for step in 0..400usize {
+            // Release roughly a third of the time, favoring drain-refill
+            // cycles that cross shard boundaries.
+            let release = !acquired.is_empty() && step % 3 == 0;
+            if release {
+                let idx = rand::Rng::gen_range(&mut step_rng, 0..acquired.len());
+                let id = acquired.swap_remove(idx);
+                flat.release(id);
+                sharded.release(id);
+            } else {
+                let a = flat.acquire_random(&mut rng_flat);
+                let b = sharded.acquire_random(&mut rng_sharded);
+                prop_assert_eq!(a, b, "diverged at step {}", step);
+                if let Some(id) = a {
+                    acquired.push(id);
+                }
+            }
+        }
+    }
+}
+
+/// Claim 1, end to end: the full scenario fingerprint is invariant across
+/// shard capacities, including one small enough that the free list spans
+/// hundreds of shards.
+#[test]
+fn fingerprints_are_invariant_across_shard_capacities() {
+    let reference = scenario(RunLimits::default(), Parallelism::sequential()).fingerprint();
+    for capacity in [1, 7, 128, 1 << 16] {
+        let report = scenario(
+            RunLimits::default().with_sampling_shard_capacity(capacity),
+            Parallelism::sequential(),
+        );
+        assert_eq!(
+            reference,
+            report.fingerprint(),
+            "fingerprint moved at shard capacity {capacity}"
+        );
+    }
+}
+
+/// Claim 2: at a fixed bounded budget the fingerprint is invariant across
+/// thread counts and shard capacities — decimation is part of the
+/// deterministic contract, not a lossy afterthought.
+#[test]
+fn budgeted_fingerprints_are_invariant_across_threads_and_shards() {
+    let budget = 64;
+    let reference = scenario(
+        RunLimits::default().with_trace_budget(budget),
+        Parallelism::sequential(),
+    )
+    .fingerprint();
+    for parallelism in [Parallelism(1), Parallelism(4)] {
+        let report = scenario(RunLimits::default().with_trace_budget(budget), parallelism);
+        assert_eq!(
+            reference,
+            report.fingerprint(),
+            "budgeted fingerprint diverged at {parallelism:?}"
+        );
+    }
+    let resharded = scenario(
+        RunLimits::default()
+            .with_trace_budget(budget)
+            .with_sampling_shard_capacity(5),
+        Parallelism::sequential(),
+    );
+    assert_eq!(reference, resharded.fingerprint());
+}
+
+/// Claim 2: the budget actually bounds the retained traces while the
+/// counters (which are exact, never decimated) still see every event, and
+/// a different budget yields a different fingerprint.
+#[test]
+fn decimation_bounds_traces_and_is_fingerprint_visible() {
+    let budget = 32;
+    let bounded = scenario(
+        RunLimits::default().with_trace_budget(budget),
+        Parallelism::sequential(),
+    );
+    let unbounded = scenario(RunLimits::default(), Parallelism::sequential());
+
+    let m = &bounded.single().metrics;
+    let full = &unbounded.single().metrics;
+    assert!(
+        full.participations.len() > budget,
+        "scenario too small to exercise decimation ({} participations)",
+        full.participations.len()
+    );
+    assert!(m.participations.len() <= budget);
+    assert!(m.loss_curve.len() <= budget);
+    assert!(m.utilization_trace.len() <= budget);
+    // Decimation drops trace samples, never counter increments.
+    assert_eq!(m.comm_trips, full.comm_trips);
+    assert_eq!(m.aggregated_updates, full.aggregated_updates);
+    assert_eq!(bounded.events_processed, unbounded.events_processed);
+
+    // The budget is hashed: three distinct retention policies, three
+    // distinct fingerprints.
+    let wider = scenario(
+        RunLimits::default().with_trace_budget(budget * 2),
+        Parallelism::sequential(),
+    );
+    assert_ne!(bounded.fingerprint(), unbounded.fingerprint());
+    assert_ne!(bounded.fingerprint(), wider.fingerprint());
+}
+
+/// Claim 3, at run time: the documented record sizes are what the packed
+/// containers actually store, and the materialized [`DeviceProfile`] they
+/// replace is several times larger — i.e. the profile really is re-derived
+/// on demand, not cached per device.
+#[test]
+fn idle_state_measures_within_the_documented_budget() {
+    let n = 10_000;
+    let pop = population(n);
+    let pool = ShardedSamplingPool::new(n);
+    assert_eq!(pop.len(), n);
+    assert_eq!(pool.available(), n);
+    // f64 speed + u32 examples; u32 free-list entry + u32 slot index.
+    assert_eq!(Population::BYTES_PER_DEVICE, 12);
+    assert_eq!(ShardedSamplingPool::BYTES_PER_DEVICE, 8);
+    assert!(std::mem::size_of_val(&pop.device(0)) > Population::BYTES_PER_DEVICE);
+}
