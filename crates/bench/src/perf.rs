@@ -647,7 +647,10 @@ pub const MIN_RSS_GATE_BYTES: u64 = 64 << 20;
 /// Returns one human-readable line per compared scenario on success; when
 /// the *baseline* records a parallel speedup below 1.0 anywhere, a single
 /// note line flags it (informational — single-core runners make the
-/// parallel wall-clock comparison noisy — never a failure).
+/// parallel wall-clock comparison noisy — never a failure).  When the
+/// baseline never saw a parallel win at all (every speedup < 1.0, i.e. an
+/// effectively single-core box), the parallel wall-clock gate is skipped
+/// outright rather than treated as a regression signal.
 pub fn compare(
     baseline: &SuiteResult,
     current: &SuiteResult,
@@ -673,6 +676,11 @@ pub fn compare(
              comparisons are noisy there"
         ));
     }
+    // A baseline box that never saw a parallel win (every speedup < 1.0)
+    // was effectively single-core; comparing a multi-core current run's
+    // parallel wall-clock against it is pure noise, not a regression
+    // signal, so the parallel gate is skipped entirely.
+    let baseline_won_parallel = baseline.scenarios.iter().any(|b| b.speedup >= 1.0);
     for base in &baseline.scenarios {
         if !current.scenarios.iter().any(|c| c.name == base.name) {
             failures.push(format!(
@@ -712,6 +720,13 @@ pub fn compare(
             ("sequential", base.wall_s_sequential, cur.wall_s_sequential),
             ("parallel", base.wall_s_parallel, cur.wall_s_parallel),
         ] {
+            if kind == "parallel" && !baseline_won_parallel {
+                lines.push(format!(
+                    "{}: parallel wall-clock gate skipped (baseline never saw a parallel win)",
+                    cur.name
+                ));
+                continue;
+            }
             let ratio = c / b.max(1e-9);
             if ratio > factor && c > MIN_REGRESSION_WALL_S {
                 failures.push(format!(
@@ -1200,6 +1215,33 @@ mod tests {
         // And the note is absent when the baseline parallelized fine.
         let healthy = compare(&sample_suite(), &current, 2.0).expect("ok");
         assert!(!healthy.iter().any(|l| l.contains("speedup < 1.0")));
+    }
+
+    #[test]
+    fn compare_skips_the_parallel_gate_when_baseline_never_won() {
+        // A committed baseline from an effectively single-core box (every
+        // speedup < 1.0) must not turn a multi-core run's parallel
+        // wall-clock into a regression signal.
+        let mut baseline = sample_suite();
+        baseline.scenarios[0].speedup = 0.8;
+        let mut current = sample_suite();
+        current.scenarios[0].wall_s_parallel = 50.0; // way past any factor
+        let lines = compare(&baseline, &current, 2.0).expect("gate skipped");
+        assert!(
+            lines.iter().any(|l| l.contains("parallel wall-clock gate skipped")),
+            "{lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.contains("speedup < 1.0")), "{lines:?}");
+        // The sequential gate stays live on the same baseline.
+        current.scenarios[0].wall_s_sequential = 50.0;
+        let err = compare(&baseline, &current, 2.0).unwrap_err();
+        assert!(err.contains("sequential wall-clock regressed"), "{err}");
+        // A baseline with even one parallel win keeps the parallel gate.
+        let winning = sample_suite(); // speedup 3.0
+        let mut regressed = sample_suite();
+        regressed.scenarios[0].wall_s_parallel = 50.0;
+        let err = compare(&winning, &regressed, 2.0).unwrap_err();
+        assert!(err.contains("parallel wall-clock regressed"), "{err}");
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub enum AccumulateOutcome {
     /// The update arrived after the goal was already met and was discarded
     /// (the over-selection waste of synchronous rounds).
     Discarded,
+    /// A robust-aggregation defense rejected the update before it could
+    /// reach the wrapped strategy's buffer: it carried NaN/infinite values
+    /// or its L2 norm exceeded the configured filter bound
+    /// ([`crate::robust::RobustAggregator`]).
+    RejectedByDefense,
 }
 
 impl AccumulateOutcome {
@@ -224,6 +229,15 @@ pub trait Aggregator: Send {
     /// `None`; drivers use this both to detect that a task's releases are
     /// noised and to export the clip/noise/ε traces.
     fn dp_telemetry(&self) -> Option<&crate::dp::DpTelemetry> {
+        None
+    }
+
+    /// Robust-aggregation telemetry, for strategies wrapped in the
+    /// Byzantine-defense pipeline ([`crate::robust::RobustAggregator`]).
+    /// Undefended strategies return `None`; drivers use this both to
+    /// detect that a task is defended and to export rejection counts and
+    /// estimator-correction traces.
+    fn robust_telemetry(&self) -> Option<&crate::robust::RobustTelemetry> {
         None
     }
 

@@ -6,7 +6,9 @@
 //! stale clients, and the aggregation rule — are all derived from
 //! [`TrainingMode`].
 
+use crate::adversary::AdversarySpec;
 use crate::dp::DpConfig;
+use crate::robust::RobustConfig;
 use crate::staleness::StalenessWeighting;
 
 /// Whether and how secure aggregation is enabled for a task.
@@ -121,6 +123,15 @@ pub struct TaskConfig {
     /// Composes with [`SecAggMode::AsyncSecAgg`] (clipping happens
     /// client-side before masking; the noise lands on the decoded release).
     pub dp: Option<DpConfig>,
+    /// Byzantine-robust aggregation: norm filtering or a robust release
+    /// estimator wrapped around the (possibly DP + secure) strategy as the
+    /// outermost decorator.  `None` runs undefended.
+    pub robust: Option<RobustConfig>,
+    /// Adversarial client model: which fraction of the population is
+    /// malicious and how.  `None` means every client is honest.  This is a
+    /// *simulation* knob — it configures the attack being studied, not the
+    /// server — and never affects the defense's behavior.
+    pub adversary: Option<AdversarySpec>,
     /// Serialized model size in bytes (used for cost accounting only).
     pub model_size_bytes: u64,
     /// Minimum device capability tier required to train this task; clients
@@ -152,6 +163,8 @@ impl TaskConfig {
             client_timeout_s: 240.0,
             secagg: SecAggMode::Disabled,
             dp: None,
+            robust: None,
+            adversary: None,
             model_size_bytes: 20_000_000,
             min_capability_tier: 0,
         }
@@ -177,6 +190,8 @@ impl TaskConfig {
             client_timeout_s: 240.0,
             secagg: SecAggMode::Disabled,
             dp: None,
+            robust: None,
+            adversary: None,
             model_size_bytes: 20_000_000,
             min_capability_tier: 0,
         }
@@ -207,6 +222,8 @@ impl TaskConfig {
             client_timeout_s: 240.0,
             secagg: SecAggMode::Disabled,
             dp: None,
+            robust: None,
+            adversary: None,
             model_size_bytes: 20_000_000,
             min_capability_tier: 0,
         }
@@ -234,6 +251,18 @@ impl TaskConfig {
     /// configuration.
     pub fn with_dp(mut self, dp: DpConfig) -> Self {
         self.dp = Some(dp);
+        self
+    }
+
+    /// Enables Byzantine-robust aggregation with the given configuration.
+    pub fn with_robust(mut self, robust: RobustConfig) -> Self {
+        self.robust = Some(robust);
+        self
+    }
+
+    /// Injects the given adversarial client model into the simulation.
+    pub fn with_adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -338,6 +367,8 @@ mod tests {
             .with_example_weighting(false)
             .with_secagg(SecAggMode::AsyncSecAgg)
             .with_dp(DpConfig::new(1.0, 0.5))
+            .with_robust(RobustConfig::neutral())
+            .with_adversary(AdversarySpec::new(0.1, crate::adversary::Malice::StalenessLiar))
             .with_max_staleness(7)
             .with_model_size_bytes(1000)
             .with_min_capability_tier(2);
@@ -345,6 +376,11 @@ mod tests {
         assert!(!t.weight_by_examples);
         assert_eq!(t.secagg, SecAggMode::AsyncSecAgg);
         assert_eq!(t.dp, Some(DpConfig::new(1.0, 0.5)));
+        assert_eq!(t.robust, Some(RobustConfig::neutral()));
+        assert_eq!(
+            t.adversary,
+            Some(AdversarySpec::new(0.1, crate::adversary::Malice::StalenessLiar))
+        );
         assert_eq!(t.model_size_bytes, 1000);
         assert_eq!(t.min_capability_tier, 2);
         match t.mode {

@@ -623,6 +623,10 @@ impl Aggregator for DpAggregator {
         Some(&self.telemetry)
     }
 
+    fn robust_telemetry(&self) -> Option<&crate::robust::RobustTelemetry> {
+        self.inner.robust_telemetry()
+    }
+
     // DP is the outer layer of the dp+secure stack, so the speculative
     // mask-precompute hooks pass straight through to the secure layer.
     fn plan_mask_precompute(&mut self, client_id: usize) -> Option<crate::secure::MaskPlan> {

@@ -23,6 +23,13 @@
 //! * [`dp`] — the [`dp::DpAggregator`] decorator adding user-level
 //!   differential privacy to any strategy (per-update L2 clipping, seeded
 //!   Gaussian release noise, and an RDP [`dp::PrivacyAccountant`]);
+//! * [`adversary`] — typed Byzantine client behaviors (sign-flip, scaled
+//!   boosting, colluding cohorts, staleness liars, SecAgg protocol
+//!   deviations) with deterministic per-client membership;
+//! * [`robust`] — the [`robust::RobustAggregator`] decorator defending any
+//!   strategy against those behaviors (L2 norm filtering, coordinate-wise
+//!   trimmed mean and median), stacking outermost as
+//!   `robust(dp(secure(strategy)))`;
 //! * [`server_opt`] — server optimizers applied to aggregated deltas
 //!   (FedAvg/FedSGD/FedAdam, Reddi et al., 2020);
 //! * [`trace`] — bounded metric traces ([`trace::DecimatedTrace`] under a
@@ -57,12 +64,14 @@
 //! assert_eq!(aggregated.as_slice(), &[0.5, 0.5]);
 //! ```
 
+pub mod adversary;
 pub mod aggregator;
 pub mod client;
 pub mod config;
 pub mod dp;
 pub mod fedbuff;
 pub mod model;
+pub mod robust;
 pub mod secure;
 pub mod server_opt;
 pub mod staleness;
@@ -71,12 +80,14 @@ pub mod sync_agg;
 pub mod timed_hybrid;
 pub mod trace;
 
+pub use adversary::{AdversarySpec, DeviationKind, Malice};
 pub use aggregator::{AccumulateOutcome, Aggregator, AggregatorStats};
 pub use client::{ClientTrainer, ClientUpdate, LocalTrainResult};
 pub use config::{SecAggMode, TaskConfig, TrainingMode};
 pub use dp::{DpAggregator, DpConfig, DpTelemetry, PrivacyAccountant};
 pub use fedbuff::FedBuffAggregator;
 pub use model::ServerModel;
+pub use robust::{RobustAggregator, RobustConfig, RobustDefense, RobustTelemetry};
 pub use secure::{SecureAggregator, SecureTelemetry};
 pub use server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
 pub use staleness::StalenessWeighting;

@@ -300,6 +300,9 @@ pub struct SecureAggregator {
     telemetry: SecureTelemetry,
     /// `Some` in session-cached mode, `None` in per-update mode.
     session: Option<SessionState>,
+    /// Adversarial clients deviating from the masking protocol, if the
+    /// simulation injects any (see [`SecureAggregator::with_deviation`]).
+    deviation: Option<crate::adversary::AdversarySpec>,
     timings: SecureTimings,
 }
 
@@ -363,8 +366,25 @@ impl SecureAggregator {
             weight_sum: 0.0,
             telemetry: SecureTelemetry::default(),
             session: None,
+            deviation: None,
             timings: SecureTimings::default(),
         }
+    }
+
+    /// Injects SecAgg protocol deviations: clients the spec marks as
+    /// malicious (and whose [`Malice`](crate::adversary::Malice) is a
+    /// [`SecAggDeviation`](crate::adversary::Malice::SecAggDeviation))
+    /// violate the masking protocol on upload — lying about their ratchet
+    /// counter or double-applying their pad.  A spec without a deviation
+    /// behavior is ignored.  Deviations are modeled for the session-cached
+    /// protocol only (the per-update protocol has no client-controlled
+    /// counter to lie about); this is a *simulation* hook for the
+    /// attack-vs-defense matrix, never part of a production configuration.
+    pub fn with_deviation(mut self, spec: crate::adversary::AdversarySpec) -> Self {
+        if spec.deviation().is_some() {
+            self.deviation = Some(spec);
+        }
+        self
     }
 
     /// The cumulative secure-pipeline telemetry.
@@ -475,6 +495,10 @@ impl SecureAggregator {
         let staleness = update.staleness(current_version);
         let weight = self.inner.update_weight(update.num_examples, staleness);
         let client_id = update.client_id;
+        let deviation = self
+            .deviation
+            .filter(|spec| spec.is_malicious(client_id))
+            .and_then(|spec| spec.deviation());
         let (plan, pre) = self.consume_mask(client_id);
         // Client side: scale by the metadata-derived weight exactly as the
         // clear buffer would (`f32` product), encode, apply the one-time
@@ -483,11 +507,18 @@ impl SecureAggregator {
         scaled.scale(weight as f32);
         // papaya-lint: allow(wall-clock) -- stage timing for SecureTimings; profiling only, never fingerprinted
         let start = Instant::now();
-        let masked = self
+        let mut masked = self
             .config
             .codec
             .encode_vec(scaled.as_slice())
             .add(&pre.mask);
+        if deviation == Some(crate::adversary::DeviationKind::GarbageMask) {
+            // A garbage-mask client pads twice: the TSA's unmask removes
+            // one copy and the released aggregate keeps a full
+            // pseudorandom pad — caught downstream as an out-of-range
+            // release (the decode no longer matches the clear reference).
+            masked = masked.add(&pre.mask);
+        }
         self.timings.encode_s += start.elapsed().as_secs_f64();
 
         let outcome = self.inner.accumulate(update, current_version, now_s);
@@ -512,9 +543,21 @@ impl SecureAggregator {
                 // papaya-lint: allow(panic-hygiene) -- codec and host share one deployment config by construction; a mismatch is a wiring bug
                 .expect("mask and update share the deployment group");
             let session = session_state(&mut self.session);
+            // A wrong-counter client claims the *next* ratchet counter: the
+            // TSA's monotone floor accepts a higher counter, expands a seed
+            // the client's mask was not derived from, and the unmask
+            // leaves residue — an out-of-range release, never a panic.
+            // (Consistent lying keeps the floor at lie+1, so every later
+            // lie from the same client clears the floor too.)
+            let claimed_counter =
+                if deviation == Some(crate::adversary::DeviationKind::WrongCounter) {
+                    plan.counter + 1
+                } else {
+                    plan.counter
+                };
             session.pending_refs.push(MaskRef {
                 client_id: client_id as u64,
-                counter: plan.counter,
+                counter: claimed_counter,
             });
             self.weight_sum += weight;
             self.telemetry.masked_updates += 1;
@@ -748,6 +791,10 @@ impl Aggregator for SecureAggregator {
         self.inner.dp_telemetry()
     }
 
+    fn robust_telemetry(&self) -> Option<&crate::robust::RobustTelemetry> {
+        self.inner.robust_telemetry()
+    }
+
     /// Issues the mask plan for `client_id`'s upcoming participation so the
     /// expensive half (handshake and/or mask expansion) can run
     /// speculatively off the event loop.  Per-update mode returns `None` —
@@ -810,6 +857,79 @@ mod tests {
             goal,
             0xC0DE,
         )
+    }
+
+    fn deviant_fedbuff(kind: crate::adversary::DeviationKind) -> SecureAggregator {
+        secure_fedbuff(2, StalenessWeighting::Constant).with_deviation(
+            crate::adversary::AdversarySpec::new(
+                1.0,
+                crate::adversary::Malice::SecAggDeviation { kind },
+            ),
+        )
+    }
+
+    #[test]
+    fn wrong_counter_deviation_is_flagged_never_a_panic() {
+        let mut agg = deviant_fedbuff(crate::adversary::DeviationKind::WrongCounter);
+        agg.accumulate(update(0, vec![0.5, -0.25], 10, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![0.25, 0.125], 10, 0), 0, 0.0);
+        let released = agg.take(0.0).expect("deviant buffers still release");
+        assert!(released.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(
+            agg.telemetry().out_of_range_releases,
+            1,
+            "mask residue must be caught by the error budget"
+        );
+        // Consistent liars clear the advanced TSA floor on the next buffer
+        // too: the protocol keeps running, each garbage release flagged.
+        agg.accumulate(update(0, vec![0.5, -0.25], 10, 1), 1, 1.0);
+        agg.accumulate(update(1, vec![0.25, 0.125], 10, 1), 1, 1.0);
+        assert!(agg.take(1.0).is_some());
+        assert_eq!(agg.telemetry().out_of_range_releases, 2);
+    }
+
+    #[test]
+    fn garbage_mask_deviation_is_flagged_never_a_panic() {
+        let mut agg = deviant_fedbuff(crate::adversary::DeviationKind::GarbageMask);
+        agg.accumulate(update(0, vec![0.5, -0.25], 10, 0), 0, 0.0);
+        agg.accumulate(update(1, vec![0.25, 0.125], 10, 0), 0, 0.0);
+        let released = agg.take(0.0).expect("deviant buffers still release");
+        assert!(released.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(
+            agg.telemetry().out_of_range_releases,
+            1,
+            "the surviving pad must be caught by the error budget"
+        );
+    }
+
+    #[test]
+    fn honest_cohort_with_a_deviant_minority_is_still_flagged() {
+        // fraction 1.0 but only client ids the hash marks... use 0.5 and
+        // find one honest + one deviant id so the release mixes both.
+        let spec = crate::adversary::AdversarySpec::new(
+            0.5,
+            crate::adversary::Malice::SecAggDeviation {
+                kind: crate::adversary::DeviationKind::GarbageMask,
+            },
+        );
+        let honest = (0..100).find(|&id| !spec.is_malicious(id)).unwrap();
+        let deviant = (0..100).find(|&id| spec.is_malicious(id)).unwrap();
+        let mut agg = secure_fedbuff(2, StalenessWeighting::Constant).with_deviation(spec);
+        agg.accumulate(update(honest, vec![0.5, -0.25], 10, 0), 0, 0.0);
+        agg.accumulate(update(deviant, vec![0.25, 0.125], 10, 0), 0, 0.0);
+        agg.take(0.0).expect("release proceeds");
+        assert_eq!(agg.telemetry().out_of_range_releases, 1);
+    }
+
+    #[test]
+    fn non_deviation_malice_never_arms_the_secure_hook() {
+        let agg = secure_fedbuff(2, StalenessWeighting::Constant).with_deviation(
+            crate::adversary::AdversarySpec::new(
+                1.0,
+                crate::adversary::Malice::SignFlip { scale: 1.0 },
+            ),
+        );
+        assert!(agg.deviation.is_none(), "delta attacks live in the runtime");
     }
 
     #[test]

@@ -94,6 +94,22 @@ impl FedAdam {
     pub fn default_config() -> Self {
         FedAdam::new(1e-3, 0.9)
     }
+
+    /// Adam's bias correction `1 - beta^step`, computed in `f64`.
+    ///
+    /// `beta.powi(step as i32)` silently truncates once `step` exceeds
+    /// `i32::MAX` (a week-long run at production cadence gets there), and
+    /// `powi` with a huge exponent is wasted work: past a few thousand
+    /// steps the correction is exactly 1.0 in `f32`, so we early-out.
+    fn bias_correction(beta: f32, step: u64) -> f32 {
+        // ln(beta) <= beta - 1, so beta^step <= exp(-step * (1 - beta)).
+        // Once that bound drops below half an f32 ulp at 1.0 the
+        // correction rounds to exactly 1.0 and powf can be skipped.
+        if step as f64 * (1.0 - beta as f64) >= 25.0 {
+            return 1.0;
+        }
+        (1.0 - (beta as f64).powf(step as f64)) as f32
+    }
 }
 
 impl ServerOptimizer for FedAdam {
@@ -104,8 +120,8 @@ impl ServerOptimizer for FedAdam {
             self.v = vec![0.0; model.len()];
         }
         self.step += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        let bc1 = Self::bias_correction(self.beta1, self.step);
+        let bc2 = Self::bias_correction(self.beta2, self.step);
         let grads = delta.as_slice();
         for (i, value) in model.as_mut_slice().iter_mut().enumerate() {
             // Pseudo-gradient: the aggregated delta points towards lower loss,
@@ -176,6 +192,39 @@ mod tests {
         let mut opt = FedAdam::new(0.01, 0.9);
         opt.apply(&mut model, &ParamVec::from_vec(vec![1.0e6]));
         assert!(model.as_slice()[0].abs() < 0.05);
+    }
+
+    #[test]
+    fn fedadam_bias_correction_survives_huge_step_counts() {
+        // `powi(step as i32)` used to truncate (and could even see a
+        // negative exponent) once the step count passed i32::MAX, blowing
+        // up the corrected moments.  The f64 path saturates to exactly 1.
+        for step in [1u64, 10, 1000, 1_000_000, i32::MAX as u64 + 5, u64::MAX] {
+            let bc = FedAdam::bias_correction(0.9, step);
+            assert!(bc.is_finite() && bc > 0.0 && bc <= 1.0, "step={step}: {bc}");
+        }
+        assert_eq!(FedAdam::bias_correction(0.999, i32::MAX as u64 + 5), 1.0);
+        assert_eq!(FedAdam::bias_correction(0.9, u64::MAX), 1.0);
+        // Small steps still match the textbook formula.
+        assert!((FedAdam::bias_correction(0.9, 1) - 0.1).abs() < 1e-6);
+        assert!((FedAdam::bias_correction(0.9, 2) - 0.19).abs() < 1e-6);
+        // A very sticky beta1 must not be treated as saturated too early.
+        let bc = FedAdam::bias_correction(0.99999, 20_000);
+        assert!(bc < 0.25, "0.99999^20000 is nowhere near 0: bc={bc}");
+    }
+
+    #[test]
+    fn fedadam_long_run_steps_stay_bounded() {
+        // Simulate a model that has already taken > i32::MAX steps; the
+        // next apply must behave exactly like a fully bias-corrected Adam
+        // step instead of dividing by a garbage correction.
+        let mut model = ParamVec::from_vec(vec![0.0]);
+        let mut opt = FedAdam::new(0.01, 0.9);
+        opt.step = i32::MAX as u64 + 41;
+        opt.apply(&mut model, &ParamVec::from_vec(vec![1.0]));
+        let moved = model.as_slice()[0];
+        assert!(moved.is_finite());
+        assert!(moved > 0.0 && moved < 0.05, "moved {moved}");
     }
 
     #[test]

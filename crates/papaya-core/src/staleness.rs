@@ -27,7 +27,15 @@ impl StalenessWeighting {
             StalenessWeighting::Constant => 1.0,
             StalenessWeighting::PolynomialHalf => 1.0 / (1.0 + staleness as f64).sqrt(),
             StalenessWeighting::Linear => 1.0 / (1.0 + staleness as f64),
-            StalenessWeighting::Exponential => 0.5f64.powi(staleness.min(60) as i32),
+            // `2^{-s}` computed in floating point so the weight keeps
+            // strictly decreasing all the way into subnormal territory
+            // (2^-1074); only past that does it floor at the smallest
+            // positive subnormal instead of collapsing to zero, so an
+            // astronomically stale update still carries zero-ish — but
+            // nonzero and ordered — weight.
+            StalenessWeighting::Exponential => {
+                (-(staleness as f64)).exp2().max(f64::from_bits(1))
+            }
         }
     }
 }
@@ -58,15 +66,36 @@ mod tests {
 
     #[test]
     fn weights_are_monotone_decreasing() {
+        // Well past the old `min(60)` clamp that used to flatten the
+        // exponential scheme: strict decrease must hold deep into the
+        // subnormal range.
         for w in [
             StalenessWeighting::PolynomialHalf,
             StalenessWeighting::Linear,
             StalenessWeighting::Exponential,
         ] {
-            for s in 0..50u64 {
-                assert!(w.weight(s + 1) < w.weight(s));
+            for s in 0..200u64 {
+                assert!(
+                    w.weight(s + 1) < w.weight(s),
+                    "{w:?} not strictly decreasing at s={s}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn exponential_decreases_to_subnormal_territory() {
+        let w = StalenessWeighting::Exponential;
+        // 2^-s is exactly representable down to the smallest positive
+        // subnormal (2^-1074), so strict decrease holds until there.
+        for s in [100u64, 500, 1000, 1073] {
+            assert!(w.weight(s + 1) < w.weight(s), "flat at s={s}");
+            assert!(w.weight(s + 1) > 0.0);
+        }
+        assert_eq!(w.weight(1074), f64::from_bits(1));
+        // Beyond true underflow the weight floors at the smallest
+        // subnormal rather than collapsing to zero.
+        assert_eq!(w.weight(2000), f64::from_bits(1));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Decorator conformance: the aggregation stack composes as
-//! `dp(secure(strategy))`, so any `Aggregator` impl that wraps another must
-//! forward the pass-through hooks — a decorator that forgets one silently
-//! severs telemetry (or weighting) for every layer beneath it.
+//! `robust(dp(secure(strategy)))`, so any `Aggregator` impl that wraps
+//! another must forward the pass-through hooks — a decorator that forgets
+//! one silently severs telemetry (or weighting) for every layer beneath it.
 
 use super::Rule;
 use crate::report::Finding;
@@ -10,7 +10,12 @@ use crate::Workspace;
 
 /// Hooks with trait-provided defaults that decorators must forward.  Base
 /// strategies (no inner aggregator) opt out with a justified allow.
-const FORWARDED_HOOKS: &[&str] = &["update_weight", "secure_telemetry", "dp_telemetry"];
+const FORWARDED_HOOKS: &[&str] = &[
+    "update_weight",
+    "secure_telemetry",
+    "dp_telemetry",
+    "robust_telemetry",
+];
 
 /// Every `impl Aggregator for …` block defines all pass-through hooks or
 /// carries an explicit opt-out allow.
@@ -22,7 +27,7 @@ impl Rule for DecoratorConformance {
     }
 
     fn description(&self) -> &'static str {
-        "every Aggregator impl forwards update_weight/secure_telemetry/dp_telemetry or opts out with a justified allow"
+        "every Aggregator impl forwards update_weight/secure_telemetry/dp_telemetry/robust_telemetry or opts out with a justified allow"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

@@ -37,11 +37,22 @@ const CONFIG_CHECKS: &[(&str, &str, &str, &str)] = &[
         "validate_run_limits",
         "papaya-sim/src/scenario.rs",
     ),
+    (
+        "RobustConfig",
+        "papaya-core/src/robust.rs",
+        "validate",
+        "papaya-core/src/robust.rs",
+    ),
+    (
+        "AdversarySpec",
+        "papaya-core/src/adversary.rs",
+        "validate",
+        "papaya-core/src/adversary.rs",
+    ),
 ];
 
-/// Every `TaskConfig`/`DpConfig`/`RunLimits` field must appear in its
-/// validator's exhaustive destructure, and the destructure must not use a
-/// `..` rest pattern.
+/// Every config-struct field must appear in its validator's exhaustive
+/// destructure, and the destructure must not use a `..` rest pattern.
 pub struct ConfigValidate;
 
 impl Rule for ConfigValidate {
@@ -50,7 +61,7 @@ impl Rule for ConfigValidate {
     }
 
     fn description(&self) -> &'static str {
-        "every TaskConfig/DpConfig/RunLimits field must be destructured in its validator (no `..` rest patterns)"
+        "every TaskConfig/DpConfig/RunLimits/RobustConfig/AdversarySpec field must be destructured in its validator (no `..` rest patterns)"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
@@ -254,6 +265,7 @@ fn event_kind_matches(file: &SourceFile) -> Vec<(usize, usize, u32)> {
 const METRICS_FILE: &str = "papaya-sim/src/metrics.rs";
 const SECURE_FILE: &str = "papaya-core/src/secure.rs";
 const DP_FILE: &str = "papaya-core/src/dp.rs";
+const ROBUST_FILE: &str = "papaya-core/src/robust.rs";
 const FINGERPRINT_FILE: &str = "papaya-sim/src/scenario.rs";
 
 /// `(struct, file)` pairs whose fields must be hashed in
@@ -262,6 +274,7 @@ const METRIC_STRUCTS: &[(&str, &str)] = &[
     ("MetricsCollector", METRICS_FILE),
     ("SecureTelemetry", SECURE_FILE),
     ("DpTelemetry", DP_FILE),
+    ("RobustTelemetry", ROBUST_FILE),
 ];
 
 /// Every metrics/telemetry field is either referenced inside
@@ -275,7 +288,7 @@ impl Rule for MetricsFingerprint {
     }
 
     fn description(&self) -> &'static str {
-        "every MetricsCollector/SecureTelemetry/DpTelemetry field must be hashed in Report::fingerprint() or carry an explicit exemption"
+        "every MetricsCollector/SecureTelemetry/DpTelemetry/RobustTelemetry field must be hashed in Report::fingerprint() or carry an explicit exemption"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

@@ -409,7 +409,8 @@ fn panic_hygiene_ignores_adapters_tests_and_justified_allows() {
 
 const HOOKS: &str = "fn update_weight(&self) -> f64 { self.inner.update_weight() }\n\
      fn secure_telemetry(&self) -> Option<u64> { self.inner.secure_telemetry() }\n\
-     fn dp_telemetry(&self) -> Option<u64> { self.inner.dp_telemetry() }\n";
+     fn dp_telemetry(&self) -> Option<u64> { self.inner.dp_telemetry() }\n\
+     fn robust_telemetry(&self) -> Option<u64> { self.inner.robust_telemetry() }\n";
 
 #[test]
 fn decorator_conformance_passes_when_hooks_forwarded() {
@@ -429,6 +430,26 @@ fn decorator_conformance_fires_on_missing_hook() {
         findings.iter().any(|f| f.rule == "decorator-conformance"
             && f.message.contains("`secure_telemetry`")
             && f.message.contains("`dp_telemetry`")),
+        "{:?}",
+        findings
+    );
+}
+
+#[test]
+fn decorator_conformance_fires_on_missing_robust_telemetry() {
+    // A decorator written before the robust layer existed forwards the
+    // three older hooks but not `robust_telemetry` — the conformance rule
+    // must name exactly the new hook.
+    let src = "impl Aggregator for Wrapper {\n    fn ingest(&mut self) {}\n\
+         fn update_weight(&self) -> f64 { self.inner.update_weight() }\n\
+         fn secure_telemetry(&self) -> Option<u64> { self.inner.secure_telemetry() }\n\
+         fn dp_telemetry(&self) -> Option<u64> { self.inner.dp_telemetry() }\n}\n";
+    let w = ws(&[("crates/papaya-core/src/x.rs", src)]);
+    let findings = analyze(&w);
+    assert!(
+        findings.iter().any(|f| f.rule == "decorator-conformance"
+            && f.message.contains("`robust_telemetry`")
+            && !f.message.contains("`dp_telemetry`")),
         "{:?}",
         findings
     );
@@ -560,6 +581,62 @@ fn seeded_metrics_field_fails_lint() {
             .iter()
             .any(|f| f.rule == "metrics-fingerprint" && f.message.contains("seeded_counter")),
         "lint did not catch the seeded metrics field: {:?}",
+        findings
+            .iter()
+            .filter(|f| f.rule == "metrics-fingerprint")
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Adding a `RobustConfig` knob without touching `RobustConfig::validate`
+/// must fail the lint, exactly like the other config structs.
+#[test]
+fn seeded_robust_config_field_fails_lint() {
+    let (rpath, robust) = real("crates/papaya-core/src/robust.rs");
+    let seeded = robust.replace(
+        "pub struct RobustConfig {",
+        "pub struct RobustConfig {\n    pub seeded_new_knob: u64,",
+    );
+    assert_ne!(
+        seeded, robust,
+        "RobustConfig declaration moved; update the test"
+    );
+    let w = Workspace::from_sources(vec![(rpath, seeded)]);
+    let findings = analyze(&w);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "config-validate" && f.message.contains("seeded_new_knob")),
+        "lint did not catch the seeded RobustConfig field: {:?}",
+        findings
+            .iter()
+            .filter(|f| f.rule == "config-validate")
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Adding a `RobustTelemetry` field that `Report::fingerprint()` does not
+/// hash must fail the lint — robustness counters are part of the
+/// determinism pin like every other telemetry stream.
+#[test]
+fn seeded_robust_telemetry_field_fails_lint() {
+    let (rpath, robust) = real("crates/papaya-core/src/robust.rs");
+    let seeded = robust.replace(
+        "pub struct RobustTelemetry {",
+        "pub struct RobustTelemetry {\n    pub seeded_counter: u64,",
+    );
+    assert_ne!(
+        seeded, robust,
+        "RobustTelemetry declaration moved; update the test"
+    );
+    let scenario = real("crates/papaya-sim/src/scenario.rs");
+    let w = Workspace::from_sources(vec![(rpath, seeded), scenario]);
+    let findings = analyze(&w);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "metrics-fingerprint" && f.message.contains("seeded_counter")),
+        "lint did not catch the seeded RobustTelemetry field: {:?}",
         findings
             .iter()
             .filter(|f| f.rule == "metrics-fingerprint")

@@ -96,6 +96,16 @@ pub enum EventKind {
         /// The task whose release was noised and accounted.
         task: usize,
     },
+    /// A task defended by a robust-aggregation estimator released a server
+    /// update (the estimator replaced or passed through the inner strategy's
+    /// release).  Scheduled by scenario drivers at release time so every
+    /// defense-mediated release is visible in the event stream; the handler
+    /// refreshes the task's robustness metrics from the aggregator's
+    /// telemetry.
+    RobustRelease {
+        /// The task whose release went through the robust estimator.
+        task: usize,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -150,6 +160,9 @@ impl fmt::Display for EventKind {
             }
             EventKind::DpRelease { task } => {
                 write!(f, "task {task}: DP release (noised and accounted)")
+            }
+            EventKind::RobustRelease { task } => {
+                write!(f, "task {task}: robust release (estimator applied)")
             }
         }
     }
@@ -320,6 +333,10 @@ mod tests {
         assert_eq!(
             EventKind::DpRelease { task: 4 }.to_string(),
             "task 4: DP release (noised and accounted)"
+        );
+        assert_eq!(
+            EventKind::RobustRelease { task: 5 }.to_string(),
+            "task 5: robust release (estimator applied)"
         );
     }
 

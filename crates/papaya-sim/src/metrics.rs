@@ -1,6 +1,9 @@
 //! Metrics collected during a simulation run.
 
+use std::collections::BTreeMap;
+
 use papaya_core::dp::DpTelemetry;
+use papaya_core::robust::RobustTelemetry;
 use papaya_core::secure::{SecureTelemetry, SecureTimings};
 use papaya_core::trace::{DecimatedTrace, TraceBudget};
 use papaya_data::stats::{ks_two_sample, KsTestResult};
@@ -79,6 +82,27 @@ pub struct MetricsCollector {
     /// `epsilon(target_delta)` trajectory the accountant composed across
     /// releases.  All-zero/empty for tasks running without DP.
     pub dp: DpTelemetry,
+    /// Robust-aggregation telemetry, synced from the task's
+    /// [`RobustAggregator`](papaya_core::robust::RobustAggregator): typed
+    /// rejection counts (non-finite values, norm-filter bound) and the
+    /// per-release estimator trace.  All-zero/empty for tasks running
+    /// without a robust defense — and for defended tasks that stay at the
+    /// neutral defense and never reject, which keeps clear-run fingerprints
+    /// unchanged.
+    pub robust: RobustTelemetry,
+    /// Updates whose payload or metadata a simulated Byzantine client
+    /// corrupted before upload (the simulation's ground-truth attack count;
+    /// a real deployment cannot observe this).
+    pub attacked_updates: u64,
+    /// Ground-truth attack counts keyed by the injected behavior's label
+    /// (e.g. `"sign-flip"`, `"secagg-wrong-counter"`).
+    pub attacks_by_label: BTreeMap<&'static str, u64>,
+    /// `(virtual_seconds, client_id)` samples, one per corrupted upload.
+    pub attack_trace: DecimatedTrace<(f64, usize)>,
+    /// Updates a robust defense rejected before they reached the wrapped
+    /// strategy's buffer (runtime-side mirror of
+    /// [`RobustTelemetry::rejected_total`](papaya_core::robust::RobustTelemetry::rejected_total)).
+    pub rejected_by_defense_updates: u64,
 }
 
 impl MetricsCollector {
@@ -95,6 +119,17 @@ impl MetricsCollector {
         self.utilization_trace.set_budget(budget);
         self.loss_curve.set_budget(budget);
         self.participations.set_budget(budget);
+        self.attack_trace.set_budget(budget);
+    }
+
+    /// Records one ground-truth corrupted upload.  Only the simulation's
+    /// adversary injection calls this — a real deployment never knows which
+    /// uploads were malicious, which is exactly why the robust defenses
+    /// must work from the update contents alone.
+    pub fn record_attack(&mut self, time_s: f64, client_id: usize, label: &'static str) {
+        self.attacked_updates += 1;
+        *self.attacks_by_label.entry(label).or_insert(0) += 1;
+        self.attack_trace.push((time_s, client_id));
     }
 
     /// Mean staleness over aggregated updates.
@@ -180,6 +215,16 @@ pub struct MetricsSummary {
     /// Cumulative `epsilon(target_delta)` after the last DP release (0 for
     /// non-DP tasks; `∞` for a noiseless DP mechanism).
     pub cumulative_epsilon: f64,
+    /// Updates a robust defense rejected (non-finite values or norm-filter
+    /// bound; 0 for undefended tasks).
+    pub robust_rejected_updates: u64,
+    /// Releases where an engaged robust estimator (trimmed mean, coordinate
+    /// median) replaced the inner strategy's aggregate (0 for undefended or
+    /// filter-only tasks).
+    pub robust_estimator_releases: u64,
+    /// Ground-truth count of uploads a simulated Byzantine client corrupted
+    /// (0 for honest populations).
+    pub attacked_updates: u64,
 }
 
 impl MetricsCollector {
@@ -201,6 +246,9 @@ impl MetricsCollector {
             tee_boundary_bytes_per_masked_update: self.secure.tee_bytes_in_per_client(),
             dp_releases: self.dp.releases,
             cumulative_epsilon: self.dp.cumulative_epsilon,
+            robust_rejected_updates: self.robust.rejected_total(),
+            robust_estimator_releases: self.robust.estimator_releases,
+            attacked_updates: self.attacked_updates,
         }
     }
 }
@@ -349,6 +397,38 @@ mod tests {
         let s = m.summarize(3600.0);
         assert_eq!(s.dp_releases, 3);
         assert_eq!(s.cumulative_epsilon, 1.75);
+    }
+
+    #[test]
+    fn robust_telemetry_and_attack_counts_feed_the_summary() {
+        let mut m = MetricsCollector::new();
+        assert_eq!(m.robust, RobustTelemetry::default());
+        m.robust.rejected_non_finite = 1;
+        m.robust.rejected_by_norm = 2;
+        m.robust.estimator_releases = 4;
+        m.rejected_by_defense_updates = 3;
+        m.record_attack(10.0, 7, "sign-flip");
+        m.record_attack(20.0, 9, "sign-flip");
+        m.record_attack(25.0, 11, "secagg-wrong-counter");
+        assert_eq!(m.attacks_by_label.get("sign-flip"), Some(&2));
+        assert_eq!(m.attacks_by_label.get("secagg-wrong-counter"), Some(&1));
+        assert_eq!(m.attack_trace.len(), 3);
+        let s = m.summarize(3600.0);
+        assert_eq!(s.robust_rejected_updates, 3);
+        assert_eq!(s.robust_estimator_releases, 4);
+        assert_eq!(s.attacked_updates, 3);
+    }
+
+    #[test]
+    fn attack_trace_respects_the_budget() {
+        let mut m = MetricsCollector::new();
+        m.set_trace_budget(TraceBudget::bounded(8));
+        for i in 0..100 {
+            m.record_attack(i as f64, i, "scaled");
+        }
+        assert_eq!(m.attacked_updates, 100);
+        assert!(m.attack_trace.len() <= 8);
+        assert_eq!(m.attacks_by_label.get("scaled"), Some(&100));
     }
 
     #[test]

@@ -49,9 +49,11 @@ use crate::metrics::{
 };
 use crate::sampling::{SamplingPool, DEFAULT_SHARD_CAPACITY};
 use crate::task_runtime::{ServerOptimizerKind, TaskRuntime};
+use papaya_core::adversary::AdversarySpec;
 use papaya_core::client::ClientTrainer;
 use papaya_core::config::{SecAggMode, TaskConfig, TrainingMode};
 use papaya_core::dp::DpConfig;
+use papaya_core::robust::{RobustConfig, RobustTelemetry};
 use papaya_core::surrogate::{SurrogateConfig, SurrogateObjective};
 use papaya_core::trace::{DecimatedTrace, TraceBudget};
 use papaya_data::population::{DeviceProfile, Population};
@@ -489,6 +491,35 @@ impl Report {
                 h.f64(release.noise_std);
                 h.f64(release.cumulative_epsilon);
             }
+            // Robustness and adversary telemetry hash only when something
+            // moved: a clear run, and a neutral-defense run with an honest
+            // population, keep every pre-robustness fingerprint
+            // bit-for-bit (same conditional-hash contract as
+            // `hash_decimation` above).
+            if m.robust != RobustTelemetry::default()
+                || m.rejected_by_defense_updates > 0
+                || m.attacked_updates > 0
+            {
+                h.u64(m.robust.rejected_non_finite);
+                h.u64(m.robust.rejected_by_norm);
+                h.u64(m.robust.estimator_releases);
+                for release in &m.robust.estimator_trace {
+                    h.f64(release.time_s);
+                    h.u64(release.estimated_over);
+                    h.f64(release.estimator_shift);
+                }
+                h.u64(m.rejected_by_defense_updates);
+                h.u64(m.attacked_updates);
+                for (&label, &count) in &m.attacks_by_label {
+                    h.bytes(label.as_bytes());
+                    h.u64(count);
+                }
+                for &(t, client) in &m.attack_trace {
+                    h.f64(t);
+                    h.u64(client as u64);
+                }
+                hash_decimation(&mut h, &m.attack_trace);
+            }
             h.u64(task.reassignments);
             h.u64(task.final_version);
             h.f64(task.initial_loss);
@@ -582,6 +613,8 @@ pub struct ScenarioBuilder {
     server_optimizer: ServerOptimizerKind,
     secagg_override: Option<SecAggMode>,
     dp_override: Option<DpConfig>,
+    robust_override: Option<RobustConfig>,
+    adversary_override: Option<AdversarySpec>,
     seed: u64,
 }
 
@@ -601,6 +634,8 @@ impl Default for ScenarioBuilder {
             server_optimizer: ServerOptimizerKind::FedAvg,
             secagg_override: None,
             dp_override: None,
+            robust_override: None,
+            adversary_override: None,
             seed: 0,
         }
     }
@@ -710,6 +745,32 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Applies a robust-aggregation defense to every task of the scenario
+    /// (overriding whatever the individual [`TaskConfig`]s carry).  Each
+    /// task's aggregation stack is wrapped outermost in a
+    /// [`papaya_core::robust::RobustAggregator`]: updates are screened
+    /// (non-finite values always, L2 norm under a filter) before any inner
+    /// layer buffers them, and an engaged estimator (trimmed mean,
+    /// coordinate median) replaces the stack's release.  Composes with
+    /// [`ScenarioBuilder::secagg`] and [`ScenarioBuilder::dp`].  For
+    /// per-task control use [`TaskConfig::with_robust`] instead.
+    pub fn robust(mut self, config: RobustConfig) -> Self {
+        self.robust_override = Some(config);
+        self
+    }
+
+    /// Plants a Byzantine cohort in every task of the scenario (overriding
+    /// whatever the individual [`TaskConfig`]s carry): the spec's malicious
+    /// fraction of clients corrupts its uploads (payload, staleness
+    /// metadata, or SecAgg protocol deviation) after local training.  A
+    /// simulation knob for attack-vs-defense studies — it never influences
+    /// the defenses, which see only the update contents.  For per-task
+    /// control use [`TaskConfig::with_adversary`] instead.
+    pub fn adversary(mut self, spec: AdversarySpec) -> Self {
+        self.adversary_override = Some(spec);
+        self
+    }
+
     /// Sets the RNG seed controlling selection, assignment, dropouts, and
     /// training noise.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -741,6 +802,16 @@ impl ScenarioBuilder {
         if let Some(dp) = self.dp_override {
             for task in &mut self.tasks {
                 task.dp = Some(dp);
+            }
+        }
+        if let Some(robust) = self.robust_override {
+            for task in &mut self.tasks {
+                task.robust = Some(robust);
+            }
+        }
+        if let Some(adversary) = self.adversary_override {
+            for task in &mut self.tasks {
+                task.adversary = Some(adversary);
             }
         }
         for task in &self.tasks {
@@ -821,6 +892,8 @@ fn validate_task_config(task: &TaskConfig, has_fleet: bool) {
         client_timeout_s,      // timeout aborts scheduled at selection
         secagg,                // SecureAggregator wrapping in TaskRuntime
         dp,                    // DpAggregator wrapping in TaskRuntime
+        robust,                // RobustAggregator wrapping in TaskRuntime
+        adversary,             // Byzantine injection in TaskRuntime::offer_update
         model_size_bytes: _,   // communication-cost accounting
         min_capability_tier,   // Selector routing (fleet scenarios only)
     } = task;
@@ -839,6 +912,15 @@ fn validate_task_config(task: &TaskConfig, has_fleet: bool) {
         // noise, sampling rate in (0, 1], delta in (0, 1), a budget only
         // with noise) — rejected here rather than mid-run.
         dp.validate();
+    }
+    if let Some(robust) = robust {
+        // Defense knobs in range (positive norm bound, trim fraction in
+        // [0, 0.5)) — rejected here rather than mid-run.
+        robust.validate();
+    }
+    if let Some(adversary) = adversary {
+        // Malicious fraction in [0, 1] and every behavior knob finite.
+        adversary.validate();
     }
     assert!(
         client_timeout_s.is_finite() && *client_timeout_s > 0.0,
@@ -1106,6 +1188,10 @@ impl<'a> DirectState<'a> {
                             self.queue
                                 .schedule(self.now, EventKind::DpRelease { task: 0 });
                         }
+                        if outcome.robust_released {
+                            self.queue
+                                .schedule(self.now, EventKind::RobustRelease { task: 0 });
+                        }
                         for freed in &outcome.freed {
                             self.pool.release(freed.client_id);
                         }
@@ -1127,6 +1213,11 @@ impl<'a> DirectState<'a> {
                         stop_reason = StopReason::PrivacyBudgetExhausted;
                         break;
                     }
+                }
+                EventKind::RobustRelease { task: _ } => {
+                    // A defense-mediated release went out; refresh the
+                    // robustness metrics from the aggregator's telemetry.
+                    self.runtime.sync_robust_telemetry();
                 }
                 // Fleet-plane events, listed explicitly so a new
                 // `EventKind` variant is a compile error in this match.
@@ -1238,6 +1329,10 @@ impl<'a> DirectState<'a> {
         if outcome.dp_released {
             self.queue
                 .schedule(self.now, EventKind::DpRelease { task: 0 });
+        }
+        if outcome.robust_released {
+            self.queue
+                .schedule(self.now, EventKind::RobustRelease { task: 0 });
         }
         self.pool.release(client_id);
         for freed in &outcome.freed {
@@ -1431,6 +1526,10 @@ impl<'a> FleetState<'a> {
                         if outcome.dp_released {
                             self.queue.schedule(self.now, EventKind::DpRelease { task });
                         }
+                        if outcome.robust_released {
+                            self.queue
+                                .schedule(self.now, EventKind::RobustRelease { task });
+                        }
                         for freed in &outcome.freed {
                             self.upload_route.remove(&freed.participation_id);
                             self.pool.release(freed.client_id);
@@ -1453,6 +1552,11 @@ impl<'a> FleetState<'a> {
                         stop_reason = StopReason::PrivacyBudgetExhausted;
                         break;
                     }
+                }
+                EventKind::RobustRelease { task } => {
+                    // A defense-mediated release went out; refresh the
+                    // task's robustness metrics.
+                    self.runtimes[task].sync_robust_telemetry();
                 }
                 EventKind::EvaluateTask { task } => {
                     self.runtimes[task].evaluate(self.now);
@@ -1683,6 +1787,10 @@ impl<'a> FleetState<'a> {
         }
         if outcome.dp_released {
             self.queue.schedule(self.now, EventKind::DpRelease { task });
+        }
+        if outcome.robust_released {
+            self.queue
+                .schedule(self.now, EventKind::RobustRelease { task });
         }
         self.pool.release(client_id);
         for freed in &outcome.freed {
@@ -1966,6 +2074,126 @@ mod tests {
         );
         assert_eq!(clear.single().metrics.dp.releases, 0);
         assert_ne!(clear.fingerprint(), private.fingerprint());
+    }
+
+    #[test]
+    fn robust_flag_is_honored_not_silently_ignored() {
+        // A defended run under attack must actually engage the defense
+        // (estimator releases, synced telemetry, ground-truth attack
+        // counts) and must therefore fingerprint differently from the
+        // clear run.
+        let run = |defended: bool| {
+            let mut task = TaskConfig::async_task("t", 16, 4);
+            if defended {
+                task = task
+                    .with_robust(RobustConfig::new(
+                        papaya_core::RobustDefense::CoordinateMedian,
+                    ))
+                    .with_adversary(AdversarySpec::new(
+                        0.3,
+                        papaya_core::Malice::SignFlip { scale: 10.0 },
+                    ));
+            }
+            Scenario::builder()
+                .population(population(300))
+                .task(task)
+                .limits(RunLimits::default().with_max_virtual_time_hours(0.25))
+                .eval(EvalPolicy::default().with_interval_s(600.0))
+                .seed(21)
+                .build()
+                .run()
+        };
+        let clear = run(false);
+        let defended = run(true);
+        let m = &defended.single().metrics;
+        assert!(m.robust.estimator_releases > 0, "estimator never engaged");
+        assert_eq!(m.robust.estimator_releases, m.server_updates);
+        assert_eq!(
+            m.robust.estimator_trace.len(),
+            m.server_updates as usize
+        );
+        assert!(m.attacked_updates > 0, "the cohort never attacked");
+        assert_eq!(
+            m.attacks_by_label.values().sum::<u64>(),
+            m.attacked_updates
+        );
+        assert_eq!(
+            defended.single().summary.robust_estimator_releases,
+            m.robust.estimator_releases
+        );
+        assert_eq!(defended.single().summary.attacked_updates, m.attacked_updates);
+        assert_eq!(clear.single().metrics.robust.estimator_releases, 0);
+        assert_ne!(clear.fingerprint(), defended.fingerprint());
+    }
+
+    #[test]
+    fn neutral_defense_over_an_honest_population_is_bit_identical_to_clear() {
+        // The neutral defense adds telemetry availability and nothing
+        // else: with no attacker, the run — including its fingerprint —
+        // must match the clear run bit-for-bit.
+        let run = |neutral_defense: bool| {
+            let mut task = TaskConfig::async_task("t", 16, 4);
+            if neutral_defense {
+                task = task.with_robust(RobustConfig::neutral());
+            }
+            Scenario::builder()
+                .population(population(300))
+                .task(task)
+                .limits(RunLimits::default().with_max_virtual_time_hours(0.25))
+                .eval(EvalPolicy::default().with_interval_s(600.0))
+                .seed(21)
+                .build()
+                .run()
+        };
+        let clear = run(false);
+        let defended = run(true);
+        assert_eq!(clear.fingerprint(), defended.fingerprint());
+    }
+
+    #[test]
+    fn robust_and_adversary_builder_knobs_apply_to_every_task() {
+        let robust = RobustConfig::new(papaya_core::RobustDefense::TrimmedMean {
+            trim_fraction: 0.2,
+        });
+        let adversary = AdversarySpec::new(0.1, papaya_core::Malice::StalenessLiar);
+        let scenario = Scenario::builder()
+            .population(population(300))
+            .task(TaskConfig::async_task("a", 16, 4))
+            .task(TaskConfig::sync_task("s", 12, 0.3))
+            .fleet(FleetSpec::new(1, 1))
+            .robust(robust)
+            .adversary(adversary)
+            .seed(1)
+            .build();
+        for task in scenario.tasks() {
+            assert_eq!(task.robust, Some(robust), "{}", task.name);
+            assert_eq!(task.adversary, Some(adversary), "{}", task.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trim fraction")]
+    fn invalid_robust_config_is_rejected_at_build() {
+        Scenario::builder()
+            .population(population(10))
+            .task(TaskConfig::async_task("t", 4, 2).with_robust(RobustConfig::new(
+                papaya_core::RobustDefense::TrimmedMean { trim_fraction: 0.5 },
+            )))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_adversary_spec_is_rejected_at_build() {
+        Scenario::builder()
+            .population(population(10))
+            .task(
+                TaskConfig::async_task("t", 4, 2).with_adversary(AdversarySpec::new(
+                    1.5,
+                    papaya_core::Malice::StalenessLiar,
+                )),
+            )
+            .build();
     }
 
     #[test]

@@ -34,6 +34,7 @@ use papaya_core::client::{participation_seed, ClientTrainer, ClientUpdate};
 use papaya_core::config::{SecAggMode, TaskConfig};
 use papaya_core::dp::DpAggregator;
 use papaya_core::model::ServerModel;
+use papaya_core::robust::RobustAggregator;
 use papaya_core::secure::{self, SecureAggregator};
 use papaya_core::server_opt::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
 use papaya_nn::params::ParamVec;
@@ -111,6 +112,16 @@ pub struct UpdateOutcome {
     /// schedule a [`crate::events::EventKind::DpRelease`] event when this
     /// is set (whose handler also enforces the ε budget).
     pub dp_released: bool,
+    /// The server update passed through a robust-aggregation defense that
+    /// recorded new telemetry (an engaged-estimator release or a pending
+    /// rejection count).  Drivers schedule a
+    /// [`crate::events::EventKind::RobustRelease`] event when this is set
+    /// (whose handler refreshes the robustness telemetry).  Deliberately
+    /// *not* set for a neutral defense's pure pass-through releases: they
+    /// add no information, and skipping their events keeps a
+    /// neutral-defense run's event stream — and fingerprint — identical to
+    /// the clear run's.
+    pub robust_released: bool,
     /// Participations aborted as a consequence (staleness bound or round
     /// end); their devices are free again.
     pub freed: Vec<FreedClient>,
@@ -124,6 +135,10 @@ pub struct TaskRuntime {
     trainer: Arc<dyn ClientTrainer>,
     model: ServerModel,
     snapshot: Arc<ParamVec>,
+    /// The initial global parameters, frozen at construction.  Only the
+    /// staleness-liar adversary reads this: the liar trains against the
+    /// stale initial model while claiming its update is fresh.
+    initial_params: Arc<ParamVec>,
     optimizer: Box<dyn ServerOptimizer>,
     aggregator: Box<dyn Aggregator>,
     in_flight: BTreeMap<u64, InFlight>,
@@ -177,9 +192,19 @@ impl TaskRuntime {
     ///
     /// When the task carries a [`papaya_core::dp::DpConfig`], the (possibly
     /// secure) strategy is additionally wrapped in a [`DpAggregator`] — DP
-    /// always goes **outermost**, so clipping happens on the client before
-    /// any masking and the release noise lands on the decoded aggregate
-    /// (where the TEE would add it).
+    /// goes outside SecAgg, so clipping happens on the client before any
+    /// masking and the release noise lands on the decoded aggregate (where
+    /// the TEE would add it).
+    ///
+    /// When the task carries a [`papaya_core::robust::RobustConfig`], the
+    /// stack is finally wrapped in a [`RobustAggregator`] — the defense
+    /// goes **outermost**: it screens raw client updates before any layer
+    /// buffers them, and its engaged estimators replace the final release
+    /// the server would otherwise apply.  When the task also carries an
+    /// [`papaya_core::adversary::AdversarySpec`] with a SecAgg protocol
+    /// deviation, the deviation is armed on the [`SecureAggregator`] here —
+    /// the simulated malicious client stub lives inside the secure
+    /// pipeline's client side.
     pub fn with_aggregator(
         config: TaskConfig,
         server_optimizer: ServerOptimizerKind,
@@ -191,22 +216,36 @@ impl TaskRuntime {
     ) -> Self {
         let aggregator: Box<dyn Aggregator> = match config.secagg {
             SecAggMode::Disabled => aggregator,
-            SecAggMode::AsyncSecAgg => Box::new(SecureAggregator::new(
-                aggregator,
-                trainer.parameter_count(),
-                secure::recommended_threshold(&config),
-                // Domain-separate the protocol stream from the training and
-                // driver streams derived from the same task seed.
-                seed ^ 0x5ECA_665E_CA66,
-            )),
-            SecAggMode::AsyncSecAggPerUpdate => Box::new(SecureAggregator::new_per_update(
-                aggregator,
-                trainer.parameter_count(),
-                secure::recommended_threshold(&config),
-                // Same protocol-stream seed as the session-cached mode, so
-                // the two modes differ only in the key-exchange schedule.
-                seed ^ 0x5ECA_665E_CA66,
-            )),
+            SecAggMode::AsyncSecAgg => {
+                let mut secure = SecureAggregator::new(
+                    aggregator,
+                    trainer.parameter_count(),
+                    secure::recommended_threshold(&config),
+                    // Domain-separate the protocol stream from the training
+                    // and driver streams derived from the same task seed.
+                    seed ^ 0x5ECA_665E_CA66,
+                );
+                if let Some(spec) = config.adversary {
+                    // Arms wrong-counter / garbage-mask uploads for the
+                    // spec's malicious cohort (no-op for payload attacks).
+                    secure = secure.with_deviation(spec);
+                }
+                Box::new(secure)
+            }
+            SecAggMode::AsyncSecAggPerUpdate => {
+                let mut secure = SecureAggregator::new_per_update(
+                    aggregator,
+                    trainer.parameter_count(),
+                    secure::recommended_threshold(&config),
+                    // Same protocol-stream seed as the session-cached mode,
+                    // so the modes differ only in the key-exchange schedule.
+                    seed ^ 0x5ECA_665E_CA66,
+                );
+                if let Some(spec) = config.adversary {
+                    secure = secure.with_deviation(spec);
+                }
+                Box::new(secure)
+            }
         };
         let aggregator: Box<dyn Aggregator> = match config.dp {
             None => aggregator,
@@ -215,8 +254,16 @@ impl TaskRuntime {
             // (DpAggregator hashes its seed again under a dp-only domain).
             Some(dp) => Box::new(DpAggregator::new(aggregator, dp, seed ^ 0xD1FF_D1FF)),
         };
+        let aggregator: Box<dyn Aggregator> = match config.robust {
+            None => aggregator,
+            // The defense wraps last: it screens raw updates before any
+            // inner layer buffers them and corrects the stack's final
+            // release.  Fully deterministic — no seed to domain-separate.
+            Some(robust) => Box::new(RobustAggregator::new(aggregator, robust)),
+        };
         let model = ServerModel::new(trainer.initial_parameters());
         let snapshot = Arc::new(model.snapshot());
+        let initial_params = Arc::clone(&snapshot);
         let optimizer = server_optimizer.build();
         TaskRuntime {
             config,
@@ -225,6 +272,7 @@ impl TaskRuntime {
             trainer,
             model,
             snapshot,
+            initial_params,
             optimizer,
             aggregator,
             in_flight: BTreeMap::new(),
@@ -386,7 +434,7 @@ impl TaskRuntime {
         self.metrics.comm_trips += 1;
 
         let seed = participation_seed(self.seed, participation_id);
-        let result = match &self.executor {
+        let mut result = match &self.executor {
             // The pool usually finished this job long ago; if it is still
             // queued the driver steals it and trains inline.  Either way the
             // inputs are identical to the sequential call below, so the
@@ -396,6 +444,31 @@ impl TaskRuntime {
             }),
             None => self.trainer.train(client_id, &in_flight.start_params, seed),
         };
+
+        // Byzantine injection point: a malicious client corrupts its upload
+        // after local training, before anything server-side sees it.  The
+        // ground truth recorded here never reaches the defenses — they must
+        // work from the update contents alone.  (SecAgg protocol deviations
+        // are armed inside the secure pipeline instead; see
+        // `with_aggregator`.)
+        let mut claimed_start_version = in_flight.start_version;
+        if let Some(spec) = self.config.adversary {
+            if spec.is_malicious(client_id) {
+                if spec.lies_about_staleness() {
+                    // The liar trained against the frozen initial model but
+                    // reports the current version: staleness metadata is
+                    // client-claimed, so weighting schemes that trust it
+                    // give the stale update full weight.  Retraining is
+                    // inline on both executor paths, keeping runs
+                    // bit-identical at any thread count.
+                    result = self.trainer.train(client_id, &self.initial_params, seed);
+                    claimed_start_version = self.model.version();
+                }
+                spec.corrupt_delta(client_id, &mut result.delta);
+                self.metrics
+                    .record_attack(now, client_id, spec.malice.label());
+            }
+        }
         let num_examples = result.num_examples;
 
         let mut outcome = UpdateOutcome::default();
@@ -425,7 +498,7 @@ impl TaskRuntime {
             }
         }
 
-        let update = ClientUpdate::from_result(client_id, in_flight.start_version, result);
+        let update = ClientUpdate::from_result(client_id, claimed_start_version, result);
         let accumulate_outcome = self
             .aggregator
             .accumulate(update, self.model.version(), now);
@@ -440,6 +513,9 @@ impl TaskRuntime {
             }
             AccumulateOutcome::Discarded => {
                 self.metrics.discarded_updates += 1;
+            }
+            AccumulateOutcome::RejectedByDefense => {
+                self.metrics.rejected_by_defense_updates += 1;
             }
         }
         if self.aggregator.closes_round_on_release() {
@@ -462,6 +538,7 @@ impl TaskRuntime {
             outcome.server_updated = true;
             outcome.tsa_key_released = self.is_secure();
             outcome.dp_released = self.is_dp();
+            outcome.robust_released = self.robust_telemetry_dirty();
             if self.aggregator.closes_round_on_release() {
                 outcome.round_ended = true;
                 outcome.freed = self.end_sync_round(now);
@@ -487,6 +564,7 @@ impl TaskRuntime {
             server_updated: true,
             tsa_key_released: self.is_secure(),
             dp_released: self.is_dp(),
+            robust_released: self.robust_telemetry_dirty(),
             ..UpdateOutcome::default()
         };
         if self.aggregator.closes_round_on_release() {
@@ -577,6 +655,21 @@ impl TaskRuntime {
         self.aggregator.dp_telemetry().is_some()
     }
 
+    /// Whether this task's updates pass through a robust-aggregation
+    /// defense.
+    pub fn is_robust(&self) -> bool {
+        self.aggregator.robust_telemetry().is_some()
+    }
+
+    /// Whether the robust pipeline holds telemetry the task metrics have
+    /// not absorbed yet (false for undefended tasks, and for neutral
+    /// defenses that never rejected anything).
+    fn robust_telemetry_dirty(&self) -> bool {
+        self.aggregator
+            .robust_telemetry()
+            .is_some_and(|telemetry| *telemetry != self.metrics.robust)
+    }
+
     /// Whether the task's cumulative ε has reached its configured budget
     /// (always false for tasks without DP or without a budget).  Drivers
     /// check this after handling a
@@ -621,10 +714,24 @@ impl TaskRuntime {
         }
     }
 
+    /// Copies the robust pipeline's cumulative telemetry into the task
+    /// metrics (a no-op for undefended tasks).  Drivers call this when
+    /// handling a [`crate::events::EventKind::RobustRelease`] event, and
+    /// [`into_parts`](TaskRuntime::into_parts) calls it once more so the
+    /// final report covers rejections after the last release.
+    pub fn sync_robust_telemetry(&mut self) {
+        if let Some(telemetry) = self.aggregator.robust_telemetry() {
+            // Incremental: counters are overwritten, the append-only
+            // estimator trace only copies entries the metrics have not seen.
+            self.metrics.robust.sync_from(telemetry);
+        }
+    }
+
     /// Consumes the runtime and returns its pieces for result assembly.
     pub fn into_parts(mut self) -> (MetricsCollector, ParamVec, u64, f64, Option<f64>) {
         self.sync_secure_telemetry();
         self.sync_dp_telemetry();
+        self.sync_robust_telemetry();
         (
             self.metrics,
             self.model.snapshot(),
@@ -951,6 +1058,113 @@ mod tests {
         assert_eq!(metrics.dp.releases, 1);
         assert_eq!(metrics.secure.tsa_key_releases, 1);
         assert_eq!(metrics.secure.masked_updates, 2);
+    }
+
+    #[test]
+    fn robust_config_flag_wraps_the_aggregator() {
+        let mut clear = runtime(TaskConfig::async_task("t", 8, 2));
+        assert!(!clear.is_robust());
+
+        let mut rt = runtime(
+            TaskConfig::async_task("t", 8, 2)
+                .with_robust(papaya_core::RobustConfig::neutral()),
+        );
+        assert!(rt.is_robust() && !rt.is_dp() && !rt.is_secure());
+        for (pid, cid) in [(0u64, 0usize), (1, 1)] {
+            rt.begin_participation(pid, cid, 10.0);
+            clear.begin_participation(pid, cid, 10.0);
+        }
+        rt.offer_update(0, 10.0).unwrap();
+        clear.offer_update(0, 10.0).unwrap();
+        let outcome = rt.offer_update(1, 11.0).unwrap();
+        let clear_outcome = clear.offer_update(1, 11.0).unwrap();
+        // A neutral pass-through release records no telemetry, so no
+        // RobustRelease event is warranted — the wrapped run's event
+        // stream stays identical to the clear run's.
+        assert!(outcome.server_updated && !outcome.robust_released);
+        assert!(clear_outcome.server_updated && !clear_outcome.robust_released);
+
+        // The neutral defense is a pure pass-through: bit-identical model.
+        assert_eq!(
+            rt.model_snapshot().as_slice(),
+            clear.model_snapshot().as_slice()
+        );
+        let (metrics, ..) = rt.into_parts();
+        assert_eq!(metrics.robust.rejected_total(), 0);
+        assert_eq!(metrics.robust.estimator_releases, 0);
+        assert_eq!(metrics.attacked_updates, 0);
+    }
+
+    #[test]
+    fn norm_filter_rejects_a_scaled_attacker() {
+        let mut rt = runtime(
+            TaskConfig::async_task("t", 8, 2)
+                .with_robust(papaya_core::RobustConfig::new(
+                    papaya_core::RobustDefense::NormFilter { max_norm: 10.0 },
+                ))
+                .with_adversary(papaya_core::AdversarySpec::new(
+                    1.0,
+                    papaya_core::Malice::Scaled { factor: 1e6 },
+                )),
+        );
+        rt.begin_participation(0, 0, 10.0);
+        rt.begin_participation(1, 1, 10.0);
+        let first = rt.offer_update(0, 10.0).unwrap();
+        let second = rt.offer_update(1, 11.0).unwrap();
+        assert!(!first.accepted && !second.accepted);
+        assert_eq!(rt.version(), 0, "every poisoned update was filtered");
+        assert_eq!(rt.metrics().rejected_by_defense_updates, 2);
+        assert_eq!(rt.metrics().attacked_updates, 2);
+        assert_eq!(rt.metrics().attacks_by_label.get("scaled"), Some(&2));
+        let (metrics, ..) = rt.into_parts();
+        assert_eq!(metrics.robust.rejected_by_norm, 2);
+    }
+
+    #[test]
+    fn staleness_liar_claims_fresh_metadata() {
+        let mut rt = runtime(TaskConfig::async_task("t", 8, 2).with_adversary(
+            papaya_core::AdversarySpec::new(1.0, papaya_core::Malice::StalenessLiar),
+        ));
+        rt.begin_participation(0, 0, 10.0);
+        rt.begin_participation(1, 1, 10.0);
+        rt.begin_participation(2, 2, 10.0);
+        rt.offer_update(0, 10.0).unwrap();
+        rt.offer_update(1, 11.0).unwrap();
+        assert_eq!(rt.version(), 1);
+        // Participation 2 started at version 0 and uploads at version 1 —
+        // honest staleness 1, but the liar claims to be fresh.
+        let outcome = rt.offer_update(2, 12.0).unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(rt.metrics().staleness_sum, 0, "the lie zeroed staleness");
+        assert_eq!(
+            rt.metrics().attacks_by_label.get("staleness-liar"),
+            Some(&3)
+        );
+    }
+
+    #[test]
+    fn secagg_deviation_is_armed_from_the_task_config() {
+        let mut rt = runtime(
+            TaskConfig::async_task("t", 8, 2)
+                .with_secagg(papaya_core::SecAggMode::AsyncSecAgg)
+                .with_adversary(papaya_core::AdversarySpec::new(
+                    1.0,
+                    papaya_core::Malice::SecAggDeviation {
+                        kind: papaya_core::DeviationKind::WrongCounter,
+                    },
+                )),
+        );
+        rt.begin_participation(0, 0, 10.0);
+        rt.begin_participation(1, 1, 10.0);
+        rt.offer_update(0, 10.0).unwrap();
+        let outcome = rt.offer_update(1, 11.0).unwrap();
+        assert!(outcome.server_updated, "deviation never panics the release");
+        let (metrics, ..) = rt.into_parts();
+        assert_eq!(
+            metrics.secure.out_of_range_releases, 1,
+            "the wrong-counter upload corrupted the decode and was flagged"
+        );
+        assert_eq!(metrics.attacks_by_label.get("secagg-wrong-counter"), Some(&2));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! the final model parameters.
 
 use papaya_core::config::SecAggMode;
-use papaya_core::{DpConfig, TaskConfig};
+use papaya_core::{AdversarySpec, DpConfig, Malice, RobustConfig, RobustDefense, TaskConfig};
 use papaya_data::population::{Population, PopulationConfig};
 use papaya_sim::scenario::{EvalPolicy, FleetSpec, Report, RunLimits, Scenario, ScenarioBuilder};
 use papaya_sim::Parallelism;
@@ -168,6 +168,60 @@ fn stacked_dp_secagg_scenario_is_bit_identical() {
     assert!(metrics.dp.releases > 0 && metrics.secure.tsa_key_releases > 0);
     assert_eq!(metrics.dp.releases, metrics.secure.tsa_key_releases);
     assert_eq!(metrics.dp.releases, metrics.server_updates);
+}
+
+#[test]
+fn robust_defense_under_attack_is_bit_identical() {
+    // Byzantine membership hashing, payload corruption, defense rejections,
+    // and estimator releases all run on the event-loop thread in event
+    // order, so an attacked-and-defended report — including the attack
+    // trace and robustness telemetry the fingerprint hashes — must stay
+    // bit-identical at any thread count.
+    let report = assert_identical_across_thread_counts(|| {
+        Scenario::builder()
+            .population(population(500))
+            .task(
+                TaskConfig::async_task("defended", 32, 8)
+                    .with_robust(RobustConfig::new(RobustDefense::TrimmedMean {
+                        trim_fraction: 0.25,
+                    }))
+                    .with_adversary(AdversarySpec::new(0.2, Malice::SignFlip { scale: 5.0 })),
+            )
+            .limits(RunLimits::default().with_max_virtual_time_hours(0.75))
+            .eval(EvalPolicy::default().with_interval_s(600.0))
+            .seed(39)
+    });
+    let metrics = &report.single().metrics;
+    assert!(metrics.attacked_updates > 0, "no attack happened");
+    assert!(
+        metrics.robust.estimator_releases > 0,
+        "the defense never engaged"
+    );
+}
+
+#[test]
+fn staleness_liar_with_secure_median_stack_is_bit_identical() {
+    // The staleness liar retrains inline against the frozen initial model
+    // on both executor paths (the speculative pool result is discarded);
+    // stacked under SecAgg with a coordinate-median defense this pins the
+    // trickiest executor interplay the adversary machinery has.
+    let report = assert_identical_across_thread_counts(|| {
+        Scenario::builder()
+            .population(population(400))
+            .task(
+                TaskConfig::async_task("liar", 24, 6)
+                    .with_secagg(SecAggMode::AsyncSecAgg)
+                    .with_robust(RobustConfig::new(RobustDefense::CoordinateMedian))
+                    .with_adversary(AdversarySpec::new(0.25, Malice::StalenessLiar)),
+            )
+            .limits(RunLimits::default().with_max_virtual_time_hours(0.5))
+            .eval(EvalPolicy::default().with_interval_s(600.0))
+            .seed(40)
+    });
+    let metrics = &report.single().metrics;
+    assert!(metrics.attacked_updates > 0, "no lie was told");
+    assert_eq!(metrics.robust.estimator_releases, metrics.server_updates);
+    assert!(metrics.secure.masked_updates > 0);
 }
 
 #[test]
