@@ -123,4 +123,11 @@ fn main() {
         report.fleet.total_lost_buffered_updates
     );
     println!("final map sequence:      {:>9}", cp.final_map_sequence);
+    println!("control log events:      {:>9}", cp.control_log_events);
+    println!("checkpoints taken:       {:>9}", cp.checkpoints_taken);
+
+    // The same counters in Prometheus text exposition format, so a scrape
+    // wrapper (or a human with grep) can consume the run like a service.
+    println!("\n# Control-plane metrics (Prometheus text format)");
+    print!("{}", cp.prometheus_text());
 }

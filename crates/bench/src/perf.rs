@@ -1228,10 +1228,15 @@ mod tests {
         current.scenarios[0].wall_s_parallel = 50.0; // way past any factor
         let lines = compare(&baseline, &current, 2.0).expect("gate skipped");
         assert!(
-            lines.iter().any(|l| l.contains("parallel wall-clock gate skipped")),
+            lines
+                .iter()
+                .any(|l| l.contains("parallel wall-clock gate skipped")),
             "{lines:?}"
         );
-        assert!(lines.iter().any(|l| l.contains("speedup < 1.0")), "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.contains("speedup < 1.0")),
+            "{lines:?}"
+        );
         // The sequential gate stays live on the same baseline.
         current.scenarios[0].wall_s_sequential = 50.0;
         let err = compare(&baseline, &current, 2.0).unwrap_err();

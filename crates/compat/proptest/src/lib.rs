@@ -98,6 +98,21 @@ macro_rules! range_strategy {
 
 range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
 /// Types with a canonical "generate anything" strategy.
 pub trait Arbitrary: Sized {
     /// Draws one arbitrary value.
@@ -400,6 +415,17 @@ mod tests {
             prop_assert_eq!(bytes.len(), 16);
             let (index, mask) = pair;
             prop_assert_eq!((index, mask), pair);
+        }
+
+        #[test]
+        fn tuples_of_strategies_compose(
+            triple in (0u8..4, 10usize..20, -1.0f64..1.0),
+            pairs in collection::vec((0u32..8, 100u64..200), 1..6),
+        ) {
+            let (small, mid, frac) = triple;
+            prop_assert!(small < 4 && (10..20).contains(&mid));
+            prop_assert!((-1.0..1.0).contains(&frac));
+            prop_assert!(pairs.iter().all(|&(a, b)| a < 8 && (100..200).contains(&b)));
         }
 
         #[test]

@@ -259,7 +259,7 @@ pub mod rngs {
     use super::{RngCore, SeedableRng};
 
     /// The workspace's standard deterministic generator: xoshiro256++.
-    #[derive(Clone, Debug)]
+    #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct StdRng {
         s: [u64; 4],
     }
@@ -268,6 +268,23 @@ pub mod rngs {
         #[inline]
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
+        }
+
+        /// The full internal state, for checkpointing.  Feeding it back
+        /// through [`StdRng::from_state`] resumes the exact output stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`StdRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro cannot escape; it can
+        /// only come from a hand-rolled value, never from `state()`.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+            StdRng { s }
         }
     }
 
@@ -354,6 +371,25 @@ mod tests {
         rng.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
         assert!(rng.try_fill_bytes(&mut buf).is_ok());
+    }
+
+    #[test]
+    fn state_round_trips_through_checkpoint() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        assert_eq!(a, b);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn all_zero_state_is_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]

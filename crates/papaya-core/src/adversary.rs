@@ -381,12 +381,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "collusion magnitude must be positive")]
     fn non_finite_magnitude_rejected() {
-        AdversarySpec::new(0.5, Malice::Collusion { magnitude: f64::NAN }).validate();
+        AdversarySpec::new(
+            0.5,
+            Malice::Collusion {
+                magnitude: f64::NAN,
+            },
+        )
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "scale factor must be finite")]
     fn non_finite_scale_rejected() {
-        AdversarySpec::new(0.5, Malice::Scaled { factor: f64::INFINITY }).validate();
+        AdversarySpec::new(
+            0.5,
+            Malice::Scaled {
+                factor: f64::INFINITY,
+            },
+        )
+        .validate();
     }
 }

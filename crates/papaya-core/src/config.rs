@@ -368,7 +368,10 @@ mod tests {
             .with_secagg(SecAggMode::AsyncSecAgg)
             .with_dp(DpConfig::new(1.0, 0.5))
             .with_robust(RobustConfig::neutral())
-            .with_adversary(AdversarySpec::new(0.1, crate::adversary::Malice::StalenessLiar))
+            .with_adversary(AdversarySpec::new(
+                0.1,
+                crate::adversary::Malice::StalenessLiar,
+            ))
             .with_max_staleness(7)
             .with_model_size_bytes(1000)
             .with_min_capability_tier(2);
@@ -379,7 +382,10 @@ mod tests {
         assert_eq!(t.robust, Some(RobustConfig::neutral()));
         assert_eq!(
             t.adversary,
-            Some(AdversarySpec::new(0.1, crate::adversary::Malice::StalenessLiar))
+            Some(AdversarySpec::new(
+                0.1,
+                crate::adversary::Malice::StalenessLiar
+            ))
         );
         assert_eq!(t.model_size_bytes, 1000);
         assert_eq!(t.min_capability_tier, 2);

@@ -532,7 +532,9 @@ mod tests {
         // outlier lands in the dropped tail of every coordinate.
         let mut robust = robust_fedbuff(5, RobustDefense::TrimmedMean { trim_fraction: 0.2 });
         for (id, v) in [(0usize, 1.0f32), (1, 1.1), (2, 0.9), (3, 1.05)] {
-            assert!(robust.accumulate(update(id, vec![v], 10), 0, 0.0).accepted());
+            assert!(robust
+                .accumulate(update(id, vec![v], 10), 0, 0.0)
+                .accepted());
         }
         robust.accumulate(update(4, vec![100.0], 10), 0, 0.0);
         let out = robust.take(0.0).unwrap();
@@ -582,7 +584,12 @@ mod tests {
 
     #[test]
     fn zero_weight_buffers_release_exact_zeros_under_trimming() {
-        let mut robust = robust_fedbuff(2, RobustDefense::TrimmedMean { trim_fraction: 0.25 });
+        let mut robust = robust_fedbuff(
+            2,
+            RobustDefense::TrimmedMean {
+                trim_fraction: 0.25,
+            },
+        );
         robust.accumulate(update(0, vec![3.0, -1.0], 0), 0, 0.0);
         robust.accumulate(update(1, vec![5.0, 2.0], 0), 0, 0.0);
         assert_eq!(robust.take(0.0).unwrap().as_slice(), &[0.0, 0.0]);

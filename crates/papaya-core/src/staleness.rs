@@ -33,9 +33,7 @@ impl StalenessWeighting {
             // positive subnormal instead of collapsing to zero, so an
             // astronomically stale update still carries zero-ish — but
             // nonzero and ordered — weight.
-            StalenessWeighting::Exponential => {
-                (-(staleness as f64)).exp2().max(f64::from_bits(1))
-            }
+            StalenessWeighting::Exponential => (-(staleness as f64)).exp2().max(f64::from_bits(1)),
         }
     }
 }

@@ -138,12 +138,45 @@ impl Rule for ConfigValidate {
     }
 }
 
-const EVENTS_FILE: &str = "papaya-sim/src/events.rs";
-const DISPATCH_FILE: &str = "papaya-sim/src/scenario.rs";
+/// One event-dispatch invariant: every variant of `enum_name` (declared in
+/// `events_file`) must be named in each `match` on `scrutinee` inside
+/// `dispatch_file`, there must be at least `min_sites` such matches, and no
+/// match may hide behind a depth-0 `_` wildcard arm.
+struct DispatchCheck {
+    enum_name: &'static str,
+    events_file: &'static str,
+    dispatch_file: &'static str,
+    /// Consecutive scrutinee tokens identifying the dispatch match, e.g.
+    /// `["event", ".", "kind"]` or `["control_event"]`.
+    scrutinee: &'static [&'static str],
+    min_sites: usize,
+    /// Human description of where the dispatch lives, for messages.
+    sites_label: &'static str,
+}
 
-/// Both scenario dispatch paths (`match event.kind` in the direct and fleet
-/// run loops) must name every `EventKind` variant explicitly and must not
-/// hide behind a `_` wildcard arm.
+const DISPATCH_CHECKS: &[DispatchCheck] = &[
+    DispatchCheck {
+        enum_name: "EventKind",
+        events_file: "papaya-sim/src/events.rs",
+        dispatch_file: "papaya-sim/src/scenario.rs",
+        scrutinee: &["event", ".", "kind"],
+        min_sites: 2,
+        sites_label: "both scenario run loops",
+    },
+    DispatchCheck {
+        enum_name: "ControlEvent",
+        events_file: "papaya-sim/src/control_plane/event_log.rs",
+        dispatch_file: "papaya-sim/src/control_plane/service.rs",
+        scrutinee: &["control_event"],
+        min_sites: 1,
+        sites_label: "the control-plane apply dispatcher",
+    },
+];
+
+/// Every event enum must be exhaustively dispatched: the scenario run loops
+/// must name every `EventKind` variant, and the control plane's single
+/// apply dispatcher must name every `ControlEvent` variant — with no `_`
+/// wildcard arm in either.
 pub struct EventDispatch;
 
 impl Rule for EventDispatch {
@@ -152,87 +185,101 @@ impl Rule for EventDispatch {
     }
 
     fn description(&self) -> &'static str {
-        "both scenario dispatch matches must name every EventKind variant explicitly, with no `_` wildcard arm"
+        "every EventKind variant must be named in both scenario dispatch matches and every ControlEvent variant in the control-plane apply dispatcher, with no `_` wildcard arm"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        let events = match find_file(ws, EVENTS_FILE) {
-            Some(f) => f,
-            None => return,
-        };
-        let variants = match enum_variants(events, "EventKind") {
-            Some(v) => v,
-            None => return,
-        };
-        let dispatch = match find_file(ws, DISPATCH_FILE) {
-            Some(f) => f,
-            None => {
-                out.push(Finding::new(
-                    &events.path,
-                    1,
-                    self.name(),
-                    format!("`EventKind` has no reachable dispatch file `{DISPATCH_FILE}`"),
-                ));
-                return;
-            }
-        };
-        let matches = event_kind_matches(dispatch);
-        if matches.len() < 2 {
-            out.push(Finding::new(
-                &dispatch.path,
-                1,
-                self.name(),
-                format!(
-                    "expected both scenario paths to dispatch on `event.kind` \
-                     (found {} `match event.kind` site(s), need at least 2)",
-                    matches.len()
-                ),
-            ));
-        }
-        for (open, close, line) in matches {
-            let body = &dispatch.tokens[open + 1..close];
-            for variant in &variants {
-                if find_seq(body, 0, &["EventKind", "::", &variant.name]).is_none() {
+        for check in DISPATCH_CHECKS {
+            let events = match find_file(ws, check.events_file) {
+                Some(f) => f,
+                None => continue,
+            };
+            let variants = match enum_variants(events, check.enum_name) {
+                Some(v) => v,
+                None => continue,
+            };
+            let scrutinee = check.scrutinee.join("");
+            let dispatch = match find_file(ws, check.dispatch_file) {
+                Some(f) => f,
+                None => {
                     out.push(Finding::new(
-                        &dispatch.path,
-                        line,
+                        &events.path,
+                        1,
                         self.name(),
                         format!(
-                            "dispatch `match event.kind` does not handle \
-                             `EventKind::{}`; every variant must be named in both \
-                             scenario paths",
-                            variant.name
+                            "`{}` has no reachable dispatch file `{}`",
+                            check.enum_name, check.dispatch_file
                         ),
                     ));
+                    continue;
                 }
+            };
+            let matches = scrutinee_matches(dispatch, check.scrutinee);
+            if matches.len() < check.min_sites {
+                out.push(Finding::new(
+                    &dispatch.path,
+                    1,
+                    self.name(),
+                    format!(
+                        "expected {} to dispatch on `{scrutinee}` (found {} \
+                         `match {scrutinee}` site(s), need at least {})",
+                        check.sites_label,
+                        matches.len(),
+                        check.min_sites
+                    ),
+                ));
             }
-            // A `_ =>` arm directly inside the match body defeats the
-            // compiler's exhaustiveness check for future variants.
-            let mut depth = 0usize;
-            for (i, tok) in body.iter().enumerate() {
-                match tok.text.as_str() {
-                    "{" | "(" | "[" => depth += 1,
-                    "}" | ")" | "]" => depth = depth.saturating_sub(1),
-                    "_" if depth == 0 && body.get(i + 1).map(|t| t.text.as_str()) == Some("=>") => {
+            for (open, close, line) in matches {
+                let body = &dispatch.tokens[open + 1..close];
+                for variant in &variants {
+                    if find_seq(body, 0, &[check.enum_name, "::", &variant.name]).is_none() {
                         out.push(Finding::new(
                             &dispatch.path,
-                            tok.line,
+                            line,
                             self.name(),
-                            "dispatch `match event.kind` has a `_` wildcard arm; list \
-                             foreign variants explicitly so a new `EventKind` variant \
-                             is a compile error here, not a silent fallthrough",
+                            format!(
+                                "dispatch `match {scrutinee}` does not handle \
+                                 `{}::{}`; every variant must be named in {}",
+                                check.enum_name, variant.name, check.sites_label
+                            ),
                         ));
                     }
-                    _ => {}
+                }
+                // A `_ =>` arm directly inside the match body defeats the
+                // compiler's exhaustiveness check for future variants.
+                let mut depth = 0usize;
+                for (i, tok) in body.iter().enumerate() {
+                    match tok.text.as_str() {
+                        "{" | "(" | "[" => depth += 1,
+                        "}" | ")" | "]" => depth = depth.saturating_sub(1),
+                        "_" if depth == 0
+                            && body.get(i + 1).map(|t| t.text.as_str()) == Some("=>") =>
+                        {
+                            out.push(Finding::new(
+                                &dispatch.path,
+                                tok.line,
+                                self.name(),
+                                format!(
+                                    "dispatch `match {scrutinee}` has a `_` wildcard arm; \
+                                     list foreign variants explicitly so a new \
+                                     `{}` variant is a compile error here, not a \
+                                     silent fallthrough",
+                                    check.enum_name
+                                ),
+                            ));
+                        }
+                        _ => {}
+                    }
                 }
             }
         }
     }
 }
 
-/// All `match` sites in `file` whose scrutinee tokens contain `event.kind`:
+/// All `match` sites in `file` whose scrutinee tokens contain the
+/// consecutive token sequence `scrutinee`:
 /// `(body_open, body_close, match_line)`.
-fn event_kind_matches(file: &SourceFile) -> Vec<(usize, usize, u32)> {
+fn scrutinee_matches(file: &SourceFile, scrutinee: &[&str]) -> Vec<(usize, usize, u32)> {
     let toks = &file.tokens;
     let mut sites = Vec::new();
     let mut i = 0usize;
@@ -241,17 +288,19 @@ fn event_kind_matches(file: &SourceFile) -> Vec<(usize, usize, u32)> {
         // Scrutinee runs to the first `{` (no struct expressions appear in
         // these scrutinees).
         let mut j = at + 1;
-        let mut has_event_kind = false;
+        let mut found = false;
         while j < toks.len() && toks[j].text != "{" {
-            if toks[j].text == "event"
-                && toks.get(j + 1).map(|t| t.text.as_str()) == Some(".")
-                && toks.get(j + 2).map(|t| t.text.as_str()) == Some("kind")
+            if toks[j].text == scrutinee[0]
+                && scrutinee[1..]
+                    .iter()
+                    .enumerate()
+                    .all(|(k, want)| toks.get(j + 1 + k).map(|t| t.text.as_str()) == Some(*want))
             {
-                has_event_kind = true;
+                found = true;
             }
             j += 1;
         }
-        if !has_event_kind || j >= toks.len() {
+        if !found || j >= toks.len() {
             continue;
         }
         if let Some(close) = matching(toks, j, "{", "}") {
@@ -275,6 +324,7 @@ const METRIC_STRUCTS: &[(&str, &str)] = &[
     ("SecureTelemetry", SECURE_FILE),
     ("DpTelemetry", DP_FILE),
     ("RobustTelemetry", ROBUST_FILE),
+    ("ControlPlaneStats", METRICS_FILE),
 ];
 
 /// Every metrics/telemetry field is either referenced inside
@@ -288,7 +338,7 @@ impl Rule for MetricsFingerprint {
     }
 
     fn description(&self) -> &'static str {
-        "every MetricsCollector/SecureTelemetry/DpTelemetry/RobustTelemetry field must be hashed in Report::fingerprint() or carry an explicit exemption"
+        "every MetricsCollector/SecureTelemetry/DpTelemetry/RobustTelemetry/ControlPlaneStats field must be hashed in Report::fingerprint() or carry an explicit exemption"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

@@ -666,3 +666,62 @@ fn seeded_allow_removal_resurfaces_finding() {
         rules_of(&findings)
     );
 }
+
+/// Adding a `ControlEvent` variant without teaching the control-plane apply
+/// dispatcher about it must fail the lint — the log-then-apply choke point
+/// is only a replay guarantee while it stays exhaustive.
+#[test]
+fn seeded_control_event_variant_fails_lint() {
+    let (epath, events) = real("crates/papaya-sim/src/control_plane/event_log.rs");
+    let seeded = events.replace(
+        "pub enum ControlEvent {",
+        "pub enum ControlEvent {\n    SeededNewEvent,",
+    );
+    assert_ne!(
+        seeded, events,
+        "ControlEvent declaration moved; update the test"
+    );
+    let service = real("crates/papaya-sim/src/control_plane/service.rs");
+    let w = Workspace::from_sources(vec![(epath, seeded), service]);
+    let findings = analyze(&w);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "event-dispatch"
+                && f.message.contains("ControlEvent::SeededNewEvent")),
+        "the apply dispatcher must flag the seeded ControlEvent variant: {:?}",
+        findings
+            .iter()
+            .filter(|f| f.rule == "event-dispatch")
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Adding a `ControlPlaneStats` counter that `Report::fingerprint()` does
+/// not hash (and that carries no justified exemption) must fail the lint —
+/// control-plane counters are part of the determinism pin too.
+#[test]
+fn seeded_control_plane_stats_field_fails_lint() {
+    let (mpath, metrics) = real("crates/papaya-sim/src/metrics.rs");
+    let seeded = metrics.replace(
+        "pub struct ControlPlaneStats {",
+        "pub struct ControlPlaneStats {\n    pub seeded_cp_counter: u64,",
+    );
+    assert_ne!(
+        seeded, metrics,
+        "ControlPlaneStats declaration moved; update the test"
+    );
+    let scenario = real("crates/papaya-sim/src/scenario.rs");
+    let w = Workspace::from_sources(vec![(mpath, seeded), scenario]);
+    let findings = analyze(&w);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "metrics-fingerprint" && f.message.contains("seeded_cp_counter")),
+        "lint did not catch the seeded ControlPlaneStats field: {:?}",
+        findings
+            .iter()
+            .filter(|f| f.rule == "metrics-fingerprint")
+            .collect::<Vec<_>>()
+    );
+}

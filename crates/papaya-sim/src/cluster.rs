@@ -15,6 +15,7 @@
 //!   from the Coordinator and identified by a sequence number, so stale maps
 //!   are detected and refreshed.
 
+use crate::control_plane::reconcile::{self, Correction};
 use papaya_core::config::TaskConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,10 +63,58 @@ impl TaskSpec {
 }
 
 /// State the Coordinator tracks per Aggregator.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 struct AggregatorState {
     alive: bool,
     last_heartbeat_s: f64,
+}
+
+/// What a heartbeat did to the Coordinator's view of the sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeartbeatOutcome {
+    /// The Aggregator was known and alive; its lease was refreshed.
+    Refreshed,
+    /// The Aggregator was known but marked failed; it is alive again.  Its
+    /// orphaned tasks are re-placed by the next reconciliation pass.
+    Recovered,
+    /// The Aggregator was unknown (for example, it lost its registration
+    /// state in a restart).  It was registered on the spot rather than
+    /// silently ignored, so it cannot become a permanent ghost.
+    Registered,
+}
+
+/// Where a submitted task ended up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskPlacement {
+    /// The task was placed on the given Aggregator immediately.
+    Placed(AggregatorId),
+    /// No Aggregator was alive; the task is queued without a route and will
+    /// be placed by the first reconciliation pass that finds a healthy
+    /// Aggregator.
+    Pending,
+}
+
+impl TaskPlacement {
+    /// The Aggregator the task landed on, if it was placed immediately.
+    pub fn aggregator(self) -> Option<AggregatorId> {
+        match self {
+            TaskPlacement::Placed(id) => Some(id),
+            TaskPlacement::Pending => None,
+        }
+    }
+}
+
+/// Result of one failure-detection sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureSweep {
+    /// Aggregators newly declared failed (heartbeat overdue), ascending.
+    pub failed: Vec<AggregatorId>,
+    /// Tasks moved to a surviving Aggregator during this sweep, ascending.
+    pub reassigned: Vec<TaskId>,
+    /// Tasks left routed to a failed Aggregator because no Aggregator
+    /// survived, ascending.  Their buffered updates are lost with the
+    /// Aggregator; reconciliation re-places them on the first recovery.
+    pub orphaned: Vec<TaskId>,
 }
 
 /// A snapshot of task→aggregator routing, tagged with a sequence number so
@@ -80,7 +129,11 @@ pub struct AssignmentMap {
 
 /// The Coordinator: single leader responsible for task placement and client
 /// assignment.
-#[derive(Debug)]
+///
+/// `Clone`/`PartialEq` exist for the control-plane service: a checkpoint is
+/// a clone of this struct (the RNG state included), and replay fidelity is
+/// proven by comparing a replayed Coordinator against the live one.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Coordinator {
     aggregators: BTreeMap<AggregatorId, AggregatorState>,
     tasks: BTreeMap<TaskId, TaskSpec>,
@@ -121,30 +174,42 @@ impl Coordinator {
         );
     }
 
-    /// Records a heartbeat from an Aggregator; a previously failed Aggregator
-    /// becomes eligible for new work again.
-    pub fn heartbeat(&mut self, id: AggregatorId, now_s: f64) {
-        if let Some(state) = self.aggregators.get_mut(&id) {
-            state.alive = true;
-            state.last_heartbeat_s = now_s;
+    /// Records a heartbeat from an Aggregator and says what it changed.  A
+    /// previously failed Aggregator becomes eligible for new work again; an
+    /// unknown sender is registered rather than silently ignored.
+    pub fn heartbeat(&mut self, id: AggregatorId, now_s: f64) -> HeartbeatOutcome {
+        match self.aggregators.get_mut(&id) {
+            Some(state) => {
+                let outcome = if state.alive {
+                    HeartbeatOutcome::Refreshed
+                } else {
+                    HeartbeatOutcome::Recovered
+                };
+                state.alive = true;
+                state.last_heartbeat_s = now_s;
+                outcome
+            }
+            None => {
+                self.register_aggregator(id, now_s);
+                HeartbeatOutcome::Registered
+            }
         }
     }
 
-    /// Submits a task; it is placed on the least-loaded alive Aggregator.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no Aggregator is alive.
-    pub fn submit_task(&mut self, spec: TaskSpec) -> AggregatorId {
+    /// Submits a task.  It is placed on the least-loaded alive Aggregator,
+    /// or queued as [`TaskPlacement::Pending`] (no route) until a
+    /// reconciliation pass finds a healthy Aggregator to drain it onto.
+    pub fn submit_task(&mut self, spec: TaskSpec) -> TaskPlacement {
         let task_id = spec.id;
         self.tasks.insert(task_id, spec);
-        let target = self
-            .least_loaded_alive_aggregator()
-            // papaya-lint: allow(panic-hygiene) -- documented panic: submitting with no alive Aggregator is a caller contract breach (see doc comment)
-            .expect("no alive aggregator available");
-        self.assignments.insert(task_id, target);
-        self.sequence += 1;
-        target
+        match self.least_loaded_alive_aggregator() {
+            Some(target) => {
+                self.assignments.insert(task_id, target);
+                self.sequence += 1;
+                TaskPlacement::Placed(target)
+            }
+            None => TaskPlacement::Pending,
+        }
     }
 
     fn least_loaded_alive_aggregator(&self) -> Option<AggregatorId> {
@@ -179,8 +244,7 @@ impl Coordinator {
 
     /// Detects Aggregators whose heartbeats are overdue and reassigns their
     /// tasks to healthy Aggregators (Appendix E.4, "Task Execution").
-    /// Returns the reassigned task ids.
-    pub fn detect_failures(&mut self, now_s: f64) -> Vec<TaskId> {
+    pub fn detect_failures(&mut self, now_s: f64) -> FailureSweep {
         let mut failed: Vec<AggregatorId> = Vec::new();
         for (&id, state) in self.aggregators.iter_mut() {
             if state.alive && now_s - state.last_heartbeat_s > self.heartbeat_timeout_s {
@@ -189,9 +253,10 @@ impl Coordinator {
             }
         }
         if failed.is_empty() {
-            return Vec::new();
+            return FailureSweep::default();
         }
         let mut reassigned = Vec::new();
+        let mut still_orphaned = Vec::new();
         let mut orphaned: Vec<TaskId> = self
             .assignments
             .iter()
@@ -205,12 +270,34 @@ impl Coordinator {
             if let Some(target) = self.least_loaded_alive_aggregator() {
                 self.assignments.insert(task, target);
                 reassigned.push(task);
+            } else {
+                // Total loss: the route is left pointing at the failed
+                // Aggregator (Selectors refuse it as dead) and the task
+                // waits for reconciliation to re-place it on first recovery.
+                still_orphaned.push(task);
             }
         }
         if !reassigned.is_empty() {
             self.sequence += 1;
         }
-        reassigned
+        FailureSweep {
+            failed,
+            reassigned,
+            orphaned: still_orphaned,
+        }
+    }
+
+    /// One reconciliation pass: re-places every divergent task (pending, or
+    /// routed to a failed Aggregator) on the least-loaded healthy Aggregator
+    /// and bumps the map sequence if anything moved, so stale Selectors
+    /// refresh.  See [`crate::control_plane::reconcile`] for the invariants.
+    pub fn reconcile(&mut self) -> Vec<Correction> {
+        reconcile::reconcile(self)
+    }
+
+    /// Whether a reconciliation pass would change any placement right now.
+    pub fn needs_reconciliation(&self) -> bool {
+        reconcile::needs_reconciliation(self)
     }
 
     /// An Aggregator reports the current client demand of one of its tasks
@@ -284,6 +371,44 @@ impl Coordinator {
     /// Whether the given Aggregator is currently considered alive.
     pub fn is_alive(&self, id: AggregatorId) -> bool {
         self.aggregators.get(&id).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// Ids of all submitted tasks, ascending.
+    pub fn task_ids(&self) -> Vec<TaskId> {
+        self.tasks.keys().copied().collect()
+    }
+
+    /// Ids of all registered Aggregators, ascending.
+    pub fn aggregator_ids(&self) -> Vec<AggregatorId> {
+        self.aggregators.keys().copied().collect()
+    }
+
+    /// Whether at least one registered Aggregator is alive.
+    pub fn has_alive_aggregator(&self) -> bool {
+        self.aggregators.values().any(|s| s.alive)
+    }
+
+    /// Tasks submitted but currently without any route (queued by
+    /// [`Coordinator::submit_task`] during total Aggregator loss), ascending.
+    pub fn pending_tasks(&self) -> Vec<TaskId> {
+        self.tasks
+            .keys()
+            .filter(|t| !self.assignments.contains_key(t))
+            .copied()
+            .collect()
+    }
+
+    /// Routes `task` to the least-loaded alive Aggregator without touching
+    /// the sequence; the reconciler batches its bump.
+    pub(crate) fn place_on_least_loaded(&mut self, task: TaskId) -> Option<AggregatorId> {
+        let target = self.least_loaded_alive_aggregator()?;
+        self.assignments.insert(task, target);
+        Some(target)
+    }
+
+    /// Publishes a new assignment-map version.
+    pub(crate) fn bump_sequence(&mut self) {
+        self.sequence += 1;
     }
 }
 
@@ -361,9 +486,9 @@ mod tests {
         let mut c = coordinator_with_aggregators(2);
         // One huge task and two small ones: the small ones should share an
         // aggregator while the huge one gets its own.
-        let a_big = c.submit_task(spec(0, 10_000, 0));
-        let a_small1 = c.submit_task(spec(1, 100, 0));
-        let a_small2 = c.submit_task(spec(2, 100, 0));
+        let a_big = c.submit_task(spec(0, 10_000, 0)).aggregator().unwrap();
+        let a_small1 = c.submit_task(spec(1, 100, 0)).aggregator().unwrap();
+        let a_small2 = c.submit_task(spec(2, 100, 0)).aggregator().unwrap();
         assert_ne!(a_big, a_small1);
         assert_eq!(a_small1, a_small2);
         let loads = c.aggregator_loads();
@@ -373,13 +498,15 @@ mod tests {
     #[test]
     fn failed_aggregator_tasks_are_reassigned() {
         let mut c = coordinator_with_aggregators(2);
-        let first = c.submit_task(spec(0, 100, 0));
-        let second = c.submit_task(spec(1, 100, 0));
+        let first = c.submit_task(spec(0, 100, 0)).aggregator().unwrap();
+        let second = c.submit_task(spec(1, 100, 0)).aggregator().unwrap();
         assert_ne!(first, second);
         // Aggregator `first` stops heartbeating; `second` stays healthy.
         c.heartbeat(second, 100.0);
-        let reassigned = c.detect_failures(100.0);
-        assert_eq!(reassigned, vec![0]);
+        let sweep = c.detect_failures(100.0);
+        assert_eq!(sweep.failed, vec![first]);
+        assert_eq!(sweep.reassigned, vec![0]);
+        assert!(sweep.orphaned.is_empty());
         assert!(!c.is_alive(first));
         assert_eq!(c.assignment_map().routes[&0], second);
     }
@@ -387,14 +514,14 @@ mod tests {
     #[test]
     fn recovered_aggregator_receives_new_tasks() {
         let mut c = coordinator_with_aggregators(2);
-        let a0 = c.submit_task(spec(0, 100, 0));
+        let a0 = c.submit_task(spec(0, 100, 0)).aggregator().unwrap();
         c.heartbeat(1 - a0, 100.0);
         c.detect_failures(100.0); // a0 fails
         assert!(!c.is_alive(a0));
         // It comes back and should be preferred for the next task (lower load).
-        c.heartbeat(a0, 200.0);
+        assert_eq!(c.heartbeat(a0, 200.0), HeartbeatOutcome::Recovered);
         let placed = c.submit_task(spec(1, 100, 0));
-        assert_eq!(placed, a0);
+        assert_eq!(placed, TaskPlacement::Placed(a0));
     }
 
     #[test]
@@ -403,7 +530,7 @@ mod tests {
         c.submit_task(spec(0, 100, 0));
         c.heartbeat(0, 10.0);
         c.heartbeat(1, 10.0);
-        assert!(c.detect_failures(20.0).is_empty());
+        assert_eq!(c.detect_failures(20.0), FailureSweep::default());
     }
 
     #[test]
@@ -456,7 +583,7 @@ mod tests {
     #[test]
     fn selector_routes_and_detects_staleness() {
         let mut c = coordinator_with_aggregators(2);
-        let placed = c.submit_task(spec(0, 100, 0));
+        let placed = c.submit_task(spec(0, 100, 0)).aggregator().unwrap();
         let mut s = Selector::new();
         assert_eq!(s.route(0), RouteOutcome::StaleMap);
         s.refresh(&c);
@@ -473,10 +600,117 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no alive aggregator")]
-    fn submitting_with_no_alive_aggregator_panics() {
+    fn submitting_with_no_alive_aggregator_queues_pending() {
         let mut c = Coordinator::new(30.0, 1);
-        c.submit_task(spec(0, 10, 0));
+        assert_eq!(c.submit_task(spec(0, 10, 0)), TaskPlacement::Pending);
+        assert_eq!(c.pending_tasks(), vec![0]);
+        assert_eq!(c.aggregator_of(0), None);
+        // No map version was published for a placement that did not happen.
+        assert_eq!(c.sequence(), 0);
+        // Divergent but not actionable: with nobody alive a pass would do no
+        // work, so nothing asks for one yet.
+        assert!(!c.needs_reconciliation());
+        // An Aggregator shows up; reconciliation drains the pending queue.
+        c.register_aggregator(0, 5.0);
+        assert!(c.needs_reconciliation());
+        let corrections = c.reconcile();
+        assert_eq!(corrections.len(), 1);
+        assert_eq!(corrections[0].task, 0);
+        assert_eq!(corrections[0].aggregator, 0);
+        assert!(!corrections[0].was_placed);
+        assert_eq!(c.aggregator_of(0), Some(0));
+        assert_eq!(c.sequence(), 1);
+        assert!(c.pending_tasks().is_empty());
+        assert!(!c.needs_reconciliation());
+    }
+
+    #[test]
+    fn heartbeat_reports_refresh_recover_and_register() {
+        let mut c = coordinator_with_aggregators(1);
+        assert_eq!(c.heartbeat(0, 10.0), HeartbeatOutcome::Refreshed);
+        c.detect_failures(100.0); // 0 misses its deadline
+        assert!(!c.is_alive(0));
+        assert_eq!(c.heartbeat(0, 150.0), HeartbeatOutcome::Recovered);
+        assert!(c.is_alive(0));
+        // An id the Coordinator has never seen is registered, not dropped.
+        assert_eq!(c.heartbeat(9, 150.0), HeartbeatOutcome::Registered);
+        assert!(c.is_alive(9));
+        assert_eq!(c.aggregator_ids(), vec![0, 9]);
+        // And it is durable: the next heartbeat is an ordinary refresh.
+        assert_eq!(c.heartbeat(9, 160.0), HeartbeatOutcome::Refreshed);
+    }
+
+    #[test]
+    fn total_loss_orphans_are_replaced_on_first_recovery_heartbeat() {
+        let mut c = coordinator_with_aggregators(2);
+        c.submit_task(spec(0, 100, 0));
+        c.submit_task(spec(1, 100, 0));
+        let seq_before = c.sequence();
+        // Nobody heartbeats: both Aggregators die in one sweep.
+        let sweep = c.detect_failures(100.0);
+        assert_eq!(sweep.failed, vec![0, 1]);
+        assert!(sweep.reassigned.is_empty());
+        assert_eq!(sweep.orphaned, vec![0, 1]);
+        // Routes still point at corpses and no new map version exists yet;
+        // with the whole fleet dead a reconcile pass has no work it can do.
+        assert_eq!(c.sequence(), seq_before);
+        assert!(c.aggregator_of(0).is_some());
+        assert!(!c.needs_reconciliation());
+        // Aggregator 1 heartbeats back; its own task's route is valid again
+        // (never shuffled), and a single reconcile pass re-places the task
+        // still riding the corpse and publishes a new map version.
+        assert_eq!(c.heartbeat(1, 150.0), HeartbeatOutcome::Recovered);
+        assert!(c.needs_reconciliation());
+        let corrections = c.reconcile();
+        assert_eq!(corrections.len(), 1);
+        assert_eq!(corrections[0].task, 0);
+        assert_eq!(corrections[0].aggregator, 1);
+        assert!(corrections[0].was_placed);
+        assert_eq!(c.sequence(), seq_before + 1);
+        assert_eq!(c.aggregator_of(0), Some(1));
+        assert_eq!(c.aggregator_of(1), Some(1));
+        assert!(!c.needs_reconciliation());
+    }
+
+    #[test]
+    fn reconcile_keeps_routes_to_recovered_aggregators() {
+        let mut c = coordinator_with_aggregators(2);
+        let placed = c.submit_task(spec(0, 100, 0)).aggregator().unwrap();
+        c.detect_failures(100.0); // both die; task 0 is orphaned
+        c.heartbeat(placed, 150.0);
+        c.heartbeat(1 - placed, 150.0);
+        // The original owner recovered, so the placement is valid again:
+        // reconciliation must not shuffle it anywhere.
+        assert!(!c.needs_reconciliation());
+        assert!(c.reconcile().is_empty());
+        assert_eq!(c.aggregator_of(0), Some(placed));
+    }
+
+    #[test]
+    fn reconcile_waits_until_an_aggregator_is_alive() {
+        let mut c = coordinator_with_aggregators(1);
+        c.submit_task(spec(0, 100, 0));
+        c.detect_failures(100.0); // total loss
+                                  // Nothing alive to place on: reconciliation has no work it can do.
+        assert!(!c.needs_reconciliation());
+        assert!(c.reconcile().is_empty());
+        assert_eq!(c.aggregator_of(0), Some(0));
+    }
+
+    #[test]
+    fn stale_selector_refreshes_after_reconcile_bump() {
+        let mut c = coordinator_with_aggregators(2);
+        c.submit_task(spec(0, 100, 0));
+        let mut s = Selector::new();
+        s.refresh(&c);
+        c.detect_failures(100.0); // total loss: no bump, selector still fresh
+        assert!(!s.is_stale(&c));
+        c.heartbeat(1, 150.0);
+        c.reconcile();
+        // The reconcile pass bumped the sequence, so the selector notices.
+        assert!(s.is_stale(&c));
+        s.refresh(&c);
+        assert_eq!(s.route(0), RouteOutcome::Routed(1));
     }
 
     #[test]

@@ -71,6 +71,19 @@ pub enum EventKind {
         /// The Aggregator that dies.
         aggregator: usize,
     },
+    /// Multi-task: injected recovery — a crashed Aggregator comes back and
+    /// heartbeats immediately; orphaned tasks are re-placed on it by the
+    /// reconcile pass the heartbeat triggers.
+    AggregatorRecover {
+        /// The Aggregator that comes back.
+        aggregator: usize,
+    },
+    /// Multi-task: a control-plane reconciliation pass — the Coordinator
+    /// diffs desired placement (every task on a healthy Aggregator) against
+    /// actual routes and emits corrective placements.  Scheduled only when
+    /// the pass would do work, so scenarios that never diverge process no
+    /// extra events.
+    ReconcileTick,
     /// A deadline-based aggregation strategy may be ready without a new
     /// arrival: check the task's aggregator and release if due.
     AggregatorDeadline {
@@ -151,6 +164,12 @@ impl fmt::Display for EventKind {
             EventKind::RefreshSelectors => write!(f, "refresh stale selector maps"),
             EventKind::AggregatorCrash { aggregator } => {
                 write!(f, "aggregator {aggregator} crashes")
+            }
+            EventKind::AggregatorRecover { aggregator } => {
+                write!(f, "aggregator {aggregator} recovers")
+            }
+            EventKind::ReconcileTick => {
+                write!(f, "control-plane reconcile pass (re-place divergent tasks)")
             }
             EventKind::AggregatorDeadline { task } => {
                 write!(f, "task {task}: aggregation deadline check")
@@ -337,6 +356,14 @@ mod tests {
         assert_eq!(
             EventKind::RobustRelease { task: 5 }.to_string(),
             "task 5: robust release (estimator applied)"
+        );
+        assert_eq!(
+            EventKind::AggregatorRecover { aggregator: 2 }.to_string(),
+            "aggregator 2 recovers"
+        );
+        assert_eq!(
+            EventKind::ReconcileTick.to_string(),
+            "control-plane reconcile pass (re-place divergent tasks)"
         );
     }
 

@@ -25,6 +25,10 @@
 //! * [`cluster`] — the control plane: Coordinator, Selectors, persistent
 //!   Aggregators, task assignment, heartbeats, and failure recovery
 //!   (Sections 4, 6 and Appendix E.4);
+//! * [`control_plane`] — the Coordinator promoted to an event-sourced
+//!   service: an append-only event log with checkpoint/replay restore, a
+//!   reconciliation pass that re-places orphaned and pending tasks, and a
+//!   Prometheus-style counter surface;
 //! * [`multi_task`] — the legacy multi-tenant front-end, a thin shim over
 //!   [`scenario`]'s fleet path (Sections 4, 6.2–6.3, Appendix E.4);
 //! * [`sampling`] — O(1) uniform sampling of free devices from a shared,
@@ -54,6 +58,7 @@
 
 pub mod client_runtime;
 pub mod cluster;
+pub mod control_plane;
 pub mod engine;
 pub mod events;
 pub mod executor;
@@ -63,6 +68,7 @@ pub mod sampling;
 pub mod scenario;
 pub mod task_runtime;
 
+pub use control_plane::{ControlEvent, ControlPlaneService, Correction, EventLog, FleetStatus};
 pub use engine::{Simulation, SimulationConfig, SimulationResult};
 pub use executor::{Executor, ExecutorStats, Parallelism};
 pub use metrics::{

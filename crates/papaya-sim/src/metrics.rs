@@ -298,6 +298,141 @@ pub struct ControlPlaneStats {
     pub lost_in_transit_updates: u64,
     /// Final sequence number of the Coordinator's assignment map.
     pub final_map_sequence: u64,
+    /// Tasks orphaned by total Aggregator loss (their route pointed at a
+    /// corpse until a reconcile pass re-placed them).
+    pub tasks_orphaned: u64,
+    /// Corrective placements performed by reconcile passes (orphan
+    /// re-placements plus pending first placements).
+    pub tasks_reconciled: u64,
+    /// Task submissions that found no alive Aggregator and were queued as
+    /// pending instead of panicking.
+    pub pending_task_submissions: u64,
+    /// Heartbeats from unknown Aggregator ids that were accepted as
+    /// implicit registrations.
+    pub unknown_heartbeat_registrations: u64,
+    /// Crashed Aggregator processes that came back during the run.
+    pub aggregator_recoveries: u64,
+    /// Heartbeats processed by the control plane.
+    // papaya-lint: allow(metrics-fingerprint) -- derived from fleet size and tick count, both already pinned by the hashed event count; hashing it would add nothing but a second copy of run shape
+    pub heartbeats: u64,
+    /// Task placements performed (initial, reassignment, and reconcile).
+    // papaya-lint: allow(metrics-fingerprint) -- the placements themselves are fingerprinted through routes, reassignment counters, and final params; this is their observability roll-up
+    pub tasks_placed: u64,
+    /// Absolute length of the control-plane event log at the end of the run.
+    // papaya-lint: allow(metrics-fingerprint) -- an observability mirror fully determined by the hashed dispatch counts; hashing it would double-count them
+    pub control_log_events: u64,
+    /// Checkpoints the control plane took during the run.
+    // papaya-lint: allow(metrics-fingerprint) -- checkpoint cadence is an operator knob that must not alter run identity; bit-identity across cadences is the checkpoint correctness proof
+    pub checkpoints_taken: u64,
+    /// Events appended since the last checkpoint (restore replay cost).
+    // papaya-lint: allow(metrics-fingerprint) -- checkpoint cadence is an operator knob that must not alter run identity; bit-identity across cadences is the checkpoint correctness proof
+    pub checkpoint_age_events: u64,
+    /// Mid-run restores of the control plane from (checkpoint + log suffix).
+    // papaya-lint: allow(metrics-fingerprint) -- a restore must be fingerprint-invisible: identical fingerprints with and without one IS the replay-fidelity proof
+    pub coordinator_restores: u64,
+}
+
+impl ControlPlaneStats {
+    /// Renders the counters in Prometheus text exposition format, for bench
+    /// binaries that export fleet reports as scrape-able metrics.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let counters = [
+            (
+                "papaya_fleet_aggregator_failures_total",
+                "Aggregator processes that failed during the run.",
+                self.aggregator_failures,
+            ),
+            (
+                "papaya_fleet_aggregator_recoveries_total",
+                "Crashed Aggregator processes that came back.",
+                self.aggregator_recoveries,
+            ),
+            (
+                "papaya_fleet_task_reassignments_total",
+                "Task-to-Aggregator reassignments performed.",
+                self.task_reassignments,
+            ),
+            (
+                "papaya_fleet_tasks_orphaned_total",
+                "Tasks orphaned by total Aggregator loss.",
+                self.tasks_orphaned,
+            ),
+            (
+                "papaya_fleet_tasks_reconciled_total",
+                "Corrective placements performed by reconcile passes.",
+                self.tasks_reconciled,
+            ),
+            (
+                "papaya_fleet_pending_task_submissions_total",
+                "Task submissions queued with no alive Aggregator.",
+                self.pending_task_submissions,
+            ),
+            (
+                "papaya_fleet_unknown_heartbeat_registrations_total",
+                "Heartbeats from unknown ids accepted as registrations.",
+                self.unknown_heartbeat_registrations,
+            ),
+            (
+                "papaya_fleet_heartbeats_total",
+                "Heartbeats processed by the control plane.",
+                self.heartbeats,
+            ),
+            (
+                "papaya_fleet_tasks_placed_total",
+                "Task placements performed.",
+                self.tasks_placed,
+            ),
+            (
+                "papaya_fleet_stale_route_refusals_total",
+                "Client requests refused by stale Selector maps.",
+                self.stale_route_refusals,
+            ),
+            (
+                "papaya_fleet_lost_in_transit_updates_total",
+                "Client updates lost in transit to a dead Aggregator.",
+                self.lost_in_transit_updates,
+            ),
+            (
+                "papaya_fleet_control_log_events_total",
+                "Absolute length of the control-plane event log.",
+                self.control_log_events,
+            ),
+            (
+                "papaya_fleet_checkpoints_total",
+                "Checkpoints taken by the control plane.",
+                self.checkpoints_taken,
+            ),
+            (
+                "papaya_fleet_coordinator_restores_total",
+                "Mid-run restores from (checkpoint + log suffix).",
+                self.coordinator_restores,
+            ),
+        ];
+        for (name, help, value) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, help, value) in [
+            (
+                "papaya_fleet_map_sequence",
+                "Final sequence number of the assignment map.",
+                self.final_map_sequence,
+            ),
+            (
+                "papaya_fleet_checkpoint_age_events",
+                "Events appended since the last checkpoint.",
+                self.checkpoint_age_events,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
 }
 
 /// Cross-task roll-up of a multi-tenant run.
@@ -491,6 +626,7 @@ mod tests {
             stale_route_refusals: 7,
             lost_in_transit_updates: 4,
             final_map_sequence: 3,
+            ..Default::default()
         };
         let fleet = FleetSummary::roll_up(1.0, &tasks, &[&a, &b], stats.clone());
         assert_eq!(fleet.tasks, 2);
@@ -501,6 +637,31 @@ mod tests {
         assert_eq!(fleet.mean_active_clients, 15.0);
         assert_eq!(fleet.control_plane, stats);
         assert!((tasks[0].remaining_loss_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_plane_stats_render_as_prometheus_text() {
+        let stats = ControlPlaneStats {
+            aggregator_failures: 2,
+            tasks_orphaned: 3,
+            tasks_reconciled: 3,
+            coordinator_restores: 1,
+            final_map_sequence: 9,
+            ..Default::default()
+        };
+        let text = stats.prometheus_text();
+        for needle in [
+            "# HELP papaya_fleet_tasks_orphaned_total",
+            "# TYPE papaya_fleet_tasks_orphaned_total counter",
+            "papaya_fleet_tasks_orphaned_total 3",
+            "papaya_fleet_tasks_reconciled_total 3",
+            "papaya_fleet_coordinator_restores_total 1",
+            "# TYPE papaya_fleet_map_sequence gauge",
+            "papaya_fleet_map_sequence 9",
+            "papaya_fleet_checkpoint_age_events 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 
     #[test]

@@ -21,7 +21,15 @@
 //!   process stops heartbeating, its tasks' buffered updates are lost,
 //!   in-flight uploads addressed to it are dropped in transit, and once the
 //!   Coordinator misses enough heartbeats it reassigns the orphaned tasks —
-//!   after which training resumes on the surviving Aggregators.
+//!   after which training resumes on the surviving Aggregators.  Even
+//!   *total* Aggregator loss recovers: orphans wait as divergent placement
+//!   and the reconciler re-places them on the first recovery heartbeat
+//!   (see `docs/CONTROL_PLANE.md`).
+//!
+//! Underneath, the Coordinator runs inside the event-sourced
+//! [`crate::control_plane::ControlPlaneService`]: every control mutation is
+//! logged, checkpointed, and replayable, and a mid-run restore is
+//! fingerprint-invisible by construction.
 //!
 //! New code should compose a [`Scenario`] with a
 //! [`FleetSpec`] directly; this front-end survives for existing call sites

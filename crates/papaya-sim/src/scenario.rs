@@ -41,7 +41,8 @@
 //! println!("stopped: {}", report.stop_reason);
 //! ```
 
-use crate::cluster::{AggregatorId, Coordinator, RouteOutcome, Selector, TaskSpec};
+use crate::cluster::{AggregatorId, RouteOutcome, Selector, TaskSpec};
+use crate::control_plane::{ControlPlaneService, FleetStatus};
 use crate::events::{EventKind, EventQueue, SimTime};
 use crate::executor::{Executor, Parallelism};
 use crate::metrics::{
@@ -317,6 +318,17 @@ pub struct InjectedCrash {
     pub aggregator: AggregatorId,
 }
 
+/// An Aggregator recovery injected at a fixed virtual time: the process
+/// comes back, heartbeats immediately, and the reconcile pass the heartbeat
+/// triggers re-places any orphaned tasks onto it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InjectedRecovery {
+    /// When the Aggregator comes back, in virtual seconds.
+    pub time_s: f64,
+    /// Which Aggregator recovers.
+    pub aggregator: AggregatorId,
+}
+
 /// End-of-run report for one task of a scenario.
 #[derive(Clone, Debug)]
 pub struct TaskReport {
@@ -555,6 +567,22 @@ impl Report {
         h.u64(cp.stale_route_refusals);
         h.u64(cp.lost_in_transit_updates);
         h.u64(cp.final_map_sequence);
+        // Reconciliation-era counters are hashed only when the run exercised
+        // them: historical scenarios (partial failure or no failure at all)
+        // keep every field at zero, so their pinned fingerprints survive the
+        // event-sourced control plane unchanged.
+        if cp.tasks_orphaned > 0
+            || cp.tasks_reconciled > 0
+            || cp.pending_task_submissions > 0
+            || cp.unknown_heartbeat_registrations > 0
+            || cp.aggregator_recoveries > 0
+        {
+            h.u64(cp.tasks_orphaned);
+            h.u64(cp.tasks_reconciled);
+            h.u64(cp.pending_task_submissions);
+            h.u64(cp.unknown_heartbeat_registrations);
+            h.u64(cp.aggregator_recoveries);
+        }
         format!(
             "{:?}/{}ev/{}tasks/{:016x}",
             self.stop_reason,
@@ -589,6 +617,8 @@ pub struct Scenario {
     population: Population,
     fleet: Option<FleetSpec>,
     crashes: Vec<InjectedCrash>,
+    recoveries: Vec<InjectedRecovery>,
+    control_plane_restore_s: Option<f64>,
     limits: RunLimits,
     eval: EvalPolicy,
     tier_policy: TierPolicy,
@@ -605,6 +635,8 @@ pub struct ScenarioBuilder {
     population: Option<Population>,
     fleet: Option<FleetSpec>,
     crashes: Vec<InjectedCrash>,
+    recoveries: Vec<InjectedRecovery>,
+    control_plane_restore_s: Option<f64>,
     limits: RunLimits,
     eval: EvalPolicy,
     tier_policy: TierPolicy,
@@ -626,6 +658,8 @@ impl Default for ScenarioBuilder {
             population: None,
             fleet: None,
             crashes: Vec::new(),
+            recoveries: Vec::new(),
+            control_plane_restore_s: None,
             limits: RunLimits::default(),
             eval: EvalPolicy::default(),
             tier_policy: TierPolicy::default(),
@@ -673,6 +707,26 @@ impl ScenarioBuilder {
     /// Injects an Aggregator crash at the given virtual time (fleet only).
     pub fn crash_at(mut self, time_s: f64, aggregator: AggregatorId) -> Self {
         self.crashes.push(InjectedCrash { time_s, aggregator });
+        self
+    }
+
+    /// Injects an Aggregator recovery at the given virtual time (fleet
+    /// only): the crashed process comes back, heartbeats immediately, and
+    /// the reconciliation pass re-places orphaned tasks onto it.
+    pub fn recover_at(mut self, time_s: f64, aggregator: AggregatorId) -> Self {
+        self.recoveries
+            .push(InjectedRecovery { time_s, aggregator });
+        self
+    }
+
+    /// Interrupts the control-plane service at the first control tick at or
+    /// after the given virtual time and resumes it from (latest checkpoint +
+    /// event-log suffix).  Restore is deterministic replay, so the rest of
+    /// the run — and its [`Report::fingerprint`] — is bit-identical to the
+    /// uninterrupted run; scenarios use this to prove checkpoint fidelity
+    /// end to end (fleet only).
+    pub fn restore_control_plane_at(mut self, time_s: f64) -> Self {
+        self.control_plane_restore_s = Some(time_s);
         self
     }
 
@@ -783,9 +837,10 @@ impl ScenarioBuilder {
     /// # Panics
     ///
     /// Panics when the composition is invalid: no population or an empty
-    /// one, no tasks, more than one task (or injected crashes) without a
-    /// fleet, a fleet without Aggregators or Selectors, a heartbeat
-    /// timeout not exceeding the control-plane interval, or a task config
+    /// one, no tasks, more than one task (or injected crashes/recoveries,
+    /// or a control-plane restore) without a fleet, a fleet without
+    /// Aggregators or Selectors, a heartbeat timeout not exceeding the
+    /// control-plane interval, a non-finite restore time, or a task config
     /// the pipeline would not honor (a non-positive/non-finite client
     /// timeout, or a capability-tier restriction without a fleet to
     /// enforce it).
@@ -835,6 +890,20 @@ impl ScenarioBuilder {
                 self.crashes.is_empty(),
                 "crash injection requires a fleet of Aggregators"
             );
+            assert!(
+                self.recoveries.is_empty(),
+                "recovery injection requires a fleet of Aggregators"
+            );
+            assert!(
+                self.control_plane_restore_s.is_none(),
+                "control-plane restore requires a fleet of Aggregators"
+            );
+        }
+        if let Some(restore_s) = self.control_plane_restore_s {
+            assert!(
+                restore_s.is_finite() && restore_s >= 0.0,
+                "control-plane restore time must be finite and non-negative"
+            );
         }
         let seed = self.seed;
         let trainers: Vec<Arc<dyn ClientTrainer>> = self
@@ -859,6 +928,8 @@ impl ScenarioBuilder {
             population,
             fleet: self.fleet,
             crashes: self.crashes,
+            recoveries: self.recoveries,
+            control_plane_restore_s: self.control_plane_restore_s,
             limits: self.limits,
             eval: self.eval,
             tier_policy: self.tier_policy,
@@ -998,6 +1069,15 @@ impl Scenario {
             None => DirectState::new(self, executor).run(),
             Some(fleet) => FleetState::new(self, fleet, executor).run(),
         }
+    }
+
+    /// The fleet's initial placement as the control plane would report it at
+    /// time zero: per-Aggregator liveness and load, pending tasks, and the
+    /// assignment-map sequence.  Returns `None` for direct (fleet-less)
+    /// scenarios, which have no control plane.
+    pub fn fleet_status(&self) -> Option<FleetStatus> {
+        let fleet = self.fleet.as_ref()?;
+        Some(initial_control_plane(self, fleet).fleet_status())
     }
 }
 
@@ -1226,7 +1306,9 @@ impl<'a> DirectState<'a> {
                 | EventKind::EvaluateTask { .. }
                 | EventKind::ControlPlaneTick
                 | EventKind::RefreshSelectors
-                | EventKind::AggregatorCrash { .. } => {
+                | EventKind::AggregatorCrash { .. }
+                | EventKind::AggregatorRecover { .. }
+                | EventKind::ReconcileTick => {
                     unreachable!("direct scenarios schedule no fleet events")
                 }
             }
@@ -1349,13 +1431,28 @@ impl<'a> DirectState<'a> {
 // Fleet path: tasks on persistent Aggregators behind the control plane.
 // ---------------------------------------------------------------------------
 
+/// The control plane as of t=0: Coordinator created from the scenario
+/// seed, Aggregators registered, tasks submitted in id order.  Shared by
+/// [`FleetState::new`] and [`Scenario::fleet_status`] so the preview and
+/// the run agree on initial placement.
+fn initial_control_plane(scenario: &Scenario, fleet: &FleetSpec) -> ControlPlaneService {
+    let mut service = ControlPlaneService::new(fleet.heartbeat_timeout_s, scenario.seed ^ 0xC0FFEE);
+    for id in 0..fleet.aggregators {
+        service.register_aggregator(id, 0.0);
+    }
+    for (task_id, task) in scenario.tasks.iter().enumerate() {
+        service.submit_task(TaskSpec::from_task_config(task_id, task));
+    }
+    service
+}
+
 struct FleetState<'a> {
     scenario: &'a Scenario,
     fleet: &'a FleetSpec,
     rng: StdRng,
     queue: EventQueue,
     runtimes: Vec<TaskRuntime>,
-    coordinator: Coordinator,
+    service: ControlPlaneService,
     selectors: Vec<Selector>,
     selector_cursor: usize,
     crashed: BTreeSet<AggregatorId>,
@@ -1370,19 +1467,20 @@ struct FleetState<'a> {
     /// scheduled for, per task (deadline strategies only).
     scheduled_deadlines: Vec<Option<f64>>,
     stats: ControlPlaneStats,
+    /// Whether a [`EventKind::ReconcileTick`] is already queued (the pass
+    /// is scheduled at most once per divergence episode).
+    reconcile_scheduled: bool,
+    /// Whether the injected control-plane restore already happened.
+    restored: bool,
     now: SimTime,
 }
 
 impl<'a> FleetState<'a> {
     fn new(scenario: &'a Scenario, fleet: &'a FleetSpec, executor: Option<Arc<Executor>>) -> Self {
         let mut rng = StdRng::seed_from_u64(scenario.seed);
-        let mut coordinator = Coordinator::new(fleet.heartbeat_timeout_s, scenario.seed ^ 0xC0FFEE);
-        for id in 0..fleet.aggregators {
-            coordinator.register_aggregator(id, 0.0);
-        }
+        let service = initial_control_plane(scenario, fleet);
         let mut runtimes = Vec::with_capacity(scenario.tasks.len());
         for (task_id, task) in scenario.tasks.iter().enumerate() {
-            coordinator.submit_task(TaskSpec::from_task_config(task_id, task));
             let eval_ids = sample_eval_ids(
                 &mut rng,
                 scenario.population.len(),
@@ -1404,7 +1502,7 @@ impl<'a> FleetState<'a> {
         }
         let mut selectors = vec![Selector::new(); fleet.selectors];
         for selector in &mut selectors {
-            selector.refresh(&coordinator);
+            selector.refresh(service.coordinator());
         }
         let tiers = scenario
             .population
@@ -1417,7 +1515,7 @@ impl<'a> FleetState<'a> {
             rng,
             queue: EventQueue::new(),
             runtimes,
-            coordinator,
+            service,
             selectors,
             selector_cursor: 0,
             crashed: BTreeSet::new(),
@@ -1431,6 +1529,8 @@ impl<'a> FleetState<'a> {
             reassignments: vec![0; scenario.tasks.len()],
             scheduled_deadlines: vec![None; scenario.tasks.len()],
             stats: ControlPlaneStats::default(),
+            reconcile_scheduled: false,
+            restored: false,
             now: 0.0,
         }
     }
@@ -1473,6 +1573,14 @@ impl<'a> FleetState<'a> {
                 },
             );
         }
+        for recovery in &self.scenario.recoveries {
+            self.queue.schedule(
+                recovery.time_s,
+                EventKind::AggregatorRecover {
+                    aggregator: recovery.aggregator,
+                },
+            );
+        }
 
         let limits = self.scenario.limits;
         let mut stop_reason = StopReason::MaxVirtualTime;
@@ -1492,6 +1600,8 @@ impl<'a> FleetState<'a> {
                         self.stats.aggregator_failures += 1;
                     }
                 }
+                EventKind::AggregatorRecover { aggregator } => self.handle_recovery(aggregator),
+                EventKind::ReconcileTick => self.reconcile_tick(),
                 EventKind::TaskClientFinished {
                     task,
                     client_id,
@@ -1587,7 +1697,17 @@ impl<'a> FleetState<'a> {
         for runtime in &mut self.runtimes {
             runtime.evaluate(self.now);
         }
-        self.stats.final_map_sequence = self.coordinator.sequence();
+        self.stats.final_map_sequence = self.service.coordinator().sequence();
+        let counters = self.service.counters();
+        self.stats.heartbeats = counters.heartbeats;
+        self.stats.tasks_placed = counters.tasks_placed;
+        self.stats.tasks_orphaned = counters.tasks_orphaned;
+        self.stats.tasks_reconciled = counters.tasks_reconciled;
+        self.stats.pending_task_submissions = counters.pending_task_submissions;
+        self.stats.unknown_heartbeat_registrations = counters.unknown_heartbeat_registrations;
+        self.stats.control_log_events = self.service.log().len();
+        self.stats.checkpoints_taken = self.service.checkpoints_taken();
+        self.stats.checkpoint_age_events = self.service.checkpoint_age_events();
 
         let virtual_hours = self.now / 3600.0;
         let mut reports = Vec::with_capacity(self.runtimes.len());
@@ -1614,31 +1734,38 @@ impl<'a> FleetState<'a> {
     /// One control-plane sweep: heartbeats, failure detection and task
     /// reassignment, demand pooling, and client assignment.
     fn control_plane_tick(&mut self) {
+        self.maybe_restore_control_plane();
+
         // Live Aggregators heartbeat; crashed ones stay silent.
         for id in 0..self.fleet.aggregators {
             if !self.crashed.contains(&id) {
-                self.coordinator.heartbeat(id, self.now);
+                self.service.heartbeat(id, self.now);
             }
         }
 
-        // Failure detection: orphaned tasks lose their buffered updates and
-        // move to a surviving Aggregator.
-        let reassigned = self.coordinator.detect_failures(self.now);
-        for task in reassigned {
+        // Failure detection: tasks moved to a surviving Aggregator lose
+        // their buffered updates.  Tasks orphaned by total loss lose them
+        // too (the buffers died with the Aggregator); their re-placement
+        // waits for the reconcile pass triggered by the first recovery.
+        let sweep = self.service.detect_failures(self.now);
+        for task in sweep.reassigned {
             self.runtimes[task].drop_buffered_updates();
             self.reassignments[task] += 1;
             self.stats.task_reassignments += 1;
         }
+        for task in sweep.orphaned {
+            self.runtimes[task].drop_buffered_updates();
+        }
 
         // Demand pooling: every runtime reports its current client demand.
         for (task_id, runtime) in self.runtimes.iter().enumerate() {
-            self.coordinator.report_demand(task_id, runtime.demand());
+            self.service.report_demand(task_id, runtime.demand());
         }
 
         // Client assignment: idle devices check in and are assigned to
         // eligible tasks until demand is met (or no check-in succeeds).
         let total_demand: usize = (0..self.runtimes.len())
-            .map(|task| self.coordinator.effective_demand(task))
+            .map(|task| self.service.coordinator().effective_demand(task))
             .sum();
         let mut assigned = 0;
         let mut turned_away = Vec::new();
@@ -1651,7 +1778,7 @@ impl<'a> FleetState<'a> {
                 Some(id) => id,
                 None => break, // every device is already participating
             };
-            match self.coordinator.assign_client(self.tiers[client_id]) {
+            match self.service.assign_client(self.tiers[client_id]) {
                 Some((task, aggregator)) => {
                     if self.route_and_start(task, aggregator, client_id) {
                         assigned += 1;
@@ -1669,10 +1796,64 @@ impl<'a> FleetState<'a> {
         for runtime in &mut self.runtimes {
             runtime.record_utilization(self.now);
         }
+        self.maybe_schedule_reconcile();
         self.queue.schedule(
             self.now + self.fleet.control_plane_interval_s,
             EventKind::ControlPlaneTick,
         );
+    }
+
+    /// An injected Aggregator recovery: the process comes back, heartbeats
+    /// immediately (register-or-refresh), and any orphaned or pending tasks
+    /// are re-placed by the reconcile pass the heartbeat makes possible.
+    fn handle_recovery(&mut self, aggregator: AggregatorId) {
+        if self.crashed.remove(&aggregator) {
+            self.stats.aggregator_recoveries += 1;
+            self.service.heartbeat(aggregator, self.now);
+            self.maybe_schedule_reconcile();
+        }
+    }
+
+    /// A reconciliation pass: diff desired placement (every task routed to a
+    /// healthy Aggregator) against actual routes and correct divergence.
+    /// Re-placing an orphan counts as a reassignment; first placement of a
+    /// pending task does not.
+    fn reconcile_tick(&mut self) {
+        self.reconcile_scheduled = false;
+        let corrections = self.service.reconcile(self.now);
+        for correction in corrections {
+            if correction.was_placed {
+                self.reassignments[correction.task] += 1;
+                self.stats.task_reassignments += 1;
+            }
+        }
+    }
+
+    /// Schedules a reconcile pass at the current instant iff one would do
+    /// work and none is already queued.  Scenarios whose placement never
+    /// diverges therefore process no extra events — a property the pinned
+    /// historical fingerprints depend on.
+    fn maybe_schedule_reconcile(&mut self) {
+        if !self.reconcile_scheduled && self.service.needs_reconciliation() {
+            self.reconcile_scheduled = true;
+            self.queue.schedule(self.now, EventKind::ReconcileTick);
+        }
+    }
+
+    /// If the scenario asks for a mid-run control-plane restore, throw away
+    /// the live service state at the first control tick past the requested
+    /// time and rebuild it from (checkpoint + log suffix).  Deliberately
+    /// in-band (not an event): a restore must not change the event count,
+    /// because its whole point is proving the run is bit-identical with and
+    /// without it.
+    fn maybe_restore_control_plane(&mut self) {
+        if let Some(restore_s) = self.scenario.control_plane_restore_s {
+            if !self.restored && self.now >= restore_s {
+                self.restored = true;
+                self.service.restore_from_checkpoint();
+                self.stats.coordinator_restores += 1;
+            }
+        }
     }
 
     /// Routes an assigned client through the next Selector and, if routing
@@ -1685,7 +1866,7 @@ impl<'a> FleetState<'a> {
 
         // A Selector whose map sequence is behind the Coordinator's refuses
         // to route and asks the client to retry while it refreshes.
-        if selector.is_stale(&self.coordinator) {
+        if selector.is_stale(self.service.coordinator()) {
             self.stats.stale_route_refusals += 1;
             return false;
         }
@@ -1753,8 +1934,8 @@ impl<'a> FleetState<'a> {
 
     fn refresh_selectors(&mut self) {
         for selector in &mut self.selectors {
-            if selector.is_stale(&self.coordinator) {
-                selector.refresh(&self.coordinator);
+            if selector.is_stale(self.service.coordinator()) {
+                selector.refresh(self.service.coordinator());
             }
         }
         self.queue.schedule(
@@ -2108,20 +2289,17 @@ mod tests {
         let m = &defended.single().metrics;
         assert!(m.robust.estimator_releases > 0, "estimator never engaged");
         assert_eq!(m.robust.estimator_releases, m.server_updates);
-        assert_eq!(
-            m.robust.estimator_trace.len(),
-            m.server_updates as usize
-        );
+        assert_eq!(m.robust.estimator_trace.len(), m.server_updates as usize);
         assert!(m.attacked_updates > 0, "the cohort never attacked");
-        assert_eq!(
-            m.attacks_by_label.values().sum::<u64>(),
-            m.attacked_updates
-        );
+        assert_eq!(m.attacks_by_label.values().sum::<u64>(), m.attacked_updates);
         assert_eq!(
             defended.single().summary.robust_estimator_releases,
             m.robust.estimator_releases
         );
-        assert_eq!(defended.single().summary.attacked_updates, m.attacked_updates);
+        assert_eq!(
+            defended.single().summary.attacked_updates,
+            m.attacked_updates
+        );
         assert_eq!(clear.single().metrics.robust.estimator_releases, 0);
         assert_ne!(clear.fingerprint(), defended.fingerprint());
     }
@@ -2152,9 +2330,8 @@ mod tests {
 
     #[test]
     fn robust_and_adversary_builder_knobs_apply_to_every_task() {
-        let robust = RobustConfig::new(papaya_core::RobustDefense::TrimmedMean {
-            trim_fraction: 0.2,
-        });
+        let robust =
+            RobustConfig::new(papaya_core::RobustDefense::TrimmedMean { trim_fraction: 0.2 });
         let adversary = AdversarySpec::new(0.1, papaya_core::Malice::StalenessLiar);
         let scenario = Scenario::builder()
             .population(population(300))
@@ -2176,9 +2353,11 @@ mod tests {
     fn invalid_robust_config_is_rejected_at_build() {
         Scenario::builder()
             .population(population(10))
-            .task(TaskConfig::async_task("t", 4, 2).with_robust(RobustConfig::new(
-                papaya_core::RobustDefense::TrimmedMean { trim_fraction: 0.5 },
-            )))
+            .task(
+                TaskConfig::async_task("t", 4, 2).with_robust(RobustConfig::new(
+                    papaya_core::RobustDefense::TrimmedMean { trim_fraction: 0.5 },
+                )),
+            )
             .build();
     }
 
@@ -2188,10 +2367,8 @@ mod tests {
         Scenario::builder()
             .population(population(10))
             .task(
-                TaskConfig::async_task("t", 4, 2).with_adversary(AdversarySpec::new(
-                    1.5,
-                    papaya_core::Malice::StalenessLiar,
-                )),
+                TaskConfig::async_task("t", 4, 2)
+                    .with_adversary(AdversarySpec::new(1.5, papaya_core::Malice::StalenessLiar)),
             )
             .build();
     }

@@ -1066,8 +1066,7 @@ mod tests {
         assert!(!clear.is_robust());
 
         let mut rt = runtime(
-            TaskConfig::async_task("t", 8, 2)
-                .with_robust(papaya_core::RobustConfig::neutral()),
+            TaskConfig::async_task("t", 8, 2).with_robust(papaya_core::RobustConfig::neutral()),
         );
         assert!(rt.is_robust() && !rt.is_dp() && !rt.is_secure());
         for (pid, cid) in [(0u64, 0usize), (1, 1)] {
@@ -1164,7 +1163,10 @@ mod tests {
             metrics.secure.out_of_range_releases, 1,
             "the wrong-counter upload corrupted the decode and was flagged"
         );
-        assert_eq!(metrics.attacks_by_label.get("secagg-wrong-counter"), Some(&2));
+        assert_eq!(
+            metrics.attacks_by_label.get("secagg-wrong-counter"),
+            Some(&2)
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn main() {
     for spec in tasks {
         let placed = coordinator.submit_task(spec.clone());
         println!(
-            "task {:>12} (workload {:>5} MB-clients) -> aggregator {placed}",
+            "task {:>12} (workload {:>5} MB-clients) -> {placed:?}",
             spec.name,
             spec.estimated_workload() / 1_000_000
         );
@@ -75,8 +75,11 @@ fn main() {
     // Selector maps are refreshed.
     println!("\naggregator 1 heartbeats, aggregator 0 goes silent...");
     coordinator.heartbeat(1, 100.0);
-    let reassigned = coordinator.detect_failures(100.0);
-    println!("reassigned tasks after failure detection: {reassigned:?}");
+    let sweep = coordinator.detect_failures(100.0);
+    println!(
+        "failure sweep: failed {:?}, reassigned tasks {:?}, orphaned {:?}",
+        sweep.failed, sweep.reassigned, sweep.orphaned
+    );
     println!("selector map stale? {}", selector.is_stale(&coordinator));
     selector.refresh(&coordinator);
     for task in [0usize, 1, 2] {

@@ -157,7 +157,9 @@ fn trimmed_mean_replaces_wrong_counter_garbage() {
                 kind: DeviationKind::WrongCounter,
             },
         ),
-        RobustConfig::new(RobustDefense::TrimmedMean { trim_fraction: 0.35 }),
+        RobustConfig::new(RobustDefense::TrimmedMean {
+            trim_fraction: 0.35,
+        }),
         2.0,
         2.0,
     );
@@ -209,6 +211,9 @@ fn every_attack_leaves_a_labeled_ground_truth_trail() {
     let m = &report.single().metrics;
     assert!(m.attacked_updates > 0);
     assert_eq!(m.attacks_by_label.len(), 1);
-    assert_eq!(m.attacks_by_label.get("sign-flip"), Some(&m.attacked_updates));
+    assert_eq!(
+        m.attacks_by_label.get("sign-flip"),
+        Some(&m.attacked_updates)
+    );
     assert_eq!(m.attack_trace.len() as u64, m.attacked_updates);
 }
